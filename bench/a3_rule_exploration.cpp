@@ -1,0 +1,64 @@
+/// A3 — design-rule exploration: picking the tip-to-tip rule.
+///
+/// The "impact on design" half of the paper's title: once OPC is in the
+/// flow, design rules are chosen by what OPC can make printable, not by
+/// what draws legally. This experiment sweeps the drawn tip-to-tip gap of
+/// facing line ends, runs model OPC at each value, and verifies across
+/// process corners — the residual tip EPE and bridge count versus gap IS
+/// the design-rule table: the smallest gap with acceptable residual and
+/// zero bridging becomes the rule.
+#include <cmath>
+
+#include "exp_common.h"
+#include "litho/metrology.h"
+
+int main() {
+  using namespace opckit;
+  const litho::SimSpec process = exp::calibrated_process();
+
+  util::Table table({"drawn_gap_nm", "tip_epe_nominal_nm",
+                     "tip_epe_defocus200_nm", "bridges_any_cond",
+                     "verdict"});
+
+  for (geom::Coord gap : {240, 280, 320, 360, 420, 500}) {
+    const std::vector<geom::Polygon> targets{
+        geom::Polygon{geom::Rect(-90, -2600, 90, -gap / 2)},
+        geom::Polygon{geom::Rect(-90, gap / 2, 90, 2600)}};
+    const geom::Rect window(-400, -1000, 400, 1000);
+
+    opc::ModelOpcSpec mspec;
+    mspec.max_iterations = 10;
+    const auto r = opc::run_model_opc(targets, process, window, mspec);
+
+    const litho::Simulator sim(process, window);
+    auto tip_epe = [&](double defocus) {
+      const litho::Image lat = sim.latent(r.corrected, defocus);
+      return litho::edge_placement_error(lat, {0, -gap / 2}, {0, 1}, 200.0,
+                                         sim.threshold());
+    };
+    const double epe0 = tip_epe(0.0);
+    const double epe200 = tip_epe(200.0);
+
+    opc::OrcSpec orc;
+    orc.epe_spec_nm = 1e9;  // count catastrophic failures only
+    const auto rep = opc::run_orc(targets, r.corrected, {}, process, window,
+                                  orc);
+    const std::size_t bridges = rep.count(opc::OrcViolationKind::kBridge) +
+                                rep.count(opc::OrcViolationKind::kLostEdge);
+
+    const bool ok = bridges == 0 && !std::isnan(epe0) &&
+                    std::abs(epe0) <= 12.0 && !std::isnan(epe200) &&
+                    std::abs(epe200) <= 20.0;
+    table.start_row();
+    table.add_cell(static_cast<long long>(gap));
+    table.add_cell(epe0);
+    table.add_cell(epe200);
+    table.add_cell(bridges);
+    table.add_cell(std::string(ok ? "LEGAL" : "forbidden"));
+  }
+
+  exp::emit("A3",
+            "tip-to-tip design-rule exploration (post-OPC residuals)",
+            table);
+  return 0;
+}

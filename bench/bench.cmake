@@ -1,0 +1,42 @@
+# Bench targets live in the top-level CMake scope (pulled in via include())
+# so that ${CMAKE_BINARY_DIR}/bench contains only executables: the repro
+# driver is `for b in build/bench/*; do $b; done`.
+
+set(OPCKIT_BENCH_DIR ${CMAKE_BINARY_DIR}/bench)
+
+function(opckit_add_experiment name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE
+    opckit_core opckit_pattern opckit_drc opckit_layout opckit_litho
+    opckit_geometry opckit_util opckit_warnings)
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/bench)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${OPCKIT_BENCH_DIR})
+endfunction()
+
+opckit_add_experiment(f1_cd_through_pitch)
+opckit_add_experiment(f2_line_end_pullback)
+opckit_add_experiment(f3_corner_serif)
+opckit_add_experiment(f4_opc_convergence)
+opckit_add_experiment(f5_process_window)
+opckit_add_experiment(f6_meef)
+opckit_add_experiment(f7_sraf_dof)
+opckit_add_experiment(t1_epe_stats)
+opckit_add_experiment(t2_data_volume)
+opckit_add_experiment(t4_orc)
+opckit_add_experiment(t5_pattern_catalog)
+opckit_add_experiment(t6_hierarchy)
+opckit_add_experiment(a1_fragmentation)
+opckit_add_experiment(a2_gain)
+
+opckit_add_experiment(f8_psm)
+opckit_add_experiment(t7_drc_plus)
+opckit_add_experiment(a3_rule_exploration)
+opckit_add_experiment(f9_contacts)
+opckit_add_experiment(f10_ddl)
+opckit_add_experiment(t8_electrical)
+opckit_add_experiment(f11_aberrations)
+
+# T3 uses google-benchmark.
+opckit_add_experiment(t3_runtime_scaling)
+target_link_libraries(t3_runtime_scaling PRIVATE benchmark::benchmark)

@@ -1,0 +1,66 @@
+/// \file exp_common.h
+/// Shared setup for the experiment reproduction binaries.
+///
+/// Every experiment uses the same calibrated 248 nm / NA 0.68 annular
+/// process unless it explicitly sweeps a parameter, so numbers are
+/// comparable across tables. All experiment binaries print their table to
+/// stdout and exit 0; a nonzero exit means the experiment itself failed.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/opc.h"
+#include "layout/layout.h"
+#include "litho/litho.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace opckit::exp {
+
+/// The process every experiment shares: KrF 248 nm, NA 0.68, annular
+/// 0.5/0.8, 25 nm resist diffusion, threshold calibrated so 180 nm lines
+/// at 360 nm pitch print on target.
+inline litho::SimSpec calibrated_process() {
+  litho::SimSpec spec;
+  spec.optics.wavelength_nm = 248.0;
+  spec.optics.na = 0.68;
+  spec.optics.source.shape = litho::SourceShape::kAnnular;
+  spec.optics.source.sigma_outer = 0.8;
+  spec.optics.source.sigma_inner = 0.5;
+  spec.optics.source.grid = 5;
+  spec.resist.diffusion_nm = 25.0;
+  spec.pixel_nm = 8.0;
+  spec.guard_nm = 600;
+  litho::calibrate_threshold(spec, 180, 360);
+  return spec;
+}
+
+/// A 7-line vertical grating of 180nm lines, centered, as polygons.
+inline std::vector<geom::Polygon> grating(geom::Coord width,
+                                          geom::Coord pitch,
+                                          geom::Coord length = 4000,
+                                          int lines = 7) {
+  std::vector<geom::Polygon> out;
+  const int mid = lines / 2;
+  for (int i = 0; i < lines; ++i) {
+    const geom::Coord cx = static_cast<geom::Coord>(i - mid) * pitch;
+    out.emplace_back(geom::Rect(cx - width / 2, -length / 2, cx + width / 2,
+                                length / 2));
+  }
+  return out;
+}
+
+/// Print an experiment banner + table and flush. When the environment
+/// variable OPCKIT_CSV_DIR names a directory, the table is additionally
+/// written there as <experiment_id>.csv for downstream plotting.
+inline void emit(const std::string& experiment_id, const std::string& title,
+                 const util::Table& table) {
+  std::cout << table.to_text(experiment_id + " — " + title) << std::endl;
+  if (const char* dir = std::getenv("OPCKIT_CSV_DIR")) {
+    table.write_csv(std::string(dir) + "/" +
+                    util::to_lower(experiment_id) + ".csv");
+  }
+}
+
+}  // namespace opckit::exp

@@ -1,0 +1,106 @@
+/// F10 — dipole illumination and double-dipole lithography (extension).
+///
+/// A dipole source maximizes contrast for one line orientation and kills
+/// the other; double-dipole lithography splits the layout into vertical
+/// and horizontal parts and exposes each with its matched dipole, the
+/// resist integrating both doses. Reported: grating contrast per
+/// orientation under annular vs dipole illumination, and a two-exposure
+/// cross pattern (H+V lines) printed by DDL vs a single annular exposure.
+#include "exp_common.h"
+#include "litho/metrology.h"
+
+namespace {
+
+using namespace opckit;
+
+litho::SimSpec dipole_spec(litho::SourceShape shape) {
+  litho::SimSpec spec;
+  spec.optics.source.shape = shape;
+  spec.optics.source.pole_center = 0.65;
+  spec.optics.source.pole_radius = 0.20;
+  return spec;
+}
+
+/// Aerial-image modulation (Imax-Imin)/(Imax+Imin) across the grating.
+double grating_contrast(const litho::SimSpec& spec,
+                        const std::vector<geom::Polygon>& mask,
+                        bool vertical_lines, geom::Coord pitch) {
+  const geom::Rect window(-2 * pitch, -2 * pitch, 2 * pitch, 2 * pitch);
+  const litho::Simulator sim(spec, window);
+  const litho::Image lat = sim.latent(mask);
+  const double on = lat.sample(0, 0);
+  const double off = vertical_lines
+                         ? lat.sample(static_cast<double>(pitch) / 2, 0)
+                         : lat.sample(0, static_cast<double>(pitch) / 2);
+  return (on - off) / (on + off);
+}
+
+std::vector<geom::Polygon> lines(geom::Coord pitch, bool vertical) {
+  std::vector<geom::Polygon> out;
+  for (int i = -4; i <= 4; ++i) {
+    const geom::Coord c = static_cast<geom::Coord>(i) * pitch;
+    out.emplace_back(vertical ? geom::Rect(c - 90, -2000, c + 90, 2000)
+                              : geom::Rect(-2000, c - 90, 2000, c + 90));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const geom::Coord pitch = 300;  // tight: below annular comfort zone
+  litho::SimSpec annular;  // default production source
+  const litho::SimSpec dipole_x = dipole_spec(litho::SourceShape::kDipoleX);
+  const litho::SimSpec dipole_y = dipole_spec(litho::SourceShape::kDipoleY);
+
+  util::Table contrast({"grating", "annular", "dipole_x", "dipole_y"});
+  for (const bool vertical : {true, false}) {
+    const auto mask = lines(pitch, vertical);
+    contrast.add_row(std::string(vertical ? "vertical_lines"
+                                          : "horizontal_lines"),
+                     grating_contrast(annular, mask, vertical, pitch),
+                     grating_contrast(dipole_x, mask, vertical, pitch),
+                     grating_contrast(dipole_y, mask, vertical, pitch));
+  }
+  exp::emit("F10",
+            "latent-image contrast, 300nm-pitch gratings (180nm-node "
+            "stress)",
+            contrast);
+
+  // DDL on a cross pattern: vertical lines + horizontal lines overlaid.
+  // Decomposition: V-parts exposed with dipole X, H-parts with dipole Y.
+  const auto v_mask = geom::Region::from_polygons(lines(pitch, true));
+  const auto h_mask = geom::Region::from_polygons(lines(pitch, false));
+  const geom::Region cross = v_mask.united(h_mask);
+  const geom::Rect window(-600, -600, 600, 600);
+
+  // Single-exposure annular reference.
+  litho::SimSpec single = annular;
+  litho::calibrate_threshold(single, 180, 360);
+  const litho::Simulator sim_single(single, window);
+  const litho::Image lat_single = sim_single.latent(cross);
+
+  // DDL: two exposures, 50/50 dose.
+  const litho::Image lat_ddl = litho::double_exposure_latent(
+      dipole_x, v_mask, dipole_y, h_mask, window);
+  // Threshold for DDL calibrated on the same anchor concept: use the
+  // image value at the line-center/space midpoint to normalize — report
+  // raw modulation instead of CD to stay model-agnostic.
+  auto modulation = [](const litho::Image& lat, double px, double py,
+                       double sx, double sy) {
+    const double on = lat.sample(px, py);
+    const double off = lat.sample(sx, sy);
+    return (on - off) / (on + off);
+  };
+  util::Table ddl({"exposure", "v_line_modulation", "h_line_modulation"});
+  ddl.add_row(std::string("single_annular"),
+              modulation(lat_single, 0, pitch / 2.0, pitch / 2.0,
+                         pitch / 2.0),
+              modulation(lat_single, pitch / 2.0, 0, pitch / 2.0,
+                         pitch / 2.0));
+  ddl.add_row(std::string("ddl_two_exposure"),
+              modulation(lat_ddl, 0, pitch / 2.0, pitch / 2.0, pitch / 2.0),
+              modulation(lat_ddl, pitch / 2.0, 0, pitch / 2.0, pitch / 2.0));
+  exp::emit("F10b", "cross pattern (V+H lines): single vs DDL", ddl);
+  return 0;
+}

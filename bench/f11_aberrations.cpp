@@ -1,0 +1,95 @@
+/// F11 — aberration sensitivity (extension).
+///
+/// What OPC cannot fix: lens aberrations vary across the slit/field, so a
+/// single mask correction cannot cancel them. Reported: printed-line
+/// shift vs coma (an overlay-budget eater) and H-vs-V CD difference vs
+/// astigmatism at fixed focus. Expected shape: both grow ~linearly with
+/// the aberration coefficient; a few nm of wavefront error eats a
+/// meaningful fraction of the 1990s-era overlay/CD budgets.
+#include <cmath>
+
+#include "exp_common.h"
+#include "litho/metrology.h"
+
+namespace {
+
+using namespace opckit;
+
+double line_shift(const litho::Image& lat, double thr) {
+  const double r =
+      litho::edge_placement_error(lat, {90, 0}, {1, 0}, 80.0, thr);
+  const double l =
+      litho::edge_placement_error(lat, {-90, 0}, {-1, 0}, 80.0, thr);
+  return (r - l) / 2.0;
+}
+
+}  // namespace
+
+int main() {
+  litho::SimSpec process = exp::calibrated_process();
+
+  // Coma: probe with a sigma-0.5 circular source (broad annular
+  // illumination averages the tilt-balanced Z7 shift away — itself a
+  // finding the table's annular column demonstrates). The iso vs dense
+  // split is the damaging part: the shift is pattern-dependent, so no
+  // single overlay correction can remove it.
+  litho::SimSpec coherent = process;
+  coherent.optics.source.shape = litho::SourceShape::kCircular;
+  coherent.optics.source.sigma_outer = 0.5;
+  litho::calibrate_threshold(coherent, 180, 360);
+
+  util::Table coma({"coma_x_nm", "iso_shift_nm", "dense_shift_nm",
+                    "iso_shift_annular_nm"});
+  for (double c : {0.0, 5.0, 10.0, 20.0, 30.0}) {
+    litho::SimSpec spec = coherent;
+    spec.optics.aberrations.coma_x_nm = c;
+    const litho::Simulator sim(spec, geom::Rect(-500, -600, 500, 600));
+    const litho::Image lat =
+        sim.latent(geom::Region{geom::Rect(-90, -2000, 90, 2000)});
+    const double iso = line_shift(lat, sim.threshold());
+    const litho::Image lat_d = sim.latent(
+        geom::Region::from_polygons(exp::grating(180, 360)));
+    const double dense = line_shift(lat_d, sim.threshold());
+
+    litho::SimSpec ann = process;
+    ann.optics.aberrations.coma_x_nm = c;
+    const litho::Simulator sim_a(ann, geom::Rect(-500, -600, 500, 600));
+    const litho::Image lat_a =
+        sim_a.latent(geom::Region{geom::Rect(-90, -2000, 90, 2000)});
+    coma.add_row(c, iso, dense, line_shift(lat_a, sim_a.threshold()));
+  }
+  exp::emit("F11",
+            "pattern shift vs coma (sigma-0.5 circular; last col annular)",
+            coma);
+
+  util::Table astig({"astig_nm", "cd_vertical_nm", "cd_horizontal_nm",
+                     "hv_delta_nm"});
+  for (double a : {0.0, 10.0, 20.0, 30.0}) {
+    litho::SimSpec spec = process;
+    spec.optics.aberrations.astig_nm = a;
+    const geom::Rect window(-720, -720, 720, 720);
+    const litho::Simulator sim(spec, window);
+    auto cd_of = [&](bool vertical) {
+      std::vector<geom::Rect> lines;
+      for (int i = -3; i <= 3; ++i) {
+        const geom::Coord c = i * 360;
+        lines.push_back(vertical
+                            ? geom::Rect(c - 90, -2000, c + 90, 2000)
+                            : geom::Rect(-2000, c - 90, 2000, c + 90));
+      }
+      const litho::Image lat =
+          sim.latent(geom::Region::from_rects(lines), 150.0);
+      return vertical ? litho::printed_cd(lat, {0, 0}, {1, 0}, 360.0,
+                                          sim.threshold())
+                      : litho::printed_cd(lat, {0, 0}, {0, 1}, 360.0,
+                                          sim.threshold());
+    };
+    const double v = cd_of(true);
+    const double h = cd_of(false);
+    astig.add_row(a, v, h, v - h);
+  }
+  exp::emit("F11b",
+            "H-V CD split vs astigmatism (dense 180nm, 150nm defocus)",
+            astig);
+  return 0;
+}

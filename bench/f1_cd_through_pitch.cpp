@@ -1,0 +1,85 @@
+/// F1 — CD through pitch (the proximity curve).
+///
+/// Sweeps the pitch of a 180 nm line grating from dense to isolated and
+/// measures the printed CD of the center line with no correction, with
+/// rule-based OPC, and with model-based OPC. The uncorrected curve is the
+/// paper's motivating figure (iso/dense bias of several nm to tens of nm);
+/// rule OPC flattens the coarse structure; model OPC flattens it to the
+/// EPE tolerance. A circular-source variant of the uncorrected curve shows
+/// the source-shape dependence (design-choice ablation noted in
+/// DESIGN.md).
+#include <cmath>
+
+#include "exp_common.h"
+#include "litho/metrology.h"
+
+namespace {
+
+using namespace opckit;
+
+double center_cd(const litho::Simulator& sim,
+                 const std::vector<geom::Polygon>& mask, double span) {
+  const litho::Image lat = sim.latent(mask);
+  return litho::printed_cd(lat, {0, 0}, {1, 0}, span, sim.threshold());
+}
+
+}  // namespace
+
+int main() {
+  const litho::SimSpec process = exp::calibrated_process();
+
+  // Circular-source variant for the ablation column.
+  litho::SimSpec circular = process;
+  circular.optics.source.shape = litho::SourceShape::kCircular;
+  circular.optics.source.sigma_outer = 0.6;
+  litho::calibrate_threshold(circular, 180, 360);
+
+  const opc::RuleDeck deck = opc::default_rule_deck_180();
+  opc::ModelOpcSpec mspec;
+  mspec.max_iterations = 12;
+
+  util::Table table({"pitch_nm", "cd_none_nm", "cd_rule_nm", "cd_model_nm",
+                     "cd_none_circ_nm", "bias_vs_target_nm"});
+
+  std::vector<geom::Coord> pitches{360, 480,  600,  720, 840,
+                                   960, 1080, 1200, 1440};
+  for (geom::Coord pitch : pitches) {
+    const auto target = exp::grating(180, pitch);
+    const geom::Rect window(-pitch, -1000, pitch, 1000);
+    const litho::Simulator sim(process, window);
+    const litho::Simulator sim_c(circular, window);
+    const double span = static_cast<double>(pitch);
+
+    const double cd_none = center_cd(sim, target, span);
+    const double cd_circ = center_cd(sim_c, target, span);
+    const double cd_rule =
+        center_cd(sim, opc::apply_rule_opc(target, deck).corrected, span);
+    const double cd_model = center_cd(
+        sim, opc::run_model_opc(target, process, window, mspec).corrected,
+        span);
+
+    table.add_row(static_cast<long long>(pitch), cd_none, cd_rule, cd_model,
+                  cd_circ, cd_none - 180.0);
+  }
+
+  // True isolated line as the end of the curve.
+  {
+    const std::vector<geom::Polygon> iso{
+        geom::Polygon{geom::Rect(-90, -2000, 90, 2000)}};
+    const geom::Rect window(-900, -1000, 900, 1000);
+    const litho::Simulator sim(process, window);
+    const litho::Simulator sim_c(circular, window);
+    const double cd_none = center_cd(sim, iso, 900);
+    table.add_row(std::string("iso"), cd_none,
+                  center_cd(sim, opc::apply_rule_opc(iso, deck).corrected,
+                            900),
+                  center_cd(sim,
+                            opc::run_model_opc(iso, process, window, mspec)
+                                .corrected,
+                            900),
+                  center_cd(sim_c, iso, 900), cd_none - 180.0);
+  }
+
+  exp::emit("F1", "CD through pitch, 180nm lines (target 180nm)", table);
+  return 0;
+}

@@ -1,0 +1,52 @@
+/// F2 — line-end pullback vs. line width.
+///
+/// The printed tip of a line retreats from the drawn tip (pullback), the
+/// second canonical proximity effect. Measured as the EPE at the tip
+/// center (negative = pullback) for uncorrected, rule-OPC (extension +
+/// hammer serifs), and model-OPC masks.
+#include "exp_common.h"
+#include "litho/metrology.h"
+
+namespace {
+
+using namespace opckit;
+
+double tip_epe(const litho::Simulator& sim,
+               const std::vector<geom::Polygon>& mask, geom::Coord tip_y) {
+  const litho::Image lat = sim.latent(mask);
+  return litho::edge_placement_error(lat, {0, tip_y}, {0, 1}, 250.0,
+                                     sim.threshold());
+}
+
+}  // namespace
+
+int main() {
+  const litho::SimSpec process = exp::calibrated_process();
+  const opc::RuleDeck deck = opc::default_rule_deck_180();
+  opc::ModelOpcSpec mspec;
+  mspec.max_iterations = 12;
+
+  util::Table table({"line_width_nm", "pullback_none_nm", "pullback_rule_nm",
+                     "pullback_model_nm"});
+
+  for (geom::Coord w : {150, 180, 220, 260, 320}) {
+    // Vertical line whose tip ends at y = 0.
+    const std::vector<geom::Polygon> target{
+        geom::Polygon{geom::Rect(-w / 2, -3000, w / 2, 0)}};
+    const geom::Rect window(-600, -1600, 600, 400);
+    const litho::Simulator sim(process, window);
+
+    const double none = tip_epe(sim, target, 0);
+    const double rule =
+        tip_epe(sim, opc::apply_rule_opc(target, deck).corrected, 0);
+    const double model = tip_epe(
+        sim, opc::run_model_opc(target, process, window, mspec).corrected,
+        0);
+    table.add_row(static_cast<long long>(w), none, rule, model);
+  }
+
+  exp::emit("F2",
+            "line-end pullback (EPE at tip; negative = printed short)",
+            table);
+  return 0;
+}

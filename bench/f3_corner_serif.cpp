@@ -1,0 +1,68 @@
+/// F3 — corner rounding vs. serif size.
+///
+/// Convex corners print rounded; serifs restore corner area. The metric
+/// is the printed-area deficit inside a 240x240 nm box centered on the
+/// drawn convex corner of an L target, as the serif size sweeps 0..64 nm.
+/// Expected shape: deficit shrinks monotonically with serif size until
+/// over-serifing turns the deficit into overshoot.
+#include "exp_common.h"
+
+namespace {
+
+using namespace opckit;
+
+/// Printed-area deficit (target - printed, nm^2, positive = rounding loss)
+/// in a box around the corner.
+double corner_deficit(const litho::Simulator& sim,
+                      const std::vector<geom::Polygon>& mask,
+                      const geom::Region& target_region,
+                      const geom::Rect& corner_box) {
+  const litho::Image lat = sim.latent(mask);
+  const geom::Region printed = sim.printed(lat);
+  const auto target_area =
+      static_cast<double>(target_region.intersected(geom::Region(corner_box))
+                              .area());
+  const auto printed_area = static_cast<double>(
+      printed.intersected(geom::Region(corner_box)).area());
+  return target_area - printed_area;
+}
+
+}  // namespace
+
+int main() {
+  const litho::SimSpec process = exp::calibrated_process();
+
+  // L-shaped target with a convex corner at (1200, 400) (arm tips far
+  // from the probe box).
+  const geom::Polygon l(std::vector<geom::Point>{{0, 0},
+                                                 {1200, 0},
+                                                 {1200, 400},
+                                                 {400, 400},
+                                                 {400, 1600},
+                                                 {0, 1600}});
+  const std::vector<geom::Polygon> target{l.normalized()};
+  const geom::Region target_region(l.normalized());
+  const geom::Rect corner_box(1200 - 120, 400 - 120, 1200 + 120, 400 + 120);
+  const geom::Rect window(-200, -200, 1500, 1800);
+  const litho::Simulator sim(process, window);
+
+  util::Table table({"serif_nm", "corner_area_deficit_nm2",
+                     "deficit_vs_unserifed_pct"});
+  double base = 0.0;
+  for (geom::Coord serif : {0, 24, 40, 56, 72, 96, 120}) {
+    opc::RuleDeck deck = opc::default_rule_deck_180();
+    deck.enable_bias = false;
+    deck.enable_line_ends = false;
+    deck.serif_size = serif;
+    deck.mousebite_size = 0;
+    deck.enable_serifs = serif > 0;
+    const auto mask = opc::apply_rule_opc(target, deck).corrected;
+    const double deficit = corner_deficit(sim, mask, target_region, corner_box);
+    if (serif == 0) base = deficit;
+    table.add_row(static_cast<long long>(serif), deficit,
+                  base != 0.0 ? 100.0 * deficit / base : 0.0);
+  }
+
+  exp::emit("F3", "corner rounding area deficit vs serif size", table);
+  return 0;
+}

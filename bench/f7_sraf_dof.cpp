@@ -1,0 +1,72 @@
+/// F7 — depth-of-focus benefit of scatter bars on an isolated line.
+///
+/// Sweeps the number of assist bars per side (0, 1, 2) around an isolated
+/// 180nm line and reports CD through focus plus the DOF at ±10% CD.
+/// Expected shape: each bar pair flattens the CD-through-focus curve; two
+/// pairs approach dense-like behaviour; the bars themselves must not
+/// print (verified and reported).
+#include "exp_common.h"
+#include "litho/metrology.h"
+
+int main() {
+  using namespace opckit;
+  const litho::SimSpec process = exp::calibrated_process();
+
+  const std::vector<geom::Polygon> line{
+      geom::Polygon{geom::Rect(-90, -2000, 90, 2000)}};
+  const geom::Rect window(-1200, -1000, 1200, 1000);
+  const litho::Simulator sim(process, window);
+  const std::vector<double> defocus{0, 100, 200, 300, 400, 500};
+
+  util::Table table({"defocus_nm", "cd_0bars_nm", "cd_1bar_nm",
+                     "cd_2bars_nm"});
+  std::vector<std::vector<double>> cds(3);
+  std::vector<bool> bars_print(3, false);
+
+  for (int nbars = 0; nbars <= 2; ++nbars) {
+    std::vector<geom::Polygon> mask = line;
+    if (nbars > 0) {
+      opc::SrafSpec sspec;
+      sspec.max_bars = nbars;
+      const auto bars = opc::insert_srafs(line, sspec).bars;
+      mask.insert(mask.end(), bars.begin(), bars.end());
+    }
+    for (double z : defocus) {
+      const litho::Image lat = sim.latent(mask, z);
+      cds[static_cast<std::size_t>(nbars)].push_back(litho::printed_cd(
+          lat, {0, 0}, {1, 0}, 480.0, sim.threshold()));
+      if (z == 0.0 && nbars > 0) {
+        // Check the first bar's centerline for printing.
+        opc::SrafSpec sspec;
+        const double bar_x = 90.0 + static_cast<double>(sspec.bar_distance);
+        const double cd_bar = litho::printed_cd(
+            lat, {static_cast<geom::Coord>(bar_x), 0}, {1, 0}, 200.0,
+            sim.threshold());
+        bars_print[static_cast<std::size_t>(nbars)] = !std::isnan(cd_bar);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < defocus.size(); ++i) {
+    table.add_row(defocus[i], cds[0][i], cds[1][i], cds[2][i]);
+  }
+  exp::emit("F7", "iso line CD through focus vs assist bars", table);
+
+  util::Table summary({"bars_per_side", "cd_range_over_focus_nm",
+                       "bars_print"});
+  for (int n = 0; n <= 2; ++n) {
+    const auto& v = cds[static_cast<std::size_t>(n)];
+    double lo = v[0], hi = v[0];
+    for (double c : v) {
+      if (!std::isnan(c)) {
+        lo = std::min(lo, c);
+        hi = std::max(hi, c);
+      }
+    }
+    summary.add_row(static_cast<long long>(n), hi - lo,
+                    std::string(bars_print[static_cast<std::size_t>(n)]
+                                    ? "YES (violation)"
+                                    : "no"));
+  }
+  exp::emit("F7b", "CD stability and SRAF printability", summary);
+  return 0;
+}

@@ -1,0 +1,76 @@
+/// T1 — edge-placement-error statistics by correction flavor.
+///
+/// EPE distribution (mean / sigma / max|EPE| / % within ±10nm) over all
+/// fragment metrology sites of a logic cell, for: no OPC, rule OPC, and
+/// model OPC. Expected shape: none is biased negative (underprint) with a
+/// heavy tail at line ends; rule fixes the mean but leaves 2D tails;
+/// model pulls everything inside spec.
+#include <cmath>
+
+#include "exp_common.h"
+
+int main() {
+  using namespace opckit;
+  const litho::SimSpec process = exp::calibrated_process();
+
+  layout::Library lib("t1");
+  layout::make_logic_cell(lib, "cell", layout::layers::kPoly);
+  const auto shapes = lib.at("cell").shapes(layout::layers::kPoly);
+  const std::vector<geom::Polygon> target(shapes.begin(), shapes.end());
+  const geom::Rect window = lib.at("cell").local_bbox().inflated(100);
+
+  const opc::FragmentationSpec sampling;
+  const std::vector<geom::Polygon> merged = opc::merge_targets(target);
+  const auto frags = opc::fragment_polygons(merged, sampling);
+
+  const opc::RuleDeck deck = opc::default_rule_deck_180();
+  opc::ModelOpcSpec mspec;
+  mspec.max_iterations = 12;
+
+  struct Flavor {
+    std::string name;
+    std::vector<geom::Polygon> mask;
+  };
+  const std::vector<Flavor> flavors{
+      {"none", target},
+      {"rule", opc::apply_rule_opc(target, deck).corrected},
+      {"model", opc::run_model_opc(target, process, window, mspec).corrected},
+  };
+
+  // Corner sites measure corner rounding (own spec, cannot be zeroed by
+  // edge movement) and are reported separately from run/line-end sites.
+  util::Table table({"flavor", "run_sites", "mean_epe_nm", "sigma_nm",
+                     "max_abs_nm", "pct_within_10nm", "corner_max_nm",
+                     "lost_edges"});
+  for (const auto& flavor : flavors) {
+    const auto epes = opc::measure_fragment_epe(merged, frags, flavor.mask,
+                                                process, window);
+    util::Accumulator acc;
+    std::size_t in_spec = 0, lost = 0, sites = 0;
+    double corner_max = 0.0;
+    for (std::size_t i = 0; i < epes.size(); ++i) {
+      const geom::Point site = eval_point(merged[frags[i].polygon], frags[i]);
+      if (!window.contains(site)) continue;
+      if (std::isnan(epes[i])) {
+        ++lost;
+        continue;
+      }
+      if (frags[i].kind == opc::FragmentKind::kCorner) {
+        corner_max = std::max(corner_max, std::abs(epes[i]));
+        continue;
+      }
+      ++sites;
+      acc.add(epes[i]);
+      if (std::abs(epes[i]) <= 10.0) ++in_spec;
+    }
+    table.add_row(flavor.name, sites, acc.mean(), acc.stddev(), acc.max_abs(),
+                  100.0 * static_cast<double>(in_spec) /
+                      static_cast<double>(sites),
+                  corner_max, lost);
+  }
+
+  exp::emit("T1",
+            "EPE statistics on a logic cell (run/line-end spec |EPE|<=10nm)",
+            table);
+  return 0;
+}

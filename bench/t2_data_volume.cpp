@@ -1,0 +1,49 @@
+/// T2 — mask data-volume explosion vs. fragmentation granularity.
+///
+/// The cost side of OPC adoption: GDSII bytes, polygon/vertex counts, and
+/// fracture (trapezoid) counts of the corrected mask relative to the
+/// drawn design, as model-OPC fragment length sweeps from coarse to fine.
+/// Rule OPC (serifs) is included as the historical midpoint. Expected
+/// shape: vertex and figure counts grow by 3-10x, monotonically as
+/// fragments shrink.
+#include "exp_common.h"
+
+int main() {
+  using namespace opckit;
+  const litho::SimSpec process = exp::calibrated_process();
+
+  layout::Library lib("t2");
+  layout::make_logic_cell(lib, "cell", layout::layers::kPoly);
+  const auto shapes = lib.at("cell").shapes(layout::layers::kPoly);
+  const std::vector<geom::Polygon> target(shapes.begin(), shapes.end());
+  const geom::Rect window = lib.at("cell").local_bbox().inflated(100);
+
+  const opc::MaskDataStats before = opc::measure_mask_data(target);
+
+  util::Table table({"mask", "polygons", "vertices", "fracture_rects",
+                     "gdsii_bytes", "vertex_x", "byte_x"});
+  auto add = [&](const std::string& name,
+                 const std::vector<geom::Polygon>& mask) {
+    const opc::MaskDataStats s = opc::measure_mask_data(mask);
+    const opc::DataVolumeRatio r = opc::explosion(before, s);
+    table.add_row(name, s.polygons, s.vertices, s.fracture_rects,
+                  s.gdsii_bytes, r.vertex_factor, r.byte_factor);
+  };
+
+  add("drawn", target);
+  add("rule_opc",
+      opc::apply_rule_opc(target, opc::default_rule_deck_180()).corrected);
+
+  for (geom::Coord frag_len : {160, 120, 80, 48}) {
+    opc::ModelOpcSpec mspec;
+    mspec.max_iterations = 10;
+    mspec.fragmentation.target_length = frag_len;
+    mspec.fragmentation.corner_length = std::min<geom::Coord>(60, frag_len);
+    mspec.fragmentation.min_length = 24;
+    const auto r = opc::run_model_opc(target, process, window, mspec);
+    add("model_frag" + std::to_string(frag_len), r.corrected);
+  }
+
+  exp::emit("T2", "mask data volume vs correction (logic cell)", table);
+  return 0;
+}

@@ -1,0 +1,116 @@
+/// T3 — OPC runtime scaling (google-benchmark).
+///
+/// The operational cost the paper warned design teams about: rule OPC is
+/// geometry-bound and scales near-linearly with shape count; model OPC
+/// pays an imaging simulation per iteration and is orders of magnitude
+/// slower per area. Benchmarked on pseudo-random routed blocks of growing
+/// area, plus pattern-catalog extraction as the analysis-side workload.
+#include <benchmark/benchmark.h>
+
+#include "core/opc.h"
+#include "layout/layout.h"
+#include "litho/litho.h"
+#include "pattern/pattern.h"
+
+namespace {
+
+using namespace opckit;
+
+std::vector<geom::Polygon> random_block(geom::Coord side,
+                                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  layout::Cell cell("rb");
+  layout::RandomBlockSpec spec;
+  spec.width = side;
+  spec.height = side;
+  layout::add_random_block(cell, layout::layers::kMetal1, spec, rng);
+  const auto shapes = cell.shapes(layout::layers::kMetal1);
+  return {shapes.begin(), shapes.end()};
+}
+
+const litho::SimSpec& process() {
+  static const litho::SimSpec spec = [] {
+    litho::SimSpec s;
+    s.optics.source.grid = 5;
+    litho::calibrate_threshold(s, 180, 360);
+    return s;
+  }();
+  return spec;
+}
+
+void BM_RuleOpc(benchmark::State& state) {
+  const auto side = static_cast<geom::Coord>(state.range(0));
+  const auto target = random_block(side, 42);
+  const opc::RuleDeck deck = opc::default_rule_deck_180();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opc::apply_rule_opc(target, deck));
+  }
+  state.counters["polygons"] = static_cast<double>(target.size());
+  state.SetComplexityN(state.range(0) * state.range(0));
+}
+BENCHMARK(BM_RuleOpc)->Arg(6000)->Arg(12000)->Arg(24000)->Arg(48000)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oN);
+
+void BM_ModelOpc(benchmark::State& state) {
+  const auto side = static_cast<geom::Coord>(state.range(0));
+  const auto target = random_block(side, 42);
+  opc::ModelOpcSpec mspec;
+  mspec.max_iterations = 4;  // fixed iteration count isolates scaling
+  mspec.epe_tolerance_nm = 0.0;
+  const geom::Rect window(0, 0, side, side);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        opc::run_model_opc(target, process(), window, mspec));
+  }
+  state.counters["polygons"] = static_cast<double>(target.size());
+  state.SetComplexityN(state.range(0) * state.range(0));
+}
+BENCHMARK(BM_ModelOpc)->Arg(2400)->Arg(3600)->Arg(4800)
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->Complexity(benchmark::oN);
+
+void BM_LithoSimulation(benchmark::State& state) {
+  const auto side = static_cast<geom::Coord>(state.range(0));
+  const auto target = random_block(side, 42);
+  const litho::Simulator sim(process(), geom::Rect(0, 0, side, side));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.latent(target));
+  }
+  state.SetComplexityN(state.range(0) * state.range(0));
+}
+BENCHMARK(BM_LithoSimulation)->Arg(2400)->Arg(4800)->Arg(9600)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oNLogN);
+
+void BM_PatternCatalog(benchmark::State& state) {
+  const auto side = static_cast<geom::Coord>(state.range(0));
+  const auto target = random_block(side, 42);
+  pat::WindowSpec spec;
+  spec.radius = 400;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pat::build_catalog(target, spec));
+  }
+  state.counters["polygons"] = static_cast<double>(target.size());
+  state.SetComplexityN(state.range(0) * state.range(0));
+}
+BENCHMARK(BM_PatternCatalog)->Arg(6000)->Arg(12000)->Arg(24000)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oN);
+
+void BM_GdsiiRoundTrip(benchmark::State& state) {
+  const auto side = static_cast<geom::Coord>(state.range(0));
+  util::Rng rng(42);
+  layout::Library lib("bench");
+  layout::Cell& cell = lib.cell("rb");
+  layout::RandomBlockSpec spec;
+  spec.width = side;
+  spec.height = side;
+  layout::add_random_block(cell, layout::layers::kMetal1, spec, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout::gdsii_byte_size(lib));
+  }
+  state.SetComplexityN(state.range(0) * state.range(0));
+}
+BENCHMARK(BM_GdsiiRoundTrip)->Arg(12000)->Arg(24000)->Arg(48000)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+/// T6 — hierarchy impact: cell-level vs flat OPC.
+///
+/// A 3x3 chip of one cell is corrected two ways: once per distinct cell
+/// (hierarchy preserved, context across boundaries ignored) and once per
+/// placement with true context (flat). Reports cost (OPC runs,
+/// simulations), output data volume (hierarchical GDSII vs flat GDSII),
+/// and accuracy (EPE of each mask evaluated in full-chip context).
+/// Expected shape: cell-level is ~9x cheaper and keeps ~9x data
+/// compression, but its worst-case boundary EPE is worse — the exact
+/// tradeoff that killed naive hierarchical OPC as pitches shrank.
+#include <cmath>
+
+#include "exp_common.h"
+
+int main() {
+  using namespace opckit;
+
+  opc::FlowSpec flow;
+  flow.sim = exp::calibrated_process();
+  flow.opc.max_iterations = 8;
+  flow.input_layer = layout::layers::kPoly;
+  flow.output_layer = layout::layers::kPolyOpc;
+
+  auto make_chip = [] {
+    layout::Library lib("t6");
+    layout::Cell& leaf = lib.cell("leaf");
+    leaf.add_rect(layout::layers::kPoly, geom::Rect(0, 0, 180, 2000));
+    leaf.add_rect(layout::layers::kPoly, geom::Rect(540, 0, 720, 2000));
+    leaf.add_rect(layout::layers::kPoly, geom::Rect(1080, 0, 1260, 2000));
+    // Tight chip spacing: boundary lines of one placement are dense with
+    // the next placement's lines, so isolation is a real error.
+    layout::make_chip(lib, "chip", "leaf", 3, 3, {1620, 2400});
+    return lib;
+  };
+
+  layout::Library lib_cell = make_chip();
+  const opc::FlowStats cell_stats = run_cell_opc(lib_cell, "chip", flow);
+  layout::Library lib_flat = make_chip();
+  const opc::FlowStats flat_stats = run_flat_opc(lib_flat, "chip", flow);
+
+  util::Table cost({"flow", "opc_runs", "simulations", "output_polygons",
+                    "gdsii_bytes"});
+  // Hierarchical output keeps refs; flat output is all in the top cell.
+  const std::size_t cell_bytes = layout::gdsii_byte_size(lib_cell);
+  const std::size_t flat_bytes = layout::gdsii_byte_size(lib_flat);
+  cost.add_row(std::string("cell_level"), cell_stats.opc_runs,
+               cell_stats.simulations, cell_stats.corrected_polygons,
+               cell_bytes);
+  cost.add_row(std::string("flat"), flat_stats.opc_runs,
+               flat_stats.simulations, flat_stats.corrected_polygons,
+               flat_bytes);
+  exp::emit("T6", "hierarchical vs flat OPC: cost and data volume", cost);
+
+  // Accuracy: evaluate both masks in true chip context on the center
+  // placement and a boundary-adjacent placement.
+  const auto targets = lib_cell.flatten("chip", layout::layers::kPoly);
+  const auto mask_cell = lib_cell.flatten("chip", flow.output_layer);
+  const auto mask_flat = lib_flat.flatten("chip", flow.output_layer);
+
+  const opc::FragmentationSpec sampling;
+  const std::vector<geom::Polygon> norm_targets =
+      opc::merge_targets(targets);
+  const auto frags = opc::fragment_polygons(norm_targets, sampling);
+  // Score the center placement in full chip context. The scoring
+  // simulator needs a guard band that swallows every neighbour within
+  // optical reach — otherwise context clipping biases the comparison.
+  const geom::Rect score_window(1620, 2400, 1620 + 1260, 2400 + 2000);
+  litho::SimSpec score_sim = flow.sim;
+  score_sim.guard_nm = 1600;
+
+  // Corner sites measure corner rounding (common to both flows) and are
+  // reported separately so they don't drown the placement-accuracy signal.
+  util::Table acc({"flow", "sites", "rms_epe_nm", "max_abs_epe_nm",
+                   "max_corner_epe_nm"});
+  for (const auto& [name, mask] :
+       std::vector<std::pair<std::string, std::vector<geom::Polygon>>>{
+           {"cell_level", mask_cell}, {"flat", mask_flat}}) {
+    const auto epes = opc::measure_fragment_epe(norm_targets, frags, mask,
+                                                score_sim, score_window);
+    double sum_sq = 0;
+    std::size_t n = 0;
+    double max_abs = 0, max_corner = 0;
+    for (std::size_t i = 0; i < epes.size(); ++i) {
+      const geom::Point site =
+          eval_point(norm_targets[frags[i].polygon], frags[i]);
+      if (!score_window.contains(site) || std::isnan(epes[i])) continue;
+      if (frags[i].kind == opc::FragmentKind::kCorner) {
+        max_corner = std::max(max_corner, std::abs(epes[i]));
+        continue;
+      }
+      ++n;
+      sum_sq += epes[i] * epes[i];
+      max_abs = std::max(max_abs, std::abs(epes[i]));
+    }
+    acc.add_row(name, n, n ? std::sqrt(sum_sq / static_cast<double>(n)) : 0.0,
+                max_abs, max_corner);
+  }
+  exp::emit("T6b",
+            "mask accuracy in true chip context (center placement)", acc);
+  return 0;
+}

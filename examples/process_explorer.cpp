@@ -1,0 +1,57 @@
+/// Process-window explorer: sweep focus and dose for a feature and print
+/// the exposure-defocus window — the lithographer's view behind every
+/// OPC decision (and the data behind experiment F5).
+#include <iostream>
+#include <map>
+
+#include "litho/litho.h"
+#include "util/table.h"
+
+int main() {
+  using namespace opckit;
+
+  litho::SimSpec process;
+  litho::calibrate_threshold(process, 180, 360);
+
+  // Feature under study: semi-dense 180nm lines at 600nm pitch — the
+  // "forbidden pitch" of this process (see F1).
+  std::vector<geom::Polygon> mask;
+  for (int i = -3; i <= 3; ++i) {
+    mask.emplace_back(geom::Rect(i * 600 - 90, -2000, i * 600 + 90, 2000));
+  }
+  const geom::Rect window(-1200, -1000, 1200, 1000);
+  const litho::Simulator sim(process, window);
+
+  // CD matrix over focus and dose (one imaging run per focus; dose is a
+  // threshold scale).
+  const std::vector<double> defocus{0, 100, 200, 300, 400};
+  const std::vector<double> doses{0.90, 0.95, 1.00, 1.05, 1.10};
+  std::map<double, litho::Image> latents;
+  util::Table matrix({"defocus_nm", "dose_0.90", "dose_0.95", "dose_1.00",
+                      "dose_1.05", "dose_1.10"});
+  for (double z : defocus) {
+    latents.emplace(z, sim.latent(mask, z));
+    matrix.start_row();
+    matrix.add_cell(z, 0);
+    for (double dose : doses) {
+      matrix.add_cell(litho::printed_cd(latents.at(z), {0, 0}, {1, 0},
+                                        600.0, sim.threshold(dose)));
+    }
+  }
+  std::cout << matrix.to_text("CD (nm) through focus and dose");
+
+  const auto window_el = litho::exposure_defocus_window(
+      [&](double z, double dose) {
+        return litho::printed_cd(latents.at(z), {0, 0}, {1, 0}, 600.0,
+                                 sim.threshold(dose));
+      },
+      defocus, 180.0, 0.10);
+  util::Table el({"defocus_nm", "dose_lo", "dose_hi", "latitude_pct"});
+  for (const auto& w : window_el) {
+    el.add_row(w.defocus_nm, w.dose_lo, w.dose_hi, w.latitude_pct);
+  }
+  std::cout << el.to_text("exposure latitude (CD 180 +/- 10%)");
+  std::cout << "DOF at 8% latitude: "
+            << litho::depth_of_focus(window_el, 8.0) << " nm\n";
+  return 0;
+}

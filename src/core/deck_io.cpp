@@ -1,0 +1,117 @@
+#include "core/deck_io.h"
+
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace opckit::opc {
+
+namespace {
+constexpr geom::Coord kOpenEnd = std::numeric_limits<geom::Coord>::max();
+}
+
+void write_rule_deck(const RuleDeck& deck, std::ostream& os) {
+  os << "# opckit rule deck\n";
+  os << "interaction_range " << deck.interaction_range << '\n';
+  os << "line_end_max " << deck.line_end_max << '\n';
+  os << "line_end_extension " << deck.line_end_extension << '\n';
+  os << "hammer_overhang " << deck.hammer_overhang << '\n';
+  os << "serif_size " << deck.serif_size << '\n';
+  os << "mousebite_size " << deck.mousebite_size << '\n';
+  os << "enable_bias " << (deck.enable_bias ? 1 : 0) << '\n';
+  os << "enable_line_ends " << (deck.enable_line_ends ? 1 : 0) << '\n';
+  os << "enable_serifs " << (deck.enable_serifs ? 1 : 0) << '\n';
+  for (const auto& r : deck.bias_rules) {
+    os << "bias " << r.space_min << ' ';
+    if (r.space_max == kOpenEnd) {
+      os << '*';
+    } else {
+      os << r.space_max;
+    }
+    os << ' ' << r.bias << '\n';
+  }
+  if (!os) throw util::InputError("deck write failed");
+}
+
+void write_rule_deck_file(const RuleDeck& deck, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw util::InputError("cannot open for write: " + path);
+  write_rule_deck(deck, f);
+}
+
+RuleDeck read_rule_deck(std::istream& is) {
+  RuleDeck deck;
+  deck.bias_rules.clear();
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = util::trim(line);
+    if (line.empty()) continue;
+
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    auto fail = [&]() {
+      throw util::InputError("deck line " + std::to_string(line_no) +
+                             " malformed: " + line);
+    };
+    if (key == "bias") {
+      BiasRule r;
+      std::string hi;
+      ls >> r.space_min >> hi >> r.bias;
+      if (!ls) fail();
+      r.space_max = hi == "*" ? kOpenEnd : std::stoll(hi);
+      if (r.space_max != kOpenEnd && r.space_max <= r.space_min) fail();
+      deck.bias_rules.push_back(r);
+      continue;
+    }
+    long long v = 0;
+    ls >> v;
+    if (!ls) fail();
+    if (key == "interaction_range") {
+      deck.interaction_range = v;
+    } else if (key == "line_end_max") {
+      deck.line_end_max = v;
+    } else if (key == "line_end_extension") {
+      deck.line_end_extension = v;
+    } else if (key == "hammer_overhang") {
+      deck.hammer_overhang = v;
+    } else if (key == "serif_size") {
+      deck.serif_size = v;
+    } else if (key == "mousebite_size") {
+      deck.mousebite_size = v;
+    } else if (key == "enable_bias") {
+      deck.enable_bias = v != 0;
+    } else if (key == "enable_line_ends") {
+      deck.enable_line_ends = v != 0;
+    } else if (key == "enable_serifs") {
+      deck.enable_serifs = v != 0;
+    } else {
+      throw util::InputError("deck line " + std::to_string(line_no) +
+                             ": unknown key '" + key + "'");
+    }
+  }
+  // Validate bias table: ascending, non-overlapping.
+  for (std::size_t i = 1; i < deck.bias_rules.size(); ++i) {
+    if (deck.bias_rules[i].space_min < deck.bias_rules[i - 1].space_max) {
+      throw util::InputError("deck bias rules overlap or are unsorted");
+    }
+  }
+  return deck;
+}
+
+RuleDeck read_rule_deck_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw util::InputError("cannot open for read: " + path);
+  return read_rule_deck(f);
+}
+
+}  // namespace opckit::opc

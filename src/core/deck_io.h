@@ -1,0 +1,44 @@
+/// \file deck_io.h
+/// Rule-deck serialization.
+///
+/// Rule OPC decks are flow artifacts: fitted per process, versioned, and
+/// shipped to design teams alongside the DRC manual. The format is a
+/// line-oriented text file (# comments, key value pairs, one bias rule
+/// per line) so decks can be reviewed and diffed like the design-manual
+/// tables they encode.
+///
+/// Example:
+///   # opckit rule deck
+///   interaction_range 1200
+///   line_end_max 360
+///   line_end_extension 40
+///   hammer_overhang 32
+///   serif_size 32
+///   mousebite_size 24
+///   bias 0 240 0
+///   bias 240 360 8
+///   bias 960 * 10        # '*' = open-ended upper bound
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/rules.h"
+
+namespace opckit::opc {
+
+/// Serialize a deck (deterministic; round-trips read_rule_deck).
+void write_rule_deck(const RuleDeck& deck, std::ostream& os);
+
+/// Serialize to a file. Throws util::InputError on I/O failure.
+void write_rule_deck_file(const RuleDeck& deck, const std::string& path);
+
+/// Parse a deck. Unknown keys are an error (decks are contracts).
+/// Feature toggles default to enabled. Throws util::InputError on
+/// malformed content.
+RuleDeck read_rule_deck(std::istream& is);
+
+/// Parse from a file.
+RuleDeck read_rule_deck_file(const std::string& path);
+
+}  // namespace opckit::opc

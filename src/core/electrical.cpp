@@ -1,0 +1,80 @@
+#include "core/electrical.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace opckit::opc {
+
+GateProfile extract_gate_profile(const litho::Image& latent,
+                                 const geom::Point& gate_start,
+                                 const geom::Point& width_direction,
+                                 double gate_width_nm, double threshold,
+                                 double slice_step_nm,
+                                 double probe_span_nm) {
+  OPCKIT_CHECK(manhattan_length(width_direction) == 1);
+  OPCKIT_CHECK(gate_width_nm > 0 && slice_step_nm > 0);
+
+  // Channel length is measured perpendicular to the width direction.
+  const geom::Point length_dir{width_direction.y, width_direction.x};
+
+  GateProfile profile;
+  profile.slice_width_nm = slice_step_nm;
+  for (double t = slice_step_nm / 2; t < gate_width_nm;
+       t += slice_step_nm) {
+    const geom::Point center{
+        gate_start.x +
+            static_cast<geom::Coord>(
+                static_cast<double>(width_direction.x) * t),
+        gate_start.y +
+            static_cast<geom::Coord>(
+                static_cast<double>(width_direction.y) * t)};
+    const double cd = litho::printed_cd(latent, center, length_dir,
+                                        probe_span_nm, threshold);
+    if (std::isnan(cd)) {
+      ++profile.lost_slices;
+      continue;
+    }
+    profile.slice_cd_nm.push_back(cd);
+  }
+  return profile;
+}
+
+double drive_equivalent_length(const GateProfile& profile,
+                               const DeviceModel& model) {
+  OPCKIT_CHECK_MSG(!profile.slice_cd_nm.empty() && profile.lost_slices == 0,
+                   "gate profile incomplete");
+  double conductance = 0.0;  // Σ wᵢ / Lᵢ^α
+  for (double cd : profile.slice_cd_nm) {
+    OPCKIT_CHECK(cd > 0.0);
+    conductance += profile.slice_width_nm / std::pow(cd, model.alpha);
+  }
+  return std::pow(profile.width_nm() / conductance, 1.0 / model.alpha);
+}
+
+double leakage_equivalent_length(const GateProfile& profile,
+                                 const DeviceModel& model) {
+  OPCKIT_CHECK_MSG(!profile.slice_cd_nm.empty() && profile.lost_slices == 0,
+                   "gate profile incomplete");
+  double off = 0.0;  // Σ wᵢ exp(-(Lᵢ-L₀)/λ)
+  for (double cd : profile.slice_cd_nm) {
+    off += profile.slice_width_nm *
+           std::exp(-(cd - model.nominal_length_nm) /
+                    model.leakage_lambda_nm);
+  }
+  return model.nominal_length_nm -
+         model.leakage_lambda_nm * std::log(off / profile.width_nm());
+}
+
+double relative_delay(double equivalent_length_nm, const DeviceModel& model) {
+  OPCKIT_CHECK(equivalent_length_nm > 0);
+  return std::pow(equivalent_length_nm / model.nominal_length_nm,
+                  model.alpha);
+}
+
+double relative_leakage(double leakage_length_nm, const DeviceModel& model) {
+  return std::exp(-(leakage_length_nm - model.nominal_length_nm) /
+                  model.leakage_lambda_nm);
+}
+
+}  // namespace opckit::opc

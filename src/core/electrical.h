@@ -1,0 +1,76 @@
+/// \file electrical.h
+/// Electrical impact of printed gate geometry — the "impact on design"
+/// endpoint.
+///
+/// A printed MOS gate is not rectangular: proximity effects modulate the
+/// channel length along the transistor width. The standard way to feed
+/// that into circuit analysis (the post-OPC extraction methodology this
+/// library's lineage later published) is the slice model: cut the gate
+/// into width slices, read the printed CD of each, and collapse them into
+/// two equivalent rectangular lengths —
+///
+///  * drive-equivalent length:  slices conduct in parallel, I_on ∝
+///    Σ wᵢ/Lᵢ^α (alpha-power law), so
+///    L_drive = ( W / Σ wᵢ/Lᵢ^α )^(1/α);
+///  * leakage-equivalent length: off-current grows exponentially as the
+///    channel shortens, I_off ∝ Σ wᵢ·exp(−(Lᵢ−L₀)/λ), so
+///    L_leak = L₀ − λ·ln( Σ wᵢ·exp(−(Lᵢ−L₀)/λ) / W ).
+///
+/// A gate with even one pinched slice leaks like its shortest spot while
+/// driving like its average — which is why CD control, not average CD,
+/// sets the parametric yield.
+#pragma once
+
+#include <vector>
+
+#include "litho/image.h"
+#include "litho/metrology.h"
+
+namespace opckit::opc {
+
+/// Printed CD samples along a gate's width direction.
+struct GateProfile {
+  std::vector<double> slice_cd_nm;  ///< printed channel length per slice
+  double slice_width_nm = 0.0;      ///< uniform slice width
+  std::size_t lost_slices = 0;      ///< slices whose CD probe failed
+
+  double width_nm() const {
+    return slice_width_nm * static_cast<double>(slice_cd_nm.size());
+  }
+};
+
+/// Electrical model constants.
+struct DeviceModel {
+  double nominal_length_nm = 180.0;  ///< drawn gate length L₀
+  double alpha = 1.3;                ///< alpha-power-law exponent
+  double leakage_lambda_nm = 20.0;   ///< exponential leakage sensitivity
+};
+
+/// Extract the printed-CD profile of a gate from a latent image. The gate
+/// runs along \p width_direction (unit Manhattan vector) from
+/// \p gate_start for \p gate_width_nm; the channel length is measured
+/// perpendicular to it. Slices are sampled every \p slice_step_nm.
+GateProfile extract_gate_profile(const litho::Image& latent,
+                                 const geom::Point& gate_start,
+                                 const geom::Point& width_direction,
+                                 double gate_width_nm, double threshold,
+                                 double slice_step_nm = 20.0,
+                                 double probe_span_nm = 400.0);
+
+/// Drive-equivalent rectangular gate length (slice-parallel alpha-power
+/// combination). Requires a non-empty profile with no lost slices.
+double drive_equivalent_length(const GateProfile& profile,
+                               const DeviceModel& model);
+
+/// Leakage-equivalent rectangular gate length (exponential combination).
+double leakage_equivalent_length(const GateProfile& profile,
+                                 const DeviceModel& model);
+
+/// First-order relative gate delay vs a nominal device: (L/L₀)^α
+/// (delay ∝ C·V/I_on with I_on ∝ 1/L^α at fixed width).
+double relative_delay(double equivalent_length_nm, const DeviceModel& model);
+
+/// First-order relative off-current vs nominal: exp(−(L_leak−L₀)/λ).
+double relative_leakage(double leakage_length_nm, const DeviceModel& model);
+
+}  // namespace opckit::opc

@@ -1,0 +1,177 @@
+#include "core/flow.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace opckit::opc {
+
+using geom::Polygon;
+using geom::Rect;
+using geom::Transform;
+using layout::Cell;
+using layout::CellRef;
+using layout::Library;
+
+FlowStats run_cell_opc(Library& lib, const std::string& top,
+                       const FlowSpec& spec) {
+  lib.validate();
+  FlowStats stats;
+
+  // Distinct reachable cells.
+  std::set<std::string> reachable;
+  std::vector<std::string> queue{top};
+  while (!queue.empty()) {
+    const std::string name = queue.back();
+    queue.pop_back();
+    if (!reachable.insert(name).second) continue;
+    for (const auto& ref : lib.at(name).refs()) queue.push_back(ref.child);
+  }
+
+  for (const std::string& name : reachable) {
+    Cell& cell = lib.cell(name);
+    const auto shapes = cell.shapes(spec.input_layer);
+    if (shapes.empty()) continue;
+
+    const std::vector<Polygon> targets(shapes.begin(), shapes.end());
+    Rect window = cell.local_bbox();
+    const ModelOpcResult r =
+        run_model_opc(targets, spec.sim, window, spec.opc);
+    ++stats.opc_runs;
+    stats.simulations += r.history.size();
+    stats.all_converged = stats.all_converged && r.converged;
+
+    cell.clear_layer(spec.output_layer);
+    for (const auto& p : r.corrected) {
+      cell.add_polygon(spec.output_layer, p);
+      ++stats.corrected_polygons;
+    }
+  }
+  return stats;
+}
+
+FlowStats run_flat_opc(Library& lib, const std::string& top,
+                       const FlowSpec& spec) {
+  lib.validate();
+  FlowStats stats;
+
+  // The imaging frame must cover the whole context halo, or context
+  // shapes near the frame edge enter the simulation clipped and the
+  // "true context" promise silently degrades.
+  FlowSpec eff = spec;
+  eff.sim.guard_nm = std::max(spec.sim.guard_nm, spec.halo_nm);
+
+  // Flatten the chip once and index it for context queries.
+  const std::vector<Polygon> flat = lib.flatten(top, spec.input_layer);
+  if (flat.empty()) return stats;
+  Rect chip_box = geom::Rect::empty();
+  for (const auto& p : flat) chip_box = chip_box.united(p.bbox());
+  geom::TileIndex index(chip_box.inflated(spec.halo_nm + 1), 2048);
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    index.insert(i, flat[i].bbox());
+  }
+
+  // Enumerate placements (cell instances with shapes on the input layer).
+  struct Placement {
+    const Cell* cell;
+    Transform transform;
+  };
+  std::vector<Placement> placements;
+  // Depth-first expansion mirroring Library::flatten.
+  std::vector<std::pair<std::string, Transform>> stack{{top, Transform{}}};
+  while (!stack.empty()) {
+    auto [name, t] = stack.back();
+    stack.pop_back();
+    const Cell& cell = lib.at(name);
+    if (!cell.shapes(spec.input_layer).empty()) {
+      placements.push_back({&cell, t});
+    }
+    for (const auto& ref : cell.refs()) {
+      for (int r = 0; r < ref.rows; ++r) {
+        for (int c = 0; c < ref.columns; ++c) {
+          stack.emplace_back(ref.child, t * ref.element_transform(c, r));
+        }
+      }
+    }
+  }
+
+  // Per-placement drawn geometry, window, and own-area region.
+  struct Job {
+    std::vector<Polygon> drawn;
+    Rect window = geom::Rect::empty();
+    geom::Region own_region;
+    std::vector<Polygon> corrected;  ///< latest pass output (own only)
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(placements.size());
+  for (const Placement& pl : placements) {
+    Job job;
+    for (const auto& s : pl.cell->shapes(spec.input_layer)) {
+      Polygon placed = pl.transform(s);
+      job.window = job.window.united(placed.bbox());
+      job.drawn.push_back(std::move(placed));
+    }
+    job.own_region = geom::Region::from_polygons(job.drawn);
+    job.corrected = job.drawn;  // pass-0 context = drawn geometry
+    jobs.push_back(std::move(job));
+  }
+
+  const int passes = std::max(1, spec.flat_context_passes);
+  for (int pass = 0; pass < passes; ++pass) {
+    // Context pool for this pass: every placement's latest mask state.
+    std::vector<Polygon> pool;
+    std::vector<geom::Region> pool_owner;  // owner region per polygon
+    for (const Job& job : jobs) {
+      for (const auto& p : job.corrected) {
+        pool.push_back(p);
+      }
+    }
+    geom::TileIndex pool_index(chip_box.inflated(spec.halo_nm + 256), 2048);
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      pool_index.insert(i, pool[i].bbox());
+    }
+
+    for (Job& job : jobs) {
+      // Targets: own DRAWN shapes (design intent never goes stale), plus
+      // the latest corrected neighbours as context.
+      std::vector<Polygon> targets = job.drawn;
+      for (std::size_t id :
+           pool_index.query(job.window.inflated(spec.halo_nm))) {
+        const Polygon& cand = pool[id];
+        // Skip our own shapes: anything overlapping our drawn area is
+        // ours (moves are far smaller than placement spacing).
+        if (!job.own_region.intersected(geom::Region(cand.normalized()))
+                 .empty()) {
+          continue;
+        }
+        targets.push_back(cand);
+      }
+
+      const ModelOpcResult r =
+          run_model_opc(targets, eff.sim, job.window, spec.opc);
+      ++stats.opc_runs;
+      stats.simulations += r.history.size();
+      stats.all_converged = stats.all_converged && r.converged;
+
+      job.corrected.clear();
+      for (const auto& p : r.corrected) {
+        if (!job.own_region.intersected(geom::Region(p)).empty()) {
+          job.corrected.push_back(p);
+        }
+      }
+    }
+  }
+
+  Cell& out_cell = lib.cell(top);
+  out_cell.clear_layer(spec.output_layer);
+  for (const Job& job : jobs) {
+    for (const auto& p : job.corrected) {
+      out_cell.add_polygon(spec.output_layer, p);
+      ++stats.corrected_polygons;
+    }
+  }
+  return stats;
+}
+
+}  // namespace opckit::opc

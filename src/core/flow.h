@@ -1,0 +1,61 @@
+/// \file flow.h
+/// Full-chip OPC flows over the layout database.
+///
+/// Two production strategies from the paper era, with opposite tradeoffs:
+///
+/// * **Cell-level OPC** corrects each distinct cell once, in isolation,
+///   and lets the hierarchy replicate the correction. Cost scales with
+///   distinct cells; the mask data keeps the hierarchy's compression. But
+///   context across cell boundaries is invisible, so boundary edges are
+///   corrected against the wrong optical environment.
+/// * **Flat (placement-level) OPC** corrects every placement with its true
+///   neighbours as context. Accurate everywhere, but cost scales with
+///   placements and the output is flat — the hierarchy "explodes".
+///
+/// Experiment T6 quantifies both sides.
+#pragma once
+
+#include <string>
+
+#include "core/model.h"
+#include "layout/library.h"
+
+namespace opckit::opc {
+
+/// Flow configuration.
+struct FlowSpec {
+  ModelOpcSpec opc;
+  litho::SimSpec sim;                 ///< must be calibrated
+  geom::Coord halo_nm = 800;          ///< optical context margin
+  layout::Layer input_layer{10, 0};
+  layout::Layer output_layer{10, 1};
+  /// Flat-flow context passes. Pass 1 corrects each placement against its
+  /// DRAWN neighbours; but the final mask's neighbours are corrected, so
+  /// the optical context each placement optimized for is stale (the
+  /// tile-to-tile convergence problem). Pass 2 re-corrects against the
+  /// pass-1 corrected context. Two passes converge for the move
+  /// magnitudes this engine allows.
+  int flat_context_passes = 2;
+};
+
+/// Cost/coverage accounting of a flow run.
+struct FlowStats {
+  std::size_t opc_runs = 0;       ///< independent OPC problems solved
+  std::size_t simulations = 0;    ///< total imaging iterations
+  std::size_t corrected_polygons = 0;
+  bool all_converged = true;
+};
+
+/// Hierarchy-preserving OPC: every distinct cell reachable from \p top
+/// that has shapes on the input layer is corrected once, in isolation;
+/// corrected shapes are written to the cell's output layer.
+FlowStats run_cell_opc(layout::Library& lib, const std::string& top,
+                       const FlowSpec& spec);
+
+/// Flat OPC: every placement is corrected against its true neighborhood
+/// (flattened context within the halo). The corrected mask is written,
+/// flat, to the output layer of \p top.
+FlowStats run_flat_opc(layout::Library& lib, const std::string& top,
+                       const FlowSpec& spec);
+
+}  // namespace opckit::opc

@@ -1,0 +1,194 @@
+#include "core/fragment.h"
+
+#include <algorithm>
+
+#include "geometry/region.h"
+#include "util/check.h"
+
+namespace opckit::opc {
+
+using geom::Coord;
+using geom::Edge;
+using geom::Point;
+using geom::Polygon;
+
+std::vector<Polygon> merge_targets(const std::vector<Polygon>& targets) {
+  for (const auto& t : targets) {
+    OPCKIT_CHECK_MSG(!t.normalized().empty(), "degenerate target polygon");
+  }
+  std::vector<Polygon> out = geom::Region::from_polygons(targets).polygons();
+  for (const auto& p : out) {
+    OPCKIT_CHECK_MSG(p.is_ccw(),
+                     "targets with holes are not supported by the OPC "
+                     "engines");
+  }
+  return out;
+}
+
+bool is_convex_corner(const Polygon& poly, std::size_t i) {
+  const std::size_t n = poly.size();
+  const Point prev = poly[(i + n - 1) % n];
+  const Point cur = poly[i];
+  const Point nxt = poly[(i + 1) % n];
+  return cross(cur - prev, nxt - cur) > 0;
+}
+
+bool is_line_end_edge(const Polygon& poly, std::size_t e, Coord max_len) {
+  return poly.edge(e).length() <= max_len && is_convex_corner(poly, e) &&
+         is_convex_corner(poly, (e + 1) % poly.size());
+}
+
+std::vector<Fragment> fragment_polygon(const Polygon& poly,
+                                       const FragmentationSpec& spec,
+                                       std::size_t polygon_index) {
+  OPCKIT_CHECK_MSG(poly.is_manhattan() && poly.is_ccw(),
+                   "fragmentation requires a normalized Manhattan ring");
+  OPCKIT_CHECK(spec.min_length > 0);
+  OPCKIT_CHECK(spec.target_length >= spec.min_length);
+  OPCKIT_CHECK(spec.corner_length >= spec.min_length);
+
+  std::vector<Fragment> out;
+  const std::size_t n = poly.size();
+  for (std::size_t e = 0; e < n; ++e) {
+    const Coord len = poly.edge(e).length();
+    const bool start_convex = is_convex_corner(poly, e);
+    const bool end_convex = is_convex_corner(poly, (e + 1) % n);
+
+    auto push = [&](Coord t0, Coord t1, FragmentKind kind) {
+      Fragment f;
+      f.polygon = polygon_index;
+      f.edge = e;
+      f.t0 = t0;
+      f.t1 = t1;
+      f.kind = kind;
+      out.push_back(f);
+    };
+
+    // Line end: a short edge bracketed by two convex corners (tip of a
+    // line) gets exactly one fragment so hammerhead-style correction
+    // moves the whole tip.
+    if (len <= spec.line_end_max && start_convex && end_convex) {
+      push(0, len, FragmentKind::kLineEnd);
+      continue;
+    }
+
+    const Coord c = spec.corner_length;
+    if (len < 2 * c + spec.min_length) {
+      // Too short for corner + run structure: one or two corner pieces.
+      if (len >= 2 * spec.min_length) {
+        push(0, len / 2, FragmentKind::kCorner);
+        push(len / 2, len, FragmentKind::kCorner);
+      } else {
+        push(0, len, FragmentKind::kCorner);
+      }
+      continue;
+    }
+
+    // Corner fragment, interior runs, corner fragment.
+    push(0, c, FragmentKind::kCorner);
+    const Coord interior = len - 2 * c;
+    const auto pieces = std::max<Coord>(
+        1, (interior + spec.target_length - 1) / spec.target_length);
+    Coord t = c;
+    for (Coord k = 0; k < pieces; ++k) {
+      const Coord t_next = c + interior * (k + 1) / pieces;
+      push(t, t_next, FragmentKind::kRun);
+      t = t_next;
+    }
+    push(len - c, len, FragmentKind::kCorner);
+  }
+  return out;
+}
+
+std::vector<Fragment> fragment_polygons(const std::vector<Polygon>& polys,
+                                        const FragmentationSpec& spec) {
+  std::vector<Fragment> out;
+  for (std::size_t i = 0; i < polys.size(); ++i) {
+    auto f = fragment_polygon(polys[i], spec, i);
+    out.insert(out.end(), f.begin(), f.end());
+  }
+  return out;
+}
+
+Point eval_point(const Polygon& poly, const Fragment& frag) {
+  return poly.edge(frag.edge).at((frag.t0 + frag.t1) / 2);
+}
+
+Point outward_normal(const Polygon& poly, const Fragment& frag) {
+  return poly.edge(frag.edge).outward_normal();
+}
+
+Polygon apply_offsets(const Polygon& poly, std::span<const Fragment> frags) {
+  OPCKIT_CHECK(!frags.empty());
+  // Shifted segment per fragment, in ring order (fragments are emitted in
+  // ring order by fragment_polygon; verify monotonicity defensively).
+  struct Seg {
+    Point a, b;
+    std::size_t edge;
+  };
+  std::vector<Seg> segs;
+  segs.reserve(frags.size());
+  for (std::size_t i = 0; i < frags.size(); ++i) {
+    const Fragment& f = frags[i];
+    if (i > 0) {
+      OPCKIT_CHECK_MSG(
+          f.edge > frags[i - 1].edge ||
+              (f.edge == frags[i - 1].edge && f.t0 == frags[i - 1].t1),
+          "fragments out of ring order");
+    }
+    const Edge e = poly.edge(f.edge);
+    const Point shift = e.outward_normal() * f.offset;
+    segs.push_back({e.at(f.t0) + shift, e.at(f.t1) + shift, f.edge});
+  }
+
+  std::vector<Point> ring;
+  ring.reserve(segs.size() * 2);
+  const std::size_t m = segs.size();
+  for (std::size_t k = 0; k < m; ++k) {
+    const Seg& prev = segs[(k + m - 1) % m];
+    const Seg& cur = segs[k];
+    if (prev.edge == cur.edge) {
+      // Jog between fragments of the same edge.
+      if (prev.b == cur.a) {
+        ring.push_back(cur.a);
+      } else {
+        ring.push_back(prev.b);
+        ring.push_back(cur.a);
+      }
+    } else {
+      // Corner: intersect the two shifted (perpendicular) edge lines.
+      const bool prev_horizontal = prev.a.y == prev.b.y;
+      OPCKIT_CHECK_MSG(prev_horizontal != (cur.a.y == cur.b.y),
+                       "consecutive edges not perpendicular");
+      const Point corner = prev_horizontal ? Point{cur.a.x, prev.b.y}
+                                           : Point{prev.b.x, cur.a.y};
+      ring.push_back(corner);
+    }
+  }
+  return Polygon(std::move(ring)).normalized();
+}
+
+std::vector<Polygon> apply_offsets(const std::vector<Polygon>& polys,
+                                   std::span<const Fragment> frags) {
+  std::vector<std::vector<Fragment>> by_poly(polys.size());
+  for (const Fragment& f : frags) {
+    OPCKIT_CHECK(f.polygon < polys.size());
+    by_poly[f.polygon].push_back(f);
+  }
+  std::vector<Polygon> out;
+  out.reserve(polys.size());
+  for (std::size_t i = 0; i < polys.size(); ++i) {
+    auto& fs = by_poly[i];
+    if (fs.empty()) {
+      out.push_back(polys[i]);
+      continue;
+    }
+    std::sort(fs.begin(), fs.end(), [](const Fragment& a, const Fragment& b) {
+      return a.edge != b.edge ? a.edge < b.edge : a.t0 < b.t0;
+    });
+    out.push_back(apply_offsets(polys[i], fs));
+  }
+  return out;
+}
+
+}  // namespace opckit::opc

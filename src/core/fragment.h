@@ -1,0 +1,103 @@
+/// \file fragment.h
+/// Edge fragmentation — the data structure at the heart of OPC.
+///
+/// Model-based OPC does not move polygons; it moves *fragments*: sub-spans
+/// of polygon edges that translate independently along the edge's outward
+/// normal. Fragmentation density is the fundamental accuracy/data-volume
+/// tradeoff the paper discusses — finer fragments track the proximity
+/// signature better but multiply mask figure counts (ablation A1).
+///
+/// Corner-adjacent and line-end fragments are classified so correction
+/// policies (serifs, hammerheads, specialized feedback) can target them.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geometry/polygon.h"
+
+namespace opckit::opc {
+
+/// Role of a fragment on its polygon.
+enum class FragmentKind {
+  kRun,        ///< interior of a long edge
+  kCorner,     ///< adjacent to a corner (convex or concave)
+  kLineEnd,    ///< an entire short edge forming a line end/tip
+};
+
+/// A movable sub-span of one polygon edge.
+struct Fragment {
+  std::size_t polygon = 0;   ///< index into the fragmented polygon set
+  std::size_t edge = 0;      ///< edge index within the polygon
+  geom::Coord t0 = 0;        ///< span start along the edge (DB units)
+  geom::Coord t1 = 0;        ///< span end along the edge
+  FragmentKind kind = FragmentKind::kRun;
+  geom::Coord offset = 0;    ///< displacement along the outward normal
+  bool locked = false;       ///< excluded from correction
+
+  geom::Coord length() const { return t1 - t0; }
+};
+
+/// Fragmentation policy.
+struct FragmentationSpec {
+  geom::Coord target_length = 120;  ///< nominal fragment length (nm)
+  geom::Coord corner_length = 60;   ///< length of corner-adjacent fragments
+  geom::Coord min_length = 24;      ///< never split below this; an edge
+                                    ///< shorter than min_length is still
+                                    ///< covered by one whole-edge fragment
+  geom::Coord line_end_max = 360;   ///< edges up to this length bounded by
+                                    ///< two convex corners are treated as
+                                    ///< line ends (single fragment)
+};
+
+/// Merge a raw target polygon set into clean, disjoint CCW rings: abutting
+/// and overlapping shapes are unioned so that internal (shared) edges
+/// disappear. Every OPC entry point does this first — correcting a drawn
+/// rectangle edge that is interior to the merged feature is meaningless
+/// and destabilizes the feedback loop. Throws if the merge produces holes
+/// (donut targets are out of scope for the correction engines).
+std::vector<geom::Polygon> merge_targets(
+    const std::vector<geom::Polygon>& targets);
+
+/// True if the corner at vertex \p i of a CCW ring is convex (left turn).
+bool is_convex_corner(const geom::Polygon& poly, std::size_t i);
+
+/// True if edge \p e is a "line end": bounded by two convex corners and no
+/// longer than \p max_len (the tip of a line or stub).
+bool is_line_end_edge(const geom::Polygon& poly, std::size_t e,
+                      geom::Coord max_len);
+
+/// Fragment one polygon. The polygon must be a normalized (CCW, Manhattan)
+/// ring; every edge is covered exactly by its fragments (no gaps or
+/// overlaps). \p polygon_index is recorded in each fragment.
+std::vector<Fragment> fragment_polygon(const geom::Polygon& poly,
+                                       const FragmentationSpec& spec,
+                                       std::size_t polygon_index = 0);
+
+/// Fragment a polygon set.
+std::vector<Fragment> fragment_polygons(
+    const std::vector<geom::Polygon>& polys, const FragmentationSpec& spec);
+
+/// Metrology site of a fragment: the midpoint of its span on the ORIGINAL
+/// (uncorrected) edge — EPE is always measured against design intent.
+geom::Point eval_point(const geom::Polygon& poly, const Fragment& frag);
+
+/// Outward normal of the fragment's edge (unit Manhattan vector).
+geom::Point outward_normal(const geom::Polygon& poly, const Fragment& frag);
+
+/// Rebuild the corrected polygon from fragment offsets. Fragments must be
+/// exactly the output of fragment_polygon for \p poly (same order).
+/// Consecutive fragments with different offsets are joined by jogs;
+/// corners are re-intersected from the two shifted edge lines. The caller
+/// is responsible for keeping offsets small enough that the ring stays
+/// simple (the OPC loop clamps moves).
+geom::Polygon apply_offsets(const geom::Polygon& poly,
+                            std::span<const Fragment> frags);
+
+/// Apply offsets for a whole polygon set (fragments from
+/// fragment_polygons, any order; grouped internally by polygon index).
+std::vector<geom::Polygon> apply_offsets(
+    const std::vector<geom::Polygon>& polys,
+    std::span<const Fragment> frags);
+
+}  // namespace opckit::opc

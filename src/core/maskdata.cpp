@@ -1,0 +1,40 @@
+#include "core/maskdata.h"
+
+#include "geometry/region.h"
+#include "layout/gdsii.h"
+#include "layout/library.h"
+
+namespace opckit::opc {
+
+MaskDataStats measure_mask_data(std::span<const geom::Polygon> polys) {
+  MaskDataStats s;
+  s.polygons = polys.size();
+  for (const auto& p : polys) s.vertices += p.size();
+  s.fracture_rects = geom::Region::from_polygons(polys).rect_count();
+
+  layout::Library lib("maskdata");
+  layout::Cell& cell = lib.cell("shapes");
+  for (const auto& p : polys) {
+    cell.add_polygon(layout::Layer{10, 1}, p);
+  }
+  s.gdsii_bytes = layout::gdsii_byte_size(lib);
+  return s;
+}
+
+namespace {
+double ratio(std::size_t after, std::size_t before) {
+  return before == 0 ? 0.0
+                     : static_cast<double>(after) /
+                           static_cast<double>(before);
+}
+}  // namespace
+
+DataVolumeRatio explosion(const MaskDataStats& before,
+                          const MaskDataStats& after) {
+  return {ratio(after.polygons, before.polygons),
+          ratio(after.vertices, before.vertices),
+          ratio(after.fracture_rects, before.fracture_rects),
+          ratio(after.gdsii_bytes, before.gdsii_bytes)};
+}
+
+}  // namespace opckit::opc

@@ -1,0 +1,46 @@
+/// \file maskdata.h
+/// Mask data-preparation metrics — quantifying the data-volume explosion.
+///
+/// The paper's "impact on layout" headline is that OPC multiplies mask
+/// figure counts and file sizes: every fragment jog, serif, and assist
+/// bar is a new figure. This module measures that cost on real GDSII
+/// bytes and on fracture (trapezoid) counts, the two quantities mask
+/// shops bill by.
+#pragma once
+
+#include <span>
+
+#include "geometry/polygon.h"
+
+namespace opckit::opc {
+
+/// Shape-count and byte-size metrics of a polygon set.
+struct MaskDataStats {
+  std::size_t polygons = 0;
+  std::size_t vertices = 0;
+  std::size_t fracture_rects = 0;   ///< trapezoid count after fracturing
+  std::size_t gdsii_bytes = 0;      ///< serialized size, one cell, layer 10/1
+
+  double vertices_per_polygon() const {
+    return polygons ? static_cast<double>(vertices) /
+                          static_cast<double>(polygons)
+                    : 0.0;
+  }
+};
+
+/// Measure a polygon set. Fracturing uses the Region slab decomposition
+/// (a standard trapezoid fracture for Manhattan data).
+MaskDataStats measure_mask_data(std::span<const geom::Polygon> polys);
+
+/// Ratio helper: data-volume explosion factors after / before.
+struct DataVolumeRatio {
+  double polygon_factor = 0.0;
+  double vertex_factor = 0.0;
+  double fracture_factor = 0.0;
+  double byte_factor = 0.0;
+};
+
+DataVolumeRatio explosion(const MaskDataStats& before,
+                          const MaskDataStats& after);
+
+}  // namespace opckit::opc

@@ -1,0 +1,83 @@
+#include "core/neighborhood.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace opckit::opc {
+
+using geom::Coord;
+using geom::Edge;
+using geom::Point;
+using geom::Rect;
+using geom::Region;
+
+namespace {
+
+Rect index_extent(const std::vector<geom::Polygon>& polys, Coord range) {
+  Rect box = Rect::empty();
+  for (const auto& p : polys) box = box.united(p.bbox());
+  if (box.is_empty()) box = Rect(0, 0, 1, 1);
+  return box.inflated(range + 1);
+}
+
+}  // namespace
+
+Neighborhood::Neighborhood(const std::vector<geom::Polygon>& polys,
+                           Coord interaction_range)
+    : range_(interaction_range),
+      rects_(Region::from_polygons(polys).rects()),
+      index_(index_extent(polys, interaction_range),
+             std::max<Coord>(interaction_range, 256)) {
+  OPCKIT_CHECK(interaction_range > 0);
+  for (std::size_t i = 0; i < rects_.size(); ++i) {
+    index_.insert(i, rects_[i]);
+  }
+}
+
+Coord Neighborhood::space_outside(const Edge& edge,
+                                  const Point& outward) const {
+  OPCKIT_CHECK(edge.is_manhattan() && !edge.is_degenerate());
+  OPCKIT_CHECK(manhattan_length(outward) == 1);
+  const Rect span = edge.bbox();
+  // Probe window: the edge swept by `range_` along the outward direction.
+  Rect probe = span;
+  if (outward.x > 0) {
+    probe.hi.x += range_;
+  } else if (outward.x < 0) {
+    probe.lo.x -= range_;
+  } else if (outward.y > 0) {
+    probe.hi.y += range_;
+  } else {
+    probe.lo.y -= range_;
+  }
+
+  Coord best = range_;
+  for (std::size_t id : index_.query(probe)) {
+    const Rect& r = rects_[id];
+    // Must overlap the edge's transverse span with positive width, and
+    // must reach past the edge on the outward side (a rect entirely on the
+    // inward side is the feature's own body). A rect that crosses or abuts
+    // the edge clamps the gap to zero.
+    if (edge.is_horizontal()) {
+      if (std::min(r.hi.x, span.hi.x) <= std::max(r.lo.x, span.lo.x)) {
+        continue;
+      }
+      const Coord y = span.lo.y;
+      if (outward.y > 0 ? r.hi.y <= y : r.lo.y >= y) continue;
+      const Coord gap = outward.y > 0 ? r.lo.y - y : y - r.hi.y;
+      best = std::min(best, std::max<Coord>(gap, 0));
+    } else {
+      if (std::min(r.hi.y, span.hi.y) <= std::max(r.lo.y, span.lo.y)) {
+        continue;
+      }
+      const Coord x = span.lo.x;
+      if (outward.x > 0 ? r.hi.x <= x : r.lo.x >= x) continue;
+      const Coord gap = outward.x > 0 ? r.lo.x - x : x - r.hi.x;
+      best = std::min(best, std::max<Coord>(gap, 0));
+    }
+  }
+  return best;
+}
+
+}  // namespace opckit::opc

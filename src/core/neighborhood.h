@@ -1,0 +1,41 @@
+/// \file neighborhood.h
+/// Local-environment queries over a polygon set.
+///
+/// Rule-based OPC selects its bias by how much open space faces an edge;
+/// SRAF insertion needs the same answer to know whether assist bars fit.
+/// The query engine decomposes the layout into disjoint rectangles once
+/// and answers directional gap queries through a tile index.
+#pragma once
+
+#include <vector>
+
+#include "geometry/geometry.h"
+
+namespace opckit::opc {
+
+/// Directional free-space oracle over a fixed polygon set.
+class Neighborhood {
+ public:
+  /// Build from a polygon set. \p interaction_range bounds every query
+  /// (gaps larger than this report exactly interaction_range).
+  Neighborhood(const std::vector<geom::Polygon>& polys,
+               geom::Coord interaction_range);
+
+  /// The bound passed at construction.
+  geom::Coord range() const { return range_; }
+
+  /// Size of the open gap in front of \p edge (which must be Manhattan),
+  /// looking along \p outward (the edge's outward normal): the distance
+  /// to the nearest geometry rectangle that overlaps the edge's transverse
+  /// span, capped at range(). An edge with nothing facing it returns
+  /// range() — "isolated".
+  geom::Coord space_outside(const geom::Edge& edge,
+                            const geom::Point& outward) const;
+
+ private:
+  geom::Coord range_;
+  std::vector<geom::Rect> rects_;
+  geom::TileIndex index_;
+};
+
+}  // namespace opckit::opc

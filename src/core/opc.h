@@ -1,0 +1,14 @@
+/// \file opc.h
+/// Umbrella header for the opckit OPC engine (the paper's subject).
+#pragma once
+
+#include "core/deck_io.h"       // IWYU pragma: export
+#include "core/electrical.h"    // IWYU pragma: export
+#include "core/flow.h"          // IWYU pragma: export
+#include "core/fragment.h"      // IWYU pragma: export
+#include "core/maskdata.h"      // IWYU pragma: export
+#include "core/model.h"         // IWYU pragma: export
+#include "core/neighborhood.h"  // IWYU pragma: export
+#include "core/orc.h"           // IWYU pragma: export
+#include "core/rules.h"         // IWYU pragma: export
+#include "core/sraf.h"          // IWYU pragma: export

@@ -1,0 +1,132 @@
+#include "core/orc.h"
+
+#include <cmath>
+
+#include "geometry/region.h"
+#include "litho/metrology.h"
+#include "util/check.h"
+
+namespace opckit::opc {
+
+using geom::Point;
+using geom::Polygon;
+using geom::Rect;
+using geom::Region;
+
+std::size_t OrcReport::count(OrcViolationKind kind) const {
+  std::size_t n = 0;
+  for (const auto& v : violations) n += v.kind == kind;
+  return n;
+}
+
+namespace {
+
+/// Representative points of a region's significant connected components.
+/// Morphological opening/closing residues include thin fillets along the
+/// curvature of every printed corner — contour artifacts, not violations.
+/// A real pinch/bridge channel of limit w carries on the order of w²
+/// of residue area; components below min_area are dropped.
+std::vector<Point> marker_points(const Region& r, geom::Coord min_area,
+                                 std::size_t cap = 64) {
+  std::vector<Point> out;
+  for (const geom::Polygon& comp : r.polygons()) {
+    if (!comp.is_ccw()) continue;  // holes of residue blobs
+    if (comp.area() < min_area) continue;
+    out.push_back(comp.bbox().center());
+    if (out.size() >= cap) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+OrcReport run_orc(const std::vector<Polygon>& targets,
+                  const std::vector<Polygon>& mask,
+                  const std::vector<Polygon>& srafs,
+                  const litho::SimSpec& spec_sim, const Rect& window,
+                  const OrcSpec& spec) {
+  OrcReport report;
+
+  const std::vector<Polygon> norm_targets = merge_targets(targets);
+  const std::vector<Fragment> sites =
+      fragment_polygons(norm_targets, spec.sampling);
+
+  // Full mask = main features + assists.
+  std::vector<Polygon> full_mask = mask;
+  full_mask.insert(full_mask.end(), srafs.begin(), srafs.end());
+  const Region sraf_region = Region::from_polygons(srafs);
+  const Region target_region = Region::from_polygons(norm_targets);
+
+  const litho::Simulator sim(spec_sim, window);
+
+  std::vector<std::pair<double, double>> conditions{{0.0, 1.0}};
+  conditions.insert(conditions.end(), spec.corners.begin(),
+                    spec.corners.end());
+
+  for (std::size_t ci = 0; ci < conditions.size(); ++ci) {
+    const auto [defocus, dose] = conditions[ci];
+    const bool nominal = ci == 0;
+    const litho::Image lat = sim.latent(full_mask, defocus);
+    const double thr = sim.threshold(dose);
+
+    // EPE at every sample site.
+    for (const Fragment& f : sites) {
+      const Polygon& poly = norm_targets[f.polygon];
+      const Point site = eval_point(poly, f);
+      if (!window.contains(site)) continue;
+      if (nominal) ++report.sites;
+      const double epe = litho::edge_placement_error(
+          lat, site, outward_normal(poly, f), spec.probe_range_nm, thr);
+      if (std::isnan(epe)) {
+        report.violations.push_back(
+            {OrcViolationKind::kLostEdge, site, 0.0, defocus, dose});
+        continue;
+      }
+      if (nominal) report.epe_stats.add(epe);
+      const double limit = f.kind == FragmentKind::kCorner
+                               ? spec.corner_epe_spec_nm
+                               : spec.epe_spec_nm;
+      if (std::abs(epe) > limit) {
+        report.violations.push_back(
+            {OrcViolationKind::kEpe, site, std::abs(epe), defocus, dose});
+      }
+    }
+
+    // Pinch: printed area that disappears under opening — thinner than
+    // pinch_width somewhere. Bridge: printed space that disappears under
+    // closing — two features closer than bridge_space. Both restricted to
+    // the neighbourhood of the targets to ignore window-boundary noise.
+    const Region printed = sim.printed(lat, dose);
+    const Region pinch =
+        printed.subtracted(printed.opened(spec.pinch_width_nm / 2));
+    const geom::Coord pinch_area =
+        spec.pinch_width_nm * spec.pinch_width_nm / 3;
+    for (const Point& p : marker_points(pinch, pinch_area)) {
+      report.violations.push_back(
+          {OrcViolationKind::kPinch, p, 0.0, defocus, dose});
+    }
+    const Region bridge =
+        printed.closed(spec.bridge_space_nm / 2).subtracted(printed);
+    const geom::Coord bridge_area =
+        spec.bridge_space_nm * spec.bridge_space_nm / 3;
+    for (const Point& p : marker_points(bridge, bridge_area)) {
+      report.violations.push_back(
+          {OrcViolationKind::kBridge, p, 0.0, defocus, dose});
+    }
+
+    // SRAF printing: printed resist on top of an assist, away from any
+    // target feature.
+    if (!sraf_region.empty()) {
+      const Region printing_srafs =
+          printed.intersected(sraf_region)
+              .subtracted(target_region.inflated(60));
+      for (const Point& p : marker_points(printing_srafs, 32 * 32)) {
+        report.violations.push_back(
+            {OrcViolationKind::kSrafPrint, p, 0.0, defocus, dose});
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace opckit::opc

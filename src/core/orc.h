@@ -1,0 +1,66 @@
+/// \file orc.h
+/// ORC — post-OPC verification (optical rule checking).
+///
+/// The flip side of OPC adoption the paper stresses: once masks no longer
+/// look like the design, a verification step must prove the corrected mask
+/// still prints the design. ORC simulates the mask across process
+/// conditions and checks edge placement, pinching (necking below a width
+/// floor), bridging (spaces closing below a floor), and assist-feature
+/// printing.
+#pragma once
+
+#include <vector>
+
+#include "core/fragment.h"
+#include "litho/simulator.h"
+#include "util/stats.h"
+
+namespace opckit::opc {
+
+/// Kinds of ORC violations.
+enum class OrcViolationKind { kEpe, kLostEdge, kPinch, kBridge, kSrafPrint };
+
+/// A single flagged location.
+struct OrcViolation {
+  OrcViolationKind kind;
+  geom::Point location;
+  double value_nm = 0.0;   ///< |EPE| for kEpe; 0 otherwise
+  double defocus_nm = 0.0; ///< process condition that flagged it
+  double dose = 1.0;
+};
+
+/// ORC configuration.
+struct OrcSpec {
+  double epe_spec_nm = 10.0;        ///< |EPE| beyond this is a violation
+  /// Relaxed spec for corner-adjacent sites, which measure corner
+  /// rounding rather than edge placement (a sharp corner cannot print).
+  double corner_epe_spec_nm = 35.0;
+  geom::Coord pinch_width_nm = 90;  ///< printed width below this pinches
+  geom::Coord bridge_space_nm = 90; ///< printed space below this bridges
+  double probe_range_nm = 140.0;
+  FragmentationSpec sampling;       ///< EPE sample sites = fragment sites
+  /// Process corners to verify at (defocus nm, dose) pairs; nominal is
+  /// always checked first.
+  std::vector<std::pair<double, double>> corners{{200.0, 0.95},
+                                                 {200.0, 1.05}};
+};
+
+/// Aggregated ORC output.
+struct OrcReport {
+  std::vector<OrcViolation> violations;
+  util::Accumulator epe_stats;  ///< signed EPE at nominal condition
+  std::size_t sites = 0;        ///< EPE sample count (per condition)
+
+  std::size_t count(OrcViolationKind kind) const;
+  bool clean() const { return violations.empty(); }
+};
+
+/// Verify \p mask (main features, with \p srafs if any) against
+/// \p targets. Simulates nominal plus every corner in \p spec.corners.
+OrcReport run_orc(const std::vector<geom::Polygon>& targets,
+                  const std::vector<geom::Polygon>& mask,
+                  const std::vector<geom::Polygon>& srafs,
+                  const litho::SimSpec& spec_sim, const geom::Rect& window,
+                  const OrcSpec& spec);
+
+}  // namespace opckit::opc

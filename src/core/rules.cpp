@@ -1,0 +1,138 @@
+#include "core/rules.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/fragment.h"
+#include "core/neighborhood.h"
+#include "geometry/region.h"
+#include "util/check.h"
+
+namespace opckit::opc {
+
+using geom::Coord;
+using geom::Point;
+using geom::Polygon;
+using geom::Rect;
+using geom::Region;
+
+Coord RuleDeck::lookup_bias(Coord space) const {
+  for (const auto& r : bias_rules) {
+    if (space >= r.space_min && space < r.space_max) return r.bias;
+  }
+  return 0;
+}
+
+RuleDeck default_rule_deck_180() {
+  RuleDeck deck;
+  // Space-binned per-edge biases fitted to the measured uncorrected
+  // proximity curve of the default calibrated process (experiment F1,
+  // bench/f1_cd_through_pitch): bias = -(CD_printed - CD_target)/2 at the
+  // pitch whose line-to-line space falls in the bin. The curve is deeply
+  // non-monotonic through the forbidden-pitch region (space ~420 nm loses
+  // >40 nm), which is exactly why a 1D table can only partially correct —
+  // the residuals left by this deck are the paper's argument for
+  // model-based OPC.
+  // Two-pass fit: biases are deficit / (2 * response), where the response
+  // (printed-CD change per mask-CD change, ~1.3-1.6 here) was measured by
+  // re-running F1 with the first-pass deck — biasing an edge also tightens
+  // its space, so the raw deficit over-corrects.
+  deck.bias_rules = {
+      {0, 240, 0},     // dense (anchor pitch) — calibrated, untouched
+      {240, 360, 8},   // semi-dense, entering the forbidden region
+      {360, 480, 13},  // forbidden pitch: worst underprint
+      {480, 720, 11},  // recovering
+      {720, 840, 12},
+      {840, 960, 7},   // secondary interference null
+      // Isolated (open-ended so "nothing within interaction range" maps
+      // into this bin too).
+      {960, std::numeric_limits<geom::Coord>::max(), 10},
+  };
+  // Line-end extension fitted to the measured uncorrected pullback
+  // (experiment F2) for 180 nm lines.
+  deck.line_end_extension = 40;
+  deck.hammer_overhang = 32;
+  return deck;
+}
+
+RuleOpcResult apply_rule_opc(const std::vector<Polygon>& targets,
+                             const RuleDeck& deck) {
+  // Merge and normalize inputs once; everything downstream expects clean,
+  // disjoint CCW rings (internal edges of abutting drawn rectangles must
+  // not be "corrected").
+  const std::vector<Polygon> polys = merge_targets(targets);
+
+  RuleOpcResult result;
+  const Neighborhood hood(polys, deck.interaction_range);
+
+  std::vector<Polygon> moved;
+  moved.reserve(polys.size());
+  std::vector<Rect> serif_rects;
+  std::vector<Rect> bite_rects;
+
+  for (std::size_t pi = 0; pi < polys.size(); ++pi) {
+    const Polygon& poly = polys[pi];
+    const std::size_t n = poly.size();
+
+    // One fragment per edge; offset = bias (+ line-end extension).
+    std::vector<Fragment> frags;
+    frags.reserve(n);
+    std::vector<bool> edge_is_line_end(n, false);
+    for (std::size_t e = 0; e < n; ++e) {
+      Fragment f;
+      f.polygon = pi;
+      f.edge = e;
+      f.t0 = 0;
+      f.t1 = poly.edge(e).length();
+      const bool line_end =
+          deck.enable_line_ends && is_line_end_edge(poly, e, deck.line_end_max);
+      edge_is_line_end[e] = line_end;
+      if (line_end) {
+        f.kind = FragmentKind::kLineEnd;
+        f.offset = deck.line_end_extension;
+        ++result.line_ends;
+      } else if (deck.enable_bias) {
+        const Coord space = hood.space_outside(
+            poly.edge(e), poly.edge(e).outward_normal());
+        f.offset = deck.lookup_bias(space);
+        if (f.offset != 0) ++result.biased_edges;
+      }
+      frags.push_back(f);
+    }
+    const Polygon corrected = apply_offsets(poly, frags);
+    if (corrected.empty()) continue;
+
+    // Decorate corners of the corrected ring. Tip corners (ends of a
+    // line-end edge) get hammer-overhang serifs; other convex corners get
+    // standard serifs; concave corners get mouse bites.
+    if (deck.enable_serifs && corrected.size() == n) {
+      for (std::size_t v = 0; v < n; ++v) {
+        const Point c = corrected[v];
+        const bool tip =
+            edge_is_line_end[v] || edge_is_line_end[(v + n - 1) % n];
+        if (is_convex_corner(corrected, v)) {
+          const Coord s = tip ? deck.hammer_overhang : deck.serif_size;
+          if (s > 0) {
+            serif_rects.emplace_back(c.x - s / 2, c.y - s / 2, c.x + s / 2,
+                                     c.y + s / 2);
+            tip ? void(0) : void(++result.serifs);
+          }
+        } else if (!tip && deck.mousebite_size > 0) {
+          const Coord s = deck.mousebite_size;
+          bite_rects.emplace_back(c.x - s / 2, c.y - s / 2, c.x + s / 2,
+                                  c.y + s / 2);
+          ++result.mousebites;
+        }
+      }
+    }
+    moved.push_back(corrected);
+  }
+
+  Region mask = Region::from_polygons(moved);
+  if (!serif_rects.empty()) mask = mask.united(Region::from_rects(serif_rects));
+  if (!bite_rects.empty()) mask = mask.subtracted(Region::from_rects(bite_rects));
+  result.corrected = mask.polygons();
+  return result;
+}
+
+}  // namespace opckit::opc

@@ -1,0 +1,67 @@
+/// \file rules.h
+/// Rule-based OPC — the first-generation correction the industry adopted.
+///
+/// Rule-based OPC applies table-driven geometric fixes with no simulation
+/// in the loop: per-edge biases selected by the facing space (iso/dense
+/// tables), line-end extensions with hammerheads, and corner serifs /
+/// mouse bites. It is cheap and hierarchy-friendly but can only encode
+/// the 1D proximity signature — exactly the limitation that drove the
+/// industry to model-based OPC (reproduced by experiments F1/T1).
+#pragma once
+
+#include <vector>
+
+#include "geometry/polygon.h"
+
+namespace opckit::opc {
+
+/// One row of the bias table: applies when the space facing an edge falls
+/// in [space_min, space_max).
+struct BiasRule {
+  geom::Coord space_min = 0;
+  geom::Coord space_max = 0;
+  geom::Coord bias = 0;  ///< outward per-edge move (negative shrinks)
+};
+
+/// A complete rule deck.
+struct RuleDeck {
+  std::vector<BiasRule> bias_rules;    ///< disjoint, ascending space ranges
+  geom::Coord interaction_range = 1200;
+
+  // Line-end treatment (applies to edges classified as line ends).
+  geom::Coord line_end_max = 360;      ///< classification length bound
+  geom::Coord line_end_extension = 24; ///< outward tip move
+  geom::Coord hammer_overhang = 28;    ///< serif size at tip corners
+
+  // Corner treatment.
+  geom::Coord serif_size = 32;         ///< square serif on convex corners
+  geom::Coord mousebite_size = 24;     ///< square bite at concave corners
+
+  bool enable_bias = true;
+  bool enable_line_ends = true;
+  bool enable_serifs = true;
+
+  /// Bias for a measured space (0 when no rule matches).
+  geom::Coord lookup_bias(geom::Coord space) const;
+};
+
+/// A deck with values representative of a 180 nm / KrF process, derived
+/// from the proximity signature of the default SimSpec (see EXPERIMENTS.md
+/// for the derivation experiment).
+RuleDeck default_rule_deck_180();
+
+/// Rule-OPC output.
+struct RuleOpcResult {
+  std::vector<geom::Polygon> corrected;  ///< mask polygons (post-merge)
+  std::size_t biased_edges = 0;
+  std::size_t line_ends = 0;
+  std::size_t serifs = 0;
+  std::size_t mousebites = 0;
+};
+
+/// Apply rule-based OPC to a target polygon set. Inputs are normalized
+/// internally; output polygons are the merged corrected mask shapes.
+RuleOpcResult apply_rule_opc(const std::vector<geom::Polygon>& targets,
+                             const RuleDeck& deck);
+
+}  // namespace opckit::opc

@@ -1,0 +1,87 @@
+#include "core/sraf.h"
+
+#include <algorithm>
+
+#include "core/neighborhood.h"
+#include "geometry/region.h"
+#include "util/check.h"
+
+namespace opckit::opc {
+
+using geom::Coord;
+using geom::Edge;
+using geom::Point;
+using geom::Polygon;
+using geom::Rect;
+using geom::Region;
+
+SrafResult insert_srafs(const std::vector<Polygon>& mask_polys,
+                        const SrafSpec& spec) {
+  OPCKIT_CHECK(spec.bar_width > 0 && spec.max_bars >= 1);
+  OPCKIT_CHECK(spec.bar_distance > spec.bar_width / 2);
+
+  std::vector<Polygon> polys;
+  polys.reserve(mask_polys.size());
+  for (const auto& p : mask_polys) {
+    Polygon n = p.normalized();
+    if (!n.empty()) polys.push_back(std::move(n));
+  }
+
+  SrafResult result;
+  const Neighborhood hood(polys, spec.interaction_range);
+  std::vector<Rect> candidates;
+
+  for (const Polygon& poly : polys) {
+    for (std::size_t e = 0; e < poly.size(); ++e) {
+      const Edge edge = poly.edge(e);
+      if (edge.length() < spec.min_edge_length) continue;
+      const Point n = edge.outward_normal();
+      const Coord space = hood.space_outside(edge, n);
+
+      for (int b = 0; b < spec.max_bars; ++b) {
+        // Center-line distance of bar b from the edge.
+        const Coord d = spec.bar_distance + static_cast<Coord>(b) * spec.bar_pitch;
+        // The bar must fit: far side of the bar + clearance to whatever
+        // faces the edge.
+        const Coord needed =
+            d + spec.bar_width / 2 + spec.min_space_to_geometry;
+        if (space < needed) break;
+
+        const Rect span = edge.bbox();
+        Rect bar;
+        if (edge.is_horizontal()) {
+          const Coord y = span.lo.y + n.y * d;
+          bar = Rect(span.lo.x + spec.end_pullin, y - spec.bar_width / 2,
+                     span.hi.x - spec.end_pullin, y + spec.bar_width / 2);
+        } else {
+          const Coord x = span.lo.x + n.x * d;
+          bar = Rect(x - spec.bar_width / 2, span.lo.y + spec.end_pullin,
+                     x + spec.bar_width / 2, span.hi.y - spec.end_pullin);
+        }
+        if (bar.is_empty()) continue;
+        ++result.offered;
+        candidates.push_back(bar);
+      }
+    }
+  }
+
+  if (candidates.empty()) return result;
+
+  // MRC: carve away everything within min_space_to_geometry of real
+  // geometry (handles bars offered from two facing edges of a space, and
+  // bars crossing unseen corners), then drop slivers.
+  const Region keepout =
+      Region::from_polygons(polys).inflated(spec.min_space_to_geometry);
+  const Region bars =
+      Region::from_rects(candidates).subtracted(keepout);
+  for (const Polygon& bar : bars.polygons()) {
+    const Rect box = bar.bbox();
+    if (std::max(box.width(), box.height()) < spec.min_bar_length) continue;
+    if (std::min(box.width(), box.height()) < spec.bar_width / 2) continue;
+    result.bars.push_back(bar);
+    ++result.kept;
+  }
+  return result;
+}
+
+}  // namespace opckit::opc

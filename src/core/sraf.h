@@ -1,0 +1,44 @@
+/// \file sraf.h
+/// Sub-resolution assist feature (scattering bar) insertion.
+///
+/// Isolated edges image with poor depth of focus because they lack the
+/// dense-pitch diffraction environment. Scattering bars — narrow lines
+/// placed just off the edge, below the resolution limit so they never
+/// print — synthesize that environment. Insertion is rule-based (the
+/// production practice of the era): bars are offered wherever the facing
+/// space allows, then trimmed against spacing constraints (MRC).
+#pragma once
+
+#include <vector>
+
+#include "geometry/polygon.h"
+
+namespace opckit::opc {
+
+/// Scatter-bar insertion rules.
+struct SrafSpec {
+  geom::Coord bar_width = 80;        ///< below resolution for the process
+  geom::Coord bar_distance = 280;    ///< edge-to-bar-center distance
+  geom::Coord bar_pitch = 240;       ///< spacing between multiple bars
+  int max_bars = 2;                  ///< bars per qualifying edge
+  geom::Coord min_edge_length = 600; ///< only assist long edges
+  geom::Coord end_pullin = 80;       ///< bar shortened at each end
+  geom::Coord min_space_to_geometry = 120;  ///< MRC clearance
+  geom::Coord min_bar_length = 200;  ///< drop slivers after trimming
+  geom::Coord interaction_range = 1400;
+};
+
+/// SRAF insertion output.
+struct SrafResult {
+  std::vector<geom::Polygon> bars;  ///< final (post-MRC) assist shapes
+  std::size_t offered = 0;          ///< candidate bars before trimming
+  std::size_t kept = 0;             ///< bars surviving MRC
+};
+
+/// Insert scatter bars around \p mask_polys (typically the post-OPC main
+/// features). Bars never overlap geometry closer than
+/// min_space_to_geometry; bars that would, are trimmed or dropped.
+SrafResult insert_srafs(const std::vector<geom::Polygon>& mask_polys,
+                        const SrafSpec& spec);
+
+}  // namespace opckit::opc

@@ -1,0 +1,129 @@
+#include "drc/drc.h"
+
+#include <map>
+
+#include "util/check.h"
+
+namespace opckit::drc {
+
+using geom::Coord;
+using geom::Polygon;
+using geom::Rect;
+using geom::Region;
+
+std::size_t DrcReport::count(const std::string& rule_name) const {
+  std::size_t n = 0;
+  for (const auto& v : violations) n += v.rule == rule_name;
+  return n;
+}
+
+namespace {
+
+/// Convert residue area into per-component violation markers by grouping
+/// touching rectangles (single-linkage via region contours).
+std::vector<Violation> markers_from(const Region& residue,
+                                    const std::string& rule_name) {
+  std::vector<Violation> out;
+  for (const Polygon& p : residue.polygons()) {
+    if (!p.is_ccw()) continue;  // holes of residue blobs carry no info
+    out.push_back({rule_name, p.bbox()});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Violation> check_min_width(const Region& shapes, Coord min_width,
+                                       const std::string& rule_name) {
+  OPCKIT_CHECK(min_width > 0);
+  // Opening by floor(w/2) removes every part with width < 2*floor(w/2)+1;
+  // using (w-1)/2 flags strictly-narrower-than-w area for odd/even w.
+  const Coord half = (min_width - 1) / 2;
+  if (half == 0) return {};
+  return markers_from(shapes.subtracted(shapes.opened(half)), rule_name);
+}
+
+std::vector<Violation> check_min_space(const Region& shapes, Coord min_space,
+                                       const std::string& rule_name) {
+  OPCKIT_CHECK(min_space > 0);
+  const Coord half = (min_space - 1) / 2;
+  if (half == 0) return {};
+  return markers_from(shapes.closed(half).subtracted(shapes), rule_name);
+}
+
+std::vector<Violation> check_min_area(const Region& shapes, Coord min_area,
+                                      const std::string& rule_name) {
+  OPCKIT_CHECK(min_area > 0);
+  // Components: outer rings minus the holes they contain. Holes are
+  // matched to the innermost enclosing outer ring by bbox containment —
+  // exact for the nesting depth produced by Region::polygons().
+  std::vector<Violation> out;
+  const auto polys = shapes.polygons();
+  std::vector<Coord> areas;
+  std::vector<Rect> boxes;
+  for (const Polygon& p : polys) {
+    if (p.is_ccw()) {
+      areas.push_back(p.area());
+      boxes.push_back(p.bbox());
+    }
+  }
+  for (const Polygon& p : polys) {
+    if (p.is_ccw()) continue;
+    // Find the smallest outer ring containing this hole.
+    std::size_t best = SIZE_MAX;
+    for (std::size_t i = 0; i < boxes.size(); ++i) {
+      if (boxes[i].contains(p.bbox()) &&
+          (best == SIZE_MAX || boxes[i].area() < boxes[best].area())) {
+        best = i;
+      }
+    }
+    if (best != SIZE_MAX) areas[best] -= p.area();
+  }
+  for (std::size_t i = 0; i < areas.size(); ++i) {
+    if (areas[i] < min_area) {
+      out.push_back({rule_name, boxes[i]});
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> check_enclosure(const Region& inner,
+                                       const Region& outer, Coord margin,
+                                       const std::string& rule_name) {
+  OPCKIT_CHECK(margin >= 0);
+  return markers_from(inner.subtracted(outer.inflated(-margin)), rule_name);
+}
+
+DrcReport run_deck(const Region& shapes, const std::vector<Rule>& deck) {
+  DrcReport report;
+  for (const Rule& rule : deck) {
+    std::vector<Violation> v;
+    switch (rule.kind) {
+      case RuleKind::kMinWidth:
+        v = check_min_width(shapes, rule.value, rule.name);
+        break;
+      case RuleKind::kMinSpace:
+        v = check_min_space(shapes, rule.value, rule.name);
+        break;
+      case RuleKind::kMinArea:
+        v = check_min_area(shapes, rule.value, rule.name);
+        break;
+      case RuleKind::kMinEnclosure:
+        // Enclosure needs two layers; deck form checks self-enclosure of
+        // nothing — reject at deck build time instead.
+        throw util::InputError("enclosure rules need check_enclosure()");
+    }
+    report.violations.insert(report.violations.end(), v.begin(), v.end());
+  }
+  return report;
+}
+
+std::vector<Rule> mask_rule_deck_180() {
+  return {
+      {RuleKind::kMinWidth, "mrc.width.60", 60},
+      {RuleKind::kMinSpace, "mrc.space.60", 60},
+      {RuleKind::kMinArea, "mrc.area.6400", 6400},
+  };
+}
+
+}  // namespace opckit::drc

@@ -1,0 +1,75 @@
+/// \file drc.h
+/// Design rule checking via region morphology.
+///
+/// The checks are expressed in the Region algebra, so they are exact for
+/// Manhattan data: a minimum-width violation is area the shape loses under
+/// morphological opening, a minimum-space violation is area a gap gains
+/// under closing, and enclosure is erosion containment. The same deck
+/// mechanism doubles as MRC (mask rule checking) for post-OPC data —
+/// fragmented OPC output must still satisfy mask-shop minimums, a
+/// constraint the paper calls out as a new step OPC forced into the flow.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/geometry.h"
+
+namespace opckit::drc {
+
+/// Rule types.
+enum class RuleKind { kMinWidth, kMinSpace, kMinArea, kMinEnclosure };
+
+/// One rule of a deck.
+struct Rule {
+  RuleKind kind = RuleKind::kMinWidth;
+  std::string name;
+  geom::Coord value = 0;  ///< nm (nm² for kMinArea)
+};
+
+/// A flagged violation.
+struct Violation {
+  std::string rule;
+  geom::Rect bbox;  ///< extent of the violating area
+};
+
+/// Check results for one deck run.
+struct DrcReport {
+  std::vector<Violation> violations;
+  bool clean() const { return violations.empty(); }
+  std::size_t count(const std::string& rule_name) const;
+};
+
+/// Minimum width: flag area of \p shapes narrower than \p min_width in
+/// either axis (morphological opening residue).
+std::vector<Violation> check_min_width(const geom::Region& shapes,
+                                       geom::Coord min_width,
+                                       const std::string& rule_name);
+
+/// Minimum space: flag gaps between (or within) \p shapes narrower than
+/// \p min_space (closing residue).
+std::vector<Violation> check_min_space(const geom::Region& shapes,
+                                       geom::Coord min_space,
+                                       const std::string& rule_name);
+
+/// Minimum area: flag connected components with area below \p min_area.
+/// A component is an outer contour minus its holes.
+std::vector<Violation> check_min_area(const geom::Region& shapes,
+                                      geom::Coord min_area,
+                                      const std::string& rule_name);
+
+/// Enclosure: every part of \p inner must be at least \p margin inside
+/// \p outer.
+std::vector<Violation> check_enclosure(const geom::Region& inner,
+                                       const geom::Region& outer,
+                                       geom::Coord margin,
+                                       const std::string& rule_name);
+
+/// Run a whole deck against one layer region.
+DrcReport run_deck(const geom::Region& shapes, const std::vector<Rule>& deck);
+
+/// The mask-rule deck used to validate OPC output (values for a 4x
+/// reticle expressed in 1x design units).
+std::vector<Rule> mask_rule_deck_180();
+
+}  // namespace opckit::drc

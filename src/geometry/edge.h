@@ -1,0 +1,98 @@
+/// \file edge.h
+/// Directed polygon edges with Manhattan helpers.
+#pragma once
+
+#include <ostream>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "util/check.h"
+
+namespace opckit::geom {
+
+/// Axis direction of a Manhattan edge, named by travel direction.
+enum class EdgeDir { kEast, kNorth, kWest, kSouth, kDiagonal };
+
+/// A directed segment from a to b. In a counter-clockwise polygon the
+/// interior lies to the LEFT of the travel direction, so the outward
+/// normal is the left-hand direction rotated -90° (i.e. to the right).
+struct Edge {
+  Point a;
+  Point b;
+
+  constexpr Edge() = default;
+  constexpr Edge(Point pa, Point pb) : a(pa), b(pb) {}
+
+  friend constexpr bool operator==(const Edge&, const Edge&) = default;
+
+  constexpr Point delta() const { return b - a; }
+  constexpr bool is_horizontal() const { return a.y == b.y; }
+  constexpr bool is_vertical() const { return a.x == b.x; }
+  constexpr bool is_manhattan() const {
+    return is_horizontal() || is_vertical();
+  }
+  constexpr bool is_degenerate() const { return a == b; }
+
+  /// Euclidean length for Manhattan edges (== Manhattan length).
+  constexpr Coord length() const { return manhattan_length(delta()); }
+
+  /// Travel direction classification.
+  constexpr EdgeDir dir() const {
+    if (a.y == b.y) return b.x > a.x ? EdgeDir::kEast : EdgeDir::kWest;
+    if (a.x == b.x) return b.y > a.y ? EdgeDir::kNorth : EdgeDir::kSouth;
+    return EdgeDir::kDiagonal;
+  }
+
+  /// Unit outward normal assuming the edge belongs to a counter-clockwise
+  /// polygon (interior on the left): rotate direction by -90 degrees.
+  Point outward_normal() const {
+    switch (dir()) {
+      case EdgeDir::kEast:
+        return {0, -1};
+      case EdgeDir::kNorth:
+        return {1, 0};
+      case EdgeDir::kWest:
+        return {0, 1};
+      case EdgeDir::kSouth:
+        return {-1, 0};
+      case EdgeDir::kDiagonal:
+        break;
+    }
+    OPCKIT_CHECK_MSG(false, "outward_normal on diagonal edge");
+    return {};
+  }
+
+  /// Midpoint (rounded toward lo on odd lengths).
+  constexpr Point midpoint() const {
+    return {(a.x + b.x) / 2, (a.y + b.y) / 2};
+  }
+
+  /// Bounding box of the segment.
+  Rect bbox() const {
+    return Rect(Point{a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y},
+                Point{a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y});
+  }
+
+  /// Point at parameter \p t along the edge measured in DB units from a;
+  /// t is clamped to [0, length]. Only valid for Manhattan edges.
+  Point at(Coord t) const {
+    OPCKIT_CHECK(is_manhattan());
+    const Coord len = length();
+    if (len == 0) return a;
+    if (t < 0) t = 0;
+    if (t > len) t = len;
+    const Point d = delta();
+    return {a.x + d.x / len * t, a.y + d.y / len * t};
+  }
+
+  /// Edge translated by \p v.
+  constexpr Edge translated(const Point& v) const {
+    return Edge(a + v, b + v);
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Edge& e) {
+  return os << e.a << "->" << e.b;
+}
+
+}  // namespace opckit::geom

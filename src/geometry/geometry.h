@@ -1,0 +1,11 @@
+/// \file geometry.h
+/// Umbrella header for the opckit geometry kernel.
+#pragma once
+
+#include "geometry/edge.h"       // IWYU pragma: export
+#include "geometry/point.h"      // IWYU pragma: export
+#include "geometry/polygon.h"    // IWYU pragma: export
+#include "geometry/rect.h"       // IWYU pragma: export
+#include "geometry/region.h"     // IWYU pragma: export
+#include "geometry/tile_index.h" // IWYU pragma: export
+#include "geometry/transform.h"  // IWYU pragma: export

@@ -1,0 +1,90 @@
+/// \file point.h
+/// Integer lattice points and vectors.
+///
+/// All opckit geometry lives on a 1 nm integer grid (database units).
+/// Coordinates are 64-bit so that full-chip extents (hundreds of mm in nm
+/// units) and intermediate products in area computations cannot overflow.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace opckit::geom {
+
+/// Database-unit coordinate type (1 unit = 1 nm by convention).
+using Coord = std::int64_t;
+
+/// A point (or displacement vector) on the integer grid.
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  constexpr Point() = default;
+  constexpr Point(Coord px, Coord py) : x(px), y(py) {}
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+
+  constexpr Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  constexpr Point operator-() const { return {-x, -y}; }
+  constexpr Point operator*(Coord k) const { return {x * k, y * k}; }
+  Point& operator+=(const Point& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Point& operator-=(const Point& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+
+  /// Lexicographic order (x, then y); used for canonical sorting.
+  friend constexpr bool operator<(const Point& a, const Point& b) {
+    return a.x != b.x ? a.x < b.x : a.y < b.y;
+  }
+};
+
+/// 2D cross product (z-component); >0 means b is counter-clockwise from a.
+constexpr Coord cross(const Point& a, const Point& b) {
+  return a.x * b.y - a.y * b.x;
+}
+
+/// Dot product.
+constexpr Coord dot(const Point& a, const Point& b) {
+  return a.x * b.x + a.y * b.y;
+}
+
+/// L1 (Manhattan) norm of a displacement.
+constexpr Coord manhattan_length(const Point& v) {
+  return (v.x < 0 ? -v.x : v.x) + (v.y < 0 ? -v.y : v.y);
+}
+
+/// Chebyshev (L-infinity) norm of a displacement.
+constexpr Coord chebyshev_length(const Point& v) {
+  const Coord ax = v.x < 0 ? -v.x : v.x;
+  const Coord ay = v.y < 0 ? -v.y : v.y;
+  return ax > ay ? ax : ay;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ',' << p.y << ')';
+}
+
+}  // namespace opckit::geom
+
+template <>
+struct std::hash<opckit::geom::Point> {
+  std::size_t operator()(const opckit::geom::Point& p) const noexcept {
+    // 64-bit mix of both coordinates (splitmix-style avalanche).
+    auto mix = [](std::uint64_t z) {
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    const auto hx = mix(static_cast<std::uint64_t>(p.x));
+    const auto hy = mix(static_cast<std::uint64_t>(p.y) + 0x9e3779b97f4a7c15ULL);
+    return static_cast<std::size_t>(hx ^ (hy << 1 | hy >> 63));
+  }
+};

@@ -1,0 +1,140 @@
+#include "geometry/polygon.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace opckit::geom {
+
+Polygon::Polygon(const Rect& r) {
+  OPCKIT_CHECK(!r.is_empty());
+  ring_ = {r.lo, {r.hi.x, r.lo.y}, r.hi, {r.lo.x, r.hi.y}};
+}
+
+Edge Polygon::edge(std::size_t i) const {
+  OPCKIT_CHECK(i < ring_.size());
+  return Edge(ring_[i], ring_[(i + 1) % ring_.size()]);
+}
+
+std::vector<Edge> Polygon::edges() const {
+  std::vector<Edge> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) out.push_back(edge(i));
+  return out;
+}
+
+Coord Polygon::signed_area2() const {
+  if (ring_.size() < 3) return 0;
+  Coord acc = 0;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const Point& a = ring_[i];
+    const Point& b = ring_[(i + 1) % ring_.size()];
+    acc += cross(a, b);
+  }
+  return acc;
+}
+
+Coord Polygon::area() const {
+  const Coord a2 = signed_area2();
+  return (a2 < 0 ? -a2 : a2) / 2;
+}
+
+Coord Polygon::perimeter() const {
+  Coord acc = 0;
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    acc += manhattan_length(edge(i).delta());
+  return acc;
+}
+
+Rect Polygon::bbox() const {
+  Rect box = Rect::empty();
+  for (const Point& p : ring_) box = box.united(Rect(p, p));
+  return box;
+}
+
+bool Polygon::is_manhattan() const {
+  if (ring_.size() < 4) return false;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const Edge e = edge(i);
+    if (e.is_degenerate() || !e.is_manhattan()) return false;
+  }
+  return true;
+}
+
+Polygon Polygon::normalized() const {
+  if (ring_.size() < 3) return Polygon{};
+  // Drop consecutive duplicates.
+  std::vector<Point> pts;
+  pts.reserve(ring_.size());
+  for (const Point& p : ring_) {
+    if (pts.empty() || pts.back() != p) pts.push_back(p);
+  }
+  while (pts.size() > 1 && pts.front() == pts.back()) pts.pop_back();
+
+  // Drop collinear midpoints (repeat until stable at the seam).
+  bool changed = true;
+  while (changed && pts.size() >= 3) {
+    changed = false;
+    std::vector<Point> next;
+    next.reserve(pts.size());
+    const std::size_t n = pts.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Point& prev = pts[(i + n - 1) % n];
+      const Point& cur = pts[i];
+      const Point& nxt = pts[(i + 1) % n];
+      if (cross(cur - prev, nxt - cur) == 0) {
+        changed = true;  // drop cur
+      } else {
+        next.push_back(cur);
+      }
+    }
+    pts = std::move(next);
+  }
+  if (pts.size() < 3) return Polygon{};
+
+  Polygon out(std::move(pts));
+  if (out.signed_area2() < 0) {
+    std::reverse(out.ring_.begin(), out.ring_.end());
+  }
+  return out;
+}
+
+Polygon Polygon::translated(const Point& v) const {
+  std::vector<Point> pts;
+  pts.reserve(ring_.size());
+  for (const Point& p : ring_) pts.push_back(p + v);
+  return Polygon(std::move(pts));
+}
+
+Polygon Polygon::transposed() const {
+  std::vector<Point> pts;
+  pts.reserve(ring_.size());
+  for (const Point& p : ring_) pts.push_back({p.y, p.x});
+  return Polygon(std::move(pts));
+}
+
+bool Polygon::contains(const Point& p) const {
+  if (ring_.size() < 3) return false;
+  int winding = 0;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const Point& a = ring_[i];
+    const Point& b = ring_[(i + 1) % ring_.size()];
+    // Boundary test: p on segment ab?
+    const Coord cr = cross(b - a, p - a);
+    if (cr == 0 && dot(p - a, p - b) <= 0) return true;
+    if (a.y <= p.y) {
+      if (b.y > p.y && cr > 0) ++winding;
+    } else {
+      if (b.y <= p.y && cr < 0) --winding;
+    }
+  }
+  return winding != 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const Polygon& p) {
+  os << "poly{";
+  for (std::size_t i = 0; i < p.size(); ++i) os << (i ? " " : "") << p[i];
+  return os << '}';
+}
+
+}  // namespace opckit::geom

@@ -1,0 +1,80 @@
+/// \file polygon.h
+/// Simple polygons on the integer grid.
+///
+/// A Polygon stores its boundary as an implicitly-closed vertex ring.
+/// opckit's OPC and DRC engines require Manhattan (axis-parallel) rings;
+/// general rings are accepted for storage/IO but most algorithms check
+/// is_manhattan() first.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "geometry/edge.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace opckit::geom {
+
+/// A simple polygon (single ring, implicitly closed).
+class Polygon {
+ public:
+  Polygon() = default;
+  /// Construct from a vertex ring. Consecutive duplicate vertices and
+  /// collinear runs are preserved as given; call normalized() to clean.
+  explicit Polygon(std::vector<Point> ring) : ring_(std::move(ring)) {}
+  /// Rectangle as a 4-vertex CCW polygon.
+  explicit Polygon(const Rect& r);
+
+  /// Vertex ring (read-only).
+  const std::vector<Point>& ring() const { return ring_; }
+  /// Number of vertices.
+  std::size_t size() const { return ring_.size(); }
+  bool empty() const { return ring_.empty(); }
+
+  /// Vertex i (no wrap).
+  const Point& operator[](std::size_t i) const { return ring_[i]; }
+
+  /// Edge from vertex i to vertex (i+1) mod size().
+  Edge edge(std::size_t i) const;
+  /// All edges in ring order.
+  std::vector<Edge> edges() const;
+
+  /// Twice the signed area (positive = counter-clockwise).
+  Coord signed_area2() const;
+  /// Absolute area.
+  Coord area() const;
+  /// Boundary length (Manhattan edges assumed for exactness).
+  Coord perimeter() const;
+  /// Bounding box; Rect::empty() when the polygon has no vertices.
+  Rect bbox() const;
+
+  /// True if every edge is axis-parallel and non-degenerate.
+  bool is_manhattan() const;
+  /// True if the ring is counter-clockwise (signed area > 0).
+  bool is_ccw() const { return signed_area2() > 0; }
+
+  /// Copy with consecutive duplicate vertices and collinear midpoints
+  /// removed, oriented counter-clockwise. A ring that collapses to fewer
+  /// than 3 (Manhattan: 4) distinct vertices yields an empty polygon.
+  Polygon normalized() const;
+
+  /// Copy translated by \p v.
+  Polygon translated(const Point& v) const;
+  /// Copy with x and y swapped (reflection across y=x). Maps Manhattan to
+  /// Manhattan and flips orientation.
+  Polygon transposed() const;
+
+  /// Point-in-polygon (boundary counts as inside). Nonzero winding rule;
+  /// correct for any simple ring, Manhattan or not.
+  bool contains(const Point& p) const;
+
+  friend bool operator==(const Polygon&, const Polygon&) = default;
+
+ private:
+  std::vector<Point> ring_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Polygon& p);
+
+}  // namespace opckit::geom

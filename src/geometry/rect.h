@@ -1,0 +1,105 @@
+/// \file rect.h
+/// Axis-aligned rectangles (half-open semantics are NOT used: a Rect spans
+/// the closed coordinate range [lo.x, hi.x] × [lo.y, hi.y]; geometric area
+/// treats coordinates as positions so width = hi.x - lo.x).
+#pragma once
+
+#include <algorithm>
+#include <ostream>
+
+#include "geometry/point.h"
+
+namespace opckit::geom {
+
+/// An axis-aligned rectangle given by its lower-left and upper-right corner.
+/// A Rect with lo == hi is a degenerate (zero-area) point; a Rect where
+/// any hi coordinate is below lo is "empty" (used as the identity for
+/// bounding-box accumulation).
+struct Rect {
+  Point lo;
+  Point hi;
+
+  constexpr Rect() = default;
+  constexpr Rect(Point l, Point h) : lo(l), hi(h) {}
+  constexpr Rect(Coord x0, Coord y0, Coord x1, Coord y1)
+      : lo(x0, y0), hi(x1, y1) {}
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+
+  /// Canonical empty rect (inverted bounds); union identity.
+  static constexpr Rect empty() {
+    return Rect(Point{1, 1}, Point{0, 0});
+  }
+
+  /// True if the rect has no extent (inverted or zero in either axis).
+  constexpr bool is_empty() const { return hi.x <= lo.x || hi.y <= lo.y; }
+  /// True if bounds are inverted in either axis.
+  constexpr bool is_inverted() const { return hi.x < lo.x || hi.y < lo.y; }
+
+  constexpr Coord width() const { return hi.x - lo.x; }
+  constexpr Coord height() const { return hi.y - lo.y; }
+  constexpr Coord area() const {
+    return is_empty() ? 0 : width() * height();
+  }
+  constexpr Point center() const {
+    return {(lo.x + hi.x) / 2, (lo.y + hi.y) / 2};
+  }
+
+  /// True if \p p lies inside or on the boundary.
+  constexpr bool contains(const Point& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  /// True if \p p lies strictly inside.
+  constexpr bool contains_strict(const Point& p) const {
+    return p.x > lo.x && p.x < hi.x && p.y > lo.y && p.y < hi.y;
+  }
+  /// True if \p r lies entirely within this rect (boundary touching ok).
+  constexpr bool contains(const Rect& r) const {
+    return !r.is_empty() && r.lo.x >= lo.x && r.lo.y >= lo.y &&
+           r.hi.x <= hi.x && r.hi.y <= hi.y;
+  }
+  /// True if the two rects share interior area (not just an edge).
+  constexpr bool overlaps(const Rect& r) const {
+    return !is_empty() && !r.is_empty() && lo.x < r.hi.x && r.lo.x < hi.x &&
+           lo.y < r.hi.y && r.lo.y < hi.y;
+  }
+  /// True if the two rects share at least a boundary point.
+  constexpr bool touches(const Rect& r) const {
+    return lo.x <= r.hi.x && r.lo.x <= hi.x && lo.y <= r.hi.y &&
+           r.lo.y <= hi.y;
+  }
+
+  /// Intersection; empty() if disjoint.
+  Rect intersected(const Rect& r) const {
+    Rect out(Point{std::max(lo.x, r.lo.x), std::max(lo.y, r.lo.y)},
+             Point{std::min(hi.x, r.hi.x), std::min(hi.y, r.hi.y)});
+    return out.is_inverted() ? Rect::empty() : out;
+  }
+
+  /// Smallest rect covering both (treats empty as identity).
+  Rect united(const Rect& r) const {
+    if (is_inverted()) return r;
+    if (r.is_inverted()) return *this;
+    return Rect(Point{std::min(lo.x, r.lo.x), std::min(lo.y, r.lo.y)},
+                Point{std::max(hi.x, r.hi.x), std::max(hi.y, r.hi.y)});
+  }
+
+  /// Rect grown by \p d on every side (negative shrinks; may invert).
+  constexpr Rect inflated(Coord d) const {
+    return Rect(Point{lo.x - d, lo.y - d}, Point{hi.x + d, hi.y + d});
+  }
+  /// Rect grown anisotropically.
+  constexpr Rect inflated(Coord dx, Coord dy) const {
+    return Rect(Point{lo.x - dx, lo.y - dy}, Point{hi.x + dx, hi.y + dy});
+  }
+  /// Rect translated by \p v.
+  constexpr Rect translated(const Point& v) const {
+    return Rect(lo + v, hi + v);
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.lo << ".." << r.hi << ']';
+}
+
+}  // namespace opckit::geom

@@ -1,0 +1,570 @@
+#include "geometry/region.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace opckit::geom {
+
+namespace {
+
+/// A weighted vertical edge used by the slab builder. Covers y in [y0, y1).
+struct VEdge {
+  Coord x;
+  Coord y0;
+  Coord y1;
+  int wa;  ///< winding weight in operand A
+  int wb;  ///< winding weight in operand B
+};
+
+/// Fill predicates over the two winding counters.
+enum class FillRule {
+  kNonzeroA,   ///< ca != 0            (polygon fill)
+  kPositiveA,  ///< ca > 0             (union of positive covers)
+  kUnion,      ///< ca > 0 || cb > 0
+  kIntersect,  ///< ca > 0 && cb > 0
+  kSubtract,   ///< ca > 0 && cb <= 0
+  kXor,        ///< (ca > 0) != (cb > 0)
+};
+
+bool filled(FillRule rule, int ca, int cb) {
+  switch (rule) {
+    case FillRule::kNonzeroA:
+      return ca != 0;
+    case FillRule::kPositiveA:
+      return ca > 0;
+    case FillRule::kUnion:
+      return ca > 0 || cb > 0;
+    case FillRule::kIntersect:
+      return ca > 0 && cb > 0;
+    case FillRule::kSubtract:
+      return ca > 0 && cb <= 0;
+    case FillRule::kXor:
+      return (ca > 0) != (cb > 0);
+  }
+  return false;
+}
+
+/// Merge vertically-adjacent slabs with identical interval lists.
+void coalesce(std::vector<Slab>& slabs) {
+  std::vector<Slab> out;
+  for (auto& s : slabs) {
+    if (s.intervals.empty() || s.y0 >= s.y1) continue;
+    if (!out.empty() && out.back().y1 == s.y0 &&
+        out.back().intervals == s.intervals) {
+      out.back().y1 = s.y1;
+    } else {
+      out.push_back(std::move(s));
+    }
+  }
+  slabs = std::move(out);
+}
+
+/// Core scanline: build the canonical slab stack from weighted vertical
+/// edges under the given fill rule.
+std::vector<Slab> build_slabs(std::vector<VEdge> edges, FillRule rule) {
+  std::vector<Slab> slabs;
+  if (edges.empty()) return slabs;
+
+  // Elementary y-breakpoints.
+  std::vector<Coord> ys;
+  ys.reserve(edges.size() * 2);
+  for (const auto& e : edges) {
+    if (e.y0 < e.y1) {
+      ys.push_back(e.y0);
+      ys.push_back(e.y1);
+    }
+  }
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+  if (ys.size() < 2) return slabs;
+
+  // Sweep slabs in increasing y, maintaining the active edge set.
+  std::sort(edges.begin(), edges.end(),
+            [](const VEdge& a, const VEdge& b) { return a.y0 < b.y0; });
+  std::vector<const VEdge*> active;
+  std::size_t next = 0;
+
+  for (std::size_t si = 0; si + 1 < ys.size(); ++si) {
+    const Coord y0 = ys[si];
+    const Coord y1 = ys[si + 1];
+    // Admit newly-starting edges; retire expired ones.
+    while (next < edges.size() && edges[next].y0 <= y0) {
+      if (edges[next].y1 > y0) active.push_back(&edges[next]);
+      ++next;
+    }
+    std::erase_if(active, [y0](const VEdge* e) { return e->y1 <= y0; });
+    if (active.empty()) continue;
+
+    // Sort active edges by x and sweep, grouping same-x events.
+    std::vector<const VEdge*> row = active;
+    std::sort(row.begin(), row.end(),
+              [](const VEdge* a, const VEdge* b) { return a->x < b->x; });
+    Slab slab{y0, y1, {}};
+    int ca = 0, cb = 0;
+    bool inside = false;
+    Coord open_x = 0;
+    std::size_t i = 0;
+    while (i < row.size()) {
+      const Coord x = row[i]->x;
+      while (i < row.size() && row[i]->x == x) {
+        ca += row[i]->wa;
+        cb += row[i]->wb;
+        ++i;
+      }
+      const bool now = filled(rule, ca, cb);
+      if (now && !inside) {
+        open_x = x;
+        inside = true;
+      } else if (!now && inside) {
+        if (x > open_x) slab.intervals.push_back({open_x, x});
+        inside = false;
+      }
+    }
+    OPCKIT_CHECK_MSG(!inside, "unbalanced winding in region build");
+    if (!slab.intervals.empty()) slabs.push_back(std::move(slab));
+  }
+  coalesce(slabs);
+  return slabs;
+}
+
+/// Emit the vertical edges of a canonical slab stack with the given
+/// operand weights (each interval contributes +w at x0, -w at x1).
+void emit_edges(const std::vector<Slab>& slabs, int wa, int wb,
+                std::vector<VEdge>& out) {
+  for (const auto& s : slabs) {
+    for (const auto& iv : s.intervals) {
+      out.push_back({iv.x0, s.y0, s.y1, wa, wb});
+      out.push_back({iv.x1, s.y0, s.y1, -wa, -wb});
+    }
+  }
+}
+
+/// Emit the vertical edges of a polygon with winding weights in operand A.
+/// Weight convention: scanning left-to-right at fixed y, the interior of a
+/// counter-clockwise ring must accumulate +1, so a downward (South) edge —
+/// the left boundary of a CCW ring — carries weight +1.
+void emit_polygon_edges(const Polygon& poly, std::vector<VEdge>& out) {
+  OPCKIT_CHECK_MSG(poly.is_manhattan(),
+                   "Region requires Manhattan polygons, got " << poly);
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    const Edge e = poly.edge(i);
+    if (!e.is_vertical()) continue;
+    if (e.a.y > e.b.y) {
+      out.push_back({e.a.x, e.b.y, e.a.y, +1, 0});
+    } else {
+      out.push_back({e.a.x, e.a.y, e.b.y, -1, 0});
+    }
+  }
+}
+
+}  // namespace
+
+Region::Region(const Rect& r) {
+  if (!r.is_empty()) {
+    slabs_.push_back({r.lo.y, r.hi.y, {{r.lo.x, r.hi.x}}});
+  }
+}
+
+Region::Region(const Polygon& poly) {
+  std::vector<VEdge> edges;
+  emit_polygon_edges(poly, edges);
+  slabs_ = build_slabs(std::move(edges), FillRule::kNonzeroA);
+}
+
+Region Region::from_rects(std::span<const Rect> rects) {
+  std::vector<VEdge> edges;
+  edges.reserve(rects.size() * 2);
+  for (const Rect& r : rects) {
+    if (r.is_empty()) continue;
+    edges.push_back({r.lo.x, r.lo.y, r.hi.y, +1, 0});
+    edges.push_back({r.hi.x, r.lo.y, r.hi.y, -1, 0});
+  }
+  Region out;
+  out.slabs_ = build_slabs(std::move(edges), FillRule::kPositiveA);
+  return out;
+}
+
+Region Region::from_polygons(std::span<const Polygon> polys) {
+  // Nonzero winding over the whole collection: overlapping same-orientation
+  // rings merge, and clockwise rings nested in counter-clockwise ones act
+  // as holes — exactly inverse to what polygons() emits, so the pair
+  // round-trips. A standalone clockwise ring still fills (count == -1).
+  std::vector<VEdge> edges;
+  for (const Polygon& p : polys) emit_polygon_edges(p, edges);
+  Region out;
+  out.slabs_ = build_slabs(std::move(edges), FillRule::kNonzeroA);
+  return out;
+}
+
+Coord Region::area() const {
+  Coord acc = 0;
+  for (const auto& s : slabs_) {
+    Coord w = 0;
+    for (const auto& iv : s.intervals) w += iv.x1 - iv.x0;
+    acc += w * (s.y1 - s.y0);
+  }
+  return acc;
+}
+
+Rect Region::bbox() const {
+  Rect box = Rect::empty();
+  for (const auto& s : slabs_) {
+    if (s.intervals.empty()) continue;
+    box = box.united(Rect(s.intervals.front().x0, s.y0,
+                          s.intervals.back().x1, s.y1));
+  }
+  return box;
+}
+
+bool Region::contains(const Point& p) const {
+  for (const auto& s : slabs_) {
+    if (p.y < s.y0 || p.y > s.y1) continue;
+    for (const auto& iv : s.intervals) {
+      if (p.x >= iv.x0 && p.x <= iv.x1) return true;
+      if (p.x < iv.x0) break;
+    }
+  }
+  return false;
+}
+
+std::vector<Rect> Region::rects() const {
+  std::vector<Rect> out;
+  for (const auto& s : slabs_) {
+    for (const auto& iv : s.intervals) {
+      out.emplace_back(iv.x0, s.y0, iv.x1, s.y1);
+    }
+  }
+  return out;
+}
+
+std::size_t Region::rect_count() const {
+  std::size_t n = 0;
+  for (const auto& s : slabs_) n += s.intervals.size();
+  return n;
+}
+
+Region Region::united(const Region& o) const {
+  std::vector<VEdge> edges;
+  emit_edges(slabs_, 1, 0, edges);
+  emit_edges(o.slabs_, 0, 1, edges);
+  Region out;
+  out.slabs_ = build_slabs(std::move(edges), FillRule::kUnion);
+  return out;
+}
+
+Region Region::intersected(const Region& o) const {
+  std::vector<VEdge> edges;
+  emit_edges(slabs_, 1, 0, edges);
+  emit_edges(o.slabs_, 0, 1, edges);
+  Region out;
+  out.slabs_ = build_slabs(std::move(edges), FillRule::kIntersect);
+  return out;
+}
+
+Region Region::subtracted(const Region& o) const {
+  std::vector<VEdge> edges;
+  emit_edges(slabs_, 1, 0, edges);
+  emit_edges(o.slabs_, 0, 1, edges);
+  Region out;
+  out.slabs_ = build_slabs(std::move(edges), FillRule::kSubtract);
+  return out;
+}
+
+Region Region::xored(const Region& o) const {
+  std::vector<VEdge> edges;
+  emit_edges(slabs_, 1, 0, edges);
+  emit_edges(o.slabs_, 0, 1, edges);
+  Region out;
+  out.slabs_ = build_slabs(std::move(edges), FillRule::kXor);
+  return out;
+}
+
+Region Region::translated(const Point& v) const {
+  Region out = *this;
+  for (auto& s : out.slabs_) {
+    s.y0 += v.y;
+    s.y1 += v.y;
+    for (auto& iv : s.intervals) {
+      iv.x0 += v.x;
+      iv.x1 += v.x;
+    }
+  }
+  return out;
+}
+
+Region Region::transposed() const {
+  std::vector<VEdge> edges;
+  for (const auto& s : slabs_) {
+    for (const auto& iv : s.intervals) {
+      // rect (x0,y0)-(x1,y1) becomes (y0,x0)-(y1,x1)
+      edges.push_back({s.y0, iv.x0, iv.x1, +1, 0});
+      edges.push_back({s.y1, iv.x0, iv.x1, -1, 0});
+    }
+  }
+  Region out;
+  out.slabs_ = build_slabs(std::move(edges), FillRule::kPositiveA);
+  return out;
+}
+
+namespace {
+
+/// Dilate every interval horizontally by d (>0) and re-merge.
+std::vector<Slab> dilate_x(const std::vector<Slab>& slabs, Coord d) {
+  std::vector<Slab> out;
+  out.reserve(slabs.size());
+  for (const auto& s : slabs) {
+    Slab ns{s.y0, s.y1, {}};
+    for (const auto& iv : s.intervals) {
+      const Interval grown{iv.x0 - d, iv.x1 + d};
+      if (!ns.intervals.empty() && grown.x0 <= ns.intervals.back().x1) {
+        ns.intervals.back().x1 = std::max(ns.intervals.back().x1, grown.x1);
+      } else {
+        ns.intervals.push_back(grown);
+      }
+    }
+    out.push_back(std::move(ns));
+  }
+  coalesce(out);
+  return out;
+}
+
+/// Erode every interval horizontally by d (>0); exact because erosion by a
+/// horizontal segment acts independently on each horizontal line.
+std::vector<Slab> erode_x(const std::vector<Slab>& slabs, Coord d) {
+  std::vector<Slab> out;
+  out.reserve(slabs.size());
+  for (const auto& s : slabs) {
+    Slab ns{s.y0, s.y1, {}};
+    for (const auto& iv : s.intervals) {
+      if (iv.x1 - iv.x0 > 2 * d) ns.intervals.push_back({iv.x0 + d, iv.x1 - d});
+    }
+    if (!ns.intervals.empty()) out.push_back(std::move(ns));
+  }
+  coalesce(out);
+  return out;
+}
+
+}  // namespace
+
+Region Region::inflated(Coord dx, Coord dy) const {
+  OPCKIT_CHECK_MSG((dx >= 0) == (dy >= 0) || dx == 0 || dy == 0,
+                   "mixed-sign sizing is not supported");
+  Region out;
+  if (empty()) return out;
+  if (dx >= 0 && dy >= 0) {
+    // Dilation: X by interval growth, then Y via rect growth + union.
+    out.slabs_ = dx > 0 ? dilate_x(slabs_, dx) : slabs_;
+    if (dy > 0) {
+      std::vector<VEdge> edges;
+      for (const auto& s : out.slabs_) {
+        for (const auto& iv : s.intervals) {
+          edges.push_back({iv.x0, s.y0 - dy, s.y1 + dy, +1, 0});
+          edges.push_back({iv.x1, s.y0 - dy, s.y1 + dy, -1, 0});
+        }
+      }
+      out.slabs_ = build_slabs(std::move(edges), FillRule::kPositiveA);
+    }
+    return out;
+  }
+  // Erosion: X per-slab, Y via transpose.
+  out.slabs_ = dx < 0 ? erode_x(slabs_, -dx) : slabs_;
+  if (dy < 0) {
+    Region t;
+    t.slabs_ = std::move(out.slabs_);
+    t = t.transposed();
+    t.slabs_ = erode_x(t.slabs_, -dy);
+    out = t.transposed();
+  }
+  return out;
+}
+
+Region Region::inflated(Coord d) const { return inflated(d, d); }
+
+Region Region::opened(Coord d) const {
+  OPCKIT_CHECK(d >= 0);
+  return inflated(-d).inflated(d);
+}
+
+Region Region::closed(Coord d) const {
+  OPCKIT_CHECK(d >= 0);
+  return inflated(d).inflated(-d);
+}
+
+Region Region::clipped(const Rect& window) const {
+  return intersected(Region(window));
+}
+
+std::vector<Polygon> Region::polygons() const {
+  // Collect directed boundary edges (interior on the left):
+  //   bottom edges -> East, top edges -> West,
+  //   left edges -> South, right edges -> North.
+  struct DirEdge {
+    Point a, b;
+    bool used = false;
+  };
+  std::vector<DirEdge> dir_edges;
+
+  // Horizontal edges: compare coverage below/above each y-breakpoint.
+  // Gather all distinct y boundaries with the interval lists on each side.
+  std::map<Coord, std::pair<const std::vector<Interval>*,
+                            const std::vector<Interval>*>>
+      boundary;  // y -> (below, above)
+  static const std::vector<Interval> kNone{};
+  for (const auto& s : slabs_) {
+    boundary[s.y0].second = &s.intervals;
+    boundary[s.y1].first = &s.intervals;
+  }
+  for (const auto& [y, sides] : boundary) {
+    const auto& below = sides.first ? *sides.first : kNone;
+    const auto& above = sides.second ? *sides.second : kNone;
+    // Sweep the two interval lists; emit XOR segments with direction.
+    std::size_t i = 0, j = 0;
+    Coord x = std::numeric_limits<Coord>::min();
+    while (i < below.size() || j < above.size()) {
+      const Coord bi0 = i < below.size() ? below[i].x0 : std::numeric_limits<Coord>::max();
+      const Coord bi1 = i < below.size() ? below[i].x1 : std::numeric_limits<Coord>::max();
+      const Coord ai0 = j < above.size() ? above[j].x0 : std::numeric_limits<Coord>::max();
+      const Coord ai1 = j < above.size() ? above[j].x1 : std::numeric_limits<Coord>::max();
+      // Determine the next segment start and the coverage there.
+      const Coord start = std::max(x, std::min(bi0, ai0));
+      const bool in_b = i < below.size() && start >= bi0 && start < bi1;
+      const bool in_a = j < above.size() && start >= ai0 && start < ai1;
+      // Next change point.
+      Coord end = std::numeric_limits<Coord>::max();
+      if (i < below.size()) end = std::min(end, start < bi0 ? bi0 : bi1);
+      if (j < above.size()) end = std::min(end, start < ai0 ? ai0 : ai1);
+      if (end <= start) break;  // defensive; should not happen
+      if (in_a && !in_b) {
+        dir_edges.push_back({{start, y}, {end, y}});  // bottom edge, East
+      } else if (in_b && !in_a) {
+        dir_edges.push_back({{end, y}, {start, y}});  // top edge, West
+      }
+      x = end;
+      if (i < below.size() && end >= bi1) ++i;
+      if (j < above.size() && end >= ai1) ++j;
+      if (end == std::numeric_limits<Coord>::max()) break;
+    }
+  }
+
+  // Vertical edges from slab interval endpoints.
+  for (const auto& s : slabs_) {
+    for (const auto& iv : s.intervals) {
+      dir_edges.push_back({{iv.x0, s.y1}, {iv.x0, s.y0}});  // left, South
+      dir_edges.push_back({{iv.x1, s.y0}, {iv.x1, s.y1}});  // right, North
+    }
+  }
+
+  // Index edges by start point.
+  std::unordered_map<Point, std::vector<std::size_t>> by_start;
+  by_start.reserve(dir_edges.size());
+  for (std::size_t k = 0; k < dir_edges.size(); ++k) {
+    by_start[dir_edges[k].a].push_back(k);
+  }
+
+  // Walk loops, preferring the leftmost turn at junction vertices so that
+  // loops touching at a point are split consistently.
+  auto turn_rank = [](const Point& in_dir, const Point& out_dir) {
+    // 0 = left turn, 1 = straight, 2 = right turn, 3 = U-turn.
+    const Coord cr = cross(in_dir, out_dir);
+    const Coord dt = dot(in_dir, out_dir);
+    if (cr > 0) return 0;
+    if (cr == 0 && dt > 0) return 1;
+    if (cr < 0) return 2;
+    return 3;
+  };
+
+  std::vector<Polygon> out;
+  for (std::size_t seed = 0; seed < dir_edges.size(); ++seed) {
+    if (dir_edges[seed].used) continue;
+    std::vector<Point> ring;
+    std::size_t cur = seed;
+    while (!dir_edges[cur].used) {
+      dir_edges[cur].used = true;
+      ring.push_back(dir_edges[cur].a);
+      const Point at = dir_edges[cur].b;
+      const Point in_dir = dir_edges[cur].b - dir_edges[cur].a;
+      auto it = by_start.find(at);
+      OPCKIT_CHECK_MSG(it != by_start.end(), "open boundary at " << at);
+      std::size_t best = SIZE_MAX;
+      int best_rank = 4;
+      for (std::size_t cand : it->second) {
+        if (dir_edges[cand].used) continue;
+        const int r = turn_rank(in_dir, dir_edges[cand].b - dir_edges[cand].a);
+        if (r < best_rank) {
+          best_rank = r;
+          best = cand;
+        }
+      }
+      if (best == SIZE_MAX) break;  // loop closed (seed edge reached again)
+      cur = best;
+    }
+    // Remove collinear midpoints while preserving orientation.
+    std::vector<Point> clean;
+    const std::size_t n = ring.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Point& prev = ring[(i + n - 1) % n];
+      const Point& curp = ring[i];
+      const Point& nxt = ring[(i + 1) % n];
+      if (cross(curp - prev, nxt - curp) != 0) clean.push_back(curp);
+    }
+    if (clean.size() >= 4) out.emplace_back(std::move(clean));
+  }
+  return out;
+}
+
+std::vector<Region> Region::components() const {
+  // Union-find over decomposition rects; two rects connect when they
+  // share boundary of positive length (edge adjacency).
+  const std::vector<Rect> rs = rects();
+  std::vector<std::size_t> parent(rs.size());
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  std::function<std::size_t(std::size_t)> find =
+      [&](std::size_t x) -> std::size_t {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](std::size_t a, std::size_t b) {
+    parent[find(a)] = find(b);
+  };
+  auto edge_adjacent = [](const Rect& a, const Rect& b) {
+    const Coord ox = std::min(a.hi.x, b.hi.x) - std::max(a.lo.x, b.lo.x);
+    const Coord oy = std::min(a.hi.y, b.hi.y) - std::max(a.lo.y, b.lo.y);
+    return (ox == 0 && oy > 0) || (oy == 0 && ox > 0);
+  };
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    for (std::size_t j = i + 1; j < rs.size(); ++j) {
+      if (rs[i].touches(rs[j]) && edge_adjacent(rs[i], rs[j])) {
+        unite(i, j);
+      }
+    }
+  }
+  std::map<std::size_t, std::vector<Rect>> groups;
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    groups[find(i)].push_back(rs[i]);
+  }
+  std::vector<Region> out;
+  out.reserve(groups.size());
+  for (auto& [root, group] : groups) {
+    out.push_back(Region::from_rects(group));
+  }
+  std::sort(out.begin(), out.end(), [](const Region& a, const Region& b) {
+    return a.bbox().lo < b.bbox().lo;
+  });
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Region& r) {
+  os << "region{" << r.rect_count() << " rects, area=" << r.area() << '}';
+  return os;
+}
+
+}  // namespace opckit::geom

@@ -1,0 +1,110 @@
+/// \file region.h
+/// Manhattan region algebra.
+///
+/// A Region is an arbitrary (possibly disconnected, possibly holed) set of
+/// axis-parallel area, stored canonically as a stack of horizontal slabs:
+/// maximal y-ranges over which the covered x-intervals are constant. The
+/// canonical form makes equality, Boolean operations, isotropic sizing
+/// (Minkowski with a square), and area exact and deterministic.
+///
+/// This is the workhorse beneath layout flattening, DRC (width/space/
+/// enclosure via morphological opening), MRC checking of OPC output, SRAF
+/// clearance, and rasterization.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+#include "geometry/rect.h"
+
+namespace opckit::geom {
+
+/// A half-open x-interval [x0, x1) of covered area within a slab.
+struct Interval {
+  Coord x0 = 0;
+  Coord x1 = 0;
+  friend constexpr bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// A horizontal slab: covered x-intervals constant over y in [y0, y1).
+struct Slab {
+  Coord y0 = 0;
+  Coord y1 = 0;
+  std::vector<Interval> intervals;  ///< sorted, disjoint, non-touching
+  friend bool operator==(const Slab&, const Slab&) = default;
+};
+
+/// Canonical Manhattan region. Value type; all operations are pure.
+class Region {
+ public:
+  /// The empty region.
+  Region() = default;
+  /// Region covering one rectangle (empty rect gives empty region).
+  explicit Region(const Rect& r);
+  /// Region covered by a simple polygon (nonzero winding fill).
+  explicit Region(const Polygon& poly);
+  /// Union of rectangles.
+  static Region from_rects(std::span<const Rect> rects);
+  /// Union of polygons (each filled by nonzero winding; overlaps merge).
+  static Region from_polygons(std::span<const Polygon> polys);
+
+  /// True when no area is covered.
+  bool empty() const { return slabs_.empty(); }
+  /// Total covered area in DB-unit².
+  Coord area() const;
+  /// Tight bounding box; Rect::empty() when empty.
+  Rect bbox() const;
+  /// Closed-set membership: boundary points count as inside.
+  bool contains(const Point& p) const;
+  /// Canonical slab decomposition (read-only).
+  const std::vector<Slab>& slabs() const { return slabs_; }
+  /// Decomposition into disjoint rectangles (one per slab interval).
+  std::vector<Rect> rects() const;
+  /// Number of decomposition rectangles.
+  std::size_t rect_count() const;
+  /// Boundary contours: outer rings counter-clockwise, holes clockwise.
+  /// Collinear vertices are removed. Loops touching at a point are split.
+  std::vector<Polygon> polygons() const;
+  /// Connected components (edge-connected; corner touching does NOT
+  /// connect), each as its own Region, ordered by lower-left bbox corner.
+  std::vector<Region> components() const;
+
+  /// Set union.
+  Region united(const Region& o) const;
+  /// Set intersection.
+  Region intersected(const Region& o) const;
+  /// Set difference (this minus o).
+  Region subtracted(const Region& o) const;
+  /// Symmetric difference.
+  Region xored(const Region& o) const;
+
+  /// Translated copy.
+  Region translated(const Point& v) const;
+  /// Copy reflected about the line y = x (coordinates swapped).
+  Region transposed() const;
+  /// Minkowski dilation (d >= 0) or erosion (d < 0) with the square
+  /// [-|d|,|d|]². The standard isotropic "size" operation of layout tools.
+  Region inflated(Coord d) const;
+  /// Anisotropic dilation/erosion; dx and dy must have the same sign.
+  Region inflated(Coord dx, Coord dy) const;
+  /// Morphological opening: erode then dilate by d (removes area narrower
+  /// than 2d in any axis direction). Basis of minimum-width checking.
+  Region opened(Coord d) const;
+  /// Morphological closing: dilate then erode by d (fills gaps narrower
+  /// than 2d). Basis of minimum-space checking.
+  Region closed(Coord d) const;
+  /// Intersection with a rectangular window.
+  Region clipped(const Rect& window) const;
+
+  friend bool operator==(const Region&, const Region&) = default;
+
+ private:
+  std::vector<Slab> slabs_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Region& r);
+
+}  // namespace opckit::geom

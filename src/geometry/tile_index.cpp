@@ -1,0 +1,65 @@
+#include "geometry/tile_index.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace opckit::geom {
+
+TileIndex::TileIndex(const Rect& extent, Coord tile_size)
+    : extent_(extent), tile_size_(tile_size) {
+  OPCKIT_CHECK(!extent.is_empty());
+  OPCKIT_CHECK(tile_size > 0);
+  nx_ = static_cast<std::size_t>((extent.width() + tile_size - 1) / tile_size);
+  ny_ = static_cast<std::size_t>((extent.height() + tile_size - 1) / tile_size);
+  nx_ = std::max<std::size_t>(nx_, 1);
+  ny_ = std::max<std::size_t>(ny_, 1);
+  tiles_.resize(nx_ * ny_);
+}
+
+TileIndex::Span TileIndex::tile_span(const Rect& r) const {
+  auto clamp_tile = [](Coord v, Coord lo, Coord tile, std::size_t n) {
+    if (v < lo) return std::size_t{0};
+    const auto t = static_cast<std::size_t>((v - lo) / tile);
+    return std::min(t, n - 1);
+  };
+  return Span{clamp_tile(r.lo.x, extent_.lo.x, tile_size_, nx_),
+              clamp_tile(r.lo.y, extent_.lo.y, tile_size_, ny_),
+              clamp_tile(r.hi.x, extent_.lo.x, tile_size_, nx_),
+              clamp_tile(r.hi.y, extent_.lo.y, tile_size_, ny_)};
+}
+
+void TileIndex::insert(std::size_t id, const Rect& bbox) {
+  OPCKIT_CHECK(!bbox.is_inverted());
+  const Span s = tile_span(bbox);
+  for (std::size_t ty = s.ty0; ty <= s.ty1; ++ty) {
+    for (std::size_t tx = s.tx0; tx <= s.tx1; ++tx) {
+      tiles_[ty * nx_ + tx].push_back(boxes_.size());
+    }
+  }
+  boxes_.emplace_back(id, bbox);
+}
+
+std::vector<std::size_t> TileIndex::query(const Rect& window) const {
+  std::vector<std::size_t> slots;
+  const Span s = tile_span(window);
+  for (std::size_t ty = s.ty0; ty <= s.ty1; ++ty) {
+    for (std::size_t tx = s.tx0; tx <= s.tx1; ++tx) {
+      const auto& bucket = tiles_[ty * nx_ + tx];
+      slots.insert(slots.end(), bucket.begin(), bucket.end());
+    }
+  }
+  std::sort(slots.begin(), slots.end());
+  slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+  std::vector<std::size_t> out;
+  out.reserve(slots.size());
+  for (std::size_t slot : slots) {
+    const auto& [id, box] = boxes_[slot];
+    if (box.touches(window)) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace opckit::geom

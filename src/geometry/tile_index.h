@@ -1,0 +1,48 @@
+/// \file tile_index.h
+/// Uniform-grid spatial index over bounding boxes.
+///
+/// OPC and pattern extraction repeatedly ask "which shapes are within an
+/// optical-interaction window of this point?". A uniform tile grid is the
+/// standard EDA answer: layouts are area-dense and fairly uniform, so a
+/// grid beats tree indexes while staying deterministic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/rect.h"
+
+namespace opckit::geom {
+
+/// Maps item ids (caller-defined, dense size_t) to tiles by bounding box
+/// and answers window queries with a deduplicated candidate id list.
+class TileIndex {
+ public:
+  /// Build an index over \p extent with square tiles of side \p tile_size.
+  TileIndex(const Rect& extent, Coord tile_size);
+
+  /// Insert an item covering \p bbox. Items outside the extent clamp into
+  /// the border tiles. Degenerate boxes are accepted.
+  void insert(std::size_t id, const Rect& bbox);
+
+  /// Ids of items whose bbox possibly intersects \p window, ascending and
+  /// deduplicated. Exact bbox-vs-window filtering is applied.
+  std::vector<std::size_t> query(const Rect& window) const;
+
+  /// Number of inserted items.
+  std::size_t size() const { return boxes_.size(); }
+
+ private:
+  struct Span {
+    std::size_t tx0, ty0, tx1, ty1;
+  };
+  Span tile_span(const Rect& r) const;
+
+  Rect extent_;
+  Coord tile_size_;
+  std::size_t nx_, ny_;
+  std::vector<std::vector<std::size_t>> tiles_;  // tile -> item ids
+  std::vector<std::pair<std::size_t, Rect>> boxes_;  // id -> bbox
+};
+
+}  // namespace opckit::geom

@@ -1,0 +1,110 @@
+#include "geometry/transform.h"
+
+#include "util/check.h"
+
+namespace opckit::geom {
+
+Point apply(Orientation o, const Point& p) {
+  // Mirrored variants reflect about the x-axis first (y -> -y), then
+  // rotate counter-clockwise by the residual multiple of 90°.
+  const auto idx = static_cast<std::uint8_t>(o);
+  Point q = p;
+  if (idx >= 4) q.y = -q.y;
+  switch (idx % 4) {
+    case 0:
+      return q;
+    case 1:
+      return {-q.y, q.x};
+    case 2:
+      return {-q.x, -q.y};
+    case 3:
+      return {q.y, -q.x};
+  }
+  OPCKIT_CHECK(false);
+  return {};
+}
+
+Orientation compose(Orientation a, Orientation b) {
+  // Encode as (mirror m, rotation r): action = R^r ∘ M^m.
+  // (m_a, r_a) ∘ (m_b, r_b): apply b first.
+  //   R^ra M^ma R^rb M^mb.
+  // Use identity M R^k = R^{-k} M:
+  //   = R^ra R^{±rb} M^{ma} M^{mb} with sign - iff ma==1.
+  const int ma = static_cast<int>(a) / 4, ra = static_cast<int>(a) % 4;
+  const int mb = static_cast<int>(b) / 4, rb = static_cast<int>(b) % 4;
+  const int m = (ma + mb) % 2;
+  const int r = ((ra + (ma ? -rb : rb)) % 4 + 4) % 4;
+  return static_cast<Orientation>(m * 4 + r);
+}
+
+Orientation inverse(Orientation o) {
+  const int m = static_cast<int>(o) / 4, r = static_cast<int>(o) % 4;
+  // (M^m R^... ) inverse: for pure rotation, inverse rotation. For
+  // mirrored (order-2 elements in this encoding? not all), compute by
+  // search to stay obviously correct.
+  (void)m;
+  (void)r;
+  for (Orientation cand : all_orientations()) {
+    if (compose(o, cand) == Orientation::kR0) return cand;
+  }
+  OPCKIT_CHECK(false);
+  return Orientation::kR0;
+}
+
+const char* name(Orientation o) {
+  switch (o) {
+    case Orientation::kR0:
+      return "R0";
+    case Orientation::kR90:
+      return "R90";
+    case Orientation::kR180:
+      return "R180";
+    case Orientation::kR270:
+      return "R270";
+    case Orientation::kMX:
+      return "MX";
+    case Orientation::kMXR90:
+      return "MXR90";
+    case Orientation::kMXR180:
+      return "MXR180";
+    case Orientation::kMXR270:
+      return "MXR270";
+  }
+  return "?";
+}
+
+Rect Transform::operator()(const Rect& r) const {
+  OPCKIT_CHECK(!r.is_inverted());
+  const Point a = (*this)(r.lo);
+  const Point b = (*this)(r.hi);
+  return Rect(Point{a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y},
+              Point{a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y});
+}
+
+Polygon Transform::operator()(const Polygon& poly) const {
+  std::vector<Point> pts;
+  pts.reserve(poly.size());
+  for (std::size_t i = 0; i < poly.size(); ++i) pts.push_back((*this)(poly[i]));
+  return Polygon(std::move(pts));
+}
+
+Transform operator*(const Transform& a, const Transform& b) {
+  // a(b(p)) = A(B p + tb) + ta = (A B) p + (A tb + ta)
+  return Transform(compose(a.orientation, b.orientation),
+                   apply(a.orientation, b.displacement) + a.displacement);
+}
+
+Transform Transform::inverted() const {
+  const Orientation inv = inverse(orientation);
+  return Transform(inv, -apply(inv, displacement));
+}
+
+std::ostream& operator<<(std::ostream& os, Orientation o) {
+  return os << name(o);
+}
+
+std::ostream& operator<<(std::ostream& os, const Transform& t) {
+  return os << name(t.orientation) << '+' << t.displacement;
+}
+
+}  // namespace opckit::geom

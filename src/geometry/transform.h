@@ -1,0 +1,86 @@
+/// \file transform.h
+/// Rigid lattice transforms: the dihedral group D4 plus translation.
+///
+/// These are exactly the transforms GDSII cell references support (rotation
+/// in multiples of 90° and mirroring), and the symmetry group under which
+/// layout patterns are canonicalized in the pattern-catalog module.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+#include "geometry/rect.h"
+
+namespace opckit::geom {
+
+/// The eight elements of D4. Rotations are counter-clockwise; the
+/// mirrored variants apply a reflection about the x-axis FIRST, then the
+/// rotation (GDSII STRANS convention).
+enum class Orientation : std::uint8_t {
+  kR0 = 0,
+  kR90 = 1,
+  kR180 = 2,
+  kR270 = 3,
+  kMX = 4,      ///< mirror about x-axis (y -> -y)
+  kMXR90 = 5,   ///< mirror about x-axis, then rotate 90° CCW
+  kMXR180 = 6,  ///< == mirror about y-axis
+  kMXR270 = 7,
+};
+
+/// Number of distinct orientations.
+inline constexpr std::size_t kOrientationCount = 8;
+
+/// All orientations, convenient for symmetry sweeps.
+inline constexpr std::array<Orientation, kOrientationCount> all_orientations() {
+  return {Orientation::kR0,  Orientation::kR90,   Orientation::kR180,
+          Orientation::kR270, Orientation::kMX,    Orientation::kMXR90,
+          Orientation::kMXR180, Orientation::kMXR270};
+}
+
+/// Apply an orientation to a point (about the origin).
+Point apply(Orientation o, const Point& p);
+
+/// Group composition: result = a ∘ b (apply b first, then a).
+Orientation compose(Orientation a, Orientation b);
+
+/// Group inverse.
+Orientation inverse(Orientation o);
+
+/// Human-readable name, e.g. "R90", "MXR180".
+const char* name(Orientation o);
+
+/// A lattice transform: p -> apply(orientation, p) + displacement.
+struct Transform {
+  Orientation orientation = Orientation::kR0;
+  Point displacement{0, 0};
+
+  constexpr Transform() = default;
+  Transform(Orientation o, Point d) : orientation(o), displacement(d) {}
+  /// Pure translation.
+  explicit Transform(Point d) : displacement(d) {}
+
+  friend bool operator==(const Transform&, const Transform&) = default;
+
+  /// Transform a point.
+  Point operator()(const Point& p) const {
+    return apply(orientation, p) + displacement;
+  }
+  /// Transform a rect (result is re-normalized to lo<=hi).
+  Rect operator()(const Rect& r) const;
+  /// Transform a polygon vertex-wise.
+  Polygon operator()(const Polygon& poly) const;
+
+  /// Composition: (a * b)(p) == a(b(p)).
+  friend Transform operator*(const Transform& a, const Transform& b);
+
+  /// Inverse transform.
+  Transform inverted() const;
+};
+
+std::ostream& operator<<(std::ostream& os, Orientation o);
+std::ostream& operator<<(std::ostream& os, const Transform& t);
+
+}  // namespace opckit::geom

@@ -1,0 +1,56 @@
+#include "layout/cell.h"
+
+namespace opckit::layout {
+
+void Cell::add_polygon(const Layer& layer, geom::Polygon poly) {
+  shapes_[layer].push_back(std::move(poly));
+}
+
+void Cell::add_rect(const Layer& layer, const geom::Rect& rect) {
+  shapes_[layer].emplace_back(rect);
+}
+
+void Cell::add_polygons(const Layer& layer,
+                        std::span<const geom::Polygon> polys) {
+  auto& dst = shapes_[layer];
+  dst.insert(dst.end(), polys.begin(), polys.end());
+}
+
+std::span<const geom::Polygon> Cell::shapes(const Layer& layer) const {
+  const auto it = shapes_.find(layer);
+  if (it == shapes_.end()) return {};
+  return it->second;
+}
+
+std::vector<Layer> Cell::layers() const {
+  std::vector<Layer> out;
+  out.reserve(shapes_.size());
+  for (const auto& [layer, polys] : shapes_) {
+    if (!polys.empty()) out.push_back(layer);
+  }
+  return out;
+}
+
+std::size_t Cell::polygon_count() const {
+  std::size_t n = 0;
+  for (const auto& [layer, polys] : shapes_) n += polys.size();
+  return n;
+}
+
+std::size_t Cell::vertex_count() const {
+  std::size_t n = 0;
+  for (const auto& [layer, polys] : shapes_) {
+    for (const auto& p : polys) n += p.size();
+  }
+  return n;
+}
+
+geom::Rect Cell::local_bbox() const {
+  geom::Rect box = geom::Rect::empty();
+  for (const auto& [layer, polys] : shapes_) {
+    for (const auto& p : polys) box = box.united(p.bbox());
+  }
+  return box;
+}
+
+}  // namespace opckit::layout

@@ -1,0 +1,82 @@
+/// \file cell.h
+/// Layout cells: per-layer shape lists plus child-cell references.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geometry/geometry.h"
+#include "layout/layer.h"
+
+namespace opckit::layout {
+
+/// A (possibly arrayed) reference to a child cell, GDSII SREF/AREF style.
+/// The child is named; resolution happens through the owning Library.
+struct CellRef {
+  std::string child;
+  geom::Transform transform;
+  /// Array dimensions; (1,1) is a plain SREF.
+  int columns = 1;
+  int rows = 1;
+  /// Per-column / per-row displacement for arrays (in parent coordinates,
+  /// applied after \ref transform 's orientation).
+  geom::Point column_step{0, 0};
+  geom::Point row_step{0, 0};
+
+  friend bool operator==(const CellRef&, const CellRef&) = default;
+
+  /// Total number of placements this reference expands to.
+  long long placements() const {
+    return static_cast<long long>(columns) * rows;
+  }
+
+  /// Transform of array element (c, r).
+  geom::Transform element_transform(int c, int r) const {
+    geom::Transform t = transform;
+    t.displacement += column_step * c + row_step * r;
+    return t;
+  }
+};
+
+/// A named cell: geometry organized by layer, plus child references.
+class Cell {
+ public:
+  Cell() = default;
+  explicit Cell(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Add a polygon on a layer (stored as given; not normalized).
+  void add_polygon(const Layer& layer, geom::Polygon poly);
+  /// Add a rectangle on a layer.
+  void add_rect(const Layer& layer, const geom::Rect& rect);
+  /// Add many polygons on a layer.
+  void add_polygons(const Layer& layer, std::span<const geom::Polygon> polys);
+  /// Add a child reference.
+  void add_ref(CellRef ref) { refs_.push_back(std::move(ref)); }
+  /// Remove all shapes on a layer.
+  void clear_layer(const Layer& layer) { shapes_.erase(layer); }
+
+  /// Shapes on one layer (empty span if none).
+  std::span<const geom::Polygon> shapes(const Layer& layer) const;
+  /// Layers with at least one shape, ascending.
+  std::vector<Layer> layers() const;
+  /// Child references.
+  const std::vector<CellRef>& refs() const { return refs_; }
+
+  /// Number of polygons summed over all layers (local shapes only).
+  std::size_t polygon_count() const;
+  /// Number of vertices summed over all layers (local shapes only).
+  std::size_t vertex_count() const;
+  /// Bounding box of local shapes only (no child expansion).
+  geom::Rect local_bbox() const;
+
+ private:
+  std::string name_;
+  std::map<Layer, std::vector<geom::Polygon>> shapes_;
+  std::vector<CellRef> refs_;
+};
+
+}  // namespace opckit::layout

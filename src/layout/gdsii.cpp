@@ -1,0 +1,463 @@
+#include "layout/gdsii.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+
+namespace opckit::layout {
+
+namespace {
+
+// Record types.
+enum : std::uint8_t {
+  kHeader = 0x00,
+  kBgnLib = 0x01,
+  kLibName = 0x02,
+  kUnits = 0x03,
+  kEndLib = 0x04,
+  kBgnStr = 0x05,
+  kStrName = 0x06,
+  kEndStr = 0x07,
+  kBoundary = 0x08,
+  kPath = 0x09,
+  kSref = 0x0A,
+  kAref = 0x0B,
+  kText = 0x0C,
+  kLayerRec = 0x0D,
+  kDatatype = 0x0E,
+  kXy = 0x10,
+  kEndEl = 0x11,
+  kSname = 0x12,
+  kColRow = 0x13,
+  kNode = 0x15,
+  kBox = 0x2D,
+  kStrans = 0x1A,
+  kMag = 0x1B,
+  kAngle = 0x1C,
+};
+
+// Data type codes.
+enum : std::uint8_t {
+  kDtNone = 0,
+  kDtBitArray = 1,
+  kDtInt16 = 2,
+  kDtInt32 = 3,
+  kDtReal8 = 5,
+  kDtAscii = 6,
+};
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& os) : os_(os) {}
+
+  void record(std::uint8_t type, std::uint8_t dtype,
+              const std::vector<std::uint8_t>& payload = {}) {
+    const std::size_t len = payload.size() + 4;
+    OPCKIT_CHECK_MSG(len <= 0xFFFF, "GDSII record too long");
+    put16(static_cast<std::uint16_t>(len));
+    os_.put(static_cast<char>(type));
+    os_.put(static_cast<char>(dtype));
+    os_.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+  }
+
+  void record_i16(std::uint8_t type, std::initializer_list<std::int16_t> vs) {
+    std::vector<std::uint8_t> p;
+    for (std::int16_t v : vs) append16(p, static_cast<std::uint16_t>(v));
+    record(type, kDtInt16, p);
+  }
+
+  void record_ascii(std::uint8_t type, const std::string& s) {
+    std::vector<std::uint8_t> p(s.begin(), s.end());
+    if (p.size() % 2) p.push_back(0);  // GDSII pads strings to even length
+    record(type, kDtAscii, p);
+  }
+
+  void record_real8(std::uint8_t type, std::initializer_list<double> vs) {
+    std::vector<std::uint8_t> p;
+    for (double v : vs) {
+      const std::uint64_t bits = gdsii_detail::encode_real8(v);
+      for (int i = 7; i >= 0; --i) {
+        p.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+      }
+    }
+    record(type, kDtReal8, p);
+  }
+
+  void record_xy(const std::vector<geom::Point>& pts) {
+    std::vector<std::uint8_t> p;
+    p.reserve(pts.size() * 8);
+    for (const auto& pt : pts) {
+      append32(p, checked32(pt.x));
+      append32(p, checked32(pt.y));
+    }
+    record(kXy, kDtInt32, p);
+  }
+
+ private:
+  static std::int32_t checked32(geom::Coord v) {
+    OPCKIT_CHECK_MSG(v >= std::numeric_limits<std::int32_t>::min() &&
+                         v <= std::numeric_limits<std::int32_t>::max(),
+                     "coordinate " << v << " exceeds GDSII int32 range");
+    return static_cast<std::int32_t>(v);
+  }
+  void put16(std::uint16_t v) {
+    os_.put(static_cast<char>(v >> 8));
+    os_.put(static_cast<char>(v & 0xFF));
+  }
+  static void append16(std::vector<std::uint8_t>& p, std::uint16_t v) {
+    p.push_back(static_cast<std::uint8_t>(v >> 8));
+    p.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  }
+  static void append32(std::vector<std::uint8_t>& p, std::int32_t sv) {
+    const auto v = static_cast<std::uint32_t>(sv);
+    p.push_back(static_cast<std::uint8_t>(v >> 24));
+    p.push_back(static_cast<std::uint8_t>(v >> 16));
+    p.push_back(static_cast<std::uint8_t>(v >> 8));
+    p.push_back(static_cast<std::uint8_t>(v));
+  }
+  std::ostream& os_;
+};
+
+void write_strans(Writer& w, geom::Orientation o) {
+  const int idx = static_cast<int>(o);
+  const bool reflect = idx >= 4;
+  const int angle = (idx % 4) * 90;
+  if (!reflect && angle == 0) return;
+  std::vector<std::uint8_t> bits{static_cast<std::uint8_t>(reflect ? 0x80 : 0),
+                                 0};
+  w.record(kStrans, kDtBitArray, bits);
+  if (angle != 0) {
+    w.record_real8(kAngle, {static_cast<double>(angle)});
+  }
+}
+
+}  // namespace
+
+namespace gdsii_detail {
+
+std::uint64_t encode_real8(double value) {
+  if (value == 0.0) return 0;
+  std::uint64_t sign = 0;
+  if (value < 0) {
+    sign = 1ULL << 63;
+    value = -value;
+  }
+  // Normalize mantissa into [1/16, 1) with value = mantissa * 16^exp.
+  int exp = 0;
+  while (value >= 1.0) {
+    value /= 16.0;
+    ++exp;
+  }
+  while (value < 1.0 / 16.0) {
+    value *= 16.0;
+    --exp;
+  }
+  const auto mantissa =
+      static_cast<std::uint64_t>(std::llround(value * 72057594037927936.0));
+  // 2^56 = 72057594037927936; rounding can push mantissa to 2^56 exactly.
+  std::uint64_t m = mantissa;
+  int e = exp + 64;
+  if (m >= (1ULL << 56)) {
+    m >>= 4;
+    ++e;
+  }
+  OPCKIT_CHECK_MSG(e >= 0 && e <= 127, "real8 exponent out of range");
+  return sign | (static_cast<std::uint64_t>(e) << 56) | m;
+}
+
+double decode_real8(std::uint64_t bits) {
+  if ((bits & ~(1ULL << 63)) == 0) return 0.0;
+  const double sign = (bits >> 63) ? -1.0 : 1.0;
+  const int exp = static_cast<int>((bits >> 56) & 0x7F) - 64;
+  const std::uint64_t mantissa = bits & 0xFFFFFFFFFFFFFFULL;
+  return sign * static_cast<double>(mantissa) / 72057594037927936.0 *
+         std::pow(16.0, exp);
+}
+
+}  // namespace gdsii_detail
+
+void write_gdsii(const Library& lib, std::ostream& os) {
+  Writer w(os);
+  w.record_i16(kHeader, {600});
+  w.record_i16(kBgnLib, {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+  w.record_ascii(kLibName, lib.name());
+  // 1 DB unit = 0.001 user units (um) = 1e-9 m.
+  w.record_real8(kUnits, {1e-3, 1e-9});
+
+  for (const std::string& name : lib.cell_names()) {
+    const Cell& cell = lib.at(name);
+    w.record_i16(kBgnStr, {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+    w.record_ascii(kStrName, name);
+
+    for (const Layer& layer : cell.layers()) {
+      for (const auto& poly : cell.shapes(layer)) {
+        OPCKIT_CHECK_MSG(poly.size() >= 3, "degenerate polygon in " << name);
+        w.record(kBoundary, kDtNone);
+        w.record_i16(kLayerRec, {static_cast<std::int16_t>(layer.layer)});
+        w.record_i16(kDatatype, {static_cast<std::int16_t>(layer.datatype)});
+        std::vector<geom::Point> pts(poly.ring().begin(), poly.ring().end());
+        pts.push_back(poly.ring().front());  // GDSII closes the ring
+        w.record_xy(pts);
+        w.record(kEndEl, kDtNone);
+      }
+    }
+
+    for (const auto& ref : cell.refs()) {
+      const bool is_array = ref.columns != 1 || ref.rows != 1;
+      w.record(is_array ? kAref : kSref, kDtNone);
+      w.record_ascii(kSname, ref.child);
+      write_strans(w, ref.transform.orientation);
+      if (is_array) {
+        w.record_i16(kColRow, {static_cast<std::int16_t>(ref.columns),
+                               static_cast<std::int16_t>(ref.rows)});
+        const geom::Point o = ref.transform.displacement;
+        w.record_xy({o, o + ref.column_step * ref.columns,
+                     o + ref.row_step * ref.rows});
+      } else {
+        w.record_xy({ref.transform.displacement});
+      }
+      w.record(kEndEl, kDtNone);
+    }
+    w.record(kEndStr, kDtNone);
+  }
+  w.record(kEndLib, kDtNone);
+  if (!os) throw util::InputError("GDSII write failed");
+}
+
+void write_gdsii_file(const Library& lib, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw util::InputError("cannot open for write: " + path);
+  write_gdsii(lib, f);
+}
+
+std::size_t gdsii_byte_size(const Library& lib) {
+  std::ostringstream os(std::ios::binary);
+  write_gdsii(lib, os);
+  return os.str().size();
+}
+
+namespace {
+
+struct Record {
+  std::uint8_t type = 0;
+  std::uint8_t dtype = 0;
+  std::vector<std::uint8_t> payload;
+
+  std::int16_t i16(std::size_t idx) const {
+    OPCKIT_CHECK(2 * idx + 1 < payload.size() + 1 &&
+                 2 * (idx + 1) <= payload.size());
+    return static_cast<std::int16_t>(
+        (static_cast<std::uint16_t>(payload[2 * idx]) << 8) |
+        payload[2 * idx + 1]);
+  }
+  std::int32_t i32(std::size_t idx) const {
+    OPCKIT_CHECK(4 * (idx + 1) <= payload.size());
+    std::uint32_t v = 0;
+    for (int k = 0; k < 4; ++k) v = (v << 8) | payload[4 * idx + static_cast<std::size_t>(k)];
+    return static_cast<std::int32_t>(v);
+  }
+  double real8(std::size_t idx) const {
+    OPCKIT_CHECK(8 * (idx + 1) <= payload.size());
+    std::uint64_t v = 0;
+    for (int k = 0; k < 8; ++k) v = (v << 8) | payload[8 * idx + static_cast<std::size_t>(k)];
+    return gdsii_detail::decode_real8(v);
+  }
+  std::string ascii() const {
+    std::string s(payload.begin(), payload.end());
+    while (!s.empty() && s.back() == '\0') s.pop_back();
+    return s;
+  }
+};
+
+class Reader {
+ public:
+  explicit Reader(std::istream& is) : is_(is) {}
+
+  /// Read the next record; false at ENDLIB-terminated EOF.
+  bool next(Record& rec) {
+    std::uint8_t hdr[4];
+    is_.read(reinterpret_cast<char*>(hdr), 4);
+    if (is_.gcount() == 0) return false;
+    if (is_.gcount() != 4) throw util::InputError("truncated GDSII record");
+    const std::size_t len =
+        (static_cast<std::size_t>(hdr[0]) << 8) | hdr[1];
+    if (len < 4) throw util::InputError("bad GDSII record length");
+    rec.type = hdr[2];
+    rec.dtype = hdr[3];
+    rec.payload.resize(len - 4);
+    is_.read(reinterpret_cast<char*>(rec.payload.data()),
+             static_cast<std::streamsize>(rec.payload.size()));
+    if (static_cast<std::size_t>(is_.gcount()) != rec.payload.size()) {
+      throw util::InputError("truncated GDSII payload");
+    }
+    return true;
+  }
+
+ private:
+  std::istream& is_;
+};
+
+geom::Orientation orientation_from(bool reflect, double angle_deg) {
+  const long a = std::lround(angle_deg);
+  OPCKIT_CHECK_MSG(a % 90 == 0, "unsupported GDSII angle " << angle_deg);
+  const int quarter = static_cast<int>(((a / 90) % 4 + 4) % 4);
+  return static_cast<geom::Orientation>((reflect ? 4 : 0) + quarter);
+}
+
+}  // namespace
+
+Library read_gdsii(std::istream& is) {
+  Reader r(is);
+  Record rec;
+  Library lib("unnamed");
+  Cell* cur_cell = nullptr;
+
+  // Element parse state.
+  enum class El { kNone, kBoundary, kRef, kSkip };
+  El el = El::kNone;
+  bool el_is_aref = false;
+  Layer el_layer;
+  std::vector<geom::Point> el_pts;
+  std::string el_sname;
+  bool el_reflect = false;
+  double el_angle = 0.0;
+  int el_cols = 1, el_rows = 1;
+
+  auto finish_element = [&]() {
+    OPCKIT_CHECK(cur_cell != nullptr);
+    if (el == El::kBoundary) {
+      if (!el_pts.empty() && el_pts.front() == el_pts.back()) {
+        el_pts.pop_back();
+      }
+      if (el_pts.size() >= 3) {
+        cur_cell->add_polygon(el_layer, geom::Polygon(el_pts));
+      }
+    } else if (el == El::kRef) {
+      CellRef ref;
+      ref.child = el_sname;
+      ref.transform.orientation = orientation_from(el_reflect, el_angle);
+      OPCKIT_CHECK(!el_pts.empty());
+      ref.transform.displacement = el_pts[0];
+      if (el_is_aref) {
+        OPCKIT_CHECK_MSG(el_pts.size() == 3, "AREF needs 3 XY points");
+        OPCKIT_CHECK(el_cols >= 1 && el_rows >= 1);
+        ref.columns = el_cols;
+        ref.rows = el_rows;
+        const geom::Point dc = el_pts[1] - el_pts[0];
+        const geom::Point dr = el_pts[2] - el_pts[0];
+        ref.column_step = {dc.x / el_cols, dc.y / el_cols};
+        ref.row_step = {dr.x / el_rows, dr.y / el_rows};
+      }
+      cur_cell->add_ref(std::move(ref));
+    }
+    el = El::kNone;
+    el_pts.clear();
+    el_sname.clear();
+    el_reflect = false;
+    el_angle = 0.0;
+    el_cols = el_rows = 1;
+  };
+
+  bool saw_header = false, done = false;
+  while (!done && r.next(rec)) {
+    switch (rec.type) {
+      case kHeader:
+        saw_header = true;
+        break;
+      case kBgnLib:
+      case kUnits:
+        break;  // DB unit fixed at 1 nm by this library's convention
+      case kLibName:
+        lib = Library(rec.ascii());
+        break;
+      case kBgnStr:
+        break;
+      case kStrName:
+        cur_cell = &lib.cell(rec.ascii());
+        break;
+      case kEndStr:
+        cur_cell = nullptr;
+        break;
+      case kBoundary:
+        el = El::kBoundary;
+        el_is_aref = false;
+        break;
+      case kSref:
+        el = El::kRef;
+        el_is_aref = false;
+        break;
+      case kAref:
+        el = El::kRef;
+        el_is_aref = true;
+        break;
+      case kPath:
+      case kText:
+      case kNode:
+      case kBox:
+        el = El::kSkip;  // recognized but unsupported; consume silently
+        break;
+      case kLayerRec:
+        if (el == El::kBoundary) {
+          el_layer.layer = static_cast<std::uint16_t>(rec.i16(0));
+        }
+        break;
+      case kDatatype:
+        if (el == El::kBoundary) {
+          el_layer.datatype = static_cast<std::uint16_t>(rec.i16(0));
+        }
+        break;
+      case kXy:
+        if (el == El::kBoundary || el == El::kRef) {
+          const std::size_t n = rec.payload.size() / 8;
+          for (std::size_t i = 0; i < n; ++i) {
+            el_pts.push_back({rec.i32(2 * i), rec.i32(2 * i + 1)});
+          }
+        }
+        break;
+      case kSname:
+        el_sname = rec.ascii();
+        break;
+      case kStrans:
+        el_reflect = !rec.payload.empty() && (rec.payload[0] & 0x80);
+        break;
+      case kAngle:
+        el_angle = rec.real8(0);
+        break;
+      case kMag:
+        OPCKIT_CHECK_MSG(std::abs(rec.real8(0) - 1.0) < 1e-9,
+                         "magnification != 1 unsupported");
+        break;
+      case kColRow:
+        el_cols = rec.i16(0);
+        el_rows = rec.i16(1);
+        break;
+      case kEndEl:
+        if (el != El::kNone) finish_element();
+        break;
+      case kEndLib:
+        done = true;
+        break;
+      default:
+        break;  // skip unknown records
+    }
+  }
+  if (!saw_header || !done) throw util::InputError("malformed GDSII stream");
+  return lib;
+}
+
+Library read_gdsii_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw util::InputError("cannot open for read: " + path);
+  return read_gdsii(f);
+}
+
+}  // namespace opckit::layout

@@ -1,0 +1,47 @@
+/// \file gdsii.h
+/// GDSII Stream format reader and writer.
+///
+/// Implements the subset of GDSII used by mask data: HEADER/BGNLIB/LIBNAME/
+/// UNITS, BGNSTR/STRNAME, BOUNDARY elements, SREF and AREF references with
+/// STRANS/ANGLE, and the excess-64 8-byte real encoding. Timestamps are
+/// written as zeros so output is bit-deterministic. This is the real wire
+/// format — the data-volume experiment (T2) measures actual GDSII bytes.
+///
+/// Limitations (documented, checked at write time): magnification is not
+/// supported (always 1.0), coordinates must fit in int32 (GDSII limit),
+/// and PATH/TEXT/NODE/BOX elements are skipped on read.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "layout/library.h"
+
+namespace opckit::layout {
+
+/// Serialize \p lib to a GDSII stream. DB unit is 1 nm (UNITS = 1e-3 user
+/// units per DB unit, 1e-9 m per DB unit). Throws util::InputError on
+/// unrepresentable content (e.g. coordinates beyond int32).
+void write_gdsii(const Library& lib, std::ostream& os);
+
+/// Serialize to a file. Throws util::InputError on I/O failure.
+void write_gdsii_file(const Library& lib, const std::string& path);
+
+/// Number of bytes write_gdsii would produce (serializes to a counter).
+std::size_t gdsii_byte_size(const Library& lib);
+
+/// Parse a GDSII stream into a Library. Unknown element types are skipped;
+/// structural records must be well-formed or util::InputError is thrown.
+Library read_gdsii(std::istream& is);
+
+/// Parse from a file. Throws util::InputError on I/O failure.
+Library read_gdsii_file(const std::string& path);
+
+namespace gdsii_detail {
+/// Encode a double as a GDSII 8-byte excess-64 real (exposed for tests).
+std::uint64_t encode_real8(double value);
+/// Decode a GDSII 8-byte real (exposed for tests).
+double decode_real8(std::uint64_t bits);
+}  // namespace gdsii_detail
+
+}  // namespace opckit::layout

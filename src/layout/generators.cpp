@@ -1,0 +1,154 @@
+#include "layout/generators.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace opckit::layout {
+
+using geom::Coord;
+using geom::Point;
+using geom::Rect;
+
+void add_grating(Cell& cell, const Layer& layer, const GratingSpec& spec) {
+  OPCKIT_CHECK(spec.pitch >= spec.line_width);
+  OPCKIT_CHECK(spec.lines >= 1);
+  const int mid = spec.lines / 2;
+  for (int i = 0; i < spec.lines; ++i) {
+    const Coord cx = static_cast<Coord>(i - mid) * spec.pitch;
+    cell.add_rect(layer, Rect(cx - spec.line_width / 2, -spec.length / 2,
+                              cx + spec.line_width / 2, spec.length / 2));
+  }
+}
+
+void add_iso_line(Cell& cell, const Layer& layer, Coord width, Coord length) {
+  cell.add_rect(layer,
+                Rect(-width / 2, -length / 2, width / 2, length / 2));
+}
+
+void add_line_end_comb(Cell& cell, const Layer& layer,
+                       const LineEndSpec& spec) {
+  OPCKIT_CHECK(spec.fingers >= 1);
+  const int mid = spec.fingers / 2;
+  const Coord tip = spec.gap / 2;
+  for (int i = 0; i < spec.fingers; ++i) {
+    const Coord cx = static_cast<Coord>(i - mid) * spec.pitch;
+    const Coord x0 = cx - spec.line_width / 2;
+    const Coord x1 = cx + spec.line_width / 2;
+    // Upper comb finger pointing down; lower comb finger pointing up.
+    cell.add_rect(layer, Rect(x0, tip, x1, tip + spec.finger_length));
+    cell.add_rect(layer, Rect(x0, -tip - spec.finger_length, x1, -tip));
+  }
+  // Comb spines tie fingers together (keeps shapes realistic).
+  const Coord spine_x0 =
+      -static_cast<Coord>(mid) * spec.pitch - spec.line_width / 2;
+  const Coord spine_x1 =
+      static_cast<Coord>(spec.fingers - 1 - mid) * spec.pitch +
+      spec.line_width / 2;
+  const Coord spine_w = 2 * spec.line_width;
+  cell.add_rect(layer, Rect(spine_x0, tip + spec.finger_length, spine_x1,
+                            tip + spec.finger_length + spine_w));
+  cell.add_rect(layer, Rect(spine_x0, -tip - spec.finger_length - spine_w,
+                            spine_x1, -tip - spec.finger_length));
+}
+
+void add_corner_target(Cell& cell, const Layer& layer, Coord arm_width,
+                       Coord arm_length) {
+  // L shape: horizontal arm along +x, vertical arm along +y.
+  cell.add_polygon(
+      layer, geom::Polygon(std::vector<Point>{{0, 0},
+                                              {arm_length, 0},
+                                              {arm_length, arm_width},
+                                              {arm_width, arm_width},
+                                              {arm_width, arm_length},
+                                              {0, arm_length}}));
+}
+
+void add_contact_array(Cell& cell, const Layer& layer, Coord size, Coord pitch,
+                       int nx, int ny) {
+  OPCKIT_CHECK(nx >= 1 && ny >= 1 && pitch >= size);
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const Coord x = static_cast<Coord>(i) * pitch;
+      const Coord y = static_cast<Coord>(j) * pitch;
+      cell.add_rect(layer, Rect(x, y, x + size, y + size));
+    }
+  }
+}
+
+std::string make_logic_cell(Library& lib, const std::string& name,
+                            const Layer& layer) {
+  Cell& c = lib.cell(name);
+  const Coord w = 180;  // drawn gate/wire width
+  // Two vertical "gates".
+  c.add_rect(layer, Rect(600, 200, 600 + w, 2600));
+  c.add_rect(layer, Rect(1400, 200, 1400 + w, 2600));
+  // Landing pads (hammer shapes) on top of the gates.
+  c.add_rect(layer, Rect(600 - 120, 2600, 600 + w + 120, 2600 + 420));
+  c.add_rect(layer, Rect(1400 - 120, 2600, 1400 + w + 120, 2600 + 420));
+  // A bent (L) route on the left.
+  c.add_polygon(layer, geom::Polygon(std::vector<Point>{{100, 200},
+                                                        {280, 200},
+                                                        {280, 1500},
+                                                        {100 + 1200, 1500},
+                                                        {100 + 1200, 1680},
+                                                        {100, 1680}})
+                           .normalized());
+  // A tip-to-tip line-end pair on the right.
+  c.add_rect(layer, Rect(2000, 200, 2000 + w, 1300));
+  c.add_rect(layer, Rect(2000, 1300 + 260, 2000 + w, 2600));
+  // A wide power rail along the bottom.
+  c.add_rect(layer, Rect(0, -400, 2600, -400 + 360));
+  return name;
+}
+
+void add_random_block(Cell& cell, const Layer& layer,
+                      const RandomBlockSpec& spec, util::Rng& rng) {
+  OPCKIT_CHECK(spec.fill > 0.0 && spec.fill < 1.0);
+  const Coord track_pitch = spec.wire_width + spec.wire_space;
+  const auto tracks = static_cast<int>(spec.height / track_pitch);
+  for (int t = 0; t < tracks; ++t) {
+    const Coord y0 = static_cast<Coord>(t) * track_pitch;
+    const Coord y1 = y0 + spec.wire_width;
+    Coord x = 0;
+    while (x < spec.width) {
+      // Skip a random gap, then place a random segment.
+      const Coord gap = spec.wire_space +
+                        rng.uniform_int(0, static_cast<Coord>(
+                                               static_cast<double>(
+                                                   spec.max_segment) *
+                                               (1.0 - spec.fill)));
+      x += gap;
+      const Coord seg = rng.uniform_int(spec.min_segment, spec.max_segment);
+      const Coord x1 = std::min(x + seg, spec.width);
+      if (x1 - x >= spec.min_segment) {
+        cell.add_rect(layer, Rect(x, y0, x1, y1));
+        // Occasionally grow a vertical jog joining the next track: jog is
+        // one wire wide, placed at the segment start so spacing to the
+        // previous segment (>= wire_space gap) is preserved.
+        if (t + 1 < tracks && rng.chance(spec.jog_probability)) {
+          cell.add_rect(layer,
+                        Rect(x, y1, x + spec.wire_width, y0 + track_pitch));
+        }
+      }
+      x = x1;
+    }
+  }
+}
+
+std::string make_chip(Library& lib, const std::string& top_name,
+                      const std::string& block_cell, int cols, int rows,
+                      const Point& spacing) {
+  OPCKIT_CHECK(lib.has_cell(block_cell));
+  Cell& top = lib.cell(top_name);
+  CellRef ref;
+  ref.child = block_cell;
+  ref.columns = cols;
+  ref.rows = rows;
+  ref.column_step = {spacing.x, 0};
+  ref.row_step = {0, spacing.y};
+  top.add_ref(std::move(ref));
+  return top_name;
+}
+
+}  // namespace opckit::layout

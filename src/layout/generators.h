@@ -1,0 +1,91 @@
+/// \file generators.h
+/// Deterministic layout workload generators.
+///
+/// The paper-era experiments sweep specific geometry families: line/space
+/// gratings (proximity curves), line-end combs (pullback), corner targets
+/// (serifs), contact arrays, standard-cell-like blocks and pseudo-random
+/// routed blocks (runtime/data-volume scaling, pattern catalogs), and
+/// hierarchical chips (hierarchy impact). Everything is parameterized in
+/// nanometers and seeded, so each experiment regenerates identical input.
+#pragma once
+
+#include <string>
+
+#include "layout/library.h"
+#include "util/rng.h"
+
+namespace opckit::layout {
+
+/// Parameters for a 1D line/space grating.
+struct GratingSpec {
+  geom::Coord line_width = 180;  ///< nm
+  geom::Coord pitch = 360;       ///< nm, >= line_width
+  int lines = 7;                 ///< number of parallel lines
+  geom::Coord length = 4000;     ///< nm, line length (vertical lines)
+};
+
+/// Add a vertical-line grating centered on the origin to \p cell. The
+/// middle line is centered at x = 0 so metrology can cut through it.
+void add_grating(Cell& cell, const Layer& layer, const GratingSpec& spec);
+
+/// Add a single isolated vertical line of \p width x \p length centered at
+/// the origin.
+void add_iso_line(Cell& cell, const Layer& layer, geom::Coord width,
+                  geom::Coord length);
+
+/// Parameters for an opposing line-end ("tip-to-tip") comb structure.
+struct LineEndSpec {
+  geom::Coord line_width = 180;  ///< nm
+  geom::Coord pitch = 540;       ///< nm between fingers
+  int fingers = 5;               ///< fingers per comb
+  geom::Coord gap = 260;         ///< nm tip-to-tip design gap
+  geom::Coord finger_length = 2000;  ///< nm
+};
+
+/// Add two vertical combs whose finger tips face each other across a gap
+/// centered on y = 0. Line-end pullback is measured at the central finger.
+void add_line_end_comb(Cell& cell, const Layer& layer, const LineEndSpec& spec);
+
+/// Add an L-shaped corner target: two arms of width \p arm_width and
+/// length \p arm_length joined at the origin (convex outer corner at the
+/// origin side). Used for corner-rounding metrology.
+void add_corner_target(Cell& cell, const Layer& layer, geom::Coord arm_width,
+                       geom::Coord arm_length);
+
+/// Add an nx x ny array of square contacts of side \p size at \p pitch,
+/// lower-left contact at the origin.
+void add_contact_array(Cell& cell, const Layer& layer, geom::Coord size,
+                       geom::Coord pitch, int nx, int ny);
+
+/// Build a small standard-cell-like block on the poly layer: parallel
+/// gates with landing pads, a bent route, and a line-end pair — a mix of
+/// the 1D and 2D configurations OPC has to handle. Returns the cell name.
+std::string make_logic_cell(Library& lib, const std::string& name,
+                            const Layer& layer);
+
+/// Parameters for the pseudo-random routed block generator.
+struct RandomBlockSpec {
+  geom::Coord width = 12000;        ///< block extent x (nm)
+  geom::Coord height = 12000;       ///< block extent y (nm)
+  geom::Coord wire_width = 180;     ///< nm
+  geom::Coord wire_space = 220;     ///< nm, track pitch = width + space
+  double fill = 0.55;               ///< fraction of each track populated
+  geom::Coord min_segment = 700;    ///< nm
+  geom::Coord max_segment = 3500;   ///< nm
+  double jog_probability = 0.25;    ///< chance a segment grows a vertical jog
+};
+
+/// Generate a DRC-clean pseudo-random wiring block: horizontal tracks at
+/// pitch (wire_width + wire_space), each populated with random segments
+/// separated by at least wire_space; some segments grow vertical jogs that
+/// connect to the track above. Deterministic in \p rng.
+void add_random_block(Cell& cell, const Layer& layer,
+                      const RandomBlockSpec& spec, util::Rng& rng);
+
+/// Build a hierarchical "chip": \p rows x \p cols AREF array of
+/// \p block_cell with \p spacing between origins. Returns the top name.
+std::string make_chip(Library& lib, const std::string& top_name,
+                      const std::string& block_cell, int cols, int rows,
+                      const geom::Point& spacing);
+
+}  // namespace opckit::layout

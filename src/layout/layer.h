@@ -1,0 +1,45 @@
+/// \file layer.h
+/// Layer identifiers following the GDSII (layer, datatype) convention.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace opckit::layout {
+
+/// A drawing layer. The pair (layer, datatype) matches GDSII records; OPC
+/// flows conventionally write corrected shapes to a different datatype of
+/// the same layer (e.g. poly 10/0 -> post-OPC 10/1).
+struct Layer {
+  std::uint16_t layer = 0;
+  std::uint16_t datatype = 0;
+
+  friend constexpr bool operator==(const Layer&, const Layer&) = default;
+  friend constexpr auto operator<=>(const Layer&, const Layer&) = default;
+};
+
+/// Conventional layer assignments used by the examples and experiments.
+namespace layers {
+inline constexpr Layer kPoly{10, 0};        ///< gate/interconnect target
+inline constexpr Layer kPolyOpc{10, 1};     ///< post-OPC mask shapes
+inline constexpr Layer kPolySraf{10, 2};    ///< sub-resolution assists
+inline constexpr Layer kMetal1{20, 0};
+inline constexpr Layer kMetal1Opc{20, 1};
+inline constexpr Layer kContact{30, 0};
+inline constexpr Layer kContactOpc{30, 1};
+inline constexpr Layer kMarkers{63, 0};     ///< violation markers
+}  // namespace layers
+
+inline std::ostream& operator<<(std::ostream& os, const Layer& l) {
+  return os << l.layer << '/' << l.datatype;
+}
+
+}  // namespace opckit::layout
+
+template <>
+struct std::hash<opckit::layout::Layer> {
+  std::size_t operator()(const opckit::layout::Layer& l) const noexcept {
+    return (static_cast<std::size_t>(l.layer) << 16) | l.datatype;
+  }
+};

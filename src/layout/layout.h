@@ -1,0 +1,9 @@
+/// \file layout.h
+/// Umbrella header for the opckit layout database.
+#pragma once
+
+#include "layout/cell.h"        // IWYU pragma: export
+#include "layout/gdsii.h"       // IWYU pragma: export
+#include "layout/generators.h"  // IWYU pragma: export
+#include "layout/layer.h"       // IWYU pragma: export
+#include "layout/library.h"     // IWYU pragma: export

@@ -1,0 +1,146 @@
+#include "layout/library.h"
+
+#include <functional>
+#include <set>
+
+#include "util/check.h"
+
+namespace opckit::layout {
+
+Cell& Library::cell(const std::string& cell_name) {
+  auto it = cells_.find(cell_name);
+  if (it == cells_.end()) {
+    it = cells_.emplace(cell_name, Cell(cell_name)).first;
+  }
+  return it->second;
+}
+
+const Cell& Library::at(const std::string& cell_name) const {
+  const auto it = cells_.find(cell_name);
+  if (it == cells_.end()) {
+    throw util::InputError("no such cell: " + cell_name);
+  }
+  return it->second;
+}
+
+bool Library::has_cell(const std::string& cell_name) const {
+  return cells_.count(cell_name) > 0;
+}
+
+std::vector<std::string> Library::cell_names() const {
+  std::vector<std::string> out;
+  out.reserve(cells_.size());
+  for (const auto& [name, cell] : cells_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Library::top_cells() const {
+  std::set<std::string> referenced;
+  for (const auto& [name, cell] : cells_) {
+    for (const auto& ref : cell.refs()) referenced.insert(ref.child);
+  }
+  std::vector<std::string> out;
+  for (const auto& [name, cell] : cells_) {
+    if (!referenced.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+void Library::validate() const {
+  // Resolution + cycle detection via DFS coloring.
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  std::function<void(const std::string&)> visit = [&](const std::string& n) {
+    const auto it = cells_.find(n);
+    if (it == cells_.end()) throw util::InputError("unresolved cell: " + n);
+    Color& c = color[n];
+    if (c == Color::kGray) {
+      throw util::InputError("hierarchy cycle through cell: " + n);
+    }
+    if (c == Color::kBlack) return;
+    c = Color::kGray;
+    for (const auto& ref : it->second.refs()) {
+      OPCKIT_CHECK_MSG(ref.columns >= 1 && ref.rows >= 1,
+                       "degenerate array in cell " << n);
+      visit(ref.child);
+    }
+    c = Color::kBlack;
+  };
+  for (const auto& [name, cell] : cells_) visit(name);
+}
+
+template <typename Fn>
+void Library::walk(const Cell& c, const geom::Transform& t,
+                   const Fn& fn) const {
+  fn(c, t);
+  for (const auto& ref : c.refs()) {
+    const Cell& child = at(ref.child);
+    for (int r = 0; r < ref.rows; ++r) {
+      for (int col = 0; col < ref.columns; ++col) {
+        walk(child, t * ref.element_transform(col, r), fn);
+      }
+    }
+  }
+}
+
+std::vector<geom::Polygon> Library::flatten(const std::string& cell_name,
+                                            const Layer& layer) const {
+  std::vector<geom::Polygon> out;
+  walk(at(cell_name), geom::Transform{},
+       [&](const Cell& c, const geom::Transform& t) {
+         for (const auto& p : c.shapes(layer)) out.push_back(t(p));
+       });
+  return out;
+}
+
+std::map<Layer, std::vector<geom::Polygon>> Library::flatten_all(
+    const std::string& cell_name) const {
+  std::map<Layer, std::vector<geom::Polygon>> out;
+  walk(at(cell_name), geom::Transform{},
+       [&](const Cell& c, const geom::Transform& t) {
+         for (const Layer& layer : c.layers()) {
+           auto& dst = out[layer];
+           for (const auto& p : c.shapes(layer)) dst.push_back(t(p));
+         }
+       });
+  return out;
+}
+
+geom::Rect Library::bbox(const std::string& cell_name) const {
+  geom::Rect box = geom::Rect::empty();
+  walk(at(cell_name), geom::Transform{},
+       [&](const Cell& c, const geom::Transform& t) {
+         const geom::Rect local = c.local_bbox();
+         if (!local.is_empty()) box = box.united(t(local));
+       });
+  return box;
+}
+
+HierarchyStats Library::stats(const std::string& cell_name) const {
+  HierarchyStats s;
+  std::set<const Cell*> distinct;
+  // Flat counts via expansion walk.
+  walk(at(cell_name), geom::Transform{},
+       [&](const Cell& c, const geom::Transform&) {
+         distinct.insert(&c);
+         ++s.placements;
+         s.flat_polygons += static_cast<long long>(c.polygon_count());
+         s.flat_vertices += static_cast<long long>(c.vertex_count());
+       });
+  --s.placements;  // the root itself is not a placement
+  s.distinct_cells = distinct.size();
+  for (const Cell* c : distinct) {
+    s.local_polygons += c->polygon_count();
+    s.local_vertices += c->vertex_count();
+  }
+  // Depth via DFS over distinct cells.
+  std::function<int(const Cell&)> depth = [&](const Cell& c) -> int {
+    int d = 0;
+    for (const auto& ref : c.refs()) d = std::max(d, 1 + depth(at(ref.child)));
+    return d;
+  };
+  s.depth = depth(at(cell_name));
+  return s;
+}
+
+}  // namespace opckit::layout

@@ -1,0 +1,82 @@
+/// \file library.h
+/// The layout database: a named set of cells with reference resolution,
+/// hierarchy traversal, flattening, and hierarchy statistics.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "layout/cell.h"
+
+namespace opckit::layout {
+
+/// Aggregate hierarchy metrics for one cell's expansion — the quantities
+/// the DAC-2001 discussion of "OPC impact on layout data" revolves around.
+struct HierarchyStats {
+  std::size_t distinct_cells = 0;    ///< cells reachable incl. the root
+  long long placements = 0;          ///< expanded instance count
+  std::size_t local_polygons = 0;    ///< polygons stored across reachable cells
+  std::size_t local_vertices = 0;    ///< vertices stored across reachable cells
+  long long flat_polygons = 0;       ///< polygons after full expansion
+  long long flat_vertices = 0;       ///< vertices after full expansion
+  int depth = 0;                     ///< max reference depth (root = 0)
+
+  /// Data-compression leverage of the hierarchy (flat / stored vertices).
+  double hierarchy_leverage() const {
+    return local_vertices == 0
+               ? 0.0
+               : static_cast<double>(flat_vertices) /
+                     static_cast<double>(local_vertices);
+  }
+};
+
+/// A collection of cells addressed by name. DB unit is 1 nm.
+class Library {
+ public:
+  explicit Library(std::string name = "opckit") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Create (or fetch an existing) cell by name.
+  Cell& cell(const std::string& cell_name);
+  /// Look up an existing cell; throws InputError if missing.
+  const Cell& at(const std::string& cell_name) const;
+  /// True if a cell with this name exists.
+  bool has_cell(const std::string& cell_name) const;
+  /// All cell names, ascending (deterministic iteration order).
+  std::vector<std::string> cell_names() const;
+  /// Number of cells.
+  std::size_t size() const { return cells_.size(); }
+
+  /// Cells that are referenced by no other cell, ascending by name.
+  std::vector<std::string> top_cells() const;
+
+  /// Verify every reference resolves and the hierarchy is acyclic;
+  /// throws InputError otherwise.
+  void validate() const;
+
+  /// Fully flatten one layer of a cell: every polygon of the cell and its
+  /// expanded children transformed into root coordinates.
+  std::vector<geom::Polygon> flatten(const std::string& cell_name,
+                                     const Layer& layer) const;
+
+  /// Flatten every populated layer at once.
+  std::map<Layer, std::vector<geom::Polygon>> flatten_all(
+      const std::string& cell_name) const;
+
+  /// Bounding box of a cell including expanded children (all layers).
+  geom::Rect bbox(const std::string& cell_name) const;
+
+  /// Hierarchy metrics for a cell's expansion.
+  HierarchyStats stats(const std::string& cell_name) const;
+
+ private:
+  template <typename Fn>
+  void walk(const Cell& cell, const geom::Transform& t, const Fn& fn) const;
+
+  std::string name_;
+  std::map<std::string, Cell> cells_;
+};
+
+}  // namespace opckit::layout

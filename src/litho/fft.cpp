@@ -1,0 +1,85 @@
+#include "litho/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace opckit::litho {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+namespace {
+
+/// Iterative Cooley-Tukey with bit-reversal permutation.
+void fft_core(Complex* data, std::size_t n, bool inverse) {
+  // Bit reversal.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * std::numbers::pi /
+                       static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void fft_1d(std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  OPCKIT_CHECK_MSG(is_pow2(n), "FFT size " << n << " is not a power of two");
+  fft_core(data.data(), n, inverse);
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (auto& v : data) v *= inv;
+  }
+}
+
+void fft_2d(std::vector<Complex>& data, std::size_t nx, std::size_t ny,
+            bool inverse) {
+  OPCKIT_CHECK(data.size() == nx * ny);
+  OPCKIT_CHECK_MSG(is_pow2(nx) && is_pow2(ny),
+                   "FFT dims " << nx << 'x' << ny << " not powers of two");
+  // Rows (contiguous).
+  for (std::size_t y = 0; y < ny; ++y) {
+    fft_core(data.data() + y * nx, nx, inverse);
+  }
+  // Columns via transpose-free strided gather.
+  std::vector<Complex> col(ny);
+  for (std::size_t x = 0; x < nx; ++x) {
+    for (std::size_t y = 0; y < ny; ++y) col[y] = data[y * nx + x];
+    fft_core(col.data(), ny, inverse);
+    for (std::size_t y = 0; y < ny; ++y) data[y * nx + x] = col[y];
+  }
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(nx * ny);
+    for (auto& v : data) v *= inv;
+  }
+}
+
+double fft_freq(std::size_t k, std::size_t n) {
+  const auto nk = static_cast<double>(k);
+  const auto nn = static_cast<double>(n);
+  return k < n / 2 ? nk / nn : nk / nn - 1.0;
+}
+
+}  // namespace opckit::litho

@@ -1,0 +1,38 @@
+/// \file fft.h
+/// Radix-2 complex FFT (1D and 2D), self-contained.
+///
+/// The Abbe imaging engine needs forward/inverse 2D transforms of the mask
+/// transmission function. Sizes are powers of two. Convention: forward is
+/// unnormalized, inverse divides by N (1D) or Nx*Ny (2D), so
+/// ifft(fft(x)) == x.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace opckit::litho {
+
+using Complex = std::complex<double>;
+
+/// True if \p n is a power of two (and nonzero).
+constexpr bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Smallest power of two >= n.
+std::size_t next_pow2(std::size_t n);
+
+/// In-place 1D FFT of length data.size() (must be a power of two).
+/// \p inverse selects the inverse transform (with 1/N normalization).
+void fft_1d(std::vector<Complex>& data, bool inverse);
+
+/// In-place 2D FFT of a row-major nx*ny array (both powers of two).
+/// \p inverse selects the inverse transform (with 1/(nx*ny) normalization).
+void fft_2d(std::vector<Complex>& data, std::size_t nx, std::size_t ny,
+            bool inverse);
+
+/// Frequency (cycles per sample) of FFT bin \p k in a length-\p n
+/// transform, using the standard wrap-around convention: bins [0, n/2)
+/// map to [0, 0.5) and bins [n/2, n) map to [-0.5, 0).
+double fft_freq(std::size_t k, std::size_t n);
+
+}  // namespace opckit::litho

@@ -1,0 +1,37 @@
+#include "litho/image.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opckit::litho {
+
+double Image::sample(double x_nm, double y_nm) const {
+  const double fx = frame_.px(x_nm);
+  const double fy = frame_.py(y_nm);
+  const double cx = std::clamp(fx, 0.0, static_cast<double>(nx() - 1));
+  const double cy = std::clamp(fy, 0.0, static_cast<double>(ny() - 1));
+  const auto ix0 = static_cast<std::size_t>(cx);
+  const auto iy0 = static_cast<std::size_t>(cy);
+  const std::size_t ix1 = std::min(ix0 + 1, nx() - 1);
+  const std::size_t iy1 = std::min(iy0 + 1, ny() - 1);
+  const double tx = cx - static_cast<double>(ix0);
+  const double ty = cy - static_cast<double>(iy0);
+  const double v00 = at(ix0, iy0);
+  const double v10 = at(ix1, iy0);
+  const double v01 = at(ix0, iy1);
+  const double v11 = at(ix1, iy1);
+  return v00 * (1 - tx) * (1 - ty) + v10 * tx * (1 - ty) +
+         v01 * (1 - tx) * ty + v11 * tx * ty;
+}
+
+double Image::min_value() const {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Image::max_value() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+}  // namespace opckit::litho

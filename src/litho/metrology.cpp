@@ -1,0 +1,195 @@
+#include "litho/metrology.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace opckit::litho {
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/// Sample the latent image along center + t * dir for t in [t0, t1] at
+/// \p step, returning samples and the t of each.
+struct LineScan {
+  std::vector<double> t;
+  std::vector<double> v;
+};
+
+LineScan scan(const Image& img, const geom::Point& center,
+              const geom::Point& dir, double t0, double t1, double step) {
+  OPCKIT_CHECK(manhattan_length(dir) == 1);  // unit Manhattan direction
+  LineScan s;
+  const auto n = static_cast<std::size_t>((t1 - t0) / step) + 1;
+  s.t.reserve(n);
+  s.v.reserve(n);
+  for (double t = t0; t <= t1 + 1e-9; t += step) {
+    const double x = static_cast<double>(center.x) +
+                     static_cast<double>(dir.x) * t;
+    const double y = static_cast<double>(center.y) +
+                     static_cast<double>(dir.y) * t;
+    s.t.push_back(t);
+    s.v.push_back(img.sample(x, y));
+  }
+  return s;
+}
+
+/// Linear-interpolated crossing of \p thr between samples i and i+1.
+double crossing_t(const LineScan& s, std::size_t i, double thr) {
+  const double v0 = s.v[i], v1 = s.v[i + 1];
+  const double frac = (thr - v0) / (v1 - v0);
+  return s.t[i] + frac * (s.t[i + 1] - s.t[i]);
+}
+
+/// Width of the span around t=0 where (v >= thr) == \p want_printed.
+double span_width(const Image& img, const geom::Point& center,
+                  const geom::Point& dir, double span_nm, double thr,
+                  bool want_printed) {
+  const double half = span_nm / 2.0;
+  const double step = img.frame().pixel_nm / 4.0;
+  const LineScan s = scan(img, center, dir, -half, half, step);
+  // Index of the sample closest to t = 0.
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < s.t.size(); ++i) {
+    if (std::abs(s.t[i]) < std::abs(s.t[c])) c = i;
+  }
+  const auto state = [&](std::size_t i) { return (s.v[i] >= thr) == want_printed; };
+  if (!state(c)) return kNan;
+  // Walk left to the state change.
+  double left = kNan, right = kNan;
+  for (std::size_t i = c; i > 0; --i) {
+    if (!state(i - 1)) {
+      left = crossing_t(s, i - 1, thr);
+      break;
+    }
+  }
+  for (std::size_t i = c; i + 1 < s.t.size(); ++i) {
+    if (!state(i + 1)) {
+      right = crossing_t(s, i, thr);
+      break;
+    }
+  }
+  if (std::isnan(left) || std::isnan(right)) return kNan;
+  return right - left;
+}
+
+}  // namespace
+
+double printed_cd(const Image& latent_img, const geom::Point& center,
+                  const geom::Point& direction, double span_nm,
+                  double threshold) {
+  return span_width(latent_img, center, direction, span_nm, threshold, true);
+}
+
+double clear_cd(const Image& latent_img, const geom::Point& center,
+                const geom::Point& direction, double span_nm,
+                double threshold) {
+  return span_width(latent_img, center, direction, span_nm, threshold, false);
+}
+
+double edge_placement_error(const Image& latent_img,
+                            const geom::Point& edge_point,
+                            const geom::Point& outward_normal,
+                            double range_nm, double threshold) {
+  const double step = latent_img.frame().pixel_nm / 4.0;
+  const LineScan s =
+      scan(latent_img, edge_point, outward_normal, -range_nm, range_nm, step);
+  // The printed contour crossing nearest t=0 where intensity transitions
+  // from printed (inside, t<crossing) to clear (outside) as t increases.
+  double best = kNan;
+  for (std::size_t i = 0; i + 1 < s.v.size(); ++i) {
+    const bool in0 = s.v[i] >= threshold;
+    const bool in1 = s.v[i + 1] >= threshold;
+    if (in0 && !in1) {
+      const double t = crossing_t(s, i, threshold);
+      if (std::isnan(best) || std::abs(t) < std::abs(best)) best = t;
+    }
+  }
+  return best;
+}
+
+double image_log_slope(const Image& latent_img, const geom::Point& edge_point,
+                       const geom::Point& outward_normal, double range_nm,
+                       double threshold) {
+  const double t_cross = edge_placement_error(
+      latent_img, edge_point, outward_normal, range_nm, threshold);
+  if (std::isnan(t_cross)) return kNan;
+  const double h = latent_img.frame().pixel_nm / 4.0;
+  auto at = [&](double t) {
+    return latent_img.sample(
+        static_cast<double>(edge_point.x) +
+            static_cast<double>(outward_normal.x) * t,
+        static_cast<double>(edge_point.y) +
+            static_cast<double>(outward_normal.y) * t);
+  };
+  const double slope = (at(t_cross + h) - at(t_cross - h)) / (2.0 * h);
+  const double intensity = at(t_cross);
+  if (intensity <= 0.0) return kNan;
+  return std::abs(slope) / intensity;
+}
+
+std::vector<ExposureLatitude> exposure_defocus_window(
+    const std::function<double(double, double)>& cd_fn,
+    const std::vector<double>& defocus_list, double target_cd,
+    double tol_frac, double dose_min, double dose_max, double dose_step) {
+  OPCKIT_CHECK(tol_frac > 0 && dose_step > 0 && dose_max > dose_min);
+  std::vector<ExposureLatitude> out;
+  out.reserve(defocus_list.size());
+  for (double z : defocus_list) {
+    ExposureLatitude el;
+    el.defocus_nm = z;
+    bool any = false;
+    for (double dose = dose_min; dose <= dose_max + 1e-12;
+         dose += dose_step) {
+      const double cd = cd_fn(z, dose);
+      const bool ok =
+          !std::isnan(cd) && std::abs(cd - target_cd) <= tol_frac * target_cd;
+      if (ok) {
+        if (!any) {
+          el.dose_lo = dose;
+          any = true;
+        }
+        el.dose_hi = dose;
+      }
+    }
+    el.latitude_pct = any ? 100.0 * (el.dose_hi - el.dose_lo) : 0.0;
+    out.push_back(el);
+  }
+  return out;
+}
+
+double depth_of_focus(const std::vector<ExposureLatitude>& window,
+                      double min_latitude_pct) {
+  // Largest contiguous defocus span with latitude >= the floor.
+  double best = 0.0;
+  std::size_t i = 0;
+  while (i < window.size()) {
+    if (window[i].latitude_pct < min_latitude_pct) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j + 1 < window.size() &&
+           window[j + 1].latitude_pct >= min_latitude_pct) {
+      ++j;
+    }
+    best = std::max(best, window[j].defocus_nm - window[i].defocus_nm);
+    i = j + 1;
+  }
+  return best;
+}
+
+double meef(const std::function<double(geom::Coord)>& wafer_cd_of_mask_bias,
+            geom::Coord delta_nm) {
+  OPCKIT_CHECK(delta_nm > 0);
+  const double cd_plus = wafer_cd_of_mask_bias(delta_nm);
+  const double cd_minus = wafer_cd_of_mask_bias(-delta_nm);
+  if (std::isnan(cd_plus) || std::isnan(cd_minus)) return kNan;
+  // A per-side bias of b changes the mask CD by 2b, so the mask-CD
+  // difference between the +delta and -delta evaluations is 4*delta.
+  return (cd_plus - cd_minus) / (4.0 * static_cast<double>(delta_nm));
+}
+
+}  // namespace opckit::litho

@@ -1,0 +1,85 @@
+/// \file metrology.h
+/// Metrology probes on latent images, plus process-window analytics.
+///
+/// All probes interpolate the latent image bilinearly and locate threshold
+/// crossings by linear interpolation between samples (sub-pixel accurate,
+/// sampling step = pixel/4). Probes return NaN when the requested feature
+/// does not exist (e.g. a line that failed to print) — callers must treat
+/// NaN as a catastrophic failure, not ignore it.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "geometry/point.h"
+#include "litho/image.h"
+
+namespace opckit::litho {
+
+/// Width of the printed (intensity >= threshold) span containing
+/// \p center, measured along \p direction (unit Manhattan vector) within
+/// +/- span_nm/2. NaN if \p center is not printed or an edge is not found
+/// inside the probe span.
+double printed_cd(const Image& latent_img, const geom::Point& center,
+                  const geom::Point& direction, double span_nm,
+                  double threshold);
+
+/// Width of the clear (intensity < threshold) span containing \p center —
+/// the space/gap dual of printed_cd. NaN if \p center is printed or the
+/// span is unbounded within the probe.
+double clear_cd(const Image& latent_img, const geom::Point& center,
+                const geom::Point& direction, double span_nm,
+                double threshold);
+
+/// Signed edge-placement error at a target edge point. \p outward_normal
+/// is the target polygon's outward unit normal at \p edge_point. Positive
+/// EPE: the printed contour lies outside the target (overprint); negative:
+/// underprint. Searches within +/- range_nm; NaN if no contour crossing is
+/// found (edge lost entirely).
+double edge_placement_error(const Image& latent_img,
+                            const geom::Point& edge_point,
+                            const geom::Point& outward_normal,
+                            double range_nm, double threshold);
+
+/// Image log slope at a printed edge: |dI/dt| / I evaluated at the
+/// threshold crossing nearest \p edge_point along \p outward_normal
+/// (units 1/nm). Multiply by the feature CD for NILS, the standard
+/// image-quality figure of merit (higher = steeper edge = more dose
+/// latitude). NaN if no contour crossing is found within range_nm.
+double image_log_slope(const Image& latent_img,
+                       const geom::Point& edge_point,
+                       const geom::Point& outward_normal, double range_nm,
+                       double threshold);
+
+/// One focus column of the exposure-defocus window.
+struct ExposureLatitude {
+  double defocus_nm = 0.0;
+  double dose_lo = 0.0;      ///< lowest dose keeping CD within tolerance
+  double dose_hi = 0.0;      ///< highest dose keeping CD within tolerance
+  double latitude_pct = 0.0; ///< 100 * (hi - lo) / nominal(=1.0)
+};
+
+/// Scan the exposure-defocus matrix: for each defocus, find the dose range
+/// (within [dose_min, dose_max], scanned at \p dose_step) that keeps
+/// cd_fn(defocus, dose) within +/- tol_frac of target_cd. cd_fn may return
+/// NaN for catastrophic failure (counts as out of spec).
+std::vector<ExposureLatitude> exposure_defocus_window(
+    const std::function<double(double defocus, double dose)>& cd_fn,
+    const std::vector<double>& defocus_list, double target_cd,
+    double tol_frac, double dose_min = 0.70, double dose_max = 1.30,
+    double dose_step = 0.01);
+
+/// Depth of focus: the total defocus span over which the exposure
+/// latitude stays at or above \p min_latitude_pct. Assumes the latitude
+/// list is ordered by defocus; returns 0 if never achieved.
+double depth_of_focus(const std::vector<ExposureLatitude>& window,
+                      double min_latitude_pct);
+
+/// Mask error enhancement factor: d(wafer CD)/d(mask CD) estimated by
+/// central difference. \p wafer_cd_of_mask_bias returns the printed CD
+/// when every mask edge is biased by the given amount (so the mask CD
+/// changes by 2*bias). NaN if either simulation fails.
+double meef(const std::function<double(geom::Coord bias)>& wafer_cd_of_mask_bias,
+            geom::Coord delta_nm);
+
+}  // namespace opckit::litho

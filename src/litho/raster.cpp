@@ -1,0 +1,60 @@
+#include "litho/raster.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opckit::litho {
+
+namespace {
+
+/// Overlap of [a0,a1] with pixel index i of size s starting at origin o:
+/// helper returning the clipped length in nm.
+double overlap(double a0, double a1, double p0, double p1) {
+  return std::max(0.0, std::min(a1, p1) - std::max(a0, p0));
+}
+
+}  // namespace
+
+void rasterize(const geom::Region& region, Image& img) {
+  const Frame& f = img.frame();
+  const double s = f.pixel_nm;
+  const double ox = static_cast<double>(f.origin.x);
+  const double oy = static_cast<double>(f.origin.y);
+  const double inv_area = 1.0 / (s * s);
+
+  for (const geom::Rect& r : region.rects()) {
+    const double x0 = static_cast<double>(r.lo.x), x1 = static_cast<double>(r.hi.x);
+    const double y0 = static_cast<double>(r.lo.y), y1 = static_cast<double>(r.hi.y);
+    // Pixel index span touched by the rect, clamped to the grid.
+    const auto ix_begin = static_cast<long>(std::floor((x0 - ox) / s));
+    const auto ix_end = static_cast<long>(std::ceil((x1 - ox) / s));
+    const auto iy_begin = static_cast<long>(std::floor((y0 - oy) / s));
+    const auto iy_end = static_cast<long>(std::ceil((y1 - oy) / s));
+    const long nx = static_cast<long>(f.nx), ny = static_cast<long>(f.ny);
+    for (long iy = std::max(0L, iy_begin); iy < std::min(ny, iy_end); ++iy) {
+      const double py0 = oy + static_cast<double>(iy) * s;
+      const double wy = overlap(y0, y1, py0, py0 + s);
+      if (wy <= 0) continue;
+      for (long ix = std::max(0L, ix_begin); ix < std::min(nx, ix_end);
+           ++ix) {
+        const double px0 = ox + static_cast<double>(ix) * s;
+        const double wx = overlap(x0, x1, px0, px0 + s);
+        if (wx <= 0) continue;
+        img.at(static_cast<std::size_t>(ix), static_cast<std::size_t>(iy)) +=
+            wx * wy * inv_area;
+      }
+    }
+  }
+}
+
+void rasterize(std::span<const geom::Polygon> polys, Image& img) {
+  rasterize(geom::Region::from_polygons(polys), img);
+}
+
+Image rasterize(const geom::Region& region, const Frame& frame) {
+  Image img(frame);
+  rasterize(region, img);
+  return img;
+}
+
+}  // namespace opckit::litho

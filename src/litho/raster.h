@@ -1,0 +1,30 @@
+/// \file raster.h
+/// Exact area-coverage rasterization of Manhattan geometry.
+///
+/// The mask transmission function handed to the imaging engine is the
+/// fractional pixel coverage of the mask shapes — exact for Manhattan
+/// geometry because rectangle/pixel overlap is separable. This is the
+/// standard "area-sampled" mask model of OPC simulators.
+#pragma once
+
+#include <span>
+
+#include "geometry/polygon.h"
+#include "geometry/region.h"
+#include "litho/image.h"
+
+namespace opckit::litho {
+
+/// Accumulate the exact fractional coverage of \p region into \p img
+/// (values add on top of existing content; disjoint region rects never
+/// exceed 1.0 on their own).
+void rasterize(const geom::Region& region, Image& img);
+
+/// Convenience: rasterize polygons (merged through a Region first so
+/// overlapping inputs cannot exceed coverage 1).
+void rasterize(std::span<const geom::Polygon> polys, Image& img);
+
+/// Build a fresh coverage image of \p region over \p frame.
+Image rasterize(const geom::Region& region, const Frame& frame);
+
+}  // namespace opckit::litho

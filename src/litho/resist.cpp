@@ -1,0 +1,43 @@
+#include "litho/resist.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "litho/fft.h"
+#include "util/check.h"
+
+namespace opckit::litho {
+
+Image gaussian_blur(const Image& img, double sigma_nm) {
+  OPCKIT_CHECK(sigma_nm >= 0.0);
+  if (sigma_nm == 0.0) return img;
+  const Frame& f = img.frame();
+  OPCKIT_CHECK(is_pow2(f.nx) && is_pow2(f.ny));
+  const std::size_t n = f.nx * f.ny;
+
+  std::vector<Complex> spec(n);
+  for (std::size_t i = 0; i < n; ++i) spec[i] = img.values()[i];
+  fft_2d(spec, f.nx, f.ny, /*inverse=*/false);
+
+  // Gaussian transfer function exp(-2 pi^2 sigma^2 |f|^2).
+  const double c = -2.0 * std::numbers::pi * std::numbers::pi * sigma_nm *
+                   sigma_nm;
+  for (std::size_t ky = 0; ky < f.ny; ++ky) {
+    const double fy = fft_freq(ky, f.ny) / f.pixel_nm;
+    for (std::size_t kx = 0; kx < f.nx; ++kx) {
+      const double fx = fft_freq(kx, f.nx) / f.pixel_nm;
+      spec[ky * f.nx + kx] *= std::exp(c * (fx * fx + fy * fy));
+    }
+  }
+  fft_2d(spec, f.nx, f.ny, /*inverse=*/true);
+
+  Image out(f);
+  for (std::size_t i = 0; i < n; ++i) out.values()[i] = spec[i].real();
+  return out;
+}
+
+Image latent_image(const Image& aerial, const ResistModel& resist) {
+  return gaussian_blur(aerial, resist.diffusion_nm);
+}
+
+}  // namespace opckit::litho

@@ -1,0 +1,34 @@
+/// \file resist.h
+/// Constant-threshold resist model with acid-diffusion blur.
+///
+/// The latent image is the aerial image convolved with a Gaussian of
+/// standard deviation \p diffusion_nm (chemically-amplified resist acid
+/// diffusion); resist develops wherever latent intensity × dose exceeds
+/// the threshold. This is the model 2001-era production OPC engines were
+/// calibrated with (VT / CTR models).
+#pragma once
+
+#include "litho/image.h"
+
+namespace opckit::litho {
+
+/// Resist parameters. Dose is modeled multiplicatively: the effective
+/// development condition is intensity >= threshold / dose.
+struct ResistModel {
+  double threshold = 0.30;
+  double diffusion_nm = 25.0;
+
+  /// Effective threshold at relative dose \p dose (1.0 = nominal).
+  double threshold_at_dose(double dose) const { return threshold / dose; }
+};
+
+/// Gaussian blur with standard deviation \p sigma_nm, computed in the
+/// frequency domain (periodic boundaries — consistent with the imaging
+/// engine's guard-band convention). Frame dims must be powers of two.
+/// sigma_nm == 0 returns the input unchanged.
+Image gaussian_blur(const Image& img, double sigma_nm);
+
+/// Latent image: aerial image after resist diffusion.
+Image latent_image(const Image& aerial, const ResistModel& resist);
+
+}  // namespace opckit::litho

@@ -1,0 +1,69 @@
+#include "pattern/canonical.h"
+
+#include <algorithm>
+
+namespace opckit::pat {
+
+using geom::Orientation;
+using geom::Rect;
+using geom::Region;
+using geom::Transform;
+
+Region oriented(const Region& window_geometry, Orientation o) {
+  const Transform t(o, {0, 0});
+  std::vector<Rect> rects;
+  for (const Rect& r : window_geometry.rects()) {
+    rects.push_back(t(r));
+  }
+  return Region::from_rects(rects);
+}
+
+namespace {
+
+bool rect_list_less(const std::vector<Rect>& a, const std::vector<Rect>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i].lo != b[i].lo) return a[i].lo < b[i].lo;
+    if (a[i].hi != b[i].hi) return a[i].hi < b[i].hi;
+  }
+  return a.size() < b.size();
+}
+
+std::uint64_t hash_rects(const std::vector<Rect>& rects) {
+  // FNV-1a over the coordinate stream.
+  std::uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](geom::Coord c) {
+    auto v = static_cast<std::uint64_t>(c);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const Rect& r : rects) {
+    mix(r.lo.x);
+    mix(r.lo.y);
+    mix(r.hi.x);
+    mix(r.hi.y);
+  }
+  return h;
+}
+
+}  // namespace
+
+CanonicalPattern canonicalize(const Region& window_geometry) {
+  CanonicalPattern best;
+  bool first = true;
+  for (Orientation o : geom::all_orientations()) {
+    // Region::rects() is already canonical (slab order) for a given
+    // geometry, so orientations compare deterministically.
+    std::vector<Rect> rects = oriented(window_geometry, o).rects();
+    if (first || rect_list_less(rects, best.rects)) {
+      best.rects = std::move(rects);
+      first = false;
+    }
+  }
+  best.hash = hash_rects(best.rects);
+  return best;
+}
+
+}  // namespace opckit::pat

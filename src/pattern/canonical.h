@@ -1,0 +1,38 @@
+/// \file canonical.h
+/// Canonical forms of pattern windows under the D4 symmetry group.
+///
+/// Two windows describe the same pattern class when one maps onto the
+/// other by a rotation/reflection about the window center. The canonical
+/// form is the lexicographically smallest rectangle-list serialization
+/// over all eight orientations — unique and unambiguous, so pattern
+/// identity is pure data, with no matching code to write (the property the
+/// topological-pattern line of work emphasizes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/geometry.h"
+
+namespace opckit::pat {
+
+/// A canonicalized pattern.
+struct CanonicalPattern {
+  std::vector<geom::Rect> rects;  ///< canonical rect decomposition
+  std::uint64_t hash = 0;         ///< 64-bit content hash of rects
+
+  friend bool operator==(const CanonicalPattern&,
+                         const CanonicalPattern&) = default;
+};
+
+/// Canonicalize a window-local region (as produced by extract_windows:
+/// centered on the origin, clipped to [-radius, radius]²) under D4.
+CanonicalPattern canonicalize(const geom::Region& window_geometry);
+
+/// The orientation-invariance witness: canonicalize(apply(o, region)) is
+/// identical for every o in D4. Exposed for testing and for building
+/// symmetry-reduction statistics.
+geom::Region oriented(const geom::Region& window_geometry,
+                      geom::Orientation o);
+
+}  // namespace opckit::pat

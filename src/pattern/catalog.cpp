@@ -1,0 +1,122 @@
+#include "pattern/catalog.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace opckit::pat {
+
+void PatternCatalog::add(const PatternWindow& window) {
+  CanonicalPattern canon = canonicalize(window.geometry);
+  auto [it, inserted] = classes_.try_emplace(canon.hash);
+  if (inserted) {
+    it->second.pattern = std::move(canon);
+    it->second.first_anchor = window.anchor;
+  }
+  ++it->second.count;
+  ++total_;
+}
+
+void PatternCatalog::add(const std::vector<PatternWindow>& windows) {
+  for (const auto& w : windows) add(w);
+}
+
+void PatternCatalog::merge(const PatternCatalog& other) {
+  for (const auto& [hash, cls] : other.classes_) {
+    auto [it, inserted] = classes_.try_emplace(hash, cls);
+    if (!inserted) it->second.count += cls.count;
+  }
+  total_ += other.total_;
+}
+
+std::vector<PatternClass> PatternCatalog::ranked() const {
+  std::vector<PatternClass> out;
+  out.reserve(classes_.size());
+  for (const auto& [hash, cls] : classes_) out.push_back(cls);
+  std::sort(out.begin(), out.end(),
+            [](const PatternClass& a, const PatternClass& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.pattern.hash < b.pattern.hash;
+            });
+  return out;
+}
+
+double PatternCatalog::coverage_top_k(std::size_t k) const {
+  if (total_ == 0) return 0.0;
+  const auto r = ranked();
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < std::min(k, r.size()); ++i) {
+    covered += r[i].count;
+  }
+  return static_cast<double>(covered) / static_cast<double>(total_);
+}
+
+std::size_t PatternCatalog::classes_for_coverage(double fraction) const {
+  OPCKIT_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  if (total_ == 0) return 0;
+  const auto r = ranked();
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    covered += r[i].count;
+    if (static_cast<double>(covered) >=
+        fraction * static_cast<double>(total_)) {
+      return i + 1;
+    }
+  }
+  return r.size();
+}
+
+PatternCatalog PatternCatalog::intersected(const PatternCatalog& other) const {
+  PatternCatalog out;
+  for (const auto& [hash, cls] : classes_) {
+    if (other.contains(hash)) {
+      out.classes_.emplace(hash, cls);
+      out.total_ += cls.count;
+    }
+  }
+  return out;
+}
+
+PatternCatalog PatternCatalog::subtracted(const PatternCatalog& other) const {
+  PatternCatalog out;
+  for (const auto& [hash, cls] : classes_) {
+    if (!other.contains(hash)) {
+      out.classes_.emplace(hash, cls);
+      out.total_ += cls.count;
+    }
+  }
+  return out;
+}
+
+PatternCatalog build_catalog(const std::vector<geom::Polygon>& polys,
+                             const WindowSpec& spec) {
+  PatternCatalog cat;
+  cat.add(extract_windows(polys, spec));
+  return cat;
+}
+
+double catalog_kl_divergence(const PatternCatalog& a,
+                             const PatternCatalog& b) {
+  std::set<std::uint64_t> keys;
+  for (const auto& [hash, cls] : a.by_hash()) keys.insert(hash);
+  for (const auto& [hash, cls] : b.by_hash()) keys.insert(hash);
+  std::vector<double> pa, pb;
+  pa.reserve(keys.size());
+  pb.reserve(keys.size());
+  for (std::uint64_t k : keys) {
+    const auto ia = a.by_hash().find(k);
+    const auto ib = b.by_hash().find(k);
+    pa.push_back(ia == a.by_hash().end()
+                     ? 0.0
+                     : static_cast<double>(ia->second.count));
+    pb.push_back(ib == b.by_hash().end()
+                     ? 0.0
+                     : static_cast<double>(ib->second.count));
+  }
+  if (pa.empty()) return 0.0;
+  return util::kl_divergence(pa, pb);
+}
+
+}  // namespace opckit::pat

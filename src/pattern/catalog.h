@@ -1,0 +1,78 @@
+/// \file catalog.h
+/// Layout Pattern Catalogs: frequency-ranked pattern class databases.
+///
+/// The catalog is the dataset DFM flows mine: which 2D configurations a
+/// design contains and how often. Supports frequency spectra, top-k
+/// coverage (the "10 classes cover 90% of vias" style of result), and
+/// cross-design comparison via set algebra and KL divergence.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pattern/canonical.h"
+#include "pattern/window.h"
+
+namespace opckit::pat {
+
+/// One pattern class in a catalog.
+struct PatternClass {
+  CanonicalPattern pattern;
+  std::size_t count = 0;                 ///< occurrences
+  geom::Point first_anchor;              ///< example location in the layout
+};
+
+/// A catalog of pattern classes keyed by canonical hash.
+class PatternCatalog {
+ public:
+  PatternCatalog() = default;
+
+  /// Classify and insert one window.
+  void add(const PatternWindow& window);
+  /// Insert many windows.
+  void add(const std::vector<PatternWindow>& windows);
+  /// Merge another catalog's counts into this one.
+  void merge(const PatternCatalog& other);
+
+  /// Number of distinct classes.
+  std::size_t classes() const { return classes_.size(); }
+  /// Total classified windows.
+  std::size_t total() const { return total_; }
+  /// True if a pattern with this canonical hash is present.
+  bool contains(std::uint64_t hash) const { return classes_.count(hash) > 0; }
+  /// All classes sorted by descending count (ties by hash — deterministic).
+  std::vector<PatternClass> ranked() const;
+
+  /// Fraction of all windows covered by the k most frequent classes.
+  double coverage_top_k(std::size_t k) const;
+  /// Smallest k whose top-k coverage reaches \p fraction (classes() + 1
+  /// if unreachable, which cannot happen for fraction <= 1).
+  std::size_t classes_for_coverage(double fraction) const;
+
+  /// Set algebra on pattern identity (counts from *this where kept).
+  PatternCatalog intersected(const PatternCatalog& other) const;
+  PatternCatalog subtracted(const PatternCatalog& other) const;
+
+  /// Internal map (hash -> class), for traversal.
+  const std::map<std::uint64_t, PatternClass>& by_hash() const {
+    return classes_;
+  }
+
+ private:
+  std::map<std::uint64_t, PatternClass> classes_;
+  std::size_t total_ = 0;
+};
+
+/// Build a catalog straight from geometry.
+PatternCatalog build_catalog(const std::vector<geom::Polygon>& polys,
+                             const WindowSpec& spec);
+
+/// Kullback-Leibler divergence D(a || b) between the pattern frequency
+/// distributions of two catalogs, over the union of their classes with
+/// Laplace smoothing — the design-style distance of the topological
+/// pattern literature.
+double catalog_kl_divergence(const PatternCatalog& a,
+                             const PatternCatalog& b);
+
+}  // namespace opckit::pat

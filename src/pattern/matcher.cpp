@@ -1,0 +1,50 @@
+#include "pattern/matcher.h"
+
+#include "util/check.h"
+
+namespace opckit::pat {
+
+PatternMatcher::PatternMatcher(geom::Coord radius) : radius_(radius) {
+  OPCKIT_CHECK(radius > 0);
+}
+
+void PatternMatcher::add_rule(MatchRule rule) {
+  OPCKIT_CHECK_MSG(!rule.name.empty(), "match rule needs a name");
+  by_hash_.emplace(rule.pattern.hash, std::move(rule.name));
+}
+
+void PatternMatcher::add_rule(const std::string& name,
+                              const geom::Region& local_geometry) {
+  MatchRule rule;
+  rule.name = name;
+  rule.pattern = canonicalize(local_geometry);
+  add_rule(std::move(rule));
+}
+
+void PatternMatcher::add_catalog(const PatternCatalog& catalog,
+                                 const std::string& name_prefix) {
+  for (const auto& [hash, cls] : catalog.by_hash()) {
+    MatchRule rule;
+    rule.name = name_prefix + "." + std::to_string(hash);
+    rule.pattern = cls.pattern;
+    add_rule(std::move(rule));
+  }
+}
+
+std::vector<MatchHit> PatternMatcher::scan(
+    const std::vector<geom::Polygon>& polys) const {
+  WindowSpec spec;
+  spec.radius = radius_;
+  spec.anchors = AnchorKind::kCorners;
+  std::vector<MatchHit> hits;
+  for (const PatternWindow& w : extract_windows(polys, spec)) {
+    const CanonicalPattern canon = canonicalize(w.geometry);
+    const auto it = by_hash_.find(canon.hash);
+    if (it != by_hash_.end()) {
+      hits.push_back({it->second, w.anchor});
+    }
+  }
+  return hits;
+}
+
+}  // namespace opckit::pat

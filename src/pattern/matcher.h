@@ -1,0 +1,60 @@
+/// \file matcher.h
+/// DRC-Plus style pattern matching: scan a layout for occurrences of
+/// known problematic pattern classes.
+///
+/// The workflow this enables is the one the pattern-catalog literature
+/// describes: yield learning identifies bad 2D configurations (from
+/// hotspot simulation or failure analysis), they are canonicalized into a
+/// match deck, and physical verification flags every place a new design
+/// uses them — a pass/fail check that needs no simulation at signoff.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pattern/catalog.h"
+
+namespace opckit::pat {
+
+/// One entry of a match deck.
+struct MatchRule {
+  std::string name;           ///< e.g. "hotspot.bridge.0042"
+  CanonicalPattern pattern;   ///< canonical form at the deck's radius
+};
+
+/// A location where a deck pattern occurs in the scanned layout.
+struct MatchHit {
+  std::string rule;
+  geom::Point anchor;  ///< layout coordinates of the matching window
+};
+
+/// A compiled pattern-match deck bound to one window radius.
+class PatternMatcher {
+ public:
+  /// Create an empty deck matching windows of \p radius.
+  explicit PatternMatcher(geom::Coord radius);
+
+  /// Add a rule from an already-canonicalized pattern.
+  void add_rule(MatchRule rule);
+  /// Convenience: canonicalize a window-local geometry and add it.
+  void add_rule(const std::string& name, const geom::Region& local_geometry);
+  /// Import every class of a catalog as a rule (names generated from the
+  /// class hash) — e.g. "everything seen failing on the previous chip".
+  void add_catalog(const PatternCatalog& catalog,
+                   const std::string& name_prefix);
+
+  /// Number of rules.
+  std::size_t size() const { return by_hash_.size(); }
+  geom::Coord radius() const { return radius_; }
+
+  /// Scan a layout (corner-anchored windows at the deck radius) and
+  /// return every hit, in deterministic order.
+  std::vector<MatchHit> scan(const std::vector<geom::Polygon>& polys) const;
+
+ private:
+  geom::Coord radius_;
+  std::unordered_map<std::uint64_t, std::string> by_hash_;
+};
+
+}  // namespace opckit::pat

@@ -1,0 +1,10 @@
+/// \file pattern.h
+/// Umbrella header for the layout-pattern-catalog subsystem.
+#pragma once
+
+#include "pattern/canonical.h"  // IWYU pragma: export
+#include "pattern/catalog.h"    // IWYU pragma: export
+#include "pattern/matcher.h"    // IWYU pragma: export
+#include "pattern/pdb.h"        // IWYU pragma: export
+#include "pattern/tree.h"       // IWYU pragma: export
+#include "pattern/window.h"     // IWYU pragma: export

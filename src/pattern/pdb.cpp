@@ -1,0 +1,111 @@
+#include "pattern/pdb.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace opckit::pat {
+
+namespace {
+constexpr const char* kMagic = "opckit-pdb 1";
+}
+
+void write_pdb(const PatternCatalog& catalog, std::ostream& os) {
+  os << kMagic << '\n';
+  os << "classes " << catalog.classes() << " total " << catalog.total()
+     << '\n';
+  for (const auto& [hash, cls] : catalog.by_hash()) {
+    os << "pattern " << hash << " count " << cls.count << " anchor "
+       << cls.first_anchor.x << ' ' << cls.first_anchor.y << " rects "
+       << cls.pattern.rects.size() << '\n';
+    for (const auto& r : cls.pattern.rects) {
+      os << "  " << r.lo.x << ' ' << r.lo.y << ' ' << r.hi.x << ' '
+         << r.hi.y << '\n';
+    }
+  }
+  if (!os) throw util::InputError("PDB write failed");
+}
+
+void write_pdb_file(const PatternCatalog& catalog, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw util::InputError("cannot open for write: " + path);
+  write_pdb(catalog, f);
+}
+
+PatternCatalog read_pdb(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || util::trim(line) != kMagic) {
+    throw util::InputError("not an opckit PDB (bad magic)");
+  }
+  std::size_t classes = 0, total = 0;
+  {
+    std::string word;
+    if (!std::getline(is, line)) throw util::InputError("truncated PDB");
+    std::istringstream hs(line);
+    std::string k1, k2;
+    hs >> k1 >> classes >> k2 >> total;
+    if (k1 != "classes" || k2 != "total" || !hs) {
+      throw util::InputError("malformed PDB header: " + line);
+    }
+  }
+
+  // Rebuild the catalog through synthetic windows so counts and anchors
+  // round-trip exactly: add() the representative window count times.
+  // Geometry is reconstructed from the stored canonical rects (already
+  // canonical, so re-canonicalization is the identity).
+  PatternCatalog out;
+  std::size_t seen_classes = 0;
+  while (std::getline(is, line)) {
+    const std::string trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    std::istringstream ps(trimmed);
+    std::string kw, kc, ka, kr;
+    std::uint64_t hash = 0;
+    std::size_t count = 0, nrects = 0;
+    geom::Point anchor;
+    ps >> kw >> hash >> kc >> count >> ka >> anchor.x >> anchor.y >> kr >>
+        nrects;
+    if (kw != "pattern" || kc != "count" || ka != "anchor" ||
+        kr != "rects" || !ps) {
+      throw util::InputError("malformed PDB pattern line: " + trimmed);
+    }
+    std::vector<geom::Rect> rects;
+    rects.reserve(nrects);
+    for (std::size_t i = 0; i < nrects; ++i) {
+      if (!std::getline(is, line)) {
+        throw util::InputError("truncated PDB rect list");
+      }
+      std::istringstream rs(line);
+      geom::Rect r;
+      rs >> r.lo.x >> r.lo.y >> r.hi.x >> r.hi.y;
+      if (!rs) throw util::InputError("malformed PDB rect: " + line);
+      rects.push_back(r);
+    }
+    OPCKIT_CHECK(count > 0);
+    PatternWindow w;
+    w.anchor = anchor;
+    w.geometry = geom::Region::from_rects(rects);
+    for (std::size_t i = 0; i < count; ++i) out.add(w);
+    const auto it = out.by_hash().find(hash);
+    if (it == out.by_hash().end()) {
+      throw util::InputError("PDB hash mismatch after reconstruction");
+    }
+    ++seen_classes;
+  }
+  if (seen_classes != classes || out.total() != total) {
+    throw util::InputError("PDB header/content mismatch");
+  }
+  return out;
+}
+
+PatternCatalog read_pdb_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw util::InputError("cannot open for read: " + path);
+  return read_pdb(f);
+}
+
+}  // namespace opckit::pat

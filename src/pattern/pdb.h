@@ -1,0 +1,33 @@
+/// \file pdb.h
+/// Pattern database persistence.
+///
+/// Pattern catalogs only pay off when they accumulate across designs and
+/// technology cycles — the "pattern database" (PDB) workflow: classify a
+/// test chip, persist; classify the first product, merge; carry the
+/// learning (counts, first-seen anchors, canonical geometry) forward so
+/// hotspot identity is stable across years. The on-disk format is a
+/// versioned line-oriented text file: human-diffable, deterministic, and
+/// stable under append/merge.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "pattern/catalog.h"
+
+namespace opckit::pat {
+
+/// Serialize a catalog. Deterministic (classes ordered by hash).
+void write_pdb(const PatternCatalog& catalog, std::ostream& os);
+
+/// Serialize to a file. Throws util::InputError on I/O failure.
+void write_pdb_file(const PatternCatalog& catalog, const std::string& path);
+
+/// Parse a PDB stream. Throws util::InputError on malformed content or
+/// version mismatch. Round-trips write_pdb exactly.
+PatternCatalog read_pdb(std::istream& is);
+
+/// Parse from a file.
+PatternCatalog read_pdb_file(const std::string& path);
+
+}  // namespace opckit::pat

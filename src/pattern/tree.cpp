@@ -1,0 +1,97 @@
+#include "pattern/tree.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace opckit::pat {
+
+using geom::Coord;
+using geom::Rect;
+using geom::Region;
+
+PatternTree::PatternTree(const std::vector<geom::Polygon>& polys,
+                         std::vector<Coord> radii)
+    : radii_(std::move(radii)) {
+  OPCKIT_CHECK(!radii_.empty());
+  OPCKIT_CHECK(std::is_sorted(radii_.begin(), radii_.end()));
+  OPCKIT_CHECK(radii_.front() > 0);
+
+  // Extract at the largest radius once; smaller levels are clips of it,
+  // which guarantees every window has a well-defined ancestor chain.
+  WindowSpec spec;
+  spec.radius = radii_.back();
+  spec.anchors = AnchorKind::kCorners;
+  spec.skip_empty = true;
+  const auto windows = extract_windows(polys, spec);
+
+  // level -> (canonical hash -> node index)
+  std::vector<std::map<std::uint64_t, std::size_t>> level_index(
+      radii_.size());
+
+  for (const auto& w : windows) {
+    std::size_t parent = SIZE_MAX;
+    for (std::size_t lvl = 0; lvl < radii_.size(); ++lvl) {
+      const Coord r = radii_[lvl];
+      const Region clip =
+          lvl + 1 == radii_.size()
+              ? w.geometry
+              : w.geometry.clipped(Rect(-r, -r, r, r));
+      CanonicalPattern canon = canonicalize(clip);
+      auto [it, inserted] = level_index[lvl].try_emplace(canon.hash);
+      if (inserted) {
+        it->second = nodes_.size();
+        PatternNode node;
+        node.level = lvl;
+        node.pattern = std::move(canon);
+        node.parent = parent;
+        nodes_.push_back(std::move(node));
+        if (parent != SIZE_MAX) {
+          nodes_[parent].children.push_back(it->second);
+        }
+      }
+      PatternNode& node = nodes_[it->second];
+      OPCKIT_CHECK_MSG(node.parent == parent,
+                       "containment violated: same pattern, two parents");
+      ++node.count;
+      parent = it->second;
+    }
+  }
+}
+
+std::vector<std::size_t> PatternTree::level_nodes(std::size_t level) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].level == level) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t PatternTree::classes_at(std::size_t level) const {
+  return level_nodes(level).size();
+}
+
+double PatternTree::refinement_factor(std::size_t level) const {
+  OPCKIT_CHECK(level < radii_.size());
+  std::size_t parents = 0, kids = 0;
+  for (std::size_t i : level_nodes(level)) {
+    if (!nodes_[i].children.empty()) {
+      ++parents;
+      kids += nodes_[i].children.size();
+    }
+  }
+  return parents == 0 ? 0.0
+                      : static_cast<double>(kids) /
+                            static_cast<double>(parents);
+}
+
+std::size_t PatternTree::saturation_level(double tol) const {
+  for (std::size_t lvl = 1; lvl < radii_.size(); ++lvl) {
+    const auto prev = static_cast<double>(classes_at(lvl - 1));
+    const auto cur = static_cast<double>(classes_at(lvl));
+    if (prev > 0 && (cur - prev) / prev <= tol) return lvl - 1;
+  }
+  return radii_.size() - 1;
+}
+
+}  // namespace opckit::pat

@@ -1,0 +1,62 @@
+/// \file tree.h
+/// Pattern association tree: multi-radius containment structure.
+///
+/// Patterns extracted at increasing radii form a natural partial order:
+/// clipping a radius-r₂ pattern to radius r₁ < r₂ yields its r₁
+/// "ancestor". Organizing classes by this refinement relation gives the
+/// pattern association tree (PAT): each node is a pattern class at one
+/// radius level, its parent is its clip at the previous level, and the
+/// branching factor measures how much context the extra radius
+/// discriminates — the basis for choosing optimal pattern context size.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "pattern/canonical.h"
+#include "pattern/window.h"
+
+namespace opckit::pat {
+
+/// One node of the pattern association tree.
+struct PatternNode {
+  std::size_t level = 0;        ///< index into the radius list
+  CanonicalPattern pattern;     ///< canonical form at this radius
+  std::size_t count = 0;        ///< windows classified into this node
+  std::size_t parent = SIZE_MAX;        ///< node index at level-1 (SIZE_MAX = root level)
+  std::vector<std::size_t> children;    ///< node indices at level+1
+};
+
+/// The tree over all radius levels.
+class PatternTree {
+ public:
+  /// Build from geometry: windows are extracted at every radius in
+  /// \p radii (ascending, all > 0) around the same anchors (corners).
+  PatternTree(const std::vector<geom::Polygon>& polys,
+              std::vector<geom::Coord> radii);
+
+  /// Radius list (ascending).
+  const std::vector<geom::Coord>& radii() const { return radii_; }
+  /// All nodes (tree arena).
+  const std::vector<PatternNode>& nodes() const { return nodes_; }
+  /// Node indices at one level.
+  std::vector<std::size_t> level_nodes(std::size_t level) const;
+  /// Number of distinct classes at one level.
+  std::size_t classes_at(std::size_t level) const;
+
+  /// Mean number of children of level-\p level nodes that have children —
+  /// the discrimination gained by growing the radius one step.
+  double refinement_factor(std::size_t level) const;
+
+  /// Smallest level whose class count stops growing (within \p tol
+  /// relative change) — the "optimal context radius" criterion. Returns
+  /// the last level if it never saturates.
+  std::size_t saturation_level(double tol = 0.02) const;
+
+ private:
+  std::vector<geom::Coord> radii_;
+  std::vector<PatternNode> nodes_;
+};
+
+}  // namespace opckit::pat

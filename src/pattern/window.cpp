@@ -1,0 +1,68 @@
+#include "pattern/window.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace opckit::pat {
+
+using geom::Coord;
+using geom::Point;
+using geom::Polygon;
+using geom::Rect;
+using geom::Region;
+
+std::vector<PatternWindow> extract_windows(const std::vector<Polygon>& polys,
+                                           const WindowSpec& spec) {
+  OPCKIT_CHECK(spec.radius > 0);
+
+  // Anchor list.
+  std::vector<Point> anchors;
+  if (spec.anchors == AnchorKind::kCorners) {
+    for (const auto& p : polys) {
+      for (std::size_t i = 0; i < p.size(); ++i) anchors.push_back(p[i]);
+    }
+    std::sort(anchors.begin(), anchors.end());
+    anchors.erase(std::unique(anchors.begin(), anchors.end()),
+                  anchors.end());
+  } else {
+    OPCKIT_CHECK(spec.grid_step > 0);
+    Rect box = Rect::empty();
+    for (const auto& p : polys) box = box.united(p.bbox());
+    if (box.is_empty()) return {};
+    for (Coord y = box.lo.y; y <= box.hi.y; y += spec.grid_step) {
+      for (Coord x = box.lo.x; x <= box.hi.x; x += spec.grid_step) {
+        anchors.push_back({x, y});
+      }
+    }
+  }
+
+  // Spatial index over polygons for window clipping.
+  Rect extent = Rect::empty();
+  for (const auto& p : polys) extent = extent.united(p.bbox());
+  if (extent.is_empty()) extent = Rect(0, 0, 1, 1);
+  geom::TileIndex index(extent.inflated(spec.radius + 1),
+                        std::max<Coord>(spec.radius * 2, 256));
+  for (std::size_t i = 0; i < polys.size(); ++i) {
+    index.insert(i, polys[i].bbox());
+  }
+
+  std::vector<PatternWindow> out;
+  out.reserve(anchors.size());
+  for (const Point& a : anchors) {
+    const Rect window(a.x - spec.radius, a.y - spec.radius,
+                      a.x + spec.radius, a.y + spec.radius);
+    std::vector<Polygon> local;
+    for (std::size_t id : index.query(window)) {
+      local.push_back(polys[id]);
+    }
+    Region clipped = Region::from_polygons(local)
+                         .clipped(window)
+                         .translated(-a);
+    if (spec.skip_empty && clipped.empty()) continue;
+    out.push_back({a, std::move(clipped)});
+  }
+  return out;
+}
+
+}  // namespace opckit::pat

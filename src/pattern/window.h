@@ -1,0 +1,39 @@
+/// \file window.h
+/// Pattern window extraction.
+///
+/// A layout pattern catalog is built by clipping fixed-radius windows of
+/// geometry around anchor points and classifying the clips. Anchors follow
+/// the DRC-Plus practice: geometric events (polygon corners), where
+/// proximity effects concentrate — optionally a uniform grid for
+/// area-coverage studies.
+#pragma once
+
+#include <vector>
+
+#include "geometry/geometry.h"
+
+namespace opckit::pat {
+
+/// Where to place pattern windows.
+enum class AnchorKind { kCorners, kGrid };
+
+/// Window extraction policy.
+struct WindowSpec {
+  geom::Coord radius = 400;      ///< half-side of the square window (nm)
+  AnchorKind anchors = AnchorKind::kCorners;
+  geom::Coord grid_step = 800;   ///< anchor pitch for kGrid
+  bool skip_empty = true;        ///< drop windows with no geometry
+};
+
+/// One extracted window: geometry translated to window-local coordinates
+/// (anchor at the origin) and clipped to [-radius, radius]².
+struct PatternWindow {
+  geom::Point anchor;      ///< anchor in layout coordinates
+  geom::Region geometry;   ///< local, clipped
+};
+
+/// Extract pattern windows from a polygon set.
+std::vector<PatternWindow> extract_windows(
+    const std::vector<geom::Polygon>& polys, const WindowSpec& spec);
+
+}  // namespace opckit::pat

@@ -1,0 +1,57 @@
+/// \file check.h
+/// Runtime precondition / invariant checking for opckit.
+///
+/// The library uses exceptions for error reporting (I/O failures, malformed
+/// inputs) and OPCKIT_CHECK for programmer-facing contract violations. All
+/// checks stay enabled in release builds: EDA data is adversarial enough
+/// that silent corruption is worse than the branch cost.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace opckit::util {
+
+/// Exception thrown when an OPCKIT_CHECK contract fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Exception thrown for malformed external input (files, decks, layouts).
+class InputError : public std::runtime_error {
+ public:
+  explicit InputError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "OPCKIT_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace opckit::util
+
+/// Verify a contract; throws opckit::util::CheckError on failure.
+#define OPCKIT_CHECK(expr)                                                  \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::opckit::util::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Verify a contract with a formatted message streamed into it, e.g.
+///   OPCKIT_CHECK_MSG(n > 0, "need positive count, got " << n);
+#define OPCKIT_CHECK_MSG(expr, stream_expr)                            \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream opckit_msg_stream_;                                          \
+      opckit_msg_stream_ << stream_expr;                                              \
+      ::opckit::util::detail::check_failed(#expr, __FILE__, __LINE__,  \
+                                           opckit_msg_stream_.str());                 \
+    }                                                                  \
+  } while (false)

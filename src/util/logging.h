@@ -1,0 +1,36 @@
+/// \file logging.h
+/// Minimal leveled logging to stderr.
+///
+/// Experiment binaries print their tables on stdout; diagnostics go through
+/// this logger on stderr so the two streams never interleave in reports.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace opckit::util {
+
+/// Severity levels in increasing order.
+enum class LogLevel { kDebug, kInfo, kWarn, kError };
+
+/// Set the minimum level that is emitted (default kInfo).
+void set_log_level(LogLevel level);
+
+/// Current minimum emitted level.
+LogLevel log_level();
+
+/// Emit one log line (used by the OPCKIT_LOG macro).
+void log_message(LogLevel level, const std::string& message);
+
+}  // namespace opckit::util
+
+/// Log with streaming syntax: OPCKIT_LOG(kInfo, "iter " << i);
+#define OPCKIT_LOG(level, stream_expr)                                   \
+  do {                                                                   \
+    if (::opckit::util::LogLevel::level >= ::opckit::util::log_level()) { \
+      std::ostringstream opckit_msg_stream_;                                            \
+      opckit_msg_stream_ << stream_expr;                                                \
+      ::opckit::util::log_message(::opckit::util::LogLevel::level,       \
+                                  opckit_msg_stream_.str());                            \
+    }                                                                    \
+  } while (false)

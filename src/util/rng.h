@@ -1,0 +1,91 @@
+/// \file rng.h
+/// Deterministic pseudo-random number generation.
+///
+/// All stochastic workload generation in opckit is seeded explicitly so that
+/// every experiment is exactly reproducible. We implement xoshiro256++
+/// (public-domain algorithm by Blackman & Vigna) seeded through SplitMix64;
+/// std::mt19937 is avoided because its state layout is implementation-pinned
+/// but its distributions are not, and we need bit-identical streams.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace opckit::util {
+
+/// SplitMix64: used to expand a 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 pseudo-random bits.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ deterministic PRNG with convenience distributions.
+class Rng {
+ public:
+  /// Construct from a 64-bit seed (expanded via SplitMix64).
+  explicit Rng(std::uint64_t seed = 0x5eed'0bc1ULL) { reseed(seed); }
+
+  /// Reset the stream to the state derived from \p seed.
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  /// Next 64 pseudo-random bits.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    OPCKIT_CHECK(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+    // Lemire-style rejection-free multiply-shift is fine here; bias is
+    // < 2^-64 * span which is irrelevant for workload synthesis, but we do
+    // classic rejection to keep streams portable and exactly uniform.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    std::uint64_t v = next_u64();
+    while (v >= limit) v = next_u64();
+    return lo + static_cast<std::int64_t>(v % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Bernoulli trial with probability \p p of returning true.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace opckit::util

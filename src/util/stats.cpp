@@ -1,0 +1,114 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace opckit::util {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::max_abs() const {
+  if (n_ == 0) return 0.0;
+  return std::max(std::abs(min_), std::abs(max_));
+}
+
+double percentile(std::vector<double> samples, double q) {
+  OPCKIT_CHECK(!samples.empty());
+  OPCKIT_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double rms(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  double acc = 0.0;
+  for (double s : samples) acc += s * s;
+  return std::sqrt(acc / static_cast<double>(samples.size()));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  OPCKIT_CHECK(hi > lo);
+  OPCKIT_CHECK(bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(bins()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(bins()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  const double w = (hi_ - lo_) / static_cast<double>(bins());
+  return lo_ + (static_cast<double>(i) + 0.5) * w;
+}
+
+double kl_divergence(const std::vector<double>& p_counts,
+                     const std::vector<double>& q_counts, double smoothing) {
+  OPCKIT_CHECK(p_counts.size() == q_counts.size());
+  OPCKIT_CHECK(!p_counts.empty());
+  double p_total = 0.0, q_total = 0.0;
+  const auto k = static_cast<double>(p_counts.size());
+  for (std::size_t i = 0; i < p_counts.size(); ++i) {
+    OPCKIT_CHECK(p_counts[i] >= 0.0 && q_counts[i] >= 0.0);
+    p_total += p_counts[i] + smoothing;
+    q_total += q_counts[i] + smoothing;
+  }
+  OPCKIT_CHECK(p_total > 0.0 && q_total > 0.0);
+  (void)k;
+  double d = 0.0;
+  for (std::size_t i = 0; i < p_counts.size(); ++i) {
+    const double p = (p_counts[i] + smoothing) / p_total;
+    const double q = (q_counts[i] + smoothing) / q_total;
+    d += p * std::log(p / q);
+  }
+  return d;
+}
+
+}  // namespace opckit::util

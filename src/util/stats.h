@@ -1,0 +1,81 @@
+/// \file stats.h
+/// Streaming and batch statistics used by metrology and experiment reports.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace opckit::util {
+
+/// Streaming accumulator for count/mean/variance/min/max (Welford update).
+/// Suitable for millions of samples without precision loss.
+class Accumulator {
+ public:
+  /// Add one sample.
+  void add(double x);
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const Accumulator& other);
+
+  /// Number of samples added.
+  std::size_t count() const { return n_; }
+  /// Arithmetic mean; 0 when empty.
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 when fewer than 2 samples.
+  double variance() const;
+  /// Sample standard deviation.
+  double stddev() const;
+  /// Smallest sample; +inf when empty.
+  double min() const { return min_; }
+  /// Largest sample; -inf when empty.
+  double max() const { return max_; }
+  /// Largest absolute sample value.
+  double max_abs() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_;
+  double max_;
+};
+
+/// Percentile of a sample set using linear interpolation between order
+/// statistics. \p q is in [0,1]. The input is copied and sorted.
+double percentile(std::vector<double> samples, double q);
+
+/// Root-mean-square of a sample set; 0 when empty.
+double rms(const std::vector<double>& samples);
+
+/// Histogram over [lo, hi) with \p bins equal-width bins; samples outside
+/// the range clamp into the edge bins. Used by pattern-frequency reports.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Add one sample.
+  void add(double x);
+  /// Number of bins.
+  std::size_t bins() const { return counts_.size(); }
+  /// Count in bin \p i.
+  std::size_t count(std::size_t i) const { return counts_[i]; }
+  /// Total samples.
+  std::size_t total() const { return total_; }
+  /// Center of bin \p i.
+  double bin_center(std::size_t i) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Discrete Kullback-Leibler divergence D(P||Q) between two non-negative
+/// count vectors of equal length. Counts are normalized to probabilities;
+/// a small Laplace smoothing term avoids log(0) (standard practice when
+/// comparing pattern-frequency spectra between designs).
+double kl_divergence(const std::vector<double>& p_counts,
+                     const std::vector<double>& q_counts,
+                     double smoothing = 0.5);
+
+}  // namespace opckit::util

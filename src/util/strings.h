@@ -1,0 +1,25 @@
+/// \file strings.h
+/// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace opckit::util {
+
+/// Split \p s on \p sep; empty fields are preserved.
+std::vector<std::string> split(const std::string& s, char sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+/// True if \p s starts with \p prefix.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string s);
+
+/// Render bytes with binary unit suffix, e.g. "1.21 MiB".
+std::string human_bytes(unsigned long long bytes);
+
+}  // namespace opckit::util

@@ -1,0 +1,110 @@
+#include "util/table.h"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace opckit::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  OPCKIT_CHECK(!headers_.empty());
+}
+
+void Table::start_row() {
+  OPCKIT_CHECK_MSG(rows_.empty() || rows_.back().size() == cols(),
+                   "previous row has " << rows_.back().size()
+                                       << " cells, expected " << cols());
+  rows_.emplace_back();
+  rows_.back().reserve(cols());
+}
+
+void Table::add_cell(std::string value) {
+  OPCKIT_CHECK_MSG(!rows_.empty(), "call start_row() before add_cell()");
+  OPCKIT_CHECK_MSG(rows_.back().size() < cols(),
+                   "row already has " << cols() << " cells");
+  rows_.back().push_back(std::move(value));
+}
+
+void Table::add_cell(long long value) { add_cell(std::to_string(value)); }
+void Table::add_cell(unsigned long long value) {
+  add_cell(std::to_string(value));
+}
+void Table::add_cell(std::size_t value) { add_cell(std::to_string(value)); }
+
+void Table::add_cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  add_cell(os.str());
+}
+
+const std::string& Table::cell(std::size_t row, std::size_t col) const {
+  OPCKIT_CHECK(row < rows_.size() && col < cols());
+  return rows_[row][col];
+}
+
+std::string Table::to_text(const std::string& title) const {
+  std::vector<std::size_t> widths(cols());
+  for (std::size_t c = 0; c < cols(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  if (!title.empty()) os << "== " << title << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cols(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << v;
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = cols() > 0 ? 2 * (cols() - 1) : 0;
+  for (auto w : widths) total += w;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < cols(); ++c)
+    os << (c ? "," : "") << csv_escape(headers_[c]);
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << (c ? "," : "") << csv_escape(row[c]);
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw InputError("cannot open for write: " + path);
+  f << to_csv();
+  if (!f) throw InputError("write failed: " + path);
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.to_text();
+}
+
+}  // namespace opckit::util

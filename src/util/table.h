@@ -1,0 +1,68 @@
+/// \file table.h
+/// Plain-text and CSV report tables.
+///
+/// Every experiment binary regenerates a table or figure series from the
+/// paper; Table gives them a single, consistent rendering (fixed-width
+/// aligned text for the console, CSV for downstream plotting).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace opckit::util {
+
+/// A rectangular table of string cells with a header row.
+class Table {
+ public:
+  /// Create a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new (empty) row; subsequent add_cell calls fill it.
+  void start_row();
+
+  /// Append a string cell to the current row.
+  void add_cell(std::string value);
+  /// Append an integer cell.
+  void add_cell(long long value);
+  /// Append an int cell (disambiguates literals).
+  void add_cell(int value) { add_cell(static_cast<long long>(value)); }
+  /// Append an unsigned integer cell.
+  void add_cell(unsigned long long value);
+  /// Append a size cell.
+  void add_cell(std::size_t value);
+  /// Append a floating-point cell rendered with \p precision digits after
+  /// the decimal point.
+  void add_cell(double value, int precision = 3);
+
+  /// Convenience: append a full row at once.
+  template <typename... Ts>
+  void add_row(Ts&&... cells) {
+    start_row();
+    (add_cell(std::forward<Ts>(cells)), ...);
+  }
+
+  /// Number of data rows.
+  std::size_t rows() const { return rows_.size(); }
+  /// Number of columns.
+  std::size_t cols() const { return headers_.size(); }
+  /// Access a rendered cell (row-major, excludes headers).
+  const std::string& cell(std::size_t row, std::size_t col) const;
+
+  /// Render as an aligned text table with a title line.
+  std::string to_text(const std::string& title = "") const;
+  /// Render as CSV (headers + rows, RFC-4180 quoting).
+  std::string to_csv() const;
+  /// Write CSV to a file; throws InputError on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Stream the aligned-text rendering.
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace opckit::util

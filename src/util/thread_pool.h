@@ -1,0 +1,53 @@
+/// \file thread_pool.h
+/// Fixed-size worker pool with a blocking parallel_for.
+///
+/// Used by the Abbe imaging engine (per-source-point FFTs) and the
+/// model-based OPC loop (per-fragment intensity probes). The pool is
+/// deliberately simple: deterministic work partitioning (static chunking)
+/// so results are bit-identical regardless of scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace opckit::util {
+
+/// A fixed pool of worker threads executing queued jobs.
+class ThreadPool {
+ public:
+  /// Create a pool with \p threads workers; 0 means hardware concurrency.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Run fn(i) for i in [0, count) across the pool and block until all
+  /// iterations complete. Work is split into contiguous static chunks, one
+  /// per worker, so any per-chunk accumulation order is deterministic.
+  /// Exceptions thrown by \p fn are captured and the first is rethrown.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide shared pool (lazily constructed, hardware concurrency).
+ThreadPool& global_pool();
+
+}  // namespace opckit::util

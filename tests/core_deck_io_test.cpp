@@ -1,0 +1,87 @@
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/deck_io.h"
+
+namespace opckit::opc {
+namespace {
+
+TEST(DeckIo, RoundTripsDefaultDeck) {
+  const RuleDeck deck = default_rule_deck_180();
+  std::stringstream ss;
+  write_rule_deck(deck, ss);
+  const RuleDeck back = read_rule_deck(ss);
+  EXPECT_EQ(back.interaction_range, deck.interaction_range);
+  EXPECT_EQ(back.line_end_extension, deck.line_end_extension);
+  EXPECT_EQ(back.hammer_overhang, deck.hammer_overhang);
+  EXPECT_EQ(back.serif_size, deck.serif_size);
+  EXPECT_EQ(back.mousebite_size, deck.mousebite_size);
+  EXPECT_EQ(back.enable_bias, deck.enable_bias);
+  ASSERT_EQ(back.bias_rules.size(), deck.bias_rules.size());
+  for (std::size_t i = 0; i < deck.bias_rules.size(); ++i) {
+    EXPECT_EQ(back.bias_rules[i].space_min, deck.bias_rules[i].space_min);
+    EXPECT_EQ(back.bias_rules[i].space_max, deck.bias_rules[i].space_max);
+    EXPECT_EQ(back.bias_rules[i].bias, deck.bias_rules[i].bias);
+  }
+  // Behavioral equivalence.
+  for (geom::Coord s : {0, 100, 250, 500, 1000, 100000}) {
+    EXPECT_EQ(back.lookup_bias(s), deck.lookup_bias(s)) << s;
+  }
+}
+
+TEST(DeckIo, CommentsAndBlankLinesIgnored) {
+  std::istringstream is(
+      "# fitted 2026-07-07\n"
+      "\n"
+      "interaction_range 900   # nm\n"
+      "bias 0 300 -2\n"
+      "bias 300 * 5\n");
+  const RuleDeck deck = read_rule_deck(is);
+  EXPECT_EQ(deck.interaction_range, 900);
+  EXPECT_EQ(deck.lookup_bias(100), -2);
+  EXPECT_EQ(deck.lookup_bias(10000), 5);
+}
+
+TEST(DeckIo, UnknownKeyRejected) {
+  std::istringstream is("frobnication_level 9\n");
+  EXPECT_THROW(read_rule_deck(is), util::InputError);
+}
+
+TEST(DeckIo, MalformedBiasRejected) {
+  std::istringstream a("bias 100 50 3\n");  // max <= min
+  EXPECT_THROW(read_rule_deck(a), util::InputError);
+  std::istringstream b("bias 100\n");
+  EXPECT_THROW(read_rule_deck(b), util::InputError);
+}
+
+TEST(DeckIo, OverlappingBiasRulesRejected) {
+  std::istringstream is(
+      "bias 0 300 1\n"
+      "bias 200 400 2\n");
+  EXPECT_THROW(read_rule_deck(is), util::InputError);
+}
+
+TEST(DeckIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/opckit_deck_test.deck";
+  write_rule_deck_file(default_rule_deck_180(), path);
+  const RuleDeck back = read_rule_deck_file(path);
+  EXPECT_FALSE(back.bias_rules.empty());
+  std::remove(path.c_str());
+}
+
+TEST(DeckIo, TogglesRoundTrip) {
+  RuleDeck deck = default_rule_deck_180();
+  deck.enable_serifs = false;
+  deck.enable_line_ends = false;
+  std::stringstream ss;
+  write_rule_deck(deck, ss);
+  const RuleDeck back = read_rule_deck(ss);
+  EXPECT_FALSE(back.enable_serifs);
+  EXPECT_FALSE(back.enable_line_ends);
+  EXPECT_TRUE(back.enable_bias);
+}
+
+}  // namespace
+}  // namespace opckit::opc

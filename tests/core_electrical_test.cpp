@@ -1,0 +1,108 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/electrical.h"
+
+namespace opckit::opc {
+namespace {
+
+GateProfile uniform_profile(double cd, std::size_t slices = 10,
+                            double w = 20.0) {
+  GateProfile p;
+  p.slice_width_nm = w;
+  p.slice_cd_nm.assign(slices, cd);
+  return p;
+}
+
+DeviceModel model() {
+  DeviceModel m;
+  m.nominal_length_nm = 180.0;
+  m.alpha = 1.3;
+  m.leakage_lambda_nm = 20.0;
+  return m;
+}
+
+TEST(Electrical, UniformGateCollapsesToItsCd) {
+  const GateProfile p = uniform_profile(172.0);
+  EXPECT_NEAR(drive_equivalent_length(p, model()), 172.0, 1e-9);
+  EXPECT_NEAR(leakage_equivalent_length(p, model()), 172.0, 1e-9);
+}
+
+TEST(Electrical, DriveLengthBelowArithmeticMean) {
+  // Parallel conduction favors short slices: L_drive <= mean(L).
+  GateProfile p;
+  p.slice_width_nm = 20.0;
+  p.slice_cd_nm = {160, 180, 200};
+  const double l = drive_equivalent_length(p, model());
+  EXPECT_LT(l, 180.0);
+  EXPECT_GT(l, 160.0);
+}
+
+TEST(Electrical, LeakageDominatedByShortestSlice) {
+  // One pinched slice sets the leakage far below the average length.
+  GateProfile p;
+  p.slice_width_nm = 20.0;
+  p.slice_cd_nm = {180, 180, 180, 180, 180, 180, 180, 180, 180, 120};
+  const double l_leak = leakage_equivalent_length(p, model());
+  const double l_drive = drive_equivalent_length(p, model());
+  EXPECT_LT(l_leak, l_drive);
+  EXPECT_LT(l_leak, 170.0);  // pulled hard toward the 120nm slice
+  EXPECT_GT(l_drive, 170.0); // drive barely notices one slice
+}
+
+TEST(Electrical, RelativeDelayAndLeakageAtNominal) {
+  EXPECT_DOUBLE_EQ(relative_delay(180.0, model()), 1.0);
+  EXPECT_DOUBLE_EQ(relative_leakage(180.0, model()), 1.0);
+}
+
+TEST(Electrical, ShortGateIsFasterAndLeakier) {
+  const double delay = relative_delay(160.0, model());
+  const double leak = relative_leakage(160.0, model());
+  EXPECT_LT(delay, 1.0);
+  EXPECT_GT(leak, 2.0);  // e^(20/20) ≈ 2.72
+}
+
+TEST(Electrical, IncompleteProfileRejected) {
+  GateProfile p = uniform_profile(180.0);
+  p.lost_slices = 1;
+  EXPECT_THROW(drive_equivalent_length(p, model()), util::CheckError);
+  GateProfile empty;
+  empty.slice_width_nm = 20.0;
+  EXPECT_THROW(leakage_equivalent_length(empty, model()),
+               util::CheckError);
+}
+
+TEST(Electrical, ExtractProfileFromSyntheticImage) {
+  // Vertical gate at x in [-90, 90] whose printed CD narrows linearly
+  // from 180 at the bottom to 140 at the top: I = smooth line profile
+  // with y-dependent half width.
+  litho::Frame f;
+  f.pixel_nm = 4.0;
+  f.nx = 256;
+  f.ny = 256;
+  f.origin = {-512, -512};
+  litho::Image img(f);
+  for (std::size_t iy = 0; iy < f.ny; ++iy) {
+    const double y = f.center_y(iy);
+    const double half = 90.0 - 10.0 * (y + 200.0) / 100.0;  // 90 at y=-200
+    for (std::size_t ix = 0; ix < f.nx; ++ix) {
+      const double r = f.center_x(ix) / half;
+      img.at(ix, iy) = 1.0 / (1.0 + r * r * r * r);
+    }
+  }
+  // Gate spans y in [-200, 200] (width 400), width direction +y.
+  const GateProfile p = extract_gate_profile(img, {0, -200}, {0, 1}, 400.0,
+                                             0.5, 40.0);
+  ASSERT_EQ(p.lost_slices, 0u);
+  ASSERT_EQ(p.slice_cd_nm.size(), 10u);
+  // CD decreases along the gate.
+  EXPECT_GT(p.slice_cd_nm.front(), p.slice_cd_nm.back() + 20.0);
+  EXPECT_NEAR(p.slice_cd_nm.front(), 176.0, 4.0);
+  const double l_drive = drive_equivalent_length(p, model());
+  const double l_leak = leakage_equivalent_length(p, model());
+  EXPECT_LT(l_leak, l_drive);
+}
+
+}  // namespace
+}  // namespace opckit::opc

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/flow.h"
+#include "layout/generators.h"
+
+namespace opckit::opc {
+namespace {
+
+using layout::Library;
+
+FlowSpec fast_flow() {
+  FlowSpec spec;
+  spec.sim.optics.source.grid = 5;
+  litho::calibrate_threshold(spec.sim, 180, 360);
+  spec.opc.max_iterations = 6;
+  spec.input_layer = layout::layers::kPoly;
+  spec.output_layer = layout::layers::kPolyOpc;
+  return spec;
+}
+
+Library small_chip(int cols, int rows) {
+  Library lib("chip");
+  layout::Cell& leaf = lib.cell("leaf");
+  // A small, cheap-to-simulate cell: two short lines.
+  leaf.add_rect(layout::layers::kPoly, geom::Rect(0, 0, 180, 1200));
+  leaf.add_rect(layout::layers::kPoly, geom::Rect(540, 0, 720, 1200));
+  layout::make_chip(lib, "top", "leaf", cols, rows, {1400, 1800});
+  return lib;
+}
+
+TEST(Flow, CellOpcWritesOutputLayerOncePerCell) {
+  Library lib = small_chip(3, 2);
+  const FlowSpec spec = fast_flow();
+  const FlowStats stats = run_cell_opc(lib, "top", spec);
+  EXPECT_EQ(stats.opc_runs, 1u);  // one distinct cell with shapes
+  EXPECT_GT(stats.simulations, 0u);
+  EXPECT_GE(lib.at("leaf").shapes(spec.output_layer).size(), 2u);
+  EXPECT_TRUE(lib.at("top").shapes(spec.output_layer).empty());
+  // Output layer flattens to placements x corrected shapes.
+  const auto flat = lib.flatten("top", spec.output_layer);
+  EXPECT_EQ(flat.size(),
+            6 * lib.at("leaf").shapes(spec.output_layer).size());
+}
+
+TEST(Flow, FlatOpcRunsPerPlacementAndPass) {
+  Library lib = small_chip(2, 2);
+  FlowSpec spec = fast_flow();
+  spec.flat_context_passes = 1;
+  const FlowStats one_pass = run_flat_opc(lib, "top", spec);
+  EXPECT_EQ(one_pass.opc_runs, 4u);
+  EXPECT_EQ(one_pass.corrected_polygons, 8u);
+  EXPECT_EQ(lib.at("top").shapes(spec.output_layer).size(), 8u);
+
+  Library lib3 = small_chip(2, 2);
+  spec.flat_context_passes = 2;
+  const FlowStats two_pass = run_flat_opc(lib3, "top", spec);
+  EXPECT_EQ(two_pass.opc_runs, 8u);
+  EXPECT_EQ(two_pass.corrected_polygons, 8u);
+
+  // Flat output costs more simulations than the cell-level flow.
+  Library lib2 = small_chip(2, 2);
+  const FlowStats cell_stats = run_cell_opc(lib2, "top", spec);
+  EXPECT_GT(one_pass.simulations, cell_stats.simulations);
+}
+
+TEST(Flow, FlatOpcCorrectionsLandAtPlacements) {
+  Library lib = small_chip(2, 1);
+  const FlowSpec spec = fast_flow();
+  run_flat_opc(lib, "top", spec);
+  geom::Rect box = geom::Rect::empty();
+  for (const auto& p : lib.at("top").shapes(spec.output_layer)) {
+    box = box.united(p.bbox());
+  }
+  // Both placements covered (second at x offset 1400).
+  EXPECT_LE(box.lo.x, 10);
+  EXPECT_GE(box.hi.x, 1400 + 700);
+}
+
+TEST(Flow, RerunReplacesOutputLayer) {
+  Library lib = small_chip(1, 1);
+  const FlowSpec spec = fast_flow();
+  run_cell_opc(lib, "top", spec);
+  const std::size_t n1 = lib.at("leaf").shapes(spec.output_layer).size();
+  run_cell_opc(lib, "top", spec);
+  EXPECT_EQ(lib.at("leaf").shapes(spec.output_layer).size(), n1);
+}
+
+}  // namespace
+}  // namespace opckit::opc

@@ -1,0 +1,187 @@
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/fragment.h"
+#include "geometry/region.h"
+
+namespace opckit::opc {
+namespace {
+
+using geom::Point;
+using geom::Polygon;
+using geom::Rect;
+
+FragmentationSpec spec_default() {
+  FragmentationSpec s;
+  s.target_length = 120;
+  s.corner_length = 60;
+  s.min_length = 24;
+  s.line_end_max = 360;
+  return s;
+}
+
+TEST(Fragmentation, CoversEveryEdgeExactly) {
+  const Polygon poly{Rect(0, 0, 1000, 700)};
+  const auto frags = fragment_polygon(poly, spec_default());
+  // Group by edge and verify contiguous coverage 0..length.
+  std::map<std::size_t, std::vector<Fragment>> by_edge;
+  for (const auto& f : frags) by_edge[f.edge].push_back(f);
+  ASSERT_EQ(by_edge.size(), 4u);
+  for (const auto& [e, fs] : by_edge) {
+    geom::Coord t = 0;
+    for (const auto& f : fs) {
+      EXPECT_EQ(f.t0, t);
+      EXPECT_GT(f.t1, f.t0);
+      t = f.t1;
+    }
+    EXPECT_EQ(t, poly.edge(e).length());
+  }
+}
+
+TEST(Fragmentation, RespectsMinLength) {
+  const Polygon poly{Rect(0, 0, 2000, 180)};
+  const auto frags = fragment_polygon(poly, spec_default());
+  for (const auto& f : frags) {
+    EXPECT_GE(f.length(), spec_default().min_length) << "edge " << f.edge;
+  }
+}
+
+TEST(Fragmentation, ShortEdgeBetweenConvexCornersIsLineEnd) {
+  // A 180-wide, 1000-tall line: the two 180nm edges are line ends.
+  const Polygon poly{Rect(0, 0, 180, 1000)};
+  const auto frags = fragment_polygon(poly, spec_default());
+  int line_ends = 0;
+  for (const auto& f : frags) line_ends += f.kind == FragmentKind::kLineEnd;
+  EXPECT_EQ(line_ends, 2);
+}
+
+TEST(Fragmentation, ConcaveCornerIsNotLineEnd) {
+  // L-shape: the two short edges at the notch touch a concave corner.
+  const Polygon poly(std::vector<Point>{
+      {0, 0}, {600, 0}, {600, 200}, {200, 200}, {200, 600}, {0, 600}});
+  const auto frags = fragment_polygon(poly.normalized(), spec_default());
+  for (const auto& f : frags) {
+    if (f.kind == FragmentKind::kLineEnd) {
+      // Only the edges not touching the concave corner may be line ends.
+      EXPECT_NE(f.edge, 2u);
+      EXPECT_NE(f.edge, 3u);
+    }
+  }
+}
+
+TEST(Fragmentation, FinerSpecMakesMoreFragments) {
+  const Polygon poly{Rect(0, 0, 2000, 2000)};
+  FragmentationSpec coarse = spec_default();
+  coarse.target_length = 400;
+  FragmentationSpec fine = spec_default();
+  fine.target_length = 60;
+  EXPECT_GT(fragment_polygon(poly, fine).size(),
+            fragment_polygon(poly, coarse).size());
+}
+
+TEST(Fragmentation, CornerClassification) {
+  const Polygon poly{Rect(0, 0, 20, 20)};
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_TRUE(is_convex_corner(poly, i));
+  const Polygon l(std::vector<Point>{
+      {0, 0}, {20, 0}, {20, 10}, {10, 10}, {10, 20}, {0, 20}});
+  EXPECT_FALSE(is_convex_corner(l, 3));  // the notch
+  EXPECT_TRUE(is_convex_corner(l, 0));
+}
+
+TEST(ApplyOffsets, ZeroOffsetsReproducePolygon) {
+  const Polygon poly(std::vector<Point>{
+      {0, 0}, {600, 0}, {600, 200}, {200, 200}, {200, 600}, {0, 600}});
+  const Polygon norm = poly.normalized();
+  auto frags = fragment_polygon(norm, spec_default());
+  EXPECT_EQ(apply_offsets(norm, frags), norm);
+}
+
+TEST(ApplyOffsets, UniformOffsetEqualsInflation) {
+  const Polygon poly{Rect(100, 100, 700, 500)};
+  auto frags = fragment_polygon(poly, spec_default());
+  for (auto& f : frags) f.offset = 10;
+  const Polygon grown = apply_offsets(poly, frags);
+  EXPECT_EQ(geom::Region(grown), geom::Region(poly).inflated(10));
+}
+
+TEST(ApplyOffsets, NegativeUniformOffsetShrinks) {
+  const Polygon poly{Rect(0, 0, 600, 400)};
+  auto frags = fragment_polygon(poly, spec_default());
+  for (auto& f : frags) f.offset = -15;
+  const Polygon shrunk = apply_offsets(poly, frags);
+  EXPECT_EQ(shrunk.bbox(), Rect(15, 15, 585, 385));
+}
+
+TEST(ApplyOffsets, SingleFragmentMoveCreatesJogs) {
+  const Polygon poly{Rect(0, 0, 1200, 400)};
+  auto frags = fragment_polygon(poly, spec_default());
+  // Move one interior run fragment of the bottom edge outward.
+  bool moved = false;
+  for (auto& f : frags) {
+    if (f.edge == 0 && f.kind == FragmentKind::kRun && !moved) {
+      f.offset = 12;
+      moved = true;
+    }
+  }
+  ASSERT_TRUE(moved);
+  const Polygon out = apply_offsets(poly, frags);
+  EXPECT_GT(out.size(), poly.size());  // jogs added vertices
+  // Area grows by fragment length * offset.
+  geom::Coord frag_len = 0;
+  for (const auto& f : frags) {
+    if (f.offset != 0) frag_len = f.length();
+  }
+  EXPECT_EQ(out.area(), poly.area() + frag_len * 12);
+}
+
+TEST(ApplyOffsets, LineEndExtensionMovesTip) {
+  const Polygon poly{Rect(0, 0, 180, 1000)};
+  auto frags = fragment_polygon(poly, spec_default());
+  for (auto& f : frags) {
+    if (f.kind == FragmentKind::kLineEnd) f.offset = 25;
+  }
+  const Polygon out = apply_offsets(poly, frags);
+  EXPECT_EQ(out.bbox(), Rect(0, -25, 180, 1025));
+}
+
+TEST(ApplyOffsets, MultiPolygonRouting) {
+  const std::vector<Polygon> polys{Polygon{Rect(0, 0, 300, 300)},
+                                   Polygon{Rect(1000, 0, 1300, 300)}};
+  auto frags = fragment_polygons(polys, spec_default());
+  for (auto& f : frags) {
+    if (f.polygon == 1) f.offset = 5;
+  }
+  const auto out = apply_offsets(polys, frags);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].bbox(), Rect(0, 0, 300, 300));
+  EXPECT_EQ(out[1].bbox(), Rect(995, -5, 1305, 305));
+}
+
+TEST(EvalPoint, MidpointOnOriginalEdge) {
+  const Polygon poly{Rect(0, 0, 400, 400)};
+  auto frags = fragment_polygon(poly, spec_default());
+  for (const auto& f : frags) {
+    const Point p = eval_point(poly, f);
+    const auto e = poly.edge(f.edge);
+    // Point lies on the edge segment.
+    EXPECT_EQ(cross(e.delta(), p - e.a), 0);
+    EXPECT_GE(dot(e.delta(), p - e.a), 0);
+  }
+}
+
+TEST(EvalPoint, IgnoresOffsets) {
+  const Polygon poly{Rect(0, 0, 400, 400)};
+  auto frags = fragment_polygon(poly, spec_default());
+  const Point before = eval_point(poly, frags[0]);
+  frags[0].offset = 30;
+  EXPECT_EQ(eval_point(poly, frags[0]), before);
+}
+
+TEST(Fragmentation, RejectsNonManhattan) {
+  const Polygon diag(std::vector<Point>{{0, 0}, {100, 0}, {50, 80}});
+  EXPECT_THROW(fragment_polygon(diag, spec_default()), util::CheckError);
+}
+
+}  // namespace
+}  // namespace opckit::opc

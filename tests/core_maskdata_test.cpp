@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "core/maskdata.h"
+#include "core/rules.h"
+
+namespace opckit::opc {
+namespace {
+
+using geom::Polygon;
+using geom::Rect;
+
+TEST(MaskData, CountsSimpleSet) {
+  const std::vector<Polygon> polys{Polygon{Rect(0, 0, 100, 100)},
+                                   Polygon{Rect(200, 0, 300, 100)}};
+  const MaskDataStats s = measure_mask_data(polys);
+  EXPECT_EQ(s.polygons, 2u);
+  EXPECT_EQ(s.vertices, 8u);
+  EXPECT_EQ(s.fracture_rects, 2u);
+  EXPECT_GT(s.gdsii_bytes, 100u);
+  EXPECT_DOUBLE_EQ(s.vertices_per_polygon(), 4.0);
+}
+
+TEST(MaskData, EmptySetIsZero) {
+  const MaskDataStats s = measure_mask_data(std::vector<Polygon>{});
+  EXPECT_EQ(s.polygons, 0u);
+  EXPECT_EQ(s.vertices, 0u);
+  EXPECT_EQ(s.fracture_rects, 0u);
+  EXPECT_DOUBLE_EQ(s.vertices_per_polygon(), 0.0);
+}
+
+TEST(MaskData, LShapeFracturesIntoTwoRects) {
+  const Polygon l(std::vector<geom::Point>{
+      {0, 0}, {20, 0}, {20, 10}, {10, 10}, {10, 20}, {0, 20}});
+  const MaskDataStats s = measure_mask_data(std::vector<Polygon>{l});
+  EXPECT_EQ(s.fracture_rects, 2u);
+  EXPECT_EQ(s.vertices, 6u);
+}
+
+TEST(MaskData, OpcExplodesDataVolume) {
+  // The headline effect: rule OPC with serifs multiplies vertex counts.
+  std::vector<Polygon> targets;
+  for (int i = 0; i < 10; ++i) {
+    targets.emplace_back(Rect(i * 800, 0, i * 800 + 180, 5000));
+  }
+  const MaskDataStats before = measure_mask_data(targets);
+  const RuleOpcResult opc = apply_rule_opc(targets, default_rule_deck_180());
+  const MaskDataStats after = measure_mask_data(opc.corrected);
+  const DataVolumeRatio ratio = explosion(before, after);
+  EXPECT_GT(ratio.vertex_factor, 3.0);
+  EXPECT_GT(ratio.fracture_factor, 2.0);
+  EXPECT_GT(ratio.byte_factor, 1.5);
+}
+
+TEST(MaskData, ExplosionHandlesZeroBefore) {
+  const MaskDataStats zero;
+  MaskDataStats after;
+  after.polygons = 5;
+  const DataVolumeRatio r = explosion(zero, after);
+  EXPECT_DOUBLE_EQ(r.polygon_factor, 0.0);
+}
+
+}  // namespace
+}  // namespace opckit::opc

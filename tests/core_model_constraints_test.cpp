@@ -1,0 +1,149 @@
+/// Tests for the correction-engine constraint machinery: target merging,
+/// mask-space caps, tip-gap rules, and corner damping.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/model.h"
+#include "geometry/region.h"
+
+namespace opckit::opc {
+namespace {
+
+using geom::Coord;
+using geom::Point;
+using geom::Polygon;
+using geom::Rect;
+using geom::Region;
+
+const litho::SimSpec& calibrated_spec() {
+  static const litho::SimSpec spec = [] {
+    litho::SimSpec s;
+    s.optics.source.grid = 5;
+    litho::calibrate_threshold(s, 180, 360);
+    return s;
+  }();
+  return spec;
+}
+
+TEST(MergeTargets, AbuttingRectsBecomeOnePolygon) {
+  const std::vector<Polygon> raw{Polygon{Rect(0, 0, 180, 1000)},
+                                 Polygon{Rect(0, 1000, 180, 2000)}};
+  const auto merged = merge_targets(raw);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].bbox(), Rect(0, 0, 180, 2000));
+  EXPECT_EQ(merged[0].size(), 4u);  // internal edge gone
+}
+
+TEST(MergeTargets, DisjointStayDisjoint) {
+  const std::vector<Polygon> raw{Polygon{Rect(0, 0, 100, 100)},
+                                 Polygon{Rect(500, 0, 600, 100)}};
+  EXPECT_EQ(merge_targets(raw).size(), 2u);
+}
+
+TEST(MergeTargets, HolesRejected) {
+  // A frame (donut) produced by overlap: outer ring minus inner.
+  const Region donut = Region{Rect(0, 0, 500, 500)}.subtracted(
+      Region{Rect(150, 150, 350, 350)});
+  const auto polys = donut.polygons();
+  ASSERT_EQ(polys.size(), 2u);
+  EXPECT_THROW(merge_targets(polys), util::CheckError);
+}
+
+TEST(MergeTargets, DegenerateRejected) {
+  const Polygon line(std::vector<Point>{{0, 0}, {10, 0}, {20, 0}});
+  EXPECT_THROW(merge_targets({line}), util::CheckError);
+}
+
+TEST(ModelOpcConstraints, AbuttingInputEqualsPreMergedInput) {
+  const std::vector<Polygon> abutting{Polygon{Rect(-90, -1500, 90, 0)},
+                                      Polygon{Rect(-90, 0, 90, 1500)}};
+  const std::vector<Polygon> merged{Polygon{Rect(-90, -1500, 90, 1500)}};
+  const Rect window(-400, -800, 400, 800);
+  ModelOpcSpec spec;
+  spec.max_iterations = 6;
+  const auto a = run_model_opc(abutting, calibrated_spec(), window, spec);
+  const auto b = run_model_opc(merged, calibrated_spec(), window, spec);
+  ASSERT_EQ(a.corrected.size(), b.corrected.size());
+  for (std::size_t i = 0; i < a.corrected.size(); ++i) {
+    EXPECT_EQ(a.corrected[i], b.corrected[i]);
+  }
+}
+
+TEST(ModelOpcConstraints, TipGapNeverShrinksBelowFloor) {
+  // Facing line-ends, drawn gap 300: each tip may extend at most
+  // (300 - min_tip_gap)/2.
+  const std::vector<Polygon> targets{Polygon{Rect(-90, -2500, 90, -150)},
+                                     Polygon{Rect(-90, 150, 90, 2500)}};
+  const Rect window(-400, -900, 400, 900);
+  ModelOpcSpec spec;
+  spec.max_iterations = 8;
+  spec.min_tip_gap_nm = 220;
+  const auto r = run_model_opc(targets, calibrated_spec(), window, spec);
+  const Region mask = Region::from_polygons(r.corrected);
+  // The mask gap along the tip axis stays >= 220.
+  Coord top_of_lower = -10000, bottom_of_upper = 10000;
+  for (const auto& rect : mask.rects()) {
+    if (rect.hi.y <= 0 && rect.lo.x < 90 && rect.hi.x > -90) {
+      top_of_lower = std::max(top_of_lower, rect.hi.y);
+    }
+    if (rect.lo.y >= 0 && rect.lo.x < 90 && rect.hi.x > -90) {
+      bottom_of_upper = std::min(bottom_of_upper, rect.lo.y);
+    }
+  }
+  EXPECT_GE(bottom_of_upper - top_of_lower, 220);
+  // And both tips did extend (pullback correction happened).
+  EXPECT_LT(top_of_lower, -110);
+  EXPECT_LT(bottom_of_upper, 150);
+}
+
+TEST(ModelOpcConstraints, SideSpaceRespectsMaskSpaceFloor) {
+  // Two parallel lines, drawn space 320: outward side moves are capped
+  // so the mask space never dips below min_mask_space_nm.
+  const std::vector<Polygon> targets{Polygon{Rect(-250, -1500, -70, 1500)},
+                                     Polygon{Rect(250, -1500, 430, 1500)}};
+  const Rect window(-500, -800, 700, 800);
+  ModelOpcSpec spec;
+  spec.max_iterations = 8;
+  spec.min_mask_space_nm = 140;
+  const auto r = run_model_opc(targets, calibrated_spec(), window, spec);
+  const Region mask = Region::from_polygons(r.corrected);
+  // No mask area may intrude into the central guaranteed corridor
+  // [-70 + cap, 250 - cap] where cap = (320-140)/2 = 90.
+  const Region corridor{Rect(-70 + 90, -1500, 250 - 90, 1500)};
+  EXPECT_TRUE(mask.intersected(corridor).empty());
+}
+
+TEST(ModelOpcConstraints, CornerOffsetsStayWithinCornerClamp) {
+  const Polygon l(std::vector<Point>{
+      {0, 0}, {1500, 0}, {1500, 400}, {400, 400}, {400, 1500}, {0, 1500}});
+  const Rect window(-200, -200, 1700, 1700);
+  ModelOpcSpec spec;
+  spec.max_iterations = 8;
+  spec.corner_max_offset = 36;
+  const auto r = run_model_opc({l.normalized()}, calibrated_spec(), window,
+                               spec);
+  for (const auto& f : r.fragments) {
+    if (f.kind == FragmentKind::kCorner) {
+      EXPECT_LE(std::abs(f.offset), 36) << "corner fragment over-travelled";
+    }
+  }
+}
+
+TEST(ModelOpcConstraints, HistoryTracksCornerEpeSeparately) {
+  const Polygon l(std::vector<Point>{
+      {0, 0}, {1500, 0}, {1500, 400}, {400, 400}, {400, 1500}, {0, 1500}});
+  const Rect window(-200, -200, 1700, 1700);
+  ModelOpcSpec spec;
+  spec.max_iterations = 4;
+  spec.epe_tolerance_nm = 0.0;
+  const auto r = run_model_opc({l.normalized()}, calibrated_spec(), window,
+                               spec);
+  // Corner sites keep a rounding residual larger than the run residual.
+  const auto& last = r.final_iteration();
+  EXPECT_GT(last.max_abs_epe_corner_nm, last.rms_epe_nm);
+  EXPECT_GT(last.max_abs_epe_corner_nm, 5.0);
+}
+
+}  // namespace
+}  // namespace opckit::opc

@@ -1,0 +1,137 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/model.h"
+#include "litho/metrology.h"
+
+namespace opckit::opc {
+namespace {
+
+using geom::Polygon;
+using geom::Rect;
+
+/// Calibrated process shared by all model-OPC tests (computed once).
+const litho::SimSpec& calibrated_spec() {
+  static const litho::SimSpec spec = [] {
+    litho::SimSpec s;
+    s.optics.source.grid = 5;
+    s.pixel_nm = 8.0;
+    s.guard_nm = 600;
+    litho::calibrate_threshold(s, 180, 360);
+    return s;
+  }();
+  return spec;
+}
+
+ModelOpcSpec fast_opc() {
+  ModelOpcSpec spec;
+  spec.max_iterations = 10;
+  spec.gain = 0.6;
+  return spec;
+}
+
+TEST(ModelOpc, ReducesEpeOnIsolatedLine) {
+  const std::vector<Polygon> targets{Polygon{Rect(-90, -1500, 90, 1500)}};
+  const Rect window(-400, -800, 400, 800);
+  const ModelOpcResult r =
+      run_model_opc(targets, calibrated_spec(), window, fast_opc());
+  ASSERT_GE(r.history.size(), 2u);
+  const double first = r.history.front().max_abs_epe_nm;
+  const double last = r.history.back().max_abs_epe_nm;
+  EXPECT_GT(first, 4.0) << "iso line should start with real proximity error";
+  EXPECT_LT(last, first / 2) << "OPC must reduce the error substantially";
+  EXPECT_LT(r.final_iteration().rms_epe_nm, 3.0);
+}
+
+TEST(ModelOpc, CorrectedMaskPrintsOnTarget) {
+  const std::vector<Polygon> targets{Polygon{Rect(-90, -1500, 90, 1500)}};
+  const Rect window(-400, -800, 400, 800);
+  const ModelOpcResult r =
+      run_model_opc(targets, calibrated_spec(), window, fast_opc());
+
+  const litho::Simulator sim(calibrated_spec(), window);
+  const auto cd_of = [&](const std::vector<Polygon>& mask) {
+    const litho::Image lat = sim.latent(mask);
+    return litho::printed_cd(lat, {0, 0}, {1, 0}, 700.0, sim.threshold());
+  };
+  const double cd_before = cd_of(targets);
+  const double cd_after = cd_of(r.corrected);
+  EXPECT_GT(std::abs(cd_before - 180.0), 4.0);
+  EXPECT_LT(std::abs(cd_after - 180.0), 2.5);
+}
+
+TEST(ModelOpc, OffsetsSnapToMaskGrid) {
+  ModelOpcSpec spec = fast_opc();
+  spec.grid_nm = 4;
+  const std::vector<Polygon> targets{Polygon{Rect(-90, -1500, 90, 1500)}};
+  const ModelOpcResult r = run_model_opc(targets, calibrated_spec(),
+                                         Rect(-400, -800, 400, 800), spec);
+  for (const auto& f : r.fragments) {
+    EXPECT_EQ(f.offset % 4, 0) << "offset " << f.offset;
+  }
+}
+
+TEST(ModelOpc, RespectsTotalOffsetClamp) {
+  ModelOpcSpec spec = fast_opc();
+  spec.max_total_offset = 6;
+  const std::vector<Polygon> targets{Polygon{Rect(-90, -1500, 90, 1500)}};
+  const ModelOpcResult r = run_model_opc(targets, calibrated_spec(),
+                                         Rect(-400, -800, 400, 800), spec);
+  for (const auto& f : r.fragments) {
+    EXPECT_LE(std::abs(f.offset), 6);
+  }
+}
+
+TEST(ModelOpc, Deterministic) {
+  const std::vector<Polygon> targets{Polygon{Rect(-90, -900, 90, 900)}};
+  const Rect window(-400, -500, 400, 500);
+  const ModelOpcResult a =
+      run_model_opc(targets, calibrated_spec(), window, fast_opc());
+  const ModelOpcResult b =
+      run_model_opc(targets, calibrated_spec(), window, fast_opc());
+  ASSERT_EQ(a.fragments.size(), b.fragments.size());
+  for (std::size_t i = 0; i < a.fragments.size(); ++i) {
+    EXPECT_EQ(a.fragments[i].offset, b.fragments[i].offset);
+  }
+  EXPECT_EQ(a.corrected.size(), b.corrected.size());
+}
+
+TEST(ModelOpc, ContextOutsideWindowIsLockedNotCorrected) {
+  // Two lines; the window covers only the first. The second provides
+  // context but must come back byte-identical.
+  const std::vector<Polygon> targets{Polygon{Rect(-90, -900, 90, 900)},
+                                     Polygon{Rect(500, -900, 680, 900)}};
+  const Rect window(-300, -500, 300, 500);
+  const ModelOpcResult r =
+      run_model_opc(targets, calibrated_spec(), window, fast_opc());
+  ASSERT_EQ(r.corrected.size(), 2u);
+  EXPECT_EQ(r.corrected[1], targets[1].normalized());
+  EXPECT_NE(r.corrected[0], targets[0].normalized());
+}
+
+TEST(ModelOpc, MeasureFragmentEpeMatchesProbeCount) {
+  const std::vector<Polygon> targets{Polygon{Rect(-90, -900, 90, 900)}};
+  FragmentationSpec fs;
+  const auto frags = fragment_polygons(targets, fs);
+  const auto epes =
+      measure_fragment_epe(targets, frags, targets, calibrated_spec(),
+                           Rect(-400, -500, 400, 500));
+  EXPECT_EQ(epes.size(), frags.size());
+  // At least the long-edge fragments inside the window have finite EPE.
+  int finite = 0;
+  for (double e : epes) finite += !std::isnan(e);
+  EXPECT_GT(finite, 4);
+}
+
+TEST(ModelOpc, InvalidSpecThrows) {
+  ModelOpcSpec spec = fast_opc();
+  spec.gain = 0.0;
+  const std::vector<Polygon> targets{Polygon{Rect(0, 0, 100, 100)}};
+  EXPECT_THROW(
+      run_model_opc(targets, calibrated_spec(), Rect(0, 0, 100, 100), spec),
+      util::CheckError);
+}
+
+}  // namespace
+}  // namespace opckit::opc

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "core/neighborhood.h"
+
+namespace opckit::opc {
+namespace {
+
+using geom::Edge;
+using geom::Polygon;
+using geom::Rect;
+
+TEST(Neighborhood, FacingRectsMeasureGap) {
+  const std::vector<Polygon> polys{Polygon{Rect(0, 0, 100, 1000)},
+                                   Polygon{Rect(350, 0, 450, 1000)}};
+  const Neighborhood hood(polys, 2000);
+  // Right edge of the left rect, looking right: gap = 250.
+  EXPECT_EQ(hood.space_outside(Edge({100, 0}, {100, 1000}), {1, 0}), 250);
+  // Left edge of the right rect, looking left: same gap.
+  EXPECT_EQ(hood.space_outside(Edge({350, 1000}, {350, 0}), {-1, 0}), 250);
+}
+
+TEST(Neighborhood, IsolatedEdgeReportsRange) {
+  const std::vector<Polygon> polys{Polygon{Rect(0, 0, 100, 1000)}};
+  const Neighborhood hood(polys, 1500);
+  EXPECT_EQ(hood.space_outside(Edge({100, 0}, {100, 1000}), {1, 0}), 1500);
+  EXPECT_EQ(hood.range(), 1500);
+}
+
+TEST(Neighborhood, VerticalGapMeasured) {
+  const std::vector<Polygon> polys{Polygon{Rect(0, 0, 1000, 100)},
+                                   Polygon{Rect(0, 400, 1000, 500)}};
+  const Neighborhood hood(polys, 2000);
+  EXPECT_EQ(hood.space_outside(Edge({0, 100}, {1000, 100}), {0, 1}), 300);
+  EXPECT_EQ(hood.space_outside(Edge({1000, 400}, {0, 400}), {0, -1}), 300);
+}
+
+TEST(Neighborhood, NonOverlappingTransverseSpanIgnored) {
+  // Neighbor offset laterally so their spans don't overlap.
+  const std::vector<Polygon> polys{Polygon{Rect(0, 0, 100, 100)},
+                                   Polygon{Rect(300, 200, 400, 300)}};
+  const Neighborhood hood(polys, 1000);
+  EXPECT_EQ(hood.space_outside(Edge({100, 0}, {100, 100}), {1, 0}), 1000);
+}
+
+TEST(Neighborhood, AbuttingGeometryIsZero) {
+  const std::vector<Polygon> polys{Polygon{Rect(0, 0, 100, 100)},
+                                   Polygon{Rect(100, 0, 200, 100)}};
+  const Neighborhood hood(polys, 1000);
+  EXPECT_EQ(hood.space_outside(Edge({100, 0}, {100, 100}), {1, 0}), 0);
+}
+
+TEST(Neighborhood, OwnPolygonOtherPartsCount) {
+  // U-shape: the inner faces of the U see each other.
+  const Polygon u(std::vector<geom::Point>{{0, 0},
+                                           {500, 0},
+                                           {500, 400},
+                                           {400, 400},
+                                           {400, 100},
+                                           {100, 100},
+                                           {100, 400},
+                                           {0, 400}});
+  const Neighborhood hood({u.normalized()}, 1000);
+  // Inner left face at x=100 looking right: gap to inner right face = 300.
+  EXPECT_EQ(hood.space_outside(Edge({100, 100}, {100, 400}), {1, 0}), 300);
+}
+
+TEST(Neighborhood, CapsAtRange) {
+  const std::vector<Polygon> polys{Polygon{Rect(0, 0, 100, 100)},
+                                   Polygon{Rect(5000, 0, 5100, 100)}};
+  const Neighborhood hood(polys, 800);
+  EXPECT_EQ(hood.space_outside(Edge({100, 0}, {100, 100}), {1, 0}), 800);
+}
+
+}  // namespace
+}  // namespace opckit::opc

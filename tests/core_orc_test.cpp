@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "core/model.h"
+#include "core/orc.h"
+
+namespace opckit::opc {
+namespace {
+
+using geom::Polygon;
+using geom::Rect;
+
+const litho::SimSpec& calibrated_spec() {
+  static const litho::SimSpec spec = [] {
+    litho::SimSpec s;
+    s.optics.source.grid = 5;
+    litho::calibrate_threshold(s, 180, 360);
+    return s;
+  }();
+  return spec;
+}
+
+OrcSpec nominal_only_orc() {
+  OrcSpec spec;
+  spec.corners.clear();  // nominal condition only (fast)
+  return spec;
+}
+
+TEST(Orc, UncorrectedIsoLineHasViolations) {
+  const std::vector<Polygon> targets{Polygon{Rect(-90, -1500, 90, 1500)}};
+  const Rect window(-400, -800, 400, 800);
+  const OrcReport rep = run_orc(targets, targets, {}, calibrated_spec(),
+                                window, nominal_only_orc());
+  EXPECT_GT(rep.sites, 10u);
+  // Iso line underprints by ~5-10nm per side; with a 10nm EPE spec this
+  // may or may not trip — use a tight spec to prove the plumbing.
+  OrcSpec tight = nominal_only_orc();
+  tight.epe_spec_nm = 3.0;
+  const OrcReport rep2 = run_orc(targets, targets, {}, calibrated_spec(),
+                                 window, tight);
+  EXPECT_GT(rep2.count(OrcViolationKind::kEpe), 0u);
+  EXPECT_LT(rep2.epe_stats.mean(), 0.0) << "iso line should underprint";
+}
+
+TEST(Orc, ModelCorrectedMaskIsCleaner) {
+  const std::vector<Polygon> targets{Polygon{Rect(-90, -1500, 90, 1500)}};
+  const Rect window(-400, -800, 400, 800);
+  ModelOpcSpec mspec;
+  mspec.max_iterations = 10;
+  const ModelOpcResult opc =
+      run_model_opc(targets, calibrated_spec(), window, mspec);
+
+  OrcSpec tight = nominal_only_orc();
+  tight.epe_spec_nm = 3.0;
+  const OrcReport before = run_orc(targets, targets, {}, calibrated_spec(),
+                                   window, tight);
+  const OrcReport after = run_orc(targets, opc.corrected, {},
+                                  calibrated_spec(), window, tight);
+  EXPECT_LT(after.count(OrcViolationKind::kEpe),
+            before.count(OrcViolationKind::kEpe));
+  EXPECT_LT(std::abs(after.epe_stats.mean()),
+            std::abs(before.epe_stats.mean()));
+}
+
+TEST(Orc, BridgeDetected) {
+  // Two lines drawn so close they merge when printed.
+  const std::vector<Polygon> targets{Polygon{Rect(-150, -1000, -10, 1000)},
+                                     Polygon{Rect(10, -1000, 150, 1000)}};
+  const Rect window(-350, -600, 350, 600);
+  OrcSpec spec = nominal_only_orc();
+  spec.epe_spec_nm = 1e9;  // isolate the bridge check
+  const OrcReport rep = run_orc(targets, targets, {}, calibrated_spec(),
+                                window, spec);
+  EXPECT_GT(rep.count(OrcViolationKind::kBridge) +
+                rep.count(OrcViolationKind::kLostEdge),
+            0u)
+      << "20nm drawn gap must bridge or lose edges";
+}
+
+TEST(Orc, PinchDetected) {
+  // A line necked down to 60nm over a short span: prints pinched.
+  const Polygon necked(std::vector<geom::Point>{{-90, -1200},
+                                                {90, -1200},
+                                                {90, -100},
+                                                {-30, -100},
+                                                {-30, 100},
+                                                {90, 100},
+                                                {90, 1200},
+                                                {-90, 1200}});
+  const Rect window(-400, -700, 400, 700);
+  OrcSpec spec = nominal_only_orc();
+  spec.epe_spec_nm = 1e9;
+  const OrcReport rep = run_orc({necked.normalized()}, {necked.normalized()},
+                                {}, calibrated_spec(), window, spec);
+  EXPECT_GT(rep.count(OrcViolationKind::kPinch) +
+                rep.count(OrcViolationKind::kLostEdge),
+            0u);
+}
+
+TEST(Orc, PrintingSrafFlagged) {
+  // An absurd 160nm-wide "assist" prints and must be flagged.
+  const std::vector<Polygon> targets{Polygon{Rect(-90, -1200, 90, 1200)}};
+  const std::vector<Polygon> fat_sraf{Polygon{Rect(400, -1000, 560, 1000)}};
+  std::vector<Polygon> mask = targets;
+  const Rect window(-300, -700, 800, 700);
+  OrcSpec spec = nominal_only_orc();
+  spec.epe_spec_nm = 1e9;
+  const OrcReport rep = run_orc(targets, mask, fat_sraf, calibrated_spec(),
+                                window, spec);
+  EXPECT_GT(rep.count(OrcViolationKind::kSrafPrint), 0u);
+}
+
+TEST(Orc, ProperSrafDoesNotPrint) {
+  const std::vector<Polygon> targets{Polygon{Rect(-90, -1200, 90, 1200)}};
+  const std::vector<Polygon> thin_sraf{Polygon{Rect(400, -1000, 480, 1000)}};
+  const Rect window(-300, -700, 800, 700);
+  OrcSpec spec = nominal_only_orc();
+  spec.epe_spec_nm = 1e9;
+  const OrcReport rep = run_orc(targets, targets, thin_sraf,
+                                calibrated_spec(), window, spec);
+  EXPECT_EQ(rep.count(OrcViolationKind::kSrafPrint), 0u);
+}
+
+TEST(Orc, CornersMultiplyConditions) {
+  const std::vector<Polygon> targets{Polygon{Rect(-90, -900, 90, 900)}};
+  const Rect window(-300, -500, 300, 500);
+  OrcSpec spec;
+  spec.epe_spec_nm = 2.0;
+  spec.corners = {{300.0, 0.90}};
+  const OrcReport rep =
+      run_orc(targets, targets, {}, calibrated_spec(), window, spec);
+  // Off-nominal condition must contribute at least as many violations.
+  std::size_t nominal = 0, corner = 0;
+  for (const auto& v : rep.violations) {
+    (v.defocus_nm == 0.0 && v.dose == 1.0 ? nominal : corner)++;
+  }
+  EXPECT_GT(corner, 0u);
+}
+
+}  // namespace
+}  // namespace opckit::opc

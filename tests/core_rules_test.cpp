@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "core/rules.h"
+#include "geometry/region.h"
+
+namespace opckit::opc {
+namespace {
+
+using geom::Polygon;
+using geom::Rect;
+using geom::Region;
+
+TEST(RuleDeck, LookupBias) {
+  RuleDeck deck;
+  deck.bias_rules = {{0, 300, -5}, {300, 600, 0}, {600, 1200, 8}};
+  EXPECT_EQ(deck.lookup_bias(0), -5);
+  EXPECT_EQ(deck.lookup_bias(299), -5);
+  EXPECT_EQ(deck.lookup_bias(300), 0);
+  EXPECT_EQ(deck.lookup_bias(700), 8);
+  EXPECT_EQ(deck.lookup_bias(5000), 0);  // no rule -> no bias
+}
+
+TEST(RuleOpc, IsolatedLineGetsIsoBias) {
+  RuleDeck deck = default_rule_deck_180();
+  deck.enable_line_ends = false;
+  deck.enable_serifs = false;
+  // A very long isolated vertical line: both long edges see iso space.
+  const std::vector<Polygon> targets{Polygon{Rect(0, 0, 180, 20000)}};
+  const RuleOpcResult r = apply_rule_opc(targets, deck);
+  ASSERT_EQ(r.corrected.size(), 1u);
+  // With line-end handling off, all four edges are isolated: +8 each.
+  const Rect box = r.corrected[0].bbox();
+  EXPECT_EQ(box.lo.x, -10);
+  EXPECT_EQ(box.hi.x, 190);
+  EXPECT_EQ(box.lo.y, -10);
+  EXPECT_EQ(box.hi.y, 20010);
+  EXPECT_EQ(r.biased_edges, 4u);
+}
+
+TEST(RuleOpc, DenseGratingGetsNoBias) {
+  RuleDeck deck = default_rule_deck_180();
+  deck.enable_line_ends = false;
+  deck.enable_serifs = false;
+  std::vector<Polygon> targets;
+  for (int i = 0; i < 7; ++i) {
+    targets.emplace_back(Rect(i * 360, 0, i * 360 + 180, 20000));
+  }
+  const RuleOpcResult r = apply_rule_opc(targets, deck);
+  // Interior lines face 180nm spaces -> dense rule, zero bias.
+  Region in = Region::from_polygons(targets);
+  Region out = Region::from_polygons(r.corrected);
+  // Outer edges of the two boundary lines see iso space and may move;
+  // check an interior line is untouched.
+  EXPECT_TRUE(out.contains({360 + 90, 1000}));
+  const Rect middle(3 * 360, 0, 3 * 360 + 180, 20000);
+  EXPECT_EQ(out.intersected(Region(middle)), Region(middle));
+}
+
+TEST(RuleOpc, LineEndExtensionGrowsTips) {
+  RuleDeck deck = default_rule_deck_180();
+  deck.enable_bias = false;
+  deck.enable_serifs = false;
+  const std::vector<Polygon> targets{Polygon{Rect(0, 0, 180, 3000)}};
+  const RuleOpcResult r = apply_rule_opc(targets, deck);
+  ASSERT_EQ(r.corrected.size(), 1u);
+  const Rect box = r.corrected[0].bbox();
+  EXPECT_EQ(box.lo.y, -deck.line_end_extension);
+  EXPECT_EQ(box.hi.y, 3000 + deck.line_end_extension);
+  EXPECT_EQ(r.line_ends, 2u);
+}
+
+TEST(RuleOpc, SerifsAddVerticesAndArea) {
+  RuleDeck deck = default_rule_deck_180();
+  deck.enable_bias = false;
+  deck.enable_line_ends = false;
+  const std::vector<Polygon> targets{Polygon{Rect(0, 0, 1000, 1000)}};
+  const RuleOpcResult r = apply_rule_opc(targets, deck);
+  ASSERT_EQ(r.corrected.size(), 1u);
+  EXPECT_EQ(r.serifs, 4u);
+  EXPECT_GT(r.corrected[0].size(), 4u);
+  EXPECT_GT(r.corrected[0].area(), targets[0].area());
+}
+
+TEST(RuleOpc, MousebitesCarveConcaveCorners) {
+  RuleDeck deck = default_rule_deck_180();
+  deck.enable_bias = false;
+  deck.enable_line_ends = false;
+  const Polygon l(std::vector<geom::Point>{
+      {0, 0}, {2000, 0}, {2000, 400}, {400, 400}, {400, 2000}, {0, 2000}});
+  const RuleOpcResult r = apply_rule_opc({l}, deck);
+  EXPECT_EQ(r.mousebites, 1u);
+  const Region out = Region::from_polygons(r.corrected);
+  // The concave corner (400, 400) has a bite taken out of it.
+  EXPECT_FALSE(out.contains({395, 395}));
+}
+
+TEST(RuleOpc, DisabledDeckIsIdentity) {
+  RuleDeck deck = default_rule_deck_180();
+  deck.enable_bias = false;
+  deck.enable_line_ends = false;
+  deck.enable_serifs = false;
+  const std::vector<Polygon> targets{Polygon{Rect(0, 0, 500, 500)}};
+  const RuleOpcResult r = apply_rule_opc(targets, deck);
+  ASSERT_EQ(r.corrected.size(), 1u);
+  EXPECT_EQ(Region::from_polygons(r.corrected), Region{Rect(0, 0, 500, 500)});
+}
+
+TEST(RuleOpc, DegenerateTargetThrows) {
+  const Polygon bad(std::vector<geom::Point>{{0, 0}, {10, 0}, {20, 0}});
+  EXPECT_THROW(apply_rule_opc({bad}, default_rule_deck_180()),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace opckit::opc

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "core/sraf.h"
+#include "geometry/region.h"
+
+namespace opckit::opc {
+namespace {
+
+using geom::Polygon;
+using geom::Rect;
+using geom::Region;
+
+TEST(Sraf, IsolatedLineGetsBarsBothSides) {
+  SrafSpec spec;
+  const std::vector<Polygon> mask{Polygon{Rect(0, 0, 180, 3000)}};
+  const SrafResult r = insert_srafs(mask, spec);
+  EXPECT_EQ(r.kept, 4u);  // 2 bars per long edge
+  const Region bars = Region::from_polygons(r.bars);
+  // First bar centered at bar_distance from each long edge.
+  EXPECT_TRUE(bars.contains({180 + spec.bar_distance, 1500}));
+  EXPECT_TRUE(bars.contains({-spec.bar_distance, 1500}));
+}
+
+TEST(Sraf, DenseGratingGetsBarsOnlyOutside) {
+  SrafSpec spec;
+  std::vector<Polygon> mask;
+  for (int i = 0; i < 5; ++i) {
+    mask.emplace_back(Rect(i * 360, 0, i * 360 + 180, 3000));
+  }
+  const SrafResult r = insert_srafs(mask, spec);
+  // 180nm interior spaces cannot host a bar; only the two isolated outer
+  // edges are assisted (2 bars each).
+  EXPECT_EQ(r.kept, 4u);
+  const Region bars = Region::from_polygons(r.bars);
+  const Region interior{Rect(180, 0, 4 * 360, 3000)};
+  EXPECT_TRUE(bars.intersected(interior).empty());
+}
+
+TEST(Sraf, SingleBarWhenSpaceIsTight) {
+  SrafSpec spec;
+  // Two lines whose space fits exactly one bar, not two.
+  const geom::Coord space =
+      spec.bar_distance * 2 + spec.bar_width + 2 * spec.min_space_to_geometry;
+  const std::vector<Polygon> mask{
+      Polygon{Rect(0, 0, 180, 3000)},
+      Polygon{Rect(180 + space, 0, 360 + space, 3000)}};
+  const SrafResult r = insert_srafs(mask, spec);
+  const Region bars = Region::from_polygons(r.bars);
+  // Bars inside the gap exist but no second-row bars.
+  EXPECT_GT(r.kept, 0u);
+  for (const auto& bar : r.bars) {
+    const Rect keepout_l(180, 0, 180 + spec.min_space_to_geometry, 3000);
+    EXPECT_TRUE(
+        Region(bar.bbox()).intersected(Region(keepout_l)).empty());
+  }
+}
+
+TEST(Sraf, RespectsClearanceToAllGeometry) {
+  SrafSpec spec;
+  // An isolated line with a small island sitting where a bar would go.
+  const std::vector<Polygon> mask{
+      Polygon{Rect(0, 0, 180, 3000)},
+      Polygon{Rect(180 + spec.bar_distance - 20, 1400,
+                   180 + spec.bar_distance + 20, 1600)}};
+  const SrafResult r = insert_srafs(mask, spec);
+  const Region keepout =
+      Region::from_polygons(mask).inflated(spec.min_space_to_geometry - 1);
+  const Region bars = Region::from_polygons(r.bars);
+  EXPECT_TRUE(bars.intersected(keepout).empty());
+}
+
+TEST(Sraf, ShortEdgesNotAssisted) {
+  SrafSpec spec;
+  const std::vector<Polygon> mask{Polygon{Rect(0, 0, 180, 400)}};
+  const SrafResult r = insert_srafs(mask, spec);
+  EXPECT_EQ(r.kept, 0u);
+}
+
+TEST(Sraf, BarsPulledInFromEnds) {
+  SrafSpec spec;
+  const std::vector<Polygon> mask{Polygon{Rect(0, 0, 180, 3000)}};
+  const SrafResult r = insert_srafs(mask, spec);
+  for (const auto& bar : r.bars) {
+    const Rect box = bar.bbox();
+    EXPECT_GE(box.lo.y, spec.end_pullin);
+    EXPECT_LE(box.hi.y, 3000 - spec.end_pullin);
+  }
+}
+
+TEST(Sraf, DeterministicOutput) {
+  SrafSpec spec;
+  const std::vector<Polygon> mask{Polygon{Rect(0, 0, 180, 3000)},
+                                  Polygon{Rect(2000, 0, 2180, 3000)}};
+  const SrafResult a = insert_srafs(mask, spec);
+  const SrafResult b = insert_srafs(mask, spec);
+  ASSERT_EQ(a.bars.size(), b.bars.size());
+  for (std::size_t i = 0; i < a.bars.size(); ++i) {
+    EXPECT_EQ(a.bars[i], b.bars[i]);
+  }
+}
+
+}  // namespace
+}  // namespace opckit::opc

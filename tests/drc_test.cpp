@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "drc/drc.h"
+
+namespace opckit::drc {
+namespace {
+
+using geom::Rect;
+using geom::Region;
+
+TEST(MinWidth, WideShapeClean) {
+  const Region r{Rect(0, 0, 500, 500)};
+  EXPECT_TRUE(check_min_width(r, 100, "w").empty());
+}
+
+TEST(MinWidth, NarrowNeckFlagged) {
+  // Dumbbell: two fat pads joined by a 40nm neck; min width 100.
+  const Region r = Region{Rect(0, 0, 300, 300)}
+                       .united(Region{Rect(300, 130, 700, 170)})
+                       .united(Region{Rect(700, 0, 1000, 300)});
+  const auto v = check_min_width(r, 100, "w.100");
+  ASSERT_FALSE(v.empty());
+  // The violation marker sits on the neck.
+  bool on_neck = false;
+  for (const auto& viol : v) {
+    on_neck |= viol.bbox.overlaps(Rect(300, 130, 700, 170));
+  }
+  EXPECT_TRUE(on_neck);
+}
+
+TEST(MinWidth, ExactWidthIsClean) {
+  const Region r{Rect(0, 0, 100, 2000)};
+  EXPECT_TRUE(check_min_width(r, 100, "w").empty());
+  EXPECT_FALSE(check_min_width(r, 103, "w").empty());
+}
+
+TEST(MinSpace, FarShapesClean) {
+  const Region r =
+      Region{Rect(0, 0, 100, 100)}.united(Region{Rect(500, 0, 600, 100)});
+  EXPECT_TRUE(check_min_space(r, 100, "s").empty());
+}
+
+TEST(MinSpace, CloseShapesFlagged) {
+  const Region r =
+      Region{Rect(0, 0, 100, 1000)}.united(Region{Rect(140, 0, 240, 1000)});
+  const auto v = check_min_space(r, 100, "s.100");
+  ASSERT_FALSE(v.empty());
+  EXPECT_TRUE(v[0].bbox.overlaps(Rect(100, 0, 140, 1000)));
+}
+
+TEST(MinSpace, NotchWithinOneShapeFlagged) {
+  // U-shape whose inner slot is 60 wide; min space 100.
+  const Region r = Region{Rect(0, 0, 500, 400)}.subtracted(
+      Region{Rect(220, 100, 280, 400)});
+  EXPECT_FALSE(check_min_space(r, 100, "s").empty());
+}
+
+TEST(MinArea, SmallIslandFlagged) {
+  const Region r =
+      Region{Rect(0, 0, 1000, 1000)}.united(Region{Rect(2000, 0, 2050, 50)});
+  const auto v = check_min_area(r, 10000, "a.10k");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].bbox, Rect(2000, 0, 2050, 50));
+}
+
+TEST(MinArea, HoleReducesComponentArea) {
+  // 100x100 ring with a 90x90 hole: net area 1900 < 5000.
+  const Region r = Region{Rect(0, 0, 100, 100)}.subtracted(
+      Region{Rect(5, 5, 95, 95)});
+  EXPECT_EQ(check_min_area(r, 5000, "a").size(), 1u);
+  EXPECT_TRUE(check_min_area(r, 1000, "a").empty());
+}
+
+TEST(Enclosure, CoveredInnerClean) {
+  const Region outer{Rect(0, 0, 500, 500)};
+  const Region inner{Rect(100, 100, 400, 400)};
+  EXPECT_TRUE(check_enclosure(inner, outer, 50, "enc").empty());
+}
+
+TEST(Enclosure, EdgeProximityFlagged) {
+  const Region outer{Rect(0, 0, 500, 500)};
+  const Region inner{Rect(20, 100, 120, 200)};  // only 20nm from the edge
+  const auto v = check_enclosure(inner, outer, 50, "enc.50");
+  ASSERT_FALSE(v.empty());
+  EXPECT_LE(v[0].bbox.lo.x, 50);
+}
+
+TEST(Deck, RunDeckAggregates) {
+  const Region r =
+      Region{Rect(0, 0, 50, 1000)}.united(Region{Rect(80, 0, 800, 1000)});
+  const std::vector<Rule> deck{{RuleKind::kMinWidth, "w.60", 60},
+                               {RuleKind::kMinSpace, "s.60", 60}};
+  const DrcReport rep = run_deck(r, deck);
+  EXPECT_EQ(rep.count("w.60"), 1u);  // 50-wide line
+  EXPECT_EQ(rep.count("s.60"), 1u);  // 30 gap
+  EXPECT_FALSE(rep.clean());
+}
+
+TEST(Deck, MaskRuleDeckRunsClean) {
+  const Region r{Rect(0, 0, 180, 2000)};
+  EXPECT_TRUE(run_deck(r, mask_rule_deck_180()).clean());
+}
+
+TEST(Deck, EnclosureInDeckThrows) {
+  const std::vector<Rule> deck{{RuleKind::kMinEnclosure, "enc", 10}};
+  EXPECT_THROW(run_deck(Region{Rect(0, 0, 10, 10)}, deck),
+               util::InputError);
+}
+
+}  // namespace
+}  // namespace opckit::drc

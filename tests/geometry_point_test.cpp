@@ -1,0 +1,56 @@
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "geometry/point.h"
+
+namespace opckit::geom {
+namespace {
+
+TEST(Point, Arithmetic) {
+  const Point a{3, -2}, b{-1, 5};
+  EXPECT_EQ(a + b, Point(2, 3));
+  EXPECT_EQ(a - b, Point(4, -7));
+  EXPECT_EQ(-a, Point(-3, 2));
+  EXPECT_EQ(a * 3, Point(9, -6));
+}
+
+TEST(Point, CompoundAssignment) {
+  Point p{1, 1};
+  p += Point{2, 3};
+  EXPECT_EQ(p, Point(3, 4));
+  p -= Point{1, 1};
+  EXPECT_EQ(p, Point(2, 3));
+}
+
+TEST(Point, CrossAndDot) {
+  EXPECT_EQ(cross({1, 0}, {0, 1}), 1);
+  EXPECT_EQ(cross({0, 1}, {1, 0}), -1);
+  EXPECT_EQ(cross({2, 3}, {4, 6}), 0);
+  EXPECT_EQ(dot({2, 3}, {4, -1}), 5);
+}
+
+TEST(Point, Norms) {
+  EXPECT_EQ(manhattan_length({3, -4}), 7);
+  EXPECT_EQ(chebyshev_length({3, -4}), 4);
+  EXPECT_EQ(manhattan_length({0, 0}), 0);
+}
+
+TEST(Point, LexicographicOrder) {
+  EXPECT_LT(Point(1, 5), Point(2, 0));
+  EXPECT_LT(Point(1, 2), Point(1, 3));
+  EXPECT_FALSE(Point(1, 2) < Point(1, 2));
+}
+
+TEST(Point, HashDistinguishesAxes) {
+  // (x,y) and (y,x) must hash differently in general: pattern keys depend
+  // on it.
+  std::unordered_set<Point> s;
+  s.insert({1, 2});
+  s.insert({2, 1});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.count(Point{1, 2}));
+}
+
+}  // namespace
+}  // namespace opckit::geom

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "geometry/polygon.h"
+
+namespace opckit::geom {
+namespace {
+
+Polygon l_shape() {
+  // CCW L: 20x20 square with the top-right 10x10 quadrant removed.
+  return Polygon(std::vector<Point>{
+      {0, 0}, {20, 0}, {20, 10}, {10, 10}, {10, 20}, {0, 20}});
+}
+
+TEST(Polygon, RectConstructor) {
+  const Polygon p{Rect(0, 0, 10, 4)};
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_TRUE(p.is_ccw());
+  EXPECT_EQ(p.area(), 40);
+  EXPECT_EQ(p.perimeter(), 28);
+}
+
+TEST(Polygon, LShapeMetrics) {
+  const Polygon p = l_shape();
+  EXPECT_TRUE(p.is_manhattan());
+  EXPECT_TRUE(p.is_ccw());
+  EXPECT_EQ(p.area(), 300);
+  EXPECT_EQ(p.perimeter(), 80);
+  EXPECT_EQ(p.bbox(), Rect(0, 0, 20, 20));
+}
+
+TEST(Polygon, EdgesWrapAround) {
+  const Polygon p{Rect(0, 0, 10, 10)};
+  const auto es = p.edges();
+  ASSERT_EQ(es.size(), 4u);
+  EXPECT_EQ(es[3], Edge({0, 10}, {0, 0}));
+}
+
+TEST(Polygon, OutwardNormalsOnCcwRect) {
+  const Polygon p{Rect(0, 0, 10, 10)};
+  EXPECT_EQ(p.edge(0).outward_normal(), Point(0, -1));  // bottom
+  EXPECT_EQ(p.edge(1).outward_normal(), Point(1, 0));   // right
+  EXPECT_EQ(p.edge(2).outward_normal(), Point(0, 1));   // top
+  EXPECT_EQ(p.edge(3).outward_normal(), Point(-1, 0));  // left
+}
+
+TEST(Polygon, SignedAreaOrientation) {
+  Polygon ccw{Rect(0, 0, 4, 4)};
+  EXPECT_GT(ccw.signed_area2(), 0);
+  std::vector<Point> rev(ccw.ring().rbegin(), ccw.ring().rend());
+  Polygon cw(rev);
+  EXPECT_LT(cw.signed_area2(), 0);
+  EXPECT_EQ(cw.area(), ccw.area());
+}
+
+TEST(Polygon, NormalizedRemovesCollinearAndDuplicates) {
+  Polygon messy(std::vector<Point>{
+      {0, 0}, {5, 0}, {10, 0}, {10, 10}, {10, 10}, {0, 10}});
+  const Polygon n = messy.normalized();
+  EXPECT_EQ(n.size(), 4u);
+  EXPECT_EQ(n.area(), 100);
+  EXPECT_TRUE(n.is_ccw());
+}
+
+TEST(Polygon, NormalizedForcesCcw) {
+  Polygon cw(std::vector<Point>{{0, 0}, {0, 10}, {10, 10}, {10, 0}});
+  EXPECT_TRUE(cw.normalized().is_ccw());
+}
+
+TEST(Polygon, NormalizedDegenerateBecomesEmpty) {
+  Polygon line(std::vector<Point>{{0, 0}, {5, 0}, {10, 0}});
+  EXPECT_TRUE(line.normalized().empty());
+}
+
+TEST(Polygon, ContainsInteriorBoundaryExterior) {
+  const Polygon p = l_shape();
+  EXPECT_TRUE(p.contains({5, 5}));     // interior
+  EXPECT_TRUE(p.contains({0, 0}));     // vertex
+  EXPECT_TRUE(p.contains({15, 10}));   // on edge
+  EXPECT_FALSE(p.contains({15, 15}));  // in the notch
+  EXPECT_FALSE(p.contains({-1, 5}));
+}
+
+TEST(Polygon, TranslatedAndTransposed) {
+  const Polygon p = l_shape();
+  EXPECT_EQ(p.translated({100, 200}).bbox(), Rect(100, 200, 120, 220));
+  const Polygon t = p.transposed();
+  EXPECT_EQ(t.area(), p.area());
+  EXPECT_FALSE(t.is_ccw());  // transposition flips orientation
+  EXPECT_TRUE(t.contains({5, 5}));
+  EXPECT_FALSE(t.contains({15, 15}));
+}
+
+TEST(Polygon, IsManhattanRejectsDiagonal) {
+  Polygon diag(std::vector<Point>{{0, 0}, {10, 0}, {5, 5}});
+  EXPECT_FALSE(diag.is_manhattan());
+}
+
+TEST(Polygon, EdgeAtParameter) {
+  const Edge e({0, 0}, {10, 0});
+  EXPECT_EQ(e.at(0), Point(0, 0));
+  EXPECT_EQ(e.at(4), Point(4, 0));
+  EXPECT_EQ(e.at(99), Point(10, 0));  // clamps
+  EXPECT_EQ(e.at(-5), Point(0, 0));   // clamps
+}
+
+}  // namespace
+}  // namespace opckit::geom

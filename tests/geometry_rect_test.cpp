@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "geometry/rect.h"
+
+namespace opckit::geom {
+namespace {
+
+TEST(Rect, BasicsAndArea) {
+  const Rect r(0, 0, 10, 4);
+  EXPECT_EQ(r.width(), 10);
+  EXPECT_EQ(r.height(), 4);
+  EXPECT_EQ(r.area(), 40);
+  EXPECT_EQ(r.center(), Point(5, 2));
+  EXPECT_FALSE(r.is_empty());
+}
+
+TEST(Rect, EmptyAndDegenerate) {
+  EXPECT_TRUE(Rect::empty().is_empty());
+  EXPECT_TRUE(Rect(0, 0, 0, 5).is_empty());   // zero width
+  EXPECT_TRUE(Rect(0, 0, 5, 0).is_empty());   // zero height
+  EXPECT_EQ(Rect(3, 3, 3, 3).area(), 0);
+}
+
+TEST(Rect, ContainsPoint) {
+  const Rect r(0, 0, 10, 10);
+  EXPECT_TRUE(r.contains(Point{0, 0}));    // corner counts
+  EXPECT_TRUE(r.contains(Point{10, 10}));  // corner counts
+  EXPECT_TRUE(r.contains(Point{5, 5}));
+  EXPECT_FALSE(r.contains(Point{11, 5}));
+  EXPECT_FALSE(r.contains_strict(Point{0, 5}));
+  EXPECT_TRUE(r.contains_strict(Point{1, 5}));
+}
+
+TEST(Rect, ContainsRect) {
+  const Rect outer(0, 0, 10, 10);
+  EXPECT_TRUE(outer.contains(Rect(0, 0, 10, 10)));
+  EXPECT_TRUE(outer.contains(Rect(2, 2, 8, 8)));
+  EXPECT_FALSE(outer.contains(Rect(-1, 2, 8, 8)));
+  EXPECT_FALSE(outer.contains(Rect::empty()));
+}
+
+TEST(Rect, OverlapsVsTouches) {
+  const Rect a(0, 0, 10, 10);
+  const Rect b(10, 0, 20, 10);  // shares an edge only
+  EXPECT_FALSE(a.overlaps(b));
+  EXPECT_TRUE(a.touches(b));
+  const Rect c(9, 9, 11, 11);
+  EXPECT_TRUE(a.overlaps(c));
+}
+
+TEST(Rect, Intersected) {
+  const Rect a(0, 0, 10, 10), b(5, -5, 15, 5);
+  EXPECT_EQ(a.intersected(b), Rect(5, 0, 10, 5));
+  EXPECT_TRUE(a.intersected(Rect(20, 20, 30, 30)).is_empty());
+}
+
+TEST(Rect, UnitedTreatsEmptyAsIdentity) {
+  const Rect a(0, 0, 10, 10);
+  EXPECT_EQ(Rect::empty().united(a), a);
+  EXPECT_EQ(a.united(Rect::empty()), a);
+  EXPECT_EQ(a.united(Rect(-5, 3, 2, 20)), Rect(-5, 0, 10, 20));
+}
+
+TEST(Rect, InflatedAndTranslated) {
+  const Rect r(0, 0, 10, 10);
+  EXPECT_EQ(r.inflated(2), Rect(-2, -2, 12, 12));
+  EXPECT_EQ(r.inflated(1, 3), Rect(-1, -3, 11, 13));
+  EXPECT_TRUE(r.inflated(-6).is_empty());  // over-shrunk inverts
+  EXPECT_EQ(r.translated({5, -5}), Rect(5, -5, 15, 5));
+}
+
+}  // namespace
+}  // namespace opckit::geom

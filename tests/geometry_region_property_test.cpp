@@ -1,0 +1,166 @@
+/// Property-based tests of the Region algebra: random rectangle soups are
+/// generated and set-algebra identities are checked both structurally
+/// (canonical-form equality) and pointwise against a brute-force membership
+/// oracle.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/region.h"
+#include "util/rng.h"
+
+namespace opckit::geom {
+namespace {
+
+std::vector<Rect> random_rects(util::Rng& rng, int n, Coord span) {
+  std::vector<Rect> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Coord x0 = rng.uniform_int(0, span - 2);
+    const Coord y0 = rng.uniform_int(0, span - 2);
+    const Coord x1 = x0 + rng.uniform_int(1, span / 3);
+    const Coord y1 = y0 + rng.uniform_int(1, span / 3);
+    out.emplace_back(x0, y0, x1, y1);
+  }
+  return out;
+}
+
+bool oracle_contains(const std::vector<Rect>& rects, const Point& p) {
+  // Open-set oracle on cell centers: p interpreted as the cell
+  // [p, p+1)², i.e. inside iff strictly within some rect's span.
+  for (const auto& r : rects) {
+    if (p.x >= r.lo.x && p.x < r.hi.x && p.y >= r.lo.y && p.y < r.hi.y) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool region_covers_cell(const Region& r, const Point& p) {
+  for (const auto& s : r.slabs()) {
+    if (p.y < s.y0 || p.y >= s.y1) continue;
+    for (const auto& iv : s.intervals) {
+      if (p.x >= iv.x0 && p.x < iv.x1) return true;
+    }
+  }
+  return false;
+}
+
+class RegionPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegionPropertyTest, BuildMatchesMembershipOracle) {
+  util::Rng rng(GetParam());
+  const Coord span = 60;
+  const auto rects = random_rects(rng, 12, span);
+  const Region r = Region::from_rects(rects);
+  for (Coord y = -1; y <= span; ++y) {
+    for (Coord x = -1; x <= span; ++x) {
+      EXPECT_EQ(region_covers_cell(r, {x, y}), oracle_contains(rects, {x, y}))
+          << "at (" << x << ',' << y << ") seed " << GetParam();
+    }
+  }
+}
+
+TEST_P(RegionPropertyTest, BooleanOpsMatchOracle) {
+  util::Rng rng(GetParam() ^ 0xabcdef);
+  const Coord span = 50;
+  const auto ra = random_rects(rng, 8, span);
+  const auto rb = random_rects(rng, 8, span);
+  const Region a = Region::from_rects(ra);
+  const Region b = Region::from_rects(rb);
+  const Region u = a.united(b);
+  const Region i = a.intersected(b);
+  const Region d = a.subtracted(b);
+  const Region x = a.xored(b);
+  for (Coord y = 0; y < span; ++y) {
+    for (Coord cx = 0; cx < span; ++cx) {
+      const Point p{cx, y};
+      const bool ia = oracle_contains(ra, p);
+      const bool ib = oracle_contains(rb, p);
+      EXPECT_EQ(region_covers_cell(u, p), ia || ib);
+      EXPECT_EQ(region_covers_cell(i, p), ia && ib);
+      EXPECT_EQ(region_covers_cell(d, p), ia && !ib);
+      EXPECT_EQ(region_covers_cell(x, p), ia != ib);
+    }
+  }
+}
+
+TEST_P(RegionPropertyTest, AlgebraicIdentities) {
+  util::Rng rng(GetParam() ^ 0x5555);
+  const auto ra = random_rects(rng, 10, 80);
+  const auto rb = random_rects(rng, 10, 80);
+  const auto rc = random_rects(rng, 10, 80);
+  const Region a = Region::from_rects(ra);
+  const Region b = Region::from_rects(rb);
+  const Region c = Region::from_rects(rc);
+
+  // Commutativity and associativity (canonical-form equality).
+  EXPECT_EQ(a.united(b), b.united(a));
+  EXPECT_EQ(a.intersected(b), b.intersected(a));
+  EXPECT_EQ(a.united(b).united(c), a.united(b.united(c)));
+  EXPECT_EQ(a.intersected(b).intersected(c), a.intersected(b.intersected(c)));
+  // Distributivity.
+  EXPECT_EQ(a.intersected(b.united(c)),
+            a.intersected(b).united(a.intersected(c)));
+  // De-Morgan-style: A \ (B ∪ C) == (A \ B) \ C.
+  EXPECT_EQ(a.subtracted(b.united(c)), a.subtracted(b).subtracted(c));
+  // XOR decomposition.
+  EXPECT_EQ(a.xored(b), a.subtracted(b).united(b.subtracted(a)));
+  // Idempotence / absorption.
+  EXPECT_EQ(a.united(a), a);
+  EXPECT_EQ(a.intersected(a), a);
+  EXPECT_TRUE(a.subtracted(a).empty());
+  EXPECT_EQ(a.united(a.intersected(b)), a);
+}
+
+TEST_P(RegionPropertyTest, AreaInclusionExclusion) {
+  util::Rng rng(GetParam() ^ 0x777);
+  const Region a = Region::from_rects(random_rects(rng, 9, 70));
+  const Region b = Region::from_rects(random_rects(rng, 9, 70));
+  EXPECT_EQ(a.united(b).area() + a.intersected(b).area(),
+            a.area() + b.area());
+  EXPECT_EQ(a.xored(b).area(), a.united(b).area() - a.intersected(b).area());
+}
+
+TEST_P(RegionPropertyTest, PolygonsRoundTrip) {
+  util::Rng rng(GetParam() ^ 0xf00d);
+  const Region r = Region::from_rects(random_rects(rng, 15, 90));
+  const auto polys = r.polygons();
+  EXPECT_EQ(Region::from_polygons(polys), r) << "seed " << GetParam();
+  // Total signed area of contours equals region area (holes subtract).
+  Coord signed2 = 0;
+  for (const auto& p : polys) signed2 += p.signed_area2();
+  EXPECT_EQ(signed2 / 2, r.area());
+}
+
+TEST_P(RegionPropertyTest, DilateErodeDuality) {
+  util::Rng rng(GetParam() ^ 0xd1a);
+  const Region r = Region::from_rects(random_rects(rng, 8, 60));
+  const Coord d = 3;
+  // Extensivity / anti-extensivity.
+  EXPECT_EQ(r.inflated(d).intersected(r), r);           // r ⊆ dilate(r)
+  EXPECT_EQ(r.inflated(-d).intersected(r), r.inflated(-d));  // erode ⊆ r
+  // Opening ⊆ original ⊆ closing.
+  EXPECT_EQ(r.opened(d).intersected(r), r.opened(d));
+  EXPECT_EQ(r.closed(d).intersected(r), r);
+  // Erosion of dilation recovers at least the original (closing).
+  EXPECT_EQ(r.inflated(d).inflated(-d).intersected(r), r);
+}
+
+TEST_P(RegionPropertyTest, TransposeIsInvolutionAndCommutesWithOps) {
+  util::Rng rng(GetParam() ^ 0x111);
+  const Region a = Region::from_rects(random_rects(rng, 7, 50));
+  const Region b = Region::from_rects(random_rects(rng, 7, 50));
+  EXPECT_EQ(a.transposed().transposed(), a);
+  EXPECT_EQ(a.united(b).transposed(), a.transposed().united(b.transposed()));
+  EXPECT_EQ(a.intersected(b).transposed(),
+            a.transposed().intersected(b.transposed()));
+  EXPECT_EQ(a.transposed().area(), a.area());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));
+
+}  // namespace
+}  // namespace opckit::geom

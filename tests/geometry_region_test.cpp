@@ -1,0 +1,241 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/region.h"
+
+namespace opckit::geom {
+namespace {
+
+Polygon l_shape() {
+  return Polygon(std::vector<Point>{
+      {0, 0}, {20, 0}, {20, 10}, {10, 10}, {10, 20}, {0, 20}});
+}
+
+TEST(Region, EmptyRegion) {
+  Region r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.area(), 0);
+  EXPECT_TRUE(r.bbox().is_empty());
+  EXPECT_TRUE(r.rects().empty());
+  EXPECT_TRUE(r.polygons().empty());
+}
+
+TEST(Region, FromRect) {
+  Region r{Rect(0, 0, 10, 4)};
+  EXPECT_EQ(r.area(), 40);
+  EXPECT_EQ(r.bbox(), Rect(0, 0, 10, 4));
+  EXPECT_EQ(r.rect_count(), 1u);
+}
+
+TEST(Region, FromEmptyRectIsEmpty) {
+  EXPECT_TRUE(Region{Rect::empty()}.empty());
+  EXPECT_TRUE(Region{Rect(3, 3, 3, 9)}.empty());
+}
+
+TEST(Region, FromPolygonNonRect) {
+  Region r{l_shape()};
+  EXPECT_EQ(r.area(), 300);
+  EXPECT_EQ(r.bbox(), Rect(0, 0, 20, 20));
+  // Canonical slabs: [0,10) covering x [0,20); [10,20) covering x [0,10).
+  ASSERT_EQ(r.slabs().size(), 2u);
+  EXPECT_EQ(r.slabs()[0].intervals,
+            (std::vector<Interval>{{0, 20}}));
+  EXPECT_EQ(r.slabs()[1].intervals,
+            (std::vector<Interval>{{0, 10}}));
+}
+
+TEST(Region, FromClockwisePolygonSameResult) {
+  const Polygon ccw = l_shape();
+  std::vector<Point> rev(ccw.ring().rbegin(), ccw.ring().rend());
+  EXPECT_EQ(Region{Polygon(rev)}, Region{ccw});
+}
+
+TEST(Region, FromRectsMergesOverlapsAndTouches) {
+  const std::vector<Rect> rects{
+      Rect(0, 0, 10, 10), Rect(5, 0, 15, 10), Rect(15, 0, 20, 10)};
+  Region r = Region::from_rects(rects);
+  EXPECT_EQ(r.area(), 200);
+  EXPECT_EQ(r.rect_count(), 1u);  // all coalesce into one slab interval
+}
+
+TEST(Region, UnionDisjointAndOverlapping) {
+  Region a{Rect(0, 0, 10, 10)};
+  Region b{Rect(20, 0, 30, 10)};
+  EXPECT_EQ(a.united(b).area(), 200);
+  Region c{Rect(5, 5, 15, 15)};
+  EXPECT_EQ(a.united(c).area(), 175);
+}
+
+TEST(Region, IntersectBasics) {
+  Region a{Rect(0, 0, 10, 10)};
+  Region b{Rect(5, 5, 15, 15)};
+  const Region i = a.intersected(b);
+  EXPECT_EQ(i.area(), 25);
+  EXPECT_EQ(i.bbox(), Rect(5, 5, 10, 10));
+  EXPECT_TRUE(a.intersected(Region{Rect(50, 50, 60, 60)}).empty());
+}
+
+TEST(Region, EdgeTouchingIntersectionIsEmpty) {
+  Region a{Rect(0, 0, 10, 10)};
+  Region b{Rect(10, 0, 20, 10)};
+  EXPECT_TRUE(a.intersected(b).empty());
+}
+
+TEST(Region, SubtractCreatesHole) {
+  Region a{Rect(0, 0, 30, 30)};
+  Region hole{Rect(10, 10, 20, 20)};
+  const Region d = a.subtracted(hole);
+  EXPECT_EQ(d.area(), 800);
+  EXPECT_FALSE(d.contains({15, 15}) && !hole.contains({15, 15}));
+  EXPECT_TRUE(d.contains({5, 5}));
+  // The contour extractor must return one CCW outer ring and one CW hole.
+  const auto polys = d.polygons();
+  ASSERT_EQ(polys.size(), 2u);
+  int ccw = 0, cw = 0;
+  for (const auto& p : polys) (p.is_ccw() ? ccw : cw)++;
+  EXPECT_EQ(ccw, 1);
+  EXPECT_EQ(cw, 1);
+}
+
+TEST(Region, SubtractAllIsEmpty) {
+  Region a{Rect(0, 0, 10, 10)};
+  EXPECT_TRUE(a.subtracted(Region{Rect(-5, -5, 15, 15)}).empty());
+}
+
+TEST(Region, XorIsUnionMinusIntersection) {
+  Region a{Rect(0, 0, 10, 10)};
+  Region b{Rect(5, 0, 15, 10)};
+  const Region x = a.xored(b);
+  EXPECT_EQ(x.area(), 100);
+  EXPECT_EQ(x, a.united(b).subtracted(a.intersected(b)));
+}
+
+TEST(Region, ContainsClosedSemantics) {
+  Region r{Rect(0, 0, 10, 10)};
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({10, 10}));
+  EXPECT_TRUE(r.contains({10, 5}));
+  EXPECT_FALSE(r.contains({11, 5}));
+}
+
+TEST(Region, TranslatedMovesEverything) {
+  Region r{l_shape()};
+  const Region t = r.translated({100, -50});
+  EXPECT_EQ(t.area(), r.area());
+  EXPECT_EQ(t.bbox(), Rect(100, -50, 120, -30));
+}
+
+TEST(Region, TransposedSwapsAxes) {
+  Region r{Rect(0, 0, 10, 4)};
+  const Region t = r.transposed();
+  EXPECT_EQ(t.bbox(), Rect(0, 0, 4, 10));
+  EXPECT_EQ(t.area(), 40);
+  EXPECT_EQ(t.transposed(), r);
+}
+
+TEST(Region, DilationGrowsBySquare) {
+  Region r{Rect(10, 10, 20, 20)};
+  const Region g = r.inflated(5);
+  EXPECT_EQ(g.bbox(), Rect(5, 5, 25, 25));
+  EXPECT_EQ(g.area(), 400);
+}
+
+TEST(Region, ErosionShrinks) {
+  Region r{Rect(0, 0, 20, 10)};
+  const Region e = r.inflated(-3);
+  EXPECT_EQ(e.bbox(), Rect(3, 3, 17, 7));
+  EXPECT_EQ(e.area(), 14 * 4);
+  EXPECT_TRUE(r.inflated(-5).empty());  // vanishes at half-height
+}
+
+TEST(Region, ErodeDilateIdentityOnFatShapes) {
+  // For shapes wider than 2d everywhere, opening is the identity.
+  Region r{l_shape()};
+  EXPECT_EQ(r.opened(3), r);
+}
+
+TEST(Region, OpeningRemovesNarrowSliver) {
+  // A 4-wide sliver attached to a fat block disappears under opening(3).
+  Region fat{Rect(0, 0, 20, 20)};
+  Region sliver{Rect(20, 8, 40, 12)};
+  const Region opened = fat.united(sliver).opened(3);
+  EXPECT_EQ(opened, fat);
+}
+
+TEST(Region, ClosingFillsNarrowGap) {
+  Region a{Rect(0, 0, 10, 20)};
+  Region b{Rect(14, 0, 24, 20)};  // 4nm gap
+  const Region closed = a.united(b).closed(3);
+  EXPECT_EQ(closed.area(), 24 * 20);
+}
+
+TEST(Region, ClippedToWindow) {
+  Region r{l_shape()};
+  const Region c = r.clipped(Rect(5, 5, 15, 15));
+  EXPECT_EQ(c.bbox(), Rect(5, 5, 15, 15).intersected(Rect(0, 0, 20, 20)));
+  EXPECT_EQ(c.area(), 75);  // L-shape ∩ window
+}
+
+TEST(Region, PolygonsRoundTripThroughRegion) {
+  Region r{l_shape()};
+  const auto polys = r.polygons();
+  ASSERT_EQ(polys.size(), 1u);
+  EXPECT_TRUE(polys[0].is_ccw());
+  EXPECT_EQ(polys[0].area(), 300);
+  EXPECT_EQ(Region::from_polygons(polys), r);
+}
+
+TEST(Region, PolygonsSplitsDisjointComponents) {
+  Region r = Region{Rect(0, 0, 10, 10)}.united(Region{Rect(20, 20, 30, 30)});
+  EXPECT_EQ(r.polygons().size(), 2u);
+}
+
+TEST(Region, CheckerboardTouchAtPointSplits) {
+  // Two squares touching only at one corner must yield two loops.
+  Region r = Region{Rect(0, 0, 10, 10)}.united(Region{Rect(10, 10, 20, 20)});
+  const auto polys = r.polygons();
+  ASSERT_EQ(polys.size(), 2u);
+  EXPECT_EQ(polys[0].area() + polys[1].area(), 200);
+}
+
+TEST(Region, FromPolygonsUnionOverlapping) {
+  std::vector<Polygon> ps{Polygon{Rect(0, 0, 10, 10)},
+                          Polygon{Rect(5, 0, 15, 10)}};
+  EXPECT_EQ(Region::from_polygons(ps).area(), 150);
+}
+
+TEST(Region, ComponentsSplitDisjointArea) {
+  const Region r = Region{Rect(0, 0, 10, 10)}
+                       .united(Region{Rect(50, 0, 60, 10)})
+                       .united(Region{Rect(0, 50, 10, 60)});
+  const auto comps = r.components();
+  ASSERT_EQ(comps.size(), 3u);
+  // Ordered by lower-left corner (lexicographic x then y).
+  EXPECT_EQ(comps[0].bbox(), Rect(0, 0, 10, 10));
+  EXPECT_EQ(comps[1].bbox(), Rect(0, 50, 10, 60));
+  EXPECT_EQ(comps[2].bbox(), Rect(50, 0, 60, 10));
+  // Components partition the area.
+  geom::Coord total = 0;
+  for (const auto& c : comps) total += c.area();
+  EXPECT_EQ(total, r.area());
+}
+
+TEST(Region, ComponentsEdgeConnectedStaysTogether) {
+  // An L shape decomposes into two slabs that share an edge.
+  const Region r{l_shape()};
+  EXPECT_EQ(r.components().size(), 1u);
+}
+
+TEST(Region, CornerTouchDoesNotConnectComponents) {
+  const Region r =
+      Region{Rect(0, 0, 10, 10)}.united(Region{Rect(10, 10, 20, 20)});
+  EXPECT_EQ(r.components().size(), 2u);
+}
+
+TEST(Region, ComponentsOfEmptyRegion) {
+  EXPECT_TRUE(Region{}.components().empty());
+}
+
+}  // namespace
+}  // namespace opckit::geom

@@ -1,0 +1,85 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "geometry/tile_index.h"
+#include "util/rng.h"
+
+namespace opckit::geom {
+namespace {
+
+TEST(TileIndex, FindsInsertedItem) {
+  TileIndex idx(Rect(0, 0, 1000, 1000), 100);
+  idx.insert(7, Rect(150, 150, 250, 250));
+  const auto hits = idx.query(Rect(200, 200, 300, 300));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 7u);
+}
+
+TEST(TileIndex, MissesDistantItem) {
+  TileIndex idx(Rect(0, 0, 1000, 1000), 100);
+  idx.insert(1, Rect(0, 0, 50, 50));
+  EXPECT_TRUE(idx.query(Rect(800, 800, 900, 900)).empty());
+}
+
+TEST(TileIndex, DeduplicatesAcrossTiles) {
+  TileIndex idx(Rect(0, 0, 1000, 1000), 100);
+  idx.insert(3, Rect(50, 50, 450, 450));  // spans many tiles
+  const auto hits = idx.query(Rect(0, 0, 500, 500));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 3u);
+}
+
+TEST(TileIndex, TouchingCountsAsHit) {
+  TileIndex idx(Rect(0, 0, 1000, 1000), 100);
+  idx.insert(9, Rect(100, 100, 200, 200));
+  const auto hits = idx.query(Rect(200, 200, 300, 300));  // corner touch
+  ASSERT_EQ(hits.size(), 1u);
+}
+
+TEST(TileIndex, ItemsOutsideExtentClampIntoBorder) {
+  TileIndex idx(Rect(0, 0, 100, 100), 10);
+  idx.insert(5, Rect(-50, -50, -10, -10));
+  const auto hits = idx.query(Rect(-20, -20, -15, -15));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 5u);
+}
+
+TEST(TileIndex, QueryMatchesBruteForceOnRandomSoup) {
+  util::Rng rng(42);
+  const Rect extent(0, 0, 2000, 2000);
+  TileIndex idx(extent, 128);
+  std::vector<Rect> boxes;
+  for (std::size_t i = 0; i < 300; ++i) {
+    const Coord x0 = rng.uniform_int(0, 1900);
+    const Coord y0 = rng.uniform_int(0, 1900);
+    const Rect b(x0, y0, x0 + rng.uniform_int(1, 100),
+                 y0 + rng.uniform_int(1, 100));
+    boxes.push_back(b);
+    idx.insert(i, b);
+  }
+  for (int q = 0; q < 50; ++q) {
+    const Coord x0 = rng.uniform_int(0, 1800);
+    const Coord y0 = rng.uniform_int(0, 1800);
+    const Rect w(x0, y0, x0 + rng.uniform_int(1, 200),
+                 y0 + rng.uniform_int(1, 200));
+    auto got = idx.query(w);
+    std::vector<std::size_t> want;
+    for (std::size_t i = 0; i < boxes.size(); ++i) {
+      if (boxes[i].touches(w)) want.push_back(i);
+    }
+    EXPECT_EQ(got, want) << "query " << q;
+  }
+}
+
+TEST(TileIndex, SameIdMayAppearForMultipleShapes) {
+  TileIndex idx(Rect(0, 0, 100, 100), 10);
+  idx.insert(1, Rect(0, 0, 10, 10));
+  idx.insert(1, Rect(90, 90, 100, 100));
+  EXPECT_EQ(idx.size(), 2u);
+  const auto hits = idx.query(Rect(0, 0, 100, 100));
+  ASSERT_EQ(hits.size(), 1u);  // deduplicated by id
+}
+
+}  // namespace
+}  // namespace opckit::geom

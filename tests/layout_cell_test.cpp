@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "layout/cell.h"
+
+namespace opckit::layout {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+
+TEST(Layer, OrderingAndEquality) {
+  EXPECT_EQ((Layer{10, 0}), (Layer{10, 0}));
+  EXPECT_LT((Layer{10, 0}), (Layer{10, 1}));
+  EXPECT_LT((Layer{10, 5}), (Layer{11, 0}));
+}
+
+TEST(Cell, AddAndQueryShapes) {
+  Cell c("test");
+  EXPECT_EQ(c.name(), "test");
+  c.add_rect(layers::kPoly, Rect(0, 0, 100, 50));
+  c.add_rect(layers::kMetal1, Rect(0, 0, 10, 10));
+  c.add_rect(layers::kPoly, Rect(200, 0, 300, 50));
+  EXPECT_EQ(c.shapes(layers::kPoly).size(), 2u);
+  EXPECT_EQ(c.shapes(layers::kMetal1).size(), 1u);
+  EXPECT_TRUE(c.shapes(layers::kContact).empty());
+  EXPECT_EQ(c.polygon_count(), 3u);
+  EXPECT_EQ(c.vertex_count(), 12u);
+}
+
+TEST(Cell, LayersListsOnlyPopulated) {
+  Cell c("t");
+  c.add_rect(layers::kMetal1, Rect(0, 0, 1, 1));
+  c.add_rect(layers::kPoly, Rect(0, 0, 1, 1));
+  const auto ls = c.layers();
+  ASSERT_EQ(ls.size(), 2u);
+  EXPECT_EQ(ls[0], layers::kPoly);    // 10/0 sorts before 20/0
+  EXPECT_EQ(ls[1], layers::kMetal1);
+}
+
+TEST(Cell, ClearLayer) {
+  Cell c("t");
+  c.add_rect(layers::kPoly, Rect(0, 0, 1, 1));
+  c.clear_layer(layers::kPoly);
+  EXPECT_TRUE(c.shapes(layers::kPoly).empty());
+  EXPECT_EQ(c.polygon_count(), 0u);
+}
+
+TEST(Cell, LocalBboxIgnoresRefs) {
+  Cell c("t");
+  c.add_rect(layers::kPoly, Rect(10, 10, 20, 20));
+  c.add_rect(layers::kMetal1, Rect(-5, 0, 0, 5));
+  CellRef ref;
+  ref.child = "elsewhere";
+  ref.transform.displacement = {10000, 10000};
+  c.add_ref(ref);
+  EXPECT_EQ(c.local_bbox(), Rect(-5, 0, 20, 20));
+}
+
+TEST(CellRef, ElementTransformSteps) {
+  CellRef ref;
+  ref.child = "x";
+  ref.transform.displacement = {100, 200};
+  ref.columns = 3;
+  ref.rows = 2;
+  ref.column_step = {50, 0};
+  ref.row_step = {0, 80};
+  EXPECT_EQ(ref.placements(), 6);
+  EXPECT_EQ(ref.element_transform(0, 0).displacement, Point(100, 200));
+  EXPECT_EQ(ref.element_transform(2, 1).displacement, Point(200, 280));
+}
+
+}  // namespace
+}  // namespace opckit::layout

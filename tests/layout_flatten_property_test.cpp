@@ -1,0 +1,132 @@
+/// Property tests of hierarchy flattening: flattening commutes with the
+/// reference transforms for every orientation and nesting arrangement.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "layout/gdsii.h"
+#include "layout/library.h"
+#include "util/rng.h"
+
+namespace opckit::layout {
+namespace {
+
+using geom::Orientation;
+using geom::Point;
+using geom::Rect;
+using geom::Region;
+using geom::Transform;
+
+class FlattenPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(FlattenPropertyTest, FlattenMatchesManualTransformComposition) {
+  util::Rng rng(GetParam());
+  Library lib("prop");
+  Cell& leaf = lib.cell("leaf");
+  // Random leaf content.
+  std::vector<geom::Polygon> leaf_polys;
+  for (int i = 0; i < 4; ++i) {
+    const geom::Coord x0 = rng.uniform_int(-200, 200);
+    const geom::Coord y0 = rng.uniform_int(-200, 200);
+    const Rect r(x0, y0, x0 + rng.uniform_int(10, 120),
+                 y0 + rng.uniform_int(10, 120));
+    leaf.add_rect(layers::kPoly, r);
+    leaf_polys.emplace_back(r);
+  }
+  // Two levels of random references.
+  std::vector<Transform> mids;
+  Cell& mid = lib.cell("mid");
+  for (int i = 0; i < 3; ++i) {
+    CellRef ref;
+    ref.child = "leaf";
+    ref.transform = Transform(
+        static_cast<Orientation>(rng.uniform_int(0, 7)),
+        {rng.uniform_int(-2000, 2000), rng.uniform_int(-2000, 2000)});
+    mids.push_back(ref.transform);
+    mid.add_ref(ref);
+  }
+  Cell& top = lib.cell("top");
+  CellRef tref;
+  tref.child = "mid";
+  tref.transform = Transform(
+      static_cast<Orientation>(rng.uniform_int(0, 7)),
+      {rng.uniform_int(-5000, 5000), rng.uniform_int(-5000, 5000)});
+  top.add_ref(tref);
+  lib.validate();
+
+  const auto flat = lib.flatten("top", layers::kPoly);
+  ASSERT_EQ(flat.size(), mids.size() * leaf_polys.size());
+
+  // Oracle: compose transforms by hand, compare as regions (order-free).
+  std::vector<geom::Polygon> expected;
+  for (const auto& m : mids) {
+    const Transform t = tref.transform * m;
+    for (const auto& p : leaf_polys) expected.push_back(t(p));
+  }
+  EXPECT_EQ(Region::from_polygons(flat), Region::from_polygons(expected))
+      << "seed " << GetParam();
+}
+
+TEST_P(FlattenPropertyTest, ArrayExpansionMatchesLoopOracle) {
+  util::Rng rng(GetParam() ^ 0xa44a);
+  Library lib("prop");
+  lib.cell("leaf").add_rect(layers::kPoly, Rect(0, 0, 50, 80));
+  CellRef ref;
+  ref.child = "leaf";
+  ref.columns = static_cast<int>(rng.uniform_int(1, 5));
+  ref.rows = static_cast<int>(rng.uniform_int(1, 5));
+  ref.column_step = {rng.uniform_int(100, 300), 0};
+  ref.row_step = {0, rng.uniform_int(100, 300)};
+  ref.transform = Transform(
+      static_cast<Orientation>(rng.uniform_int(0, 7)),
+      {rng.uniform_int(-1000, 1000), rng.uniform_int(-1000, 1000)});
+  lib.cell("top").add_ref(ref);
+
+  const auto flat = lib.flatten("top", layers::kPoly);
+  EXPECT_EQ(flat.size(),
+            static_cast<std::size_t>(ref.columns) *
+                static_cast<std::size_t>(ref.rows));
+  geom::Coord area = 0;
+  for (const auto& p : flat) area += p.area();
+  EXPECT_EQ(area, static_cast<geom::Coord>(flat.size()) * 50 * 80);
+
+  // Stats agree with the expansion.
+  const auto s = lib.stats("top");
+  EXPECT_EQ(s.placements, ref.placements());
+  EXPECT_EQ(s.flat_polygons, static_cast<long long>(flat.size()));
+}
+
+TEST_P(FlattenPropertyTest, GdsiiRoundTripPreservesFlatGeometry) {
+  util::Rng rng(GetParam() ^ 0x9d5);
+  Library lib("prop");
+  Cell& leaf = lib.cell("leaf");
+  for (int i = 0; i < 3; ++i) {
+    const geom::Coord x0 = rng.uniform_int(0, 500);
+    const geom::Coord y0 = rng.uniform_int(0, 500);
+    leaf.add_rect(layers::kPoly, Rect(x0, y0, x0 + rng.uniform_int(10, 90),
+                                      y0 + rng.uniform_int(10, 90)));
+  }
+  CellRef ref;
+  ref.child = "leaf";
+  ref.columns = 2;
+  ref.rows = 3;
+  ref.column_step = {700, 0};
+  ref.row_step = {0, 700};
+  ref.transform =
+      Transform(static_cast<Orientation>(rng.uniform_int(0, 7)), {33, -77});
+  lib.cell("top").add_ref(ref);
+
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_gdsii(lib, ss);
+  const Library back = read_gdsii(ss);
+  EXPECT_EQ(Region::from_polygons(back.flatten("top", layers::kPoly)),
+            Region::from_polygons(lib.flatten("top", layers::kPoly)))
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlattenPropertyTest,
+                         ::testing::Values(1u, 4u, 9u, 16u, 25u, 36u));
+
+}  // namespace
+}  // namespace opckit::layout

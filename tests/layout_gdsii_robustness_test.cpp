@@ -1,0 +1,179 @@
+/// Robustness tests for the GDSII reader against foreign-tool streams:
+/// unknown records, unsupported element types, and odd-but-legal content.
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "layout/gdsii.h"
+#include "util/check.h"
+
+namespace opckit::layout {
+namespace {
+
+/// Hand-rolled GDSII record writer for crafting test streams.
+class RawWriter {
+ public:
+  explicit RawWriter(std::ostream& os) : os_(os) {}
+
+  void record(std::uint8_t type, std::uint8_t dtype,
+              const std::vector<std::uint8_t>& payload = {}) {
+    const auto len = static_cast<std::uint16_t>(payload.size() + 4);
+    os_.put(static_cast<char>(len >> 8));
+    os_.put(static_cast<char>(len & 0xFF));
+    os_.put(static_cast<char>(type));
+    os_.put(static_cast<char>(dtype));
+    for (auto b : payload) os_.put(static_cast<char>(b));
+  }
+
+  void i16(std::uint8_t type, std::int16_t v) {
+    record(type, 2,
+           {static_cast<std::uint8_t>(static_cast<std::uint16_t>(v) >> 8),
+            static_cast<std::uint8_t>(v & 0xFF)});
+  }
+
+  void ascii(std::uint8_t type, const std::string& s) {
+    std::vector<std::uint8_t> p(s.begin(), s.end());
+    if (p.size() % 2) p.push_back(0);
+    record(type, 6, p);
+  }
+
+  void xy(const std::vector<std::pair<std::int32_t, std::int32_t>>& pts) {
+    std::vector<std::uint8_t> p;
+    auto put32 = [&p](std::int32_t sv) {
+      const auto v = static_cast<std::uint32_t>(sv);
+      p.push_back(static_cast<std::uint8_t>(v >> 24));
+      p.push_back(static_cast<std::uint8_t>(v >> 16));
+      p.push_back(static_cast<std::uint8_t>(v >> 8));
+      p.push_back(static_cast<std::uint8_t>(v));
+    };
+    for (auto [x, y] : pts) {
+      put32(x);
+      put32(y);
+    }
+    record(0x10, 3, p);
+  }
+
+  void header() {
+    i16(0x00, 600);                                       // HEADER
+    record(0x01, 2, std::vector<std::uint8_t>(24, 0));    // BGNLIB
+    ascii(0x02, "crafted");                               // LIBNAME
+    record(0x03, 5, std::vector<std::uint8_t>(16, 0x40)); // UNITS (junk ok)
+  }
+  void begin_struct(const std::string& name) {
+    record(0x05, 2, std::vector<std::uint8_t>(24, 0));  // BGNSTR
+    ascii(0x06, name);                                  // STRNAME
+  }
+  void boundary(std::int16_t layer) {
+    record(0x08, 0);    // BOUNDARY
+    i16(0x0D, layer);   // LAYER
+    i16(0x0E, 0);       // DATATYPE
+    xy({{0, 0}, {100, 0}, {100, 100}, {0, 100}, {0, 0}});
+    record(0x11, 0);    // ENDEL
+  }
+  void end_struct() { record(0x07, 0); }
+  void end_lib() { record(0x04, 0); }
+
+ private:
+  std::ostream& os_;
+};
+
+TEST(GdsiiRobust, SkipsPathElements) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  RawWriter w(ss);
+  w.header();
+  w.begin_struct("cell");
+  // A PATH element (unsupported): PATH, LAYER, DATATYPE, WIDTH, XY, ENDEL.
+  w.record(0x09, 0);
+  w.i16(0x0D, 5);
+  w.i16(0x0E, 0);
+  w.record(0x0F, 3, {0, 0, 0, 50});  // WIDTH
+  w.xy({{0, 0}, {1000, 0}});
+  w.record(0x11, 0);
+  // Followed by a normal boundary that must survive.
+  w.boundary(7);
+  w.end_struct();
+  w.end_lib();
+
+  const Library lib = read_gdsii(ss);
+  EXPECT_EQ(lib.at("cell").shapes(Layer{7, 0}).size(), 1u);
+  EXPECT_TRUE(lib.at("cell").shapes(Layer{5, 0}).empty());
+}
+
+TEST(GdsiiRobust, SkipsTextAndNodeElements) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  RawWriter w(ss);
+  w.header();
+  w.begin_struct("cell");
+  w.record(0x0C, 0);  // TEXT
+  w.i16(0x0D, 1);
+  w.record(0x16, 2, {0, 0});  // TEXTTYPE
+  w.xy({{5, 5}});
+  w.record(0x11, 0);
+  w.boundary(3);
+  w.end_struct();
+  w.end_lib();
+  const Library lib = read_gdsii(ss);
+  EXPECT_EQ(lib.at("cell").shapes(Layer{3, 0}).size(), 1u);
+}
+
+TEST(GdsiiRobust, SkipsEntirelyUnknownRecords) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  RawWriter w(ss);
+  w.header();
+  w.record(0x38, 2, {0, 1});  // some extension record
+  w.begin_struct("cell");
+  w.boundary(2);
+  w.end_struct();
+  w.end_lib();
+  const Library lib = read_gdsii(ss);
+  EXPECT_EQ(lib.at("cell").shapes(Layer{2, 0}).size(), 1u);
+}
+
+TEST(GdsiiRobust, MissingHeaderRejected) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  RawWriter w(ss);
+  w.begin_struct("cell");
+  w.end_struct();
+  w.end_lib();
+  EXPECT_THROW(read_gdsii(ss), util::InputError);
+}
+
+TEST(GdsiiRobust, MissingEndlibRejected) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  RawWriter w(ss);
+  w.header();
+  w.begin_struct("cell");
+  w.boundary(1);
+  w.end_struct();  // but no ENDLIB
+  EXPECT_THROW(read_gdsii(ss), util::InputError);
+}
+
+TEST(GdsiiRobust, BoundaryWithTooFewPointsDropped) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  RawWriter w(ss);
+  w.header();
+  w.begin_struct("cell");
+  w.record(0x08, 0);
+  w.i16(0x0D, 4);
+  w.i16(0x0E, 0);
+  w.xy({{0, 0}, {10, 0}, {0, 0}});  // closes to a 2-point "ring"
+  w.record(0x11, 0);
+  w.end_struct();
+  w.end_lib();
+  const Library lib = read_gdsii(ss);
+  EXPECT_TRUE(lib.at("cell").shapes(Layer{4, 0}).empty());
+}
+
+TEST(GdsiiRobust, ZeroLengthRecordRejected) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  // A record claiming length 2 (< 4) is structurally invalid.
+  ss.put(0);
+  ss.put(2);
+  ss.put(0);
+  ss.put(0);
+  EXPECT_THROW(read_gdsii(ss), util::InputError);
+}
+
+}  // namespace
+}  // namespace opckit::layout

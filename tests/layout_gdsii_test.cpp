@@ -1,0 +1,172 @@
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "layout/gdsii.h"
+#include "layout/generators.h"
+#include "util/check.h"
+
+namespace opckit::layout {
+namespace {
+
+using geom::Orientation;
+using geom::Point;
+using geom::Rect;
+using geom::Transform;
+using gdsii_detail::decode_real8;
+using gdsii_detail::encode_real8;
+
+TEST(GdsiiReal8, ZeroRoundTrips) {
+  EXPECT_EQ(encode_real8(0.0), 0u);
+  EXPECT_EQ(decode_real8(0), 0.0);
+}
+
+TEST(GdsiiReal8, KnownEncodingOfOne) {
+  // 1.0 = 0x1p0 -> exponent 65 (excess 64), mantissa 0x10000000000000.
+  EXPECT_EQ(encode_real8(1.0), 0x4110000000000000ULL);
+}
+
+TEST(GdsiiReal8, UnitsValuesRoundTrip) {
+  for (double v : {1e-3, 1e-9, 90.0, 180.0, 270.0, 0.5, -2.75, 1e6}) {
+    EXPECT_NEAR(decode_real8(encode_real8(v)), v, std::abs(v) * 1e-14)
+        << "value " << v;
+  }
+}
+
+TEST(GdsiiReal8, NegativeSignBit) {
+  EXPECT_EQ(encode_real8(-1.0) >> 63, 1u);
+  EXPECT_DOUBLE_EQ(decode_real8(encode_real8(-1.0)), -1.0);
+}
+
+Library sample_library() {
+  Library lib("sample");
+  Cell& leaf = lib.cell("leaf");
+  leaf.add_rect(layers::kPoly, Rect(0, 0, 100, 50));
+  leaf.add_polygon(layers::kMetal1,
+                   geom::Polygon(std::vector<Point>{{0, 0},
+                                                    {60, 0},
+                                                    {60, 30},
+                                                    {30, 30},
+                                                    {30, 60},
+                                                    {0, 60}}));
+  Cell& top = lib.cell("top");
+  top.add_rect(layers::kPoly, Rect(-500, -500, -400, -400));
+  CellRef sref;
+  sref.child = "leaf";
+  sref.transform = Transform(Orientation::kMXR90, {1000, 2000});
+  top.add_ref(sref);
+  CellRef aref;
+  aref.child = "leaf";
+  aref.columns = 3;
+  aref.rows = 2;
+  aref.column_step = {200, 0};
+  aref.row_step = {0, 300};
+  aref.transform = Transform(Orientation::kR180, {5000, 5000});
+  top.add_ref(aref);
+  return lib;
+}
+
+TEST(Gdsii, RoundTripPreservesEverything) {
+  const Library lib = sample_library();
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_gdsii(lib, ss);
+  const Library back = read_gdsii(ss);
+
+  EXPECT_EQ(back.name(), "sample");
+  EXPECT_EQ(back.cell_names(), lib.cell_names());
+  EXPECT_EQ(back.at("leaf").shapes(layers::kPoly).size(), 1u);
+  EXPECT_EQ(back.at("leaf").shapes(layers::kMetal1).size(), 1u);
+  EXPECT_EQ(back.at("leaf").shapes(layers::kPoly)[0],
+            lib.at("leaf").shapes(layers::kPoly)[0]);
+  EXPECT_EQ(back.at("leaf").shapes(layers::kMetal1)[0],
+            lib.at("leaf").shapes(layers::kMetal1)[0]);
+  ASSERT_EQ(back.at("top").refs().size(), 2u);
+  EXPECT_EQ(back.at("top").refs()[0], lib.at("top").refs()[0]);
+  EXPECT_EQ(back.at("top").refs()[1], lib.at("top").refs()[1]);
+}
+
+TEST(Gdsii, RoundTripPreservesFlattenedGeometry) {
+  const Library lib = sample_library();
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_gdsii(lib, ss);
+  const Library back = read_gdsii(ss);
+  const auto a = lib.flatten("top", layers::kPoly);
+  const auto b = back.flatten("top", layers::kPoly);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Gdsii, AllOrientationsRoundTrip) {
+  Library lib("orient");
+  lib.cell("leaf").add_rect(layers::kPoly, Rect(0, 0, 10, 20));
+  Cell& top = lib.cell("top");
+  for (Orientation o : geom::all_orientations()) {
+    CellRef ref;
+    ref.child = "leaf";
+    ref.transform = Transform(o, {static_cast<geom::Coord>(o) * 100, 0});
+    top.add_ref(ref);
+  }
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_gdsii(lib, ss);
+  const Library back = read_gdsii(ss);
+  ASSERT_EQ(back.at("top").refs().size(), geom::kOrientationCount);
+  for (std::size_t i = 0; i < geom::kOrientationCount; ++i) {
+    EXPECT_EQ(back.at("top").refs()[i].transform,
+              lib.at("top").refs()[i].transform)
+        << "orientation " << i;
+  }
+}
+
+TEST(Gdsii, DeterministicBytes) {
+  const Library lib = sample_library();
+  std::ostringstream a(std::ios::binary), b(std::ios::binary);
+  write_gdsii(lib, a);
+  write_gdsii(lib, b);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_EQ(gdsii_byte_size(lib), a.str().size());
+}
+
+TEST(Gdsii, ByteSizeGrowsWithVertices) {
+  Library small("s"), big("b");
+  small.cell("c").add_rect(layers::kPoly, Rect(0, 0, 10, 10));
+  for (int i = 0; i < 100; ++i) {
+    big.cell("c").add_rect(layers::kPoly, Rect(i * 20, 0, i * 20 + 10, 10));
+  }
+  EXPECT_GT(gdsii_byte_size(big), gdsii_byte_size(small) + 100 * 40);
+}
+
+TEST(Gdsii, FileRoundTrip) {
+  const Library lib = sample_library();
+  const std::string path = ::testing::TempDir() + "/opckit_gdsii_test.gds";
+  write_gdsii_file(lib, path);
+  const Library back = read_gdsii_file(path);
+  EXPECT_EQ(back.cell_names(), lib.cell_names());
+  std::remove(path.c_str());
+}
+
+TEST(Gdsii, CoordinateOverflowThrows) {
+  Library lib("big");
+  lib.cell("c").add_rect(layers::kPoly,
+                         Rect(0, 0, 3'000'000'000LL, 10));
+  std::ostringstream os(std::ios::binary);
+  EXPECT_THROW(write_gdsii(lib, os), util::CheckError);
+}
+
+TEST(Gdsii, TruncatedStreamThrows) {
+  const Library lib = sample_library();
+  std::ostringstream os(std::ios::binary);
+  write_gdsii(lib, os);
+  const std::string bytes = os.str();
+  std::istringstream cut(bytes.substr(0, bytes.size() / 2),
+                         std::ios::binary);
+  EXPECT_THROW(read_gdsii(cut), util::InputError);
+}
+
+TEST(Gdsii, GarbageStreamThrows) {
+  std::istringstream junk("this is not gdsii at all, not even close");
+  EXPECT_THROW(read_gdsii(junk), util::InputError);
+}
+
+}  // namespace
+}  // namespace opckit::layout

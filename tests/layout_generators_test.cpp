@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "geometry/region.h"
+#include "layout/generators.h"
+
+namespace opckit::layout {
+namespace {
+
+using geom::Coord;
+using geom::Rect;
+using geom::Region;
+
+Region layer_region(const Cell& c, const Layer& layer) {
+  const auto shapes = c.shapes(layer);
+  return Region::from_polygons(
+      std::vector<geom::Polygon>(shapes.begin(), shapes.end()));
+}
+
+TEST(Generators, GratingGeometry) {
+  Cell c("g");
+  GratingSpec spec;
+  spec.line_width = 180;
+  spec.pitch = 360;
+  spec.lines = 7;
+  spec.length = 4000;
+  add_grating(c, layers::kPoly, spec);
+  EXPECT_EQ(c.shapes(layers::kPoly).size(), 7u);
+  // Middle line centered at x = 0.
+  const Region r = layer_region(c, layers::kPoly);
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_EQ(r.area(), 7 * 180 * 4000);
+  // Space between lines is pitch - width.
+  EXPECT_FALSE(r.contains({180 / 2 + (360 - 180) / 2, 0}));
+}
+
+TEST(Generators, IsoLineCentered) {
+  Cell c("i");
+  add_iso_line(c, layers::kPoly, 180, 3000);
+  const Rect box = c.local_bbox();
+  EXPECT_EQ(box, Rect(-90, -1500, 90, 1500));
+}
+
+TEST(Generators, LineEndCombGap) {
+  Cell c("le");
+  LineEndSpec spec;
+  spec.gap = 260;
+  add_line_end_comb(c, layers::kPoly, spec);
+  const Region r = layer_region(c, layers::kPoly);
+  // The design gap straddles y = 0 on the central finger.
+  EXPECT_FALSE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({0, spec.gap / 2 + 10}));
+  EXPECT_TRUE(r.contains({0, -spec.gap / 2 - 10}));
+}
+
+TEST(Generators, CornerTargetIsLShape) {
+  Cell c("corner");
+  add_corner_target(c, layers::kPoly, 200, 2000);
+  ASSERT_EQ(c.shapes(layers::kPoly).size(), 1u);
+  const auto& p = c.shapes(layers::kPoly)[0];
+  EXPECT_EQ(p.size(), 6u);
+  EXPECT_EQ(p.area(), 2000 * 200 + (2000 - 200) * 200);
+}
+
+TEST(Generators, ContactArrayCountAndPitch) {
+  Cell c("ca");
+  add_contact_array(c, layers::kContact, 220, 500, 4, 3);
+  EXPECT_EQ(c.shapes(layers::kContact).size(), 12u);
+  EXPECT_EQ(c.local_bbox(), Rect(0, 0, 3 * 500 + 220, 2 * 500 + 220));
+}
+
+TEST(Generators, LogicCellHasContent) {
+  Library lib("l");
+  make_logic_cell(lib, "nand2", layers::kPoly);
+  const Cell& c = lib.at("nand2");
+  EXPECT_GE(c.shapes(layers::kPoly).size(), 6u);
+  EXPECT_FALSE(c.local_bbox().is_empty());
+}
+
+TEST(Generators, RandomBlockIsDeterministic) {
+  RandomBlockSpec spec;
+  util::Rng a(7), b(7);
+  Cell ca("a"), cb("b");
+  add_random_block(ca, layers::kMetal1, spec, a);
+  add_random_block(cb, layers::kMetal1, spec, b);
+  ASSERT_EQ(ca.shapes(layers::kMetal1).size(),
+            cb.shapes(layers::kMetal1).size());
+  for (std::size_t i = 0; i < ca.shapes(layers::kMetal1).size(); ++i) {
+    EXPECT_EQ(ca.shapes(layers::kMetal1)[i], cb.shapes(layers::kMetal1)[i]);
+  }
+}
+
+TEST(Generators, RandomBlockRespectsMinSpace) {
+  RandomBlockSpec spec;
+  util::Rng rng(11);
+  Cell c("rb");
+  add_random_block(c, layers::kMetal1, spec, rng);
+  ASSERT_GT(c.shapes(layers::kMetal1).size(), 50u);
+  // Min-space check via morphological closing: closing by just under half
+  // the wire space must not add any area (no two shapes closer than space).
+  const Region r = layer_region(c, layers::kMetal1);
+  const Coord guard = (spec.wire_space - 2) / 2;
+  EXPECT_EQ(r.closed(guard), r) << "violates min space";
+}
+
+TEST(Generators, RandomBlockStaysInExtent) {
+  RandomBlockSpec spec;
+  spec.width = 5000;
+  spec.height = 5000;
+  util::Rng rng(3);
+  Cell c("rb");
+  add_random_block(c, layers::kMetal1, spec, rng);
+  const Rect box = c.local_bbox();
+  EXPECT_GE(box.lo.x, 0);
+  EXPECT_GE(box.lo.y, 0);
+  EXPECT_LE(box.hi.x, spec.width);
+  EXPECT_LE(box.hi.y, spec.height);
+}
+
+TEST(Generators, ChipArrayExpands) {
+  Library lib("l");
+  make_logic_cell(lib, "cellA", layers::kPoly);
+  make_chip(lib, "chip", "cellA", 8, 4, {3000, 3600});
+  lib.validate();
+  const auto s = lib.stats("chip");
+  EXPECT_EQ(s.placements, 32);
+  EXPECT_EQ(s.distinct_cells, 2u);
+  const auto flat = lib.flatten("chip", layers::kPoly);
+  EXPECT_EQ(flat.size(), 32 * lib.at("cellA").shapes(layers::kPoly).size());
+}
+
+}  // namespace
+}  // namespace opckit::layout

@@ -1,0 +1,154 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "litho/metrology.h"
+
+namespace opckit::litho {
+namespace {
+
+/// Build a synthetic latent image with an analytic profile so metrology
+/// can be validated against closed-form expectations: a smooth "line" of
+/// half-width w centered at x=0, I(x) = 1 / (1 + (x/w)^4) (monotone
+/// falling through 0.5 exactly at |x| = w).
+Image synthetic_line(double half_width_nm) {
+  Frame f;
+  f.pixel_nm = 4.0;
+  f.nx = 256;
+  f.ny = 64;
+  f.origin = {-512, -128};
+  Image img(f);
+  for (std::size_t iy = 0; iy < f.ny; ++iy) {
+    for (std::size_t ix = 0; ix < f.nx; ++ix) {
+      const double x = f.center_x(ix);
+      const double r = x / half_width_nm;
+      img.at(ix, iy) = 1.0 / (1.0 + r * r * r * r);
+    }
+  }
+  return img;
+}
+
+TEST(PrintedCd, MatchesAnalyticWidth) {
+  const Image img = synthetic_line(90.0);
+  const double cd = printed_cd(img, {0, 0}, {1, 0}, 600.0, 0.5);
+  EXPECT_NEAR(cd, 180.0, 1.5);
+}
+
+TEST(PrintedCd, ThresholdDependence) {
+  const Image img = synthetic_line(90.0);
+  const double wide = printed_cd(img, {0, 0}, {1, 0}, 800.0, 0.3);
+  const double narrow = printed_cd(img, {0, 0}, {1, 0}, 800.0, 0.7);
+  EXPECT_GT(wide, 180.0);
+  EXPECT_LT(narrow, 180.0);
+}
+
+TEST(PrintedCd, NanWhenCenterNotPrinted) {
+  const Image img = synthetic_line(90.0);
+  EXPECT_TRUE(std::isnan(printed_cd(img, {400, 0}, {1, 0}, 100.0, 0.5)));
+}
+
+TEST(PrintedCd, NanWhenEdgeOutsideSpan) {
+  const Image img = synthetic_line(90.0);
+  // Span too small to reach the edges from the center.
+  EXPECT_TRUE(std::isnan(printed_cd(img, {0, 0}, {1, 0}, 80.0, 0.5)));
+}
+
+TEST(ClearCd, MeasuresGapBetweenFeatures) {
+  // Dual of the line: I = 1 outside, dipping around x=0.
+  Frame f;
+  f.pixel_nm = 4.0;
+  f.nx = 256;
+  f.ny = 32;
+  f.origin = {-512, -64};
+  Image img(f);
+  for (std::size_t iy = 0; iy < f.ny; ++iy) {
+    for (std::size_t ix = 0; ix < f.nx; ++ix) {
+      const double x = f.center_x(ix);
+      const double r = x / 100.0;
+      img.at(ix, iy) = 1.0 - 1.0 / (1.0 + r * r * r * r);
+    }
+  }
+  const double gap = clear_cd(img, {0, 0}, {1, 0}, 600.0, 0.5);
+  EXPECT_NEAR(gap, 200.0, 1.5);
+  EXPECT_TRUE(std::isnan(clear_cd(img, {480, 0}, {1, 0}, 100.0, 0.5)));
+}
+
+TEST(Epe, SignConvention) {
+  const Image img = synthetic_line(90.0);  // printed edge at x = +/-90
+  // Target edge at x=80, outward normal +x: printed contour is 10nm
+  // beyond the target -> overprint -> positive EPE.
+  const double over = edge_placement_error(img, {80, 0}, {1, 0}, 60.0, 0.5);
+  EXPECT_NEAR(over, 10.0, 1.0);
+  // Target edge at x=100: contour 10nm inside -> negative EPE.
+  const double under = edge_placement_error(img, {100, 0}, {1, 0}, 60.0, 0.5);
+  EXPECT_NEAR(under, -10.0, 1.0);
+}
+
+TEST(Epe, WorksOnLeftEdgeWithLeftNormal) {
+  const Image img = synthetic_line(90.0);
+  const double epe = edge_placement_error(img, {-84, 0}, {-1, 0}, 60.0, 0.5);
+  EXPECT_NEAR(epe, 6.0, 1.0);
+}
+
+TEST(Epe, NanWhenNoContourInRange) {
+  const Image img = synthetic_line(90.0);
+  EXPECT_TRUE(
+      std::isnan(edge_placement_error(img, {300, 0}, {1, 0}, 40.0, 0.5)));
+}
+
+TEST(ExposureWindow, SyntheticCdModel) {
+  // CD(z, dose) = 180 * dose^k with k = 1 + (z/250)^2: dose sensitivity
+  // grows with defocus, so the in-spec dose range [0.9^(1/k), 1.1^(1/k)]
+  // shrinks — the characteristic closing of the ED window.
+  auto cd_fn = [](double z, double dose) {
+    const double k = 1.0 + (z / 250.0) * (z / 250.0);
+    return 180.0 * std::pow(dose, k);
+  };
+  const std::vector<double> defocus{0.0, 100.0, 200.0, 300.0, 400.0};
+  const auto win =
+      exposure_defocus_window(cd_fn, defocus, 180.0, 0.10, 0.7, 1.3, 0.005);
+  ASSERT_EQ(win.size(), 5u);
+  EXPECT_NEAR(win[0].latitude_pct, 20.0, 1.5);
+  // Latitude shrinks with defocus.
+  for (std::size_t i = 1; i < win.size(); ++i) {
+    EXPECT_LT(win[i].latitude_pct, win[i - 1].latitude_pct + 1e-9);
+  }
+}
+
+TEST(ExposureWindow, NanCountsAsFailure) {
+  auto cd_fn = [](double z, double dose) {
+    return z > 100 ? std::nan("") : 180.0 * dose;
+  };
+  const auto win = exposure_defocus_window(cd_fn, {0.0, 200.0}, 180.0, 0.1);
+  EXPECT_GT(win[0].latitude_pct, 0.0);
+  EXPECT_EQ(win[1].latitude_pct, 0.0);
+}
+
+TEST(DepthOfFocus, LargestContiguousSpan) {
+  std::vector<ExposureLatitude> win;
+  for (int i = 0; i <= 8; ++i) {
+    ExposureLatitude el;
+    el.defocus_nm = i * 100.0;
+    el.latitude_pct = (i >= 2 && i <= 6) ? 12.0 : 3.0;
+    win.push_back(el);
+  }
+  EXPECT_DOUBLE_EQ(depth_of_focus(win, 10.0), 400.0);
+  EXPECT_DOUBLE_EQ(depth_of_focus(win, 2.0), 800.0);
+  EXPECT_DOUBLE_EQ(depth_of_focus(win, 50.0), 0.0);
+}
+
+TEST(Meef, LinearModelRecovered) {
+  // wafer CD = 180 + 2.5 * (2*bias): MEEF = 2.5.
+  auto wafer_cd = [](geom::Coord bias) {
+    return 180.0 + 2.5 * 2.0 * static_cast<double>(bias);
+  };
+  EXPECT_NEAR(meef(wafer_cd, 2), 2.5, 1e-12);
+}
+
+TEST(Meef, NanPropagates) {
+  auto wafer_cd = [](geom::Coord) { return std::nan(""); };
+  EXPECT_TRUE(std::isnan(meef(wafer_cd, 2)));
+}
+
+}  // namespace
+}  // namespace opckit::litho

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "litho/raster.h"
+
+namespace opckit::litho {
+namespace {
+
+using geom::Rect;
+using geom::Region;
+
+Frame frame8(std::size_t n, geom::Point origin = {0, 0}) {
+  Frame f;
+  f.origin = origin;
+  f.pixel_nm = 8.0;
+  f.nx = n;
+  f.ny = n;
+  return f;
+}
+
+TEST(Frame, CoordinateMapping) {
+  const Frame f = frame8(16, {100, 200});
+  EXPECT_DOUBLE_EQ(f.center_x(0), 104.0);
+  EXPECT_DOUBLE_EQ(f.center_y(1), 212.0);
+  EXPECT_DOUBLE_EQ(f.px(104.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.px(112.0), 1.0);
+  EXPECT_EQ(f.extent(), Rect(100, 200, 228, 328));
+}
+
+TEST(Image, BilinearSampling) {
+  Image img(frame8(4));
+  img.at(0, 0) = 0.0;
+  img.at(1, 0) = 1.0;
+  img.at(0, 1) = 2.0;
+  img.at(1, 1) = 3.0;
+  // At the center of pixel (0,0): exact value.
+  EXPECT_DOUBLE_EQ(img.sample(4.0, 4.0), 0.0);
+  // Halfway between (0,0) and (1,0).
+  EXPECT_DOUBLE_EQ(img.sample(8.0, 4.0), 0.5);
+  // Center of the 2x2 quad.
+  EXPECT_DOUBLE_EQ(img.sample(8.0, 8.0), 1.5);
+}
+
+TEST(Image, SamplingClampsOutside) {
+  Image img(frame8(4), 7.0);
+  EXPECT_DOUBLE_EQ(img.sample(-100.0, -100.0), 7.0);
+  EXPECT_DOUBLE_EQ(img.sample(1e6, 1e6), 7.0);
+}
+
+TEST(Raster, FullPixelsAreOne) {
+  Image img = rasterize(Region{Rect(8, 8, 24, 24)}, frame8(8));
+  EXPECT_DOUBLE_EQ(img.at(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(img.at(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(img.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(img.at(3, 1), 0.0);
+}
+
+TEST(Raster, PartialPixelFraction) {
+  // Rect covering half of pixel (0,0) in x.
+  Image img = rasterize(Region{Rect(0, 0, 4, 8)}, frame8(4));
+  EXPECT_DOUBLE_EQ(img.at(0, 0), 0.5);
+  // Quarter coverage.
+  Image img2 = rasterize(Region{Rect(0, 0, 4, 4)}, frame8(4));
+  EXPECT_DOUBLE_EQ(img2.at(0, 0), 0.25);
+}
+
+TEST(Raster, TotalCoverageEqualsArea) {
+  const Region r = Region{Rect(3, 5, 37, 29)}.united(Region{Rect(40, 0, 51, 13)});
+  Image img = rasterize(r, frame8(16));
+  double total = 0;
+  for (double v : img.values()) total += v;
+  EXPECT_NEAR(total * 64.0, static_cast<double>(r.area()), 1e-9);
+}
+
+TEST(Raster, ClipsToGrid) {
+  Image img = rasterize(Region{Rect(-100, -100, 1000, 1000)}, frame8(4));
+  for (double v : img.values()) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Raster, OverlappingPolygonsDoNotExceedOne) {
+  std::vector<geom::Polygon> polys{geom::Polygon{Rect(0, 0, 16, 16)},
+                                   geom::Polygon{Rect(8, 0, 24, 16)}};
+  Image img(frame8(4));
+  rasterize(polys, img);
+  EXPECT_DOUBLE_EQ(img.at(1, 1), 1.0);  // overlap zone still 1.0
+}
+
+TEST(Raster, AccumulatesOntoExistingImage) {
+  Image img(frame8(4), 0.25);
+  rasterize(Region{Rect(0, 0, 8, 8)}, img);
+  EXPECT_DOUBLE_EQ(img.at(0, 0), 1.25);
+  EXPECT_DOUBLE_EQ(img.at(1, 1), 0.25);
+}
+
+}  // namespace
+}  // namespace opckit::litho

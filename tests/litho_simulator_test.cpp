@@ -1,0 +1,140 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "litho/litho.h"
+
+namespace opckit::litho {
+namespace {
+
+using geom::Rect;
+using geom::Region;
+
+SimSpec fast_spec() {
+  SimSpec spec;
+  spec.optics.wavelength_nm = 248.0;
+  spec.optics.na = 0.68;
+  spec.optics.source.shape = SourceShape::kAnnular;
+  spec.optics.source.sigma_outer = 0.8;
+  spec.optics.source.sigma_inner = 0.5;
+  spec.optics.source.grid = 5;
+  spec.resist.threshold = 0.30;
+  spec.resist.diffusion_nm = 25.0;
+  spec.pixel_nm = 8.0;
+  spec.guard_nm = 600;
+  return spec;
+}
+
+TEST(Simulator, FrameCoversWindowWithGuard) {
+  const Simulator sim(fast_spec(), Rect(-500, -500, 500, 500));
+  const Frame& f = sim.frame();
+  EXPECT_TRUE(is_pow2(f.nx));
+  EXPECT_TRUE(is_pow2(f.ny));
+  EXPECT_TRUE(f.extent().contains(Rect(-1100, -1100, 1100, 1100)));
+}
+
+TEST(Simulator, CalibrationHitsAnchorCd) {
+  SimSpec spec = fast_spec();
+  const double thr = calibrate_threshold(spec, 180, 360);
+  EXPECT_GT(thr, 0.05);
+  EXPECT_LT(thr, 0.95);
+
+  // Re-simulate the anchor: center line must print at 180 +/- 1.5nm.
+  std::vector<Rect> lines;
+  for (int i = -3; i <= 3; ++i) {
+    lines.emplace_back(i * 360 - 90, -2000, i * 360 + 90, 2000);
+  }
+  const Simulator sim(spec, Rect(-720, -1000, 720, 1000));
+  const Image lat = sim.latent(Region::from_rects(lines));
+  const double cd = printed_cd(lat, {0, 0}, {1, 0}, 360.0, sim.threshold());
+  EXPECT_NEAR(cd, 180.0, 1.5);
+}
+
+TEST(Simulator, IsoDenseBiasExists) {
+  // The core proximity effect the paper is about: an isolated 180nm line
+  // prints at a different CD than the same line in a dense grating.
+  SimSpec spec = fast_spec();
+  calibrate_threshold(spec, 180, 360);
+
+  const Rect window(-720, -1000, 720, 1000);
+  // Dense environment.
+  std::vector<Rect> dense;
+  for (int i = -3; i <= 3; ++i) {
+    dense.emplace_back(i * 360 - 90, -2000, i * 360 + 90, 2000);
+  }
+  const Simulator sim(spec, window);
+  const Image lat_dense = sim.latent(Region::from_rects(dense));
+  const double cd_dense =
+      printed_cd(lat_dense, {0, 0}, {1, 0}, 360.0, sim.threshold());
+  // Isolated line.
+  const Image lat_iso =
+      sim.latent(Region{Rect(-90, -2000, 90, 2000)});
+  const double cd_iso =
+      printed_cd(lat_iso, {0, 0}, {1, 0}, 700.0, sim.threshold());
+
+  EXPECT_FALSE(std::isnan(cd_dense));
+  EXPECT_FALSE(std::isnan(cd_iso));
+  EXPECT_GT(std::abs(cd_iso - cd_dense), 4.0)
+      << "no iso-dense bias: dense=" << cd_dense << " iso=" << cd_iso;
+}
+
+TEST(Simulator, LineEndPullbackExists) {
+  // Line ends print short: the printed tip retreats from the drawn tip.
+  SimSpec spec = fast_spec();
+  calibrate_threshold(spec, 180, 360);
+  // Vertical line ending at y=0 (tip), extending down.
+  const Region line{Rect(-90, -3000, 90, 0)};
+  const Simulator sim(spec, Rect(-500, -1500, 500, 500));
+  const Image lat = sim.latent(line);
+  // EPE at the tip center, outward normal +y.
+  const double epe =
+      edge_placement_error(lat, {0, 0}, {0, 1}, 250.0, sim.threshold());
+  ASSERT_FALSE(std::isnan(epe));
+  EXPECT_LT(epe, -15.0) << "expected significant pullback, got " << epe;
+}
+
+TEST(Simulator, PrintedRegionMatchesCdProbe) {
+  SimSpec spec = fast_spec();
+  calibrate_threshold(spec, 180, 360);
+  std::vector<Rect> dense;
+  for (int i = -3; i <= 3; ++i) {
+    dense.emplace_back(i * 360 - 90, -2000, i * 360 + 90, 2000);
+  }
+  const Simulator sim(spec, Rect(-720, -600, 720, 600));
+  const Image lat = sim.latent(Region::from_rects(dense));
+  const geom::Region printed = sim.printed(lat);
+  EXPECT_FALSE(printed.empty());
+  EXPECT_TRUE(printed.contains({0, 0}));
+  EXPECT_FALSE(printed.contains({180, 0}));
+  // Pixel-quantized width across the center line ~ CD probe +/- pixel.
+  const double cd = printed_cd(lat, {0, 0}, {1, 0}, 360.0, sim.threshold());
+  geom::Coord w = 0;
+  for (const auto& r : printed.rects()) {
+    if (r.contains(geom::Point{0, 0})) {
+      w = r.width();
+      break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(w), cd, spec.pixel_nm * 2);
+}
+
+TEST(Simulator, HigherDosePrintsWider) {
+  SimSpec spec = fast_spec();
+  calibrate_threshold(spec, 180, 360);
+  const Simulator sim(spec, Rect(-500, -600, 500, 600));
+  const Image lat = sim.latent(Region{Rect(-90, -2000, 90, 2000)});
+  const double nominal =
+      printed_cd(lat, {0, 0}, {1, 0}, 700.0, sim.threshold(1.0));
+  const double overdosed =
+      printed_cd(lat, {0, 0}, {1, 0}, 700.0, sim.threshold(1.2));
+  EXPECT_GT(overdosed, nominal + 2.0);
+}
+
+TEST(Simulator, CalibrationRejectsImpossibleAnchor) {
+  SimSpec spec = fast_spec();
+  // 60nm lines at 120nm pitch are beyond the optics' resolution limit.
+  EXPECT_THROW(calibrate_threshold(spec, 60, 120), util::CheckError);
+}
+
+}  // namespace
+}  // namespace opckit::litho

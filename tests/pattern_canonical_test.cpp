@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "pattern/canonical.h"
+
+namespace opckit::pat {
+namespace {
+
+using geom::Orientation;
+using geom::Rect;
+using geom::Region;
+
+Region l_pattern() {
+  // Asymmetric L inside a window: no self-symmetry under D4.
+  return Region{Rect(-40, -40, 40, -10)}.united(Region{Rect(-40, -10, -20, 40)});
+}
+
+TEST(Canonical, InvariantUnderAllOrientations) {
+  const Region base = l_pattern();
+  const CanonicalPattern ref = canonicalize(base);
+  for (Orientation o : geom::all_orientations()) {
+    const CanonicalPattern got = canonicalize(oriented(base, o));
+    EXPECT_EQ(got, ref) << geom::name(o);
+  }
+}
+
+TEST(Canonical, DistinguishesDifferentPatterns) {
+  const CanonicalPattern a = canonicalize(l_pattern());
+  const CanonicalPattern b = canonicalize(Region{Rect(-40, -40, 40, 40)});
+  EXPECT_NE(a.hash, b.hash);
+  EXPECT_NE(a.rects, b.rects);
+}
+
+TEST(Canonical, TranslationIsNotFactoredOut) {
+  // Window extraction fixes translation (anchor at origin); two clips of
+  // the same shape at different anchor offsets are different patterns.
+  const CanonicalPattern a = canonicalize(Region{Rect(0, 0, 30, 30)});
+  const CanonicalPattern b = canonicalize(Region{Rect(5, 0, 35, 30)});
+  EXPECT_NE(a.hash, b.hash);
+}
+
+TEST(Canonical, EmptyRegionHasStableHash) {
+  const CanonicalPattern a = canonicalize(Region{});
+  const CanonicalPattern b = canonicalize(Region{});
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_TRUE(a.rects.empty());
+}
+
+TEST(Canonical, SymmetricPatternMapsToItself) {
+  // A centered square is D4-symmetric: all orientations identical.
+  const Region square{Rect(-25, -25, 25, 25)};
+  for (Orientation o : geom::all_orientations()) {
+    EXPECT_EQ(oriented(square, o), square) << geom::name(o);
+  }
+  EXPECT_EQ(canonicalize(square).rects.size(), 1u);
+}
+
+TEST(Canonical, OrientedPreservesArea) {
+  const Region base = l_pattern();
+  for (Orientation o : geom::all_orientations()) {
+    EXPECT_EQ(oriented(base, o).area(), base.area());
+  }
+}
+
+}  // namespace
+}  // namespace opckit::pat

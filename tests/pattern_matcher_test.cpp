@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "pattern/matcher.h"
+
+namespace opckit::pat {
+namespace {
+
+using geom::Polygon;
+using geom::Rect;
+using geom::Region;
+
+/// The layout under test: two rect features whose facing corners create
+/// a characteristic notch pattern, plus an unrelated isolated square.
+std::vector<Polygon> layout_with_notch() {
+  return {Polygon{Rect(0, 0, 400, 200)}, Polygon{Rect(0, 260, 400, 460)},
+          Polygon{Rect(2000, 2000, 2300, 2300)}};
+}
+
+TEST(Matcher, FindsSeededPattern) {
+  // Capture the pattern at the notch corner (400, 200): window-local clip
+  // of the layout around that anchor.
+  const auto polys = layout_with_notch();
+  WindowSpec wspec;
+  wspec.radius = 150;
+  const auto windows = extract_windows(polys, wspec);
+  const geom::Point seed{400, 200};
+  const PatternWindow* target = nullptr;
+  for (const auto& w : windows) {
+    if (w.anchor == seed) target = &w;
+  }
+  ASSERT_NE(target, nullptr);
+
+  PatternMatcher deck(150);
+  deck.add_rule("hotspot.notch", target->geometry);
+  ASSERT_EQ(deck.size(), 1u);
+
+  const auto hits = deck.scan(polys);
+  ASSERT_FALSE(hits.empty());
+  bool at_seed = false;
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.rule, "hotspot.notch");
+    at_seed |= h.anchor == seed;
+  }
+  EXPECT_TRUE(at_seed);
+}
+
+TEST(Matcher, MatchesUnderD4Orientation) {
+  // The deck pattern must match the same configuration rotated 90°.
+  const auto polys = layout_with_notch();
+  WindowSpec wspec;
+  wspec.radius = 150;
+  const auto windows = extract_windows(polys, wspec);
+  PatternMatcher deck(150);
+  for (const auto& w : windows) {
+    if (w.anchor == geom::Point{400, 200}) {
+      deck.add_rule("hot", w.geometry);
+    }
+  }
+  ASSERT_EQ(deck.size(), 1u);
+
+  // Rotate the whole layout 90 degrees.
+  std::vector<Polygon> rotated;
+  const geom::Transform t(geom::Orientation::kR90, {0, 0});
+  for (const auto& p : polys) rotated.push_back(t(p).normalized());
+  const auto hits = deck.scan(rotated);
+  EXPECT_FALSE(hits.empty());
+}
+
+TEST(Matcher, NoFalsePositivesOnCleanLayout) {
+  PatternMatcher deck(150);
+  // Rule: a lone quarter-square corner pattern of a 40nm-offset shape
+  // that does not exist in the clean layout below.
+  deck.add_rule("ghost", Region{Rect(-150, -150, -40, -40)});
+  const std::vector<Polygon> clean{Polygon{Rect(0, 0, 1000, 1000)}};
+  EXPECT_TRUE(deck.scan(clean).empty());
+}
+
+TEST(Matcher, CatalogImportFlagsEveryKnownClass) {
+  // Import the full catalog of design A as the deck; design A must then
+  // hit at every corner window, and a very different design mostly not.
+  const auto polys = layout_with_notch();
+  WindowSpec wspec;
+  wspec.radius = 150;
+  const PatternCatalog cat = build_catalog(polys, wspec);
+  PatternMatcher deck(150);
+  deck.add_catalog(cat, "seen");
+  EXPECT_EQ(deck.size(), cat.classes());
+  const auto self_hits = deck.scan(polys);
+  EXPECT_EQ(self_hits.size(), cat.total());
+}
+
+TEST(Matcher, RejectsBadConstruction) {
+  EXPECT_THROW(PatternMatcher(0), util::CheckError);
+  PatternMatcher deck(100);
+  MatchRule unnamed;
+  EXPECT_THROW(deck.add_rule(std::move(unnamed)), util::CheckError);
+}
+
+}  // namespace
+}  // namespace opckit::pat

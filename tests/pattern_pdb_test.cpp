@@ -1,0 +1,101 @@
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "pattern/pdb.h"
+
+namespace opckit::pat {
+namespace {
+
+using geom::Polygon;
+using geom::Rect;
+
+PatternCatalog sample_catalog() {
+  std::vector<Polygon> polys;
+  for (int i = 0; i < 8; ++i) {
+    polys.emplace_back(Rect(i * 500, 0, i * 500 + 180, 3000));
+  }
+  polys.emplace_back(Rect(0, 5000, 2000, 5400));  // a different shape
+  WindowSpec spec;
+  spec.radius = 300;
+  return build_catalog(polys, spec);
+}
+
+TEST(Pdb, RoundTripsExactly) {
+  const PatternCatalog cat = sample_catalog();
+  std::stringstream ss;
+  write_pdb(cat, ss);
+  const PatternCatalog back = read_pdb(ss);
+  EXPECT_EQ(back.classes(), cat.classes());
+  EXPECT_EQ(back.total(), cat.total());
+  for (const auto& [hash, cls] : cat.by_hash()) {
+    const auto it = back.by_hash().find(hash);
+    ASSERT_NE(it, back.by_hash().end()) << "lost class " << hash;
+    EXPECT_EQ(it->second.count, cls.count);
+    EXPECT_EQ(it->second.first_anchor, cls.first_anchor);
+    EXPECT_EQ(it->second.pattern, cls.pattern);
+  }
+}
+
+TEST(Pdb, DeterministicBytes) {
+  const PatternCatalog cat = sample_catalog();
+  std::ostringstream a, b;
+  write_pdb(cat, a);
+  write_pdb(cat, b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Pdb, FileRoundTrip) {
+  const PatternCatalog cat = sample_catalog();
+  const std::string path = ::testing::TempDir() + "/opckit_test.pdb";
+  write_pdb_file(cat, path);
+  const PatternCatalog back = read_pdb_file(path);
+  EXPECT_EQ(back.classes(), cat.classes());
+  std::remove(path.c_str());
+}
+
+TEST(Pdb, MergeAcrossDesignsAccumulates) {
+  // The PDB workflow: persist design A, later merge design B's catalog.
+  const PatternCatalog a = sample_catalog();
+  std::stringstream ss;
+  write_pdb(a, ss);
+  PatternCatalog db = read_pdb(ss);
+  const PatternCatalog b = sample_catalog();  // same "design" again
+  db.merge(b);
+  EXPECT_EQ(db.total(), 2 * a.total());
+  EXPECT_EQ(db.classes(), a.classes());
+}
+
+TEST(Pdb, BadMagicRejected) {
+  std::istringstream junk("definitely-not-a-pdb\n");
+  EXPECT_THROW(read_pdb(junk), util::InputError);
+}
+
+TEST(Pdb, TruncationRejected) {
+  const PatternCatalog cat = sample_catalog();
+  std::ostringstream os;
+  write_pdb(cat, os);
+  const std::string full = os.str();
+  std::istringstream cut(full.substr(0, full.size() * 2 / 3));
+  EXPECT_THROW(read_pdb(cut), util::InputError);
+}
+
+TEST(Pdb, HeaderCountMismatchRejected) {
+  std::istringstream bad(
+      "opckit-pdb 1\n"
+      "classes 5 total 100\n");  // claims content it doesn't have
+  EXPECT_THROW(read_pdb(bad), util::InputError);
+}
+
+TEST(Pdb, EmptyCatalogRoundTrips) {
+  PatternCatalog empty;
+  std::stringstream ss;
+  write_pdb(empty, ss);
+  const PatternCatalog back = read_pdb(ss);
+  EXPECT_EQ(back.classes(), 0u);
+  EXPECT_EQ(back.total(), 0u);
+}
+
+}  // namespace
+}  // namespace opckit::pat

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "layout/generators.h"
+#include "pattern/tree.h"
+
+namespace opckit::pat {
+namespace {
+
+using geom::Polygon;
+using geom::Rect;
+
+std::vector<Polygon> mixed_layout() {
+  util::Rng rng(17);
+  layout::Cell cell("rb");
+  layout::RandomBlockSpec rb;
+  rb.width = 9000;
+  rb.height = 9000;
+  layout::add_random_block(cell, layout::layers::kMetal1, rb, rng);
+  const auto shapes = cell.shapes(layout::layers::kMetal1);
+  return {shapes.begin(), shapes.end()};
+}
+
+TEST(PatternTree, LevelsMatchRadii) {
+  const PatternTree tree(mixed_layout(), {200, 400, 800});
+  EXPECT_EQ(tree.radii().size(), 3u);
+  EXPECT_GT(tree.classes_at(0), 0u);
+  EXPECT_GT(tree.classes_at(1), 0u);
+  EXPECT_GT(tree.classes_at(2), 0u);
+}
+
+TEST(PatternTree, ClassCountGrowsWithRadius) {
+  // More context discriminates more patterns (monotone refinement).
+  const PatternTree tree(mixed_layout(), {200, 400, 800});
+  EXPECT_LE(tree.classes_at(0), tree.classes_at(1));
+  EXPECT_LE(tree.classes_at(1), tree.classes_at(2));
+}
+
+TEST(PatternTree, ParentChildConsistency) {
+  const PatternTree tree(mixed_layout(), {200, 500});
+  for (std::size_t i = 0; i < tree.nodes().size(); ++i) {
+    const auto& node = tree.nodes()[i];
+    if (node.level == 0) {
+      EXPECT_EQ(node.parent, SIZE_MAX);
+    } else {
+      ASSERT_LT(node.parent, tree.nodes().size());
+      const auto& parent = tree.nodes()[node.parent];
+      EXPECT_EQ(parent.level, node.level - 1);
+      EXPECT_NE(std::find(parent.children.begin(), parent.children.end(), i),
+                parent.children.end());
+    }
+  }
+}
+
+TEST(PatternTree, ParentCountsAggregateChildren) {
+  const PatternTree tree(mixed_layout(), {200, 500});
+  for (std::size_t i : tree.level_nodes(0)) {
+    const auto& node = tree.nodes()[i];
+    std::size_t child_total = 0;
+    for (std::size_t c : node.children) {
+      child_total += tree.nodes()[c].count;
+    }
+    EXPECT_EQ(node.count, child_total) << "node " << i;
+  }
+}
+
+TEST(PatternTree, RefinementFactorAtLeastOne) {
+  const PatternTree tree(mixed_layout(), {200, 400, 800});
+  EXPECT_GE(tree.refinement_factor(0), 1.0);
+  EXPECT_GE(tree.refinement_factor(1), 1.0);
+}
+
+TEST(PatternTree, PeriodicLayoutSaturatesFasterThanRandom) {
+  // A grating's pattern population grows much more slowly with radius
+  // than a random block's: extra context stops discriminating once it
+  // spans a full period (the optimal-context-size criterion).
+  std::vector<Polygon> grating;
+  for (int i = 0; i < 16; ++i) {
+    grating.emplace_back(Rect(i * 360, 0, i * 360 + 180, 8000));
+  }
+  const std::vector<geom::Coord> radii{400, 800, 1600};
+  const PatternTree periodic(grating, radii);
+  const PatternTree random(mixed_layout(), radii);
+  // The periodic layout's class population stays small at every level
+  // (interior repeats fold into a handful of classes, plus a few boundary
+  // variants); the random block's explodes.
+  EXPECT_LE(periodic.classes_at(2), 20u);
+  EXPECT_GT(random.classes_at(2), 2 * periodic.classes_at(2));
+  // And the saturation criterion picks a valid level.
+  EXPECT_LT(periodic.saturation_level(0.5), radii.size());
+}
+
+TEST(PatternTree, RejectsBadRadii) {
+  EXPECT_THROW(PatternTree(mixed_layout(), {}), util::CheckError);
+  EXPECT_THROW(PatternTree(mixed_layout(), {400, 200}), util::CheckError);
+}
+
+}  // namespace
+}  // namespace opckit::pat

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "pattern/window.h"
+
+namespace opckit::pat {
+namespace {
+
+using geom::Polygon;
+using geom::Rect;
+using geom::Region;
+
+TEST(Windows, CornerAnchorsOnePerDistinctVertex) {
+  const std::vector<Polygon> polys{Polygon{Rect(0, 0, 100, 100)}};
+  WindowSpec spec;
+  spec.radius = 50;
+  const auto windows = extract_windows(polys, spec);
+  EXPECT_EQ(windows.size(), 4u);
+}
+
+TEST(Windows, SharedVertexDeduplicated) {
+  // Two rects sharing a corner vertex: 7 distinct corners, not 8.
+  const std::vector<Polygon> polys{Polygon{Rect(0, 0, 100, 100)},
+                                   Polygon{Rect(100, 100, 200, 200)}};
+  WindowSpec spec;
+  spec.radius = 50;
+  const auto windows = extract_windows(polys, spec);
+  EXPECT_EQ(windows.size(), 7u);
+}
+
+TEST(Windows, GeometryIsLocalAndClipped) {
+  const std::vector<Polygon> polys{Polygon{Rect(1000, 1000, 1100, 1100)}};
+  WindowSpec spec;
+  spec.radius = 30;
+  const auto windows = extract_windows(polys, spec);
+  ASSERT_FALSE(windows.empty());
+  for (const auto& w : windows) {
+    const Rect box = w.geometry.bbox();
+    EXPECT_GE(box.lo.x, -30);
+    EXPECT_GE(box.lo.y, -30);
+    EXPECT_LE(box.hi.x, 30);
+    EXPECT_LE(box.hi.y, 30);
+    // Anchor is a corner of the rect, so the local clip covers a quarter.
+    EXPECT_EQ(w.geometry.area(), 30 * 30);
+  }
+}
+
+TEST(Windows, GridAnchorsCoverExtent) {
+  const std::vector<Polygon> polys{Polygon{Rect(0, 0, 1600, 1600)}};
+  WindowSpec spec;
+  spec.radius = 100;
+  spec.anchors = AnchorKind::kGrid;
+  spec.grid_step = 800;
+  const auto windows = extract_windows(polys, spec);
+  EXPECT_EQ(windows.size(), 9u);  // 3x3 grid over 1600x1600
+}
+
+TEST(Windows, SkipEmptyDropsBlankWindows) {
+  const std::vector<Polygon> polys{Polygon{Rect(0, 0, 100, 100)}};
+  WindowSpec spec;
+  spec.radius = 20;
+  spec.anchors = AnchorKind::kGrid;
+  spec.grid_step = 5000;  // anchors far from geometry
+  spec.skip_empty = true;
+  const auto some = extract_windows(polys, spec);
+  spec.skip_empty = false;
+  const auto all = extract_windows(polys, spec);
+  EXPECT_LT(some.size(), all.size() + 1);
+  for (const auto& w : some) EXPECT_FALSE(w.geometry.empty());
+}
+
+TEST(Windows, EmptyLayoutYieldsNoWindows) {
+  WindowSpec spec;
+  EXPECT_TRUE(extract_windows({}, spec).empty());
+}
+
+}  // namespace
+}  // namespace opckit::pat

@@ -1,0 +1,161 @@
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cli.h"
+#include "layout/layout.h"
+
+namespace opckit::cli {
+namespace {
+
+/// Write a small test library to a temp GDSII file and return its path.
+std::string make_test_gds(const std::string& name) {
+  layout::Library lib("cli_test");
+  layout::Cell& leaf = lib.cell("leaf");
+  leaf.add_rect(layout::layers::kPoly, geom::Rect(0, 0, 180, 2000));
+  leaf.add_rect(layout::layers::kPoly, geom::Rect(540, 0, 720, 2000));
+  layout::make_chip(lib, "top", "leaf", 2, 2, {1400, 2600});
+  const std::string path = ::testing::TempDir() + "/" + name;
+  layout::write_gdsii_file(lib, path);
+  return path;
+}
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult run_cli(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  const int code = run(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(Cli, NoArgsShowsUsage) {
+  const auto r = run_cli({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandRejected) {
+  const auto r = run_cli({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, MissingRequiredOptionRejected) {
+  const auto r = run_cli({"stats"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--in"), std::string::npos);
+}
+
+TEST(Cli, MissingFileIsRuntimeError) {
+  const auto r = run_cli({"stats", "--in", "/nonexistent/file.gds"});
+  EXPECT_EQ(r.code, 2);  // InputError -> usage-class failure
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+TEST(Cli, StatsReportsHierarchy) {
+  const std::string gds = make_test_gds("cli_stats.gds");
+  const auto r = run_cli({"stats", "--in", gds});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("distinct_cells"), std::string::npos);
+  EXPECT_NE(r.out.find("top_cell"), std::string::npos);
+  EXPECT_NE(r.out.find("top"), std::string::npos);
+  std::remove(gds.c_str());
+}
+
+TEST(Cli, DrcCleanLayerReturnsZero) {
+  const std::string gds = make_test_gds("cli_drc.gds");
+  const auto r = run_cli({"drc", "--in", gds, "--layer", "10/0",
+                          "--min-width", "100", "--min-space", "100"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("width.100"), std::string::npos);
+  std::remove(gds.c_str());
+}
+
+TEST(Cli, DrcViolationsReturnNonZero) {
+  const std::string gds = make_test_gds("cli_drc2.gds");
+  const auto r = run_cli({"drc", "--in", gds, "--layer", "10/0",
+                          "--min-width", "300"});
+  EXPECT_EQ(r.code, 1);  // 180nm lines violate min width 300
+  EXPECT_NE(r.out.find("width.300"), std::string::npos);
+  std::remove(gds.c_str());
+}
+
+TEST(Cli, DrcWithoutRulesRejected) {
+  const std::string gds = make_test_gds("cli_drc3.gds");
+  const auto r = run_cli({"drc", "--in", gds, "--layer", "10/0"});
+  EXPECT_EQ(r.code, 2);
+  std::remove(gds.c_str());
+}
+
+TEST(Cli, BadLayerSpecRejected) {
+  const std::string gds = make_test_gds("cli_layer.gds");
+  const auto r = run_cli({"drc", "--in", gds, "--layer", "banana",
+                          "--min-width", "10"});
+  EXPECT_EQ(r.code, 2);
+  std::remove(gds.c_str());
+}
+
+TEST(Cli, PatternsSummarizesCatalog) {
+  const std::string gds = make_test_gds("cli_pat.gds");
+  const auto r = run_cli({"patterns", "--in", gds, "--layer", "10/0",
+                          "--radius", "300", "--top", "5"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("classes over"), std::string::npos);
+  std::remove(gds.c_str());
+}
+
+TEST(Cli, RuleOpcRoundTrip) {
+  const std::string in = make_test_gds("cli_opc_in.gds");
+  const std::string out_path = ::testing::TempDir() + "/cli_opc_out.gds";
+  const auto r = run_cli({"opc", "--in", in, "--out", out_path, "--layer",
+                          "10/0", "--mode", "rule"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  // Output file exists and carries shapes on datatype 1.
+  const layout::Library lib = layout::read_gdsii_file(out_path);
+  const auto corrected =
+      lib.flatten("top", layout::Layer{10, 1});
+  EXPECT_FALSE(corrected.empty());
+  std::remove(in.c_str());
+  std::remove(out_path.c_str());
+}
+
+TEST(Cli, ModelOpcRoundTrip) {
+  // Single small cell so the model run stays quick.
+  layout::Library lib("cli_model");
+  lib.cell("only").add_rect(layout::layers::kPoly,
+                            geom::Rect(0, 0, 180, 1500));
+  const std::string in = ::testing::TempDir() + "/cli_model_in.gds";
+  layout::write_gdsii_file(lib, in);
+  const std::string out_path = ::testing::TempDir() + "/cli_model_out.gds";
+  const auto r = run_cli({"opc", "--in", in, "--out", out_path, "--layer",
+                          "10/0", "--mode", "model", "--srafs"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("model OPC"), std::string::npos);
+  EXPECT_NE(r.out.find("SRAF"), std::string::npos);
+  const layout::Library back = layout::read_gdsii_file(out_path);
+  EXPECT_FALSE(back.flatten("only", layout::Layer{10, 1}).empty());
+  std::remove(in.c_str());
+  std::remove(out_path.c_str());
+}
+
+TEST(Cli, AmbiguousTopCellNeedsCellOption) {
+  layout::Library lib("two_tops");
+  lib.cell("a").add_rect(layout::layers::kPoly, geom::Rect(0, 0, 10, 10));
+  lib.cell("b").add_rect(layout::layers::kPoly, geom::Rect(0, 0, 10, 10));
+  const std::string path = ::testing::TempDir() + "/cli_two_tops.gds";
+  layout::write_gdsii_file(lib, path);
+  const auto r = run_cli({"stats", "--in", path});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--cell"), std::string::npos);
+  const auto r2 = run_cli({"stats", "--in", path, "--cell", "a"});
+  EXPECT_EQ(r2.code, 0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace opckit::cli

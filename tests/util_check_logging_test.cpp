@@ -1,0 +1,81 @@
+#include <iostream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace opckit::util {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(OPCKIT_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingCheckThrowsWithLocation) {
+  try {
+    OPCKIT_CHECK(false);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("OPCKIT_CHECK failed"), std::string::npos);
+    EXPECT_NE(what.find("util_check_logging_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, MessageMacroStreamsValues) {
+  try {
+    const int n = -3;
+    OPCKIT_CHECK_MSG(n > 0, "need positive count, got " << n);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("need positive count, got -3"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, MessageNotEvaluatedOnSuccess) {
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return 1;
+  };
+  OPCKIT_CHECK_MSG(true, "side effect " << count());
+  EXPECT_EQ(evaluations, 0);
+}
+
+class CerrCapture {
+ public:
+  CerrCapture() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~CerrCapture() { std::cerr.rdbuf(old_); }
+  std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+TEST(Logging, EmitsAtOrAboveLevel) {
+  set_log_level(LogLevel::kInfo);
+  CerrCapture capture;
+  OPCKIT_LOG(kInfo, "hello " << 42);
+  OPCKIT_LOG(kDebug, "you should not see this");
+  set_log_level(LogLevel::kInfo);
+  EXPECT_NE(capture.text().find("[opckit:INFO] hello 42"),
+            std::string::npos);
+  EXPECT_EQ(capture.text().find("should not see"), std::string::npos);
+}
+
+TEST(Logging, LevelIsAdjustable) {
+  set_log_level(LogLevel::kError);
+  CerrCapture capture;
+  OPCKIT_LOG(kWarn, "quiet");
+  OPCKIT_LOG(kError, "loud");
+  set_log_level(LogLevel::kInfo);
+  EXPECT_EQ(capture.text().find("quiet"), std::string::npos);
+  EXPECT_NE(capture.text().find("[opckit:ERROR] loud"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace opckit::util

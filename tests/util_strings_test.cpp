@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+
+namespace opckit::util {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  const auto v = split("a,,b", ',');
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "");
+  EXPECT_EQ(v[2], "b");
+}
+
+TEST(Split, NoSeparator) {
+  const auto v = split("abc", ',');
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], "abc");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  x y\t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_TRUE(starts_with("hello", ""));
+  EXPECT_FALSE(starts_with("he", "hello"));
+}
+
+TEST(ToLower, Ascii) { EXPECT_EQ(to_lower("AbC-9"), "abc-9"); }
+
+TEST(HumanBytes, Units) {
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(human_bytes(3 * 1024ull * 1024ull), "3.00 MiB");
+}
+
+}  // namespace
+}  // namespace opckit::util

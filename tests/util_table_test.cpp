@@ -1,0 +1,77 @@
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/table.h"
+
+namespace opckit::util {
+namespace {
+
+TEST(Table, BasicRendering) {
+  Table t({"pitch_nm", "cd_nm"});
+  t.add_row(std::string("360"), 171.25);
+  t.add_row(std::string("720"), 182.5);
+  const std::string text = t.to_text("F1");
+  EXPECT_NE(text.find("pitch_nm"), std::string::npos);
+  EXPECT_NE(text.find("171.250"), std::string::npos);
+  EXPECT_NE(text.find("== F1 =="), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.cell(1, 1), "182.500");
+}
+
+TEST(Table, MixedCellTypes) {
+  Table t({"a", "b", "c"});
+  t.start_row();
+  t.add_cell(static_cast<long long>(-7));
+  t.add_cell(std::size_t{42});
+  t.add_cell(3.14159, 2);
+  EXPECT_EQ(t.cell(0, 0), "-7");
+  EXPECT_EQ(t.cell(0, 1), "42");
+  EXPECT_EQ(t.cell(0, 2), "3.14");
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"name", "note"});
+  t.add_row(std::string("a,b"), std::string("say \"hi\"\nok"));
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\nok\""), std::string::npos);
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"only"});
+  t.start_row();
+  t.add_cell(std::string("x"));
+  EXPECT_THROW(t.add_cell(std::string("y")), CheckError);
+}
+
+TEST(Table, CellWithoutRowThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.add_cell(std::string("x")), CheckError);
+}
+
+TEST(Table, IncompleteRowBlocksNextRow) {
+  Table t({"a", "b"});
+  t.start_row();
+  t.add_cell(std::string("x"));
+  EXPECT_THROW(t.start_row(), CheckError);
+}
+
+TEST(Table, WriteCsvRoundTrips) {
+  Table t({"k", "v"});
+  t.add_row(std::string("alpha"), static_cast<long long>(1));
+  const std::string path = ::testing::TempDir() + "/opckit_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "k,v\nalpha,1\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace opckit::util

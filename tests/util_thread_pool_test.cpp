@@ -1,0 +1,72 @@
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace opckit::util {
+namespace {
+
+TEST(ThreadPool, RunsAllIterationsExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, SingleIteration) {
+  ThreadPool pool(8);
+  std::atomic<int> n{0};
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++n;
+  });
+  EXPECT_EQ(n.load(), 1);
+}
+
+TEST(ThreadPool, MoreWorkThanThreads) {
+  ThreadPool pool(3);
+  std::atomic<long long> sum{0};
+  pool.parallel_for(10000,
+                    [&](std::size_t i) { sum += static_cast<long long>(i); });
+  EXPECT_EQ(sum.load(), 10000LL * 9999 / 2);
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 57) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAfterException) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(10, [&](std::size_t) { throw std::runtime_error("x"); });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> n{0};
+  pool.parallel_for(10, [&](std::size_t) { ++n; });
+  EXPECT_EQ(n.load(), 10);
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  std::atomic<int> n{0};
+  global_pool().parallel_for(64, [&](std::size_t) { ++n; });
+  EXPECT_EQ(n.load(), 64);
+}
+
+}  // namespace
+}  // namespace opckit::util

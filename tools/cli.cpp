@@ -1,0 +1,265 @@
+#include "cli.h"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "core/opc.h"
+#include "core/deck_io.h"
+#include "drc/drc.h"
+#include "layout/layout.h"
+#include "litho/litho.h"
+#include "pattern/pattern.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace opckit::cli {
+
+namespace {
+
+/// Minimal option parser: --key value pairs plus boolean --flags.
+class Options {
+ public:
+  Options(const std::vector<std::string>& args, std::size_t begin) {
+    for (std::size_t i = begin; i < args.size(); ++i) {
+      const std::string& a = args[i];
+      if (!util::starts_with(a, "--")) {
+        throw util::InputError("unexpected argument: " + a);
+      }
+      const std::string key = a.substr(2);
+      if (i + 1 < args.size() && !util::starts_with(args[i + 1], "--")) {
+        values_[key] = args[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string require(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty()) {
+      throw util::InputError("missing required option --" + key);
+    }
+    return it->second;
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() || it->second.empty() ? fallback
+                                                     : it->second;
+  }
+
+  long long get_int(const std::string& key, long long fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty()) return fallback;
+    return std::stoll(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+layout::Layer parse_layer(const std::string& spec) {
+  const auto parts = util::split(spec, '/');
+  if (parts.size() != 2) {
+    throw util::InputError("layer must be LAYER/DATATYPE, got: " + spec);
+  }
+  return layout::Layer{static_cast<std::uint16_t>(std::stoi(parts[0])),
+                       static_cast<std::uint16_t>(std::stoi(parts[1]))};
+}
+
+std::string pick_cell(const layout::Library& lib, const Options& opts) {
+  if (opts.has("cell")) return opts.require("cell");
+  const auto tops = lib.top_cells();
+  if (tops.size() != 1) {
+    throw util::InputError(
+        "library has " + std::to_string(tops.size()) +
+        " top cells; pick one with --cell");
+  }
+  return tops.front();
+}
+
+int cmd_stats(const Options& opts, std::ostream& out) {
+  const layout::Library lib = layout::read_gdsii_file(opts.require("in"));
+  lib.validate();
+  const std::string top = pick_cell(lib, opts);
+  const layout::HierarchyStats s = lib.stats(top);
+
+  util::Table t({"metric", "value"});
+  t.add_row(std::string("library"), lib.name());
+  t.add_row(std::string("top_cell"), top);
+  t.add_row(std::string("distinct_cells"), s.distinct_cells);
+  t.add_row(std::string("placements"), static_cast<long long>(s.placements));
+  t.add_row(std::string("stored_polygons"), s.local_polygons);
+  t.add_row(std::string("stored_vertices"), s.local_vertices);
+  t.add_row(std::string("flat_polygons"),
+            static_cast<long long>(s.flat_polygons));
+  t.add_row(std::string("flat_vertices"),
+            static_cast<long long>(s.flat_vertices));
+  t.add_row(std::string("hierarchy_depth"),
+            static_cast<long long>(s.depth));
+  t.add_row(std::string("hierarchy_leverage"), s.hierarchy_leverage());
+  t.add_row(std::string("gdsii_bytes"), layout::gdsii_byte_size(lib));
+  out << t.to_text("opckit stats");
+  return 0;
+}
+
+int cmd_drc(const Options& opts, std::ostream& out) {
+  const layout::Library lib = layout::read_gdsii_file(opts.require("in"));
+  const std::string top = pick_cell(lib, opts);
+  const layout::Layer layer = parse_layer(opts.require("layer"));
+  const auto polys = lib.flatten(top, layer);
+  const geom::Region region = geom::Region::from_polygons(polys);
+
+  std::vector<drc::Rule> deck;
+  const long long w = opts.get_int("min-width", 0);
+  const long long s = opts.get_int("min-space", 0);
+  if (w > 0) {
+    deck.push_back({drc::RuleKind::kMinWidth,
+                    "width." + std::to_string(w), w});
+  }
+  if (s > 0) {
+    deck.push_back({drc::RuleKind::kMinSpace,
+                    "space." + std::to_string(s), s});
+  }
+  if (deck.empty()) {
+    throw util::InputError("give at least one of --min-width / --min-space");
+  }
+  const drc::DrcReport report = drc::run_deck(region, deck);
+
+  util::Table t({"rule", "violations"});
+  for (const auto& rule : deck) {
+    t.add_row(rule.name, report.count(rule.name));
+  }
+  out << t.to_text("opckit drc (" + std::to_string(polys.size()) +
+                   " polygons)");
+  for (const auto& v : report.violations) {
+    out << "  " << v.rule << " at " << v.bbox << '\n';
+  }
+  return report.clean() ? 0 : 1;
+}
+
+int cmd_opc(const Options& opts, std::ostream& out) {
+  layout::Library lib = layout::read_gdsii_file(opts.require("in"));
+  const std::string top = pick_cell(lib, opts);
+  const layout::Layer in_layer = parse_layer(opts.require("layer"));
+  const layout::Layer out_layer{in_layer.layer,
+                                static_cast<std::uint16_t>(
+                                    in_layer.datatype + 1)};
+  const std::string mode = opts.get("mode", "model");
+
+  const auto polys = lib.flatten(top, in_layer);
+  if (polys.empty()) {
+    throw util::InputError("no shapes on the input layer");
+  }
+  geom::Rect window = geom::Rect::empty();
+  for (const auto& p : polys) window = window.united(p.bbox());
+
+  std::vector<geom::Polygon> corrected;
+  if (mode == "rule") {
+    const opc::RuleDeck deck =
+        opts.has("deck") ? opc::read_rule_deck_file(opts.require("deck"))
+                         : opc::default_rule_deck_180();
+    corrected = opc::apply_rule_opc(polys, deck).corrected;
+    out << "rule OPC: " << corrected.size() << " corrected polygons\n";
+  } else if (mode == "model") {
+    litho::SimSpec process;
+    const auto anchor_cd =
+        static_cast<geom::Coord>(opts.get_int("anchor-cd", 180));
+    const auto anchor_pitch =
+        static_cast<geom::Coord>(opts.get_int("anchor-pitch", 360));
+    litho::calibrate_threshold(process, anchor_cd, anchor_pitch);
+    opc::ModelOpcSpec spec;
+    const auto r = opc::run_model_opc(polys, process, window, spec);
+    corrected = r.corrected;
+    out << "model OPC: " << r.history.size() << " iterations, final RMS "
+        << r.final_iteration().rms_epe_nm << " nm, "
+        << (r.converged ? "converged" : "residual error left") << '\n';
+  } else {
+    throw util::InputError("unknown --mode (use rule or model): " + mode);
+  }
+
+  if (opts.has("srafs")) {
+    const auto srafs = opc::insert_srafs(corrected, {});
+    out << "SRAF: " << srafs.kept << " bars inserted\n";
+    corrected.insert(corrected.end(), srafs.bars.begin(), srafs.bars.end());
+  }
+
+  layout::Cell& cell = lib.cell(top);
+  cell.clear_layer(out_layer);
+  for (const auto& p : corrected) cell.add_polygon(out_layer, p);
+  layout::write_gdsii_file(lib, opts.require("out"));
+  out << "wrote " << opts.require("out") << " (corrected shapes on "
+      << out_layer << ")\n";
+  return 0;
+}
+
+int cmd_patterns(const Options& opts, std::ostream& out) {
+  const layout::Library lib = layout::read_gdsii_file(opts.require("in"));
+  const std::string top = pick_cell(lib, opts);
+  const layout::Layer layer = parse_layer(opts.require("layer"));
+  const auto polys = lib.flatten(top, layer);
+
+  pat::WindowSpec spec;
+  spec.radius = static_cast<geom::Coord>(opts.get_int("radius", 400));
+  const pat::PatternCatalog cat = pat::build_catalog(polys, spec);
+  const auto top_k = static_cast<std::size_t>(opts.get_int("top", 10));
+
+  util::Table t({"rank", "count", "share_pct", "example_anchor"});
+  const auto ranked = cat.ranked();
+  for (std::size_t i = 0; i < std::min(top_k, ranked.size()); ++i) {
+    std::ostringstream anchor;
+    anchor << ranked[i].first_anchor;
+    t.add_row(i + 1, ranked[i].count,
+              100.0 * static_cast<double>(ranked[i].count) /
+                  static_cast<double>(cat.total()),
+              anchor.str());
+  }
+  out << t.to_text("opckit patterns (radius " +
+                   std::to_string(spec.radius) + "nm)");
+  out << cat.classes() << " classes over " << cat.total()
+      << " windows; 90% coverage needs " << cat.classes_for_coverage(0.9)
+      << " classes\n";
+  return 0;
+}
+
+void usage(std::ostream& err) {
+  err << "usage: opckit <stats|drc|opc|patterns> --in FILE [options]\n"
+         "  stats     --in a.gds [--cell NAME]\n"
+         "  drc       --in a.gds --layer L/D --min-width N --min-space N\n"
+         "  opc       --in a.gds --out b.gds --layer L/D [--mode rule|model]\n"
+         "            [--deck FILE]\n"
+         "            [--srafs] [--anchor-cd N] [--anchor-pitch N]\n"
+         "  patterns  --in a.gds --layer L/D [--radius N] [--top K]\n";
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  if (args.empty()) {
+    usage(err);
+    return 2;
+  }
+  try {
+    const Options opts(args, 1);
+    const std::string& cmd = args[0];
+    if (cmd == "stats") return cmd_stats(opts, out);
+    if (cmd == "drc") return cmd_drc(opts, out);
+    if (cmd == "opc") return cmd_opc(opts, out);
+    if (cmd == "patterns") return cmd_patterns(opts, out);
+    err << "unknown command: " << cmd << '\n';
+    usage(err);
+    return 2;
+  } catch (const util::InputError& e) {
+    err << "error: " << e.what() << '\n';
+    return 2;
+  } catch (const std::exception& e) {
+    err << "fatal: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace opckit::cli

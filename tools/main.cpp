@@ -1,0 +1,11 @@
+/// opckit command-line entry point (logic lives in cli.cpp, tested
+/// directly by tests/tools_cli_test.cpp).
+#include <iostream>
+#include <vector>
+
+#include "cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return opckit::cli::run(args, std::cout, std::cerr);
+}
