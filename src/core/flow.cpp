@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <set>
+#include <sstream>
 
+#include "lint/lint.h"
 #include "util/check.h"
 
 namespace opckit::opc {
@@ -14,8 +16,46 @@ using layout::Cell;
 using layout::CellRef;
 using layout::Library;
 
+namespace {
+
+/// Static-analysis gate run before any correction: library structure and
+/// geometry plus the model-parameter bands. Error findings abort; the
+/// message carries the offending codes and the first few findings so the
+/// failure is actionable without re-running `opckit lint`.
+void preflight_gate(const Library& lib, const FlowSpec& spec) {
+  lint::LintOptions options;
+  options.grid_nm = spec.opc.grid_nm;
+  lint::LintReport report = lint::lint_library(lib, options);
+  report.merge(lint::lint_sim_spec(spec.sim, options));
+  report.merge(lint::lint_opc_spec(spec.opc, options));
+  if (report.clean()) return;
+
+  std::set<std::string> error_codes;
+  for (const lint::Diagnostic& d : report.findings()) {
+    if (d.severity == lint::Severity::kError) error_codes.insert(d.code);
+  }
+  std::ostringstream os;
+  os << "pre-flight lint found " << report.errors() << " error(s) [";
+  bool first = true;
+  for (const std::string& code : error_codes) {
+    os << (first ? "" : " ") << code;
+    first = false;
+  }
+  os << "]:";
+  std::size_t shown = 0;
+  for (const lint::Diagnostic& d : report.findings()) {
+    if (d.severity != lint::Severity::kError) continue;
+    os << (shown == 0 ? " " : "; ") << d.to_line();
+    if (++shown == 3) break;
+  }
+  throw util::InputError(os.str());
+}
+
+}  // namespace
+
 FlowStats run_cell_opc(Library& lib, const std::string& top,
                        const FlowSpec& spec) {
+  if (spec.preflight) preflight_gate(lib, spec);
   lib.validate();
   FlowStats stats;
 
@@ -53,6 +93,7 @@ FlowStats run_cell_opc(Library& lib, const std::string& top,
 
 FlowStats run_flat_opc(Library& lib, const std::string& top,
                        const FlowSpec& spec) {
+  if (spec.preflight) preflight_gate(lib, spec);
   lib.validate();
   FlowStats stats;
 

@@ -36,6 +36,11 @@ struct FlowSpec {
   /// pass-1 corrected context. Two passes converge for the move
   /// magnitudes this engine allows.
   int flat_context_passes = 2;
+  /// Run the opclint pre-flight gate (library structure + geometry +
+  /// model parameters) before correcting; error-severity findings abort
+  /// the flow with util::InputError. Sub-wavelength masks built from
+  /// invalid inputs fail silently, so flows verify before they correct.
+  bool preflight = true;
 };
 
 /// Cost/coverage accounting of a flow run.

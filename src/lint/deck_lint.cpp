@@ -1,0 +1,129 @@
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace opckit::lint {
+
+namespace {
+
+/// Sentinel for an open-ended bias range (deck_io writes it as '*').
+constexpr geom::Coord kOpenEnd = std::numeric_limits<geom::Coord>::max();
+
+std::string range_str(const opc::BiasRule& r) {
+  std::ostringstream os;
+  os << "[" << r.space_min << ", ";
+  if (r.space_max == kOpenEnd) {
+    os << "*)";
+  } else {
+    os << r.space_max << ")";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+LintReport lint_rule_deck(const opc::RuleDeck& deck,
+                          const LintOptions& options) {
+  LintReport report;
+
+  // Scalar deck values must be non-negative sizes.
+  const auto check_size = [&](const char* key, geom::Coord value) {
+    if (value < 0) {
+      report.add("RUL001", std::string(key) + " is negative (" +
+                               std::to_string(value) + ")");
+    }
+  };
+  check_size("interaction_range", deck.interaction_range);
+  check_size("line_end_max", deck.line_end_max);
+  check_size("line_end_extension", deck.line_end_extension);
+  check_size("hammer_overhang", deck.hammer_overhang);
+  check_size("serif_size", deck.serif_size);
+  check_size("mousebite_size", deck.mousebite_size);
+
+  // Per-rule validity.
+  for (const opc::BiasRule& r : deck.bias_rules) {
+    if (r.space_min < 0 || r.space_max <= r.space_min) {
+      report.add("RUL001", "bias range " + range_str(r) + " is empty or "
+                           "negative");
+    }
+    // A bias is applied to BOTH edges facing a space, so the space
+    // shrinks by 2*bias; at the range's own lower bound that must stay
+    // positive or facing mask edges merge.
+    if (r.bias > 0 && r.space_min - 2 * r.bias <= 0) {
+      report.add("RUL005",
+                 "bias " + std::to_string(r.bias) + " in range " +
+                     range_str(r) + " closes a " +
+                     std::to_string(r.space_min) + " nm space");
+    }
+  }
+
+  // Table-level checks run on a space-ordered copy (the deck contract is
+  // ascending, but lint must not trust the contract it verifies).
+  std::vector<opc::BiasRule> rules = deck.bias_rules;
+  std::sort(rules.begin(), rules.end(),
+            [](const opc::BiasRule& a, const opc::BiasRule& b) {
+              return a.space_min < b.space_min;
+            });
+  geom::Coord largest_space = 0;
+  for (std::size_t i = 0; i + 1 < rules.size(); ++i) {
+    const opc::BiasRule& a = rules[i];
+    const opc::BiasRule& b = rules[i + 1];
+    if (a.space_max > b.space_min) {
+      report.add("RUL002", "ranges " + range_str(a) + " and " +
+                               range_str(b) + " overlap");
+    } else if (a.space_max < b.space_min) {
+      report.add("RUL003",
+                 "spaces in [" + std::to_string(a.space_max) + ", " +
+                     std::to_string(b.space_min) +
+                     ") match no rule and get zero bias");
+    }
+  }
+  for (const opc::BiasRule& r : rules) {
+    if (r.space_max != kOpenEnd) {
+      largest_space = std::max(largest_space, r.space_max);
+    }
+  }
+
+  // A proximity signature's bias-vs-space curve is usually monotonic; a
+  // table that zig-zags deserves a second look against the measured
+  // curve (forbidden-pitch dips are real, transcription errors are not).
+  bool non_decreasing = true;
+  bool non_increasing = true;
+  for (std::size_t i = 0; i + 1 < rules.size(); ++i) {
+    if (rules[i + 1].bias < rules[i].bias) non_decreasing = false;
+    if (rules[i + 1].bias > rules[i].bias) non_increasing = false;
+  }
+  if (!non_decreasing && !non_increasing) {
+    report.add("RUL004",
+               "bias values zig-zag across the space axis; verify against "
+               "the measured proximity curve");
+  }
+
+  // Decorations larger than half the minimum feature print as bridges
+  // or pinches instead of corner fixes.
+  const geom::Coord half_feature = options.min_feature_nm / 2;
+  const auto check_decoration = [&](const char* key, geom::Coord value) {
+    if (value > half_feature) {
+      report.add("RUL006", std::string(key) + " " + std::to_string(value) +
+                               " nm exceeds half the min feature (" +
+                               std::to_string(half_feature) + " nm)");
+    }
+  };
+  check_decoration("serif_size", deck.serif_size);
+  check_decoration("hammer_overhang", deck.hammer_overhang);
+  check_decoration("mousebite_size", deck.mousebite_size);
+
+  if (largest_space > deck.interaction_range) {
+    report.add("RUL007",
+               "bias table reaches " + std::to_string(largest_space) +
+                   " nm but interaction_range is " +
+                   std::to_string(deck.interaction_range) + " nm");
+  }
+
+  return report;
+}
+
+}  // namespace opckit::lint

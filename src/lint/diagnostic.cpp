@@ -1,0 +1,161 @@
+#include "lint/diagnostic.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/table.h"
+
+namespace opckit::lint {
+
+namespace {
+
+// Registry of every diagnostic opclint can emit, grouped by domain.
+// Order is the presentation order of `opckit lint --codes` and of the
+// DESIGN.md code listing; keep new codes at the end of their group.
+constexpr CodeInfo kCodes[] = {
+    // Polygon well-formedness.
+    {"LAY001", Severity::kError, "self-intersecting polygon ring"},
+    {"LAY002", Severity::kError,
+     "degenerate polygon (zero area or < 3 distinct vertices)"},
+    {"LAY003", Severity::kWarning, "clockwise winding as stored"},
+    {"LAY004", Severity::kError, "non-Manhattan edge"},
+    {"LAY005", Severity::kWarning,
+     "unnormalized ring (duplicate or collinear vertices)"},
+    {"LAY006", Severity::kWarning, "vertex off the mask grid"},
+    // Hierarchy / library structure.
+    {"HIE001", Severity::kError, "dangling cell reference"},
+    {"HIE002", Severity::kError, "cell-hierarchy cycle"},
+    {"HIE003", Severity::kWarning, "empty cell (no shapes, no references)"},
+    {"HIE004", Severity::kError, "degenerate array reference"},
+    {"HIE005", Severity::kNote,
+     "layer number carries multiple datatypes (derived data present?)"},
+    // GDSII structural limits.
+    {"GDS001", Severity::kError, "polygon exceeds GDSII vertex capacity"},
+    {"GDS002", Severity::kError, "coordinate outside GDSII 32-bit range"},
+    {"GDS003", Severity::kWarning, "cell name violates GDSII naming rules"},
+    // Rule-deck sanity.
+    {"RUL001", Severity::kError, "invalid deck value or bias range"},
+    {"RUL002", Severity::kError, "overlapping bias-table ranges"},
+    {"RUL003", Severity::kWarning, "gap in bias-table space coverage"},
+    {"RUL004", Severity::kWarning, "non-monotonic bias table"},
+    {"RUL005", Severity::kError, "bias large enough to merge facing edges"},
+    {"RUL006", Severity::kWarning,
+     "serif/hammerhead/mousebite exceeds half the min feature"},
+    {"RUL007", Severity::kWarning,
+     "interaction range below largest bias-table space"},
+    // Model-parameter bands.
+    {"MOD001", Severity::kError, "numerical aperture out of range"},
+    {"MOD002", Severity::kError, "illumination sigma out of range"},
+    {"MOD003", Severity::kWarning, "non-standard exposure wavelength"},
+    {"MOD004", Severity::kError,
+     "pixel size undersamples the aerial image (Nyquist)"},
+    {"MOD005", Severity::kWarning,
+     "guard band below the optical interaction range"},
+    {"MOD006", Severity::kError, "OPC feedback gain outside stable range"},
+    {"MOD007", Severity::kError, "inconsistent OPC move/grid clamps"},
+};
+
+}  // namespace
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_line() const {
+  std::ostringstream os;
+  os << code << ' ' << to_string(severity);
+  if (!cell.empty()) os << " cell=" << cell;
+  if (has_layer) os << " layer=" << layer;
+  if (!where.is_empty()) os << " at " << where;
+  os << ": " << message;
+  return os.str();
+}
+
+std::span<const CodeInfo> all_codes() { return kCodes; }
+
+const CodeInfo* find_code(std::string_view code) {
+  for (const CodeInfo& info : kCodes) {
+    if (code == info.code) return &info;
+  }
+  return nullptr;
+}
+
+void LintReport::add(Diagnostic d) {
+  OPCKIT_CHECK_MSG(find_code(d.code) != nullptr,
+                   "unregistered diagnostic code: " << d.code);
+  findings_.push_back(std::move(d));
+}
+
+void LintReport::add(std::string_view code, std::string message,
+                     std::string cell, geom::Rect where) {
+  const CodeInfo* info = find_code(code);
+  OPCKIT_CHECK_MSG(info != nullptr,
+                   "unregistered diagnostic code: " << code);
+  Diagnostic d;
+  d.code = std::string(code);
+  d.severity = info->default_severity;
+  d.message = std::move(message);
+  d.cell = std::move(cell);
+  d.where = where;
+  findings_.push_back(std::move(d));
+}
+
+void LintReport::merge(LintReport&& other) {
+  findings_.insert(findings_.end(),
+                   std::make_move_iterator(other.findings_.begin()),
+                   std::make_move_iterator(other.findings_.end()));
+  other.findings_.clear();
+}
+
+std::size_t LintReport::count(Severity s) const {
+  return static_cast<std::size_t>(
+      std::count_if(findings_.begin(), findings_.end(),
+                    [s](const Diagnostic& d) { return d.severity == s; }));
+}
+
+std::vector<std::string> LintReport::codes() const {
+  std::set<std::string> uniq;
+  for (const Diagnostic& d : findings_) uniq.insert(d.code);
+  return {uniq.begin(), uniq.end()};
+}
+
+namespace {
+
+util::Table report_table(const LintReport& report) {
+  util::Table t({"code", "severity", "cell", "layer", "where", "message"});
+  for (const Diagnostic& d : report.findings()) {
+    std::ostringstream layer_os, where_os;
+    if (d.has_layer) layer_os << d.layer;
+    if (!d.where.is_empty()) where_os << d.where;
+    t.add_row(d.code, std::string(to_string(d.severity)), d.cell,
+              layer_os.str(), where_os.str(), d.message);
+  }
+  return t;
+}
+
+}  // namespace
+
+std::string render_text(const LintReport& report, const std::string& title) {
+  std::ostringstream os;
+  os << report_table(report).to_text(title);
+  os << report.findings().size() << " finding(s): " << report.errors()
+     << " error(s), " << report.warnings() << " warning(s), "
+     << report.count(Severity::kNote) << " note(s)\n";
+  return os.str();
+}
+
+std::string render_csv(const LintReport& report) {
+  return report_table(report).to_csv();
+}
+
+}  // namespace opckit::lint

@@ -1,0 +1,113 @@
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "lint/lint.h"
+
+namespace opckit::lint {
+
+namespace {
+
+bool valid_gds_name(const std::string& name) {
+  if (name.empty() || name.size() > 32) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '$' ||
+                    c == '?';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+LintReport lint_library(const layout::Library& lib,
+                        const LintOptions& options) {
+  LintReport report;
+
+  // Per-cell structure and geometry.
+  for (const std::string& name : lib.cell_names()) {
+    const layout::Cell& cell = lib.at(name);
+    if (!valid_gds_name(name)) {
+      report.add("GDS003",
+                 "cell name \"" + name +
+                     "\" is empty, longer than 32 chars, or uses characters "
+                     "outside [A-Za-z0-9_$?]",
+                 name);
+    }
+    if (cell.polygon_count() == 0 && cell.refs().empty()) {
+      report.add("HIE003", "cell has neither shapes nor references", name);
+    }
+    for (const layout::CellRef& ref : cell.refs()) {
+      if (!lib.has_cell(ref.child)) {
+        report.add("HIE001",
+                   "reference to undefined cell \"" + ref.child + "\"", name);
+      }
+      if (ref.columns < 1 || ref.rows < 1) {
+        report.add("HIE004",
+                   "array reference to \"" + ref.child + "\" has " +
+                       std::to_string(ref.columns) + "x" +
+                       std::to_string(ref.rows) + " elements",
+                   name);
+      }
+    }
+    for (const layout::Layer& layer : cell.layers()) {
+      for (const geom::Polygon& poly : cell.shapes(layer)) {
+        lint_polygon(poly, options, report, name, &layer);
+      }
+    }
+  }
+
+  // Cycle detection: DFS coloring over the reference graph. Dangling
+  // children were already reported, so they are skipped here; a cyclic
+  // graph is reported (once per cycle-closing cell), never re-entered.
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  std::set<std::string> cycle_reported;
+  std::function<void(const std::string&)> visit =
+      [&](const std::string& name) {
+        Color& c = color[name];
+        if (c == Color::kGray) {
+          if (cycle_reported.insert(name).second) {
+            report.add("HIE002", "hierarchy cycle passes through this cell",
+                       name);
+          }
+          return;
+        }
+        if (c == Color::kBlack) return;
+        c = Color::kGray;
+        for (const layout::CellRef& ref : lib.at(name).refs()) {
+          if (lib.has_cell(ref.child)) visit(ref.child);
+        }
+        color[name] = Color::kBlack;
+      };
+  for (const std::string& name : lib.cell_names()) visit(name);
+
+  // Layer-consistency: one layer number split across datatypes usually
+  // means derived data (post-OPC, SRAF, markers) is already present and
+  // would be re-corrected if fed to a flow as-is.
+  std::map<std::uint16_t, std::set<std::uint16_t>> datatypes;
+  for (const std::string& name : lib.cell_names()) {
+    for (const layout::Layer& layer : lib.at(name).layers()) {
+      datatypes[layer.layer].insert(layer.datatype);
+    }
+  }
+  for (const auto& [layer_num, dts] : datatypes) {
+    if (dts.size() < 2) continue;
+    std::ostringstream os;
+    os << "layer " << layer_num << " appears with " << dts.size()
+       << " datatypes (";
+    bool first = true;
+    for (const std::uint16_t dt : dts) {
+      os << (first ? "" : ", ") << dt;
+      first = false;
+    }
+    os << ")";
+    report.add("HIE005", os.str());
+  }
+
+  return report;
+}
+
+}  // namespace opckit::lint

@@ -1,0 +1,63 @@
+/// \file lint.h
+/// opclint — static analysis for layouts, rule decks, and process models.
+///
+/// Every entry point validates its input *without running lithography
+/// simulation*: the checks are pure geometry/structure/parameter-band
+/// screens, cheap enough to gate every flow run. This is the
+/// "verification before correction" discipline the paper's adoption
+/// story demands — a sub-wavelength mask made from a self-intersecting
+/// polygon or a non-monotonic bias table produces garbage CDs, not
+/// error messages, unless something screens the inputs first.
+///
+/// Analyzers only *report*; policy (block vs. proceed) belongs to the
+/// caller. `opc::FlowSpec::preflight` wires the error-severity findings
+/// into a hard gate in front of the OPC flows.
+#pragma once
+
+#include <string>
+
+#include "core/model.h"
+#include "core/rules.h"
+#include "geometry/polygon.h"
+#include "layout/library.h"
+#include "lint/diagnostic.h"
+#include "litho/simulator.h"
+
+namespace opckit::lint {
+
+/// Tunable thresholds shared by the analyzers.
+struct LintOptions {
+  /// Mask manufacturing grid; vertices off this grid raise LAY006.
+  /// 1 (the DB unit) disables the check.
+  geom::Coord grid_nm = 1;
+  /// Process minimum feature; used to band rule-deck decoration sizes.
+  geom::Coord min_feature_nm = 180;
+  /// GDSII XY record capacity (vertex pairs) before writers must split.
+  std::size_t max_gdsii_vertices = 8190;
+};
+
+/// Lint one polygon ring (LAY001..LAY006, GDS001, GDS002). \p cell and
+/// \p layer scope the findings; pass defaults for standalone polygons.
+void lint_polygon(const geom::Polygon& poly, const LintOptions& options,
+                  LintReport& report, const std::string& cell = "",
+                  const layout::Layer* layer = nullptr);
+
+/// Lint a whole library: every stored polygon plus hierarchy structure
+/// (HIE001..HIE005, GDS003). Cycle-safe: a cyclic hierarchy is reported,
+/// never traversed unboundedly.
+LintReport lint_library(const layout::Library& lib,
+                        const LintOptions& options = {});
+
+/// Lint a rule-OPC deck (RUL001..RUL007).
+LintReport lint_rule_deck(const opc::RuleDeck& deck,
+                          const LintOptions& options = {});
+
+/// Lint process/imaging parameters (MOD001..MOD005).
+LintReport lint_sim_spec(const litho::SimSpec& spec,
+                         const LintOptions& options = {});
+
+/// Lint model-OPC loop parameters (MOD006, MOD007).
+LintReport lint_opc_spec(const opc::ModelOpcSpec& spec,
+                         const LintOptions& options = {});
+
+}  // namespace opckit::lint

@@ -1,0 +1,152 @@
+#include <cmath>
+#include <sstream>
+
+#include "lint/lint.h"
+
+namespace opckit::lint {
+
+LintReport lint_sim_spec(const litho::SimSpec& spec,
+                         const LintOptions& options) {
+  (void)options;
+  LintReport report;
+  const litho::OpticalSystem& sys = spec.optics;
+  const litho::SourceSpec& src = sys.source;
+
+  if (sys.na <= 0.0 || sys.na >= 1.0) {
+    std::ostringstream os;
+    os << "NA " << sys.na
+       << " outside (0, 1); the scalar paraxial model is dry-tool only";
+    report.add("MOD001", os.str());
+  }
+
+  if (src.sigma_outer <= 0.0 || src.sigma_outer > 1.0) {
+    std::ostringstream os;
+    os << "sigma_outer " << src.sigma_outer << " outside (0, 1]";
+    report.add("MOD002", os.str());
+  } else if (src.shape == litho::SourceShape::kAnnular &&
+             (src.sigma_inner < 0.0 || src.sigma_inner >= src.sigma_outer)) {
+    std::ostringstream os;
+    os << "annular sigma_inner " << src.sigma_inner
+       << " must sit in [0, sigma_outer=" << src.sigma_outer << ")";
+    report.add("MOD002", os.str());
+  } else if ((src.shape == litho::SourceShape::kDipoleX ||
+              src.shape == litho::SourceShape::kDipoleY) &&
+             (src.pole_radius <= 0.0 ||
+              src.pole_center - src.pole_radius < 0.0 ||
+              src.pole_center + src.pole_radius > 1.0)) {
+    std::ostringstream os;
+    os << "dipole poles (center " << src.pole_center << ", radius "
+       << src.pole_radius << ") leave the unit pupil";
+    report.add("MOD002", os.str());
+  }
+
+  if (sys.wavelength_nm <= 0.0) {
+    Diagnostic d;
+    d.code = "MOD003";
+    d.severity = Severity::kError;  // not merely unusual: unusable
+    std::ostringstream os;
+    os << "wavelength " << sys.wavelength_nm << " nm is not positive";
+    d.message = os.str();
+    report.add(std::move(d));
+  } else {
+    // Production exposure lines of the paper's era and since.
+    constexpr double kLines[] = {365.0, 248.0, 193.0, 157.0, 13.5};
+    bool known = false;
+    for (const double line : kLines) {
+      if (std::abs(sys.wavelength_nm - line) <= 2.0) known = true;
+    }
+    if (!known) {
+      std::ostringstream os;
+      os << "wavelength " << sys.wavelength_nm
+         << " nm matches no production exposure line (365/248/193/157/13.5)";
+      report.add("MOD003", os.str());
+    }
+  }
+
+  // Raster-sampling band: the highest spatial frequency the optics pass
+  // is NA*(1+sigma)/lambda, so the intensity Nyquist pixel is
+  // lambda / (4*NA*(1+sigma)). Coarser pixels alias the aerial image.
+  if (sys.na > 0.0 && sys.wavelength_nm > 0.0 && src.sigma_outer > 0.0) {
+    const double nyquist_nm =
+        sys.wavelength_nm / (4.0 * sys.na * (1.0 + src.sigma_outer));
+    if (spec.pixel_nm > nyquist_nm) {
+      std::ostringstream os;
+      os << "pixel " << spec.pixel_nm << " nm exceeds the Nyquist pixel "
+         << nyquist_nm << " nm for this optics";
+      report.add("MOD004", os.str());
+    }
+    const double interaction_nm = 2.0 * sys.wavelength_nm / sys.na;
+    if (static_cast<double>(spec.guard_nm) < interaction_nm) {
+      std::ostringstream os;
+      os << "guard band " << spec.guard_nm
+         << " nm is below the ~2*lambda/NA interaction range ("
+         << interaction_nm << " nm); periodic FFT boundaries will leak "
+         << "into the window";
+      report.add("MOD005", os.str());
+    }
+  }
+  if (spec.pixel_nm <= 0.0) {
+    report.add("MOD004", "pixel size must be positive");
+  }
+
+  return report;
+}
+
+LintReport lint_opc_spec(const opc::ModelOpcSpec& spec,
+                         const LintOptions& options) {
+  (void)options;
+  LintReport report;
+
+  if (spec.gain <= 0.0 || spec.gain > 2.0) {
+    std::ostringstream os;
+    os << "gain " << spec.gain
+       << " outside (0, 2]; the EPE feedback loop diverges or stalls";
+    report.add("MOD006", os.str());
+  }
+  if (spec.corner_gain_scale < 0.0 || spec.corner_gain_scale > 1.0) {
+    std::ostringstream os;
+    os << "corner_gain_scale " << spec.corner_gain_scale
+       << " outside [0, 1]";
+    report.add("MOD006", os.str());
+  }
+
+  const auto clamp_error = [&](const std::string& message) {
+    report.add("MOD007", message);
+  };
+  if (spec.max_iterations < 1) {
+    clamp_error("max_iterations must be at least 1");
+  }
+  if (spec.grid_nm < 1) {
+    clamp_error("mask grid must be at least 1 DB unit, got " +
+                std::to_string(spec.grid_nm));
+  } else if (spec.max_move_per_iter < spec.grid_nm) {
+    clamp_error("max_move_per_iter " + std::to_string(spec.max_move_per_iter) +
+                " nm is below the mask grid " + std::to_string(spec.grid_nm) +
+                " nm; every move snaps to zero");
+  }
+  if (spec.max_total_offset < spec.max_move_per_iter) {
+    clamp_error("max_total_offset " + std::to_string(spec.max_total_offset) +
+                " nm is below max_move_per_iter " +
+                std::to_string(spec.max_move_per_iter) + " nm");
+  }
+  if (spec.epe_tolerance_nm <= 0.0) {
+    clamp_error("epe_tolerance_nm must be positive");
+  }
+  if (spec.probe_range_nm <= 0.0) {
+    clamp_error("probe_range_nm must be positive");
+  } else if (spec.probe_range_nm <
+             static_cast<double>(spec.max_total_offset)) {
+    clamp_error("probe_range_nm " + std::to_string(spec.probe_range_nm) +
+                " cannot see past max_total_offset " +
+                std::to_string(spec.max_total_offset) +
+                " nm; converged fragments would read as lost edges");
+  }
+  if (spec.min_mask_space_nm < 0 || spec.min_tip_gap_nm < 0 ||
+      spec.corner_max_offset < 0) {
+    clamp_error("mask-space / tip-gap / corner clamps must be non-negative");
+  }
+
+  return report;
+}
+
+}  // namespace opckit::lint

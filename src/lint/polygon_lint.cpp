@@ -1,0 +1,165 @@
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "lint/lint.h"
+#include "util/check.h"
+
+namespace opckit::lint {
+
+namespace {
+
+using geom::Coord;
+using geom::Point;
+using geom::Polygon;
+
+/// GDSII XY records store coordinates as signed 32-bit DB units.
+constexpr Coord kGdsCoordMax = 2147483647;
+
+/// Orientation sign of c relative to the directed line a->b. 128-bit
+/// intermediates: GDS-range coordinates (2^31) make the cross product
+/// overflow 64 bits.
+int orient(const Point& a, const Point& b, const Point& c) {
+  const __int128 v =
+      static_cast<__int128>(b.x - a.x) * (c.y - a.y) -
+      static_cast<__int128>(b.y - a.y) * (c.x - a.x);
+  return v > 0 ? 1 : v < 0 ? -1 : 0;
+}
+
+/// p collinear with [a,b] assumed; true if p lies within the segment box.
+bool on_segment(const Point& a, const Point& b, const Point& p) {
+  return std::min(a.x, b.x) <= p.x && p.x <= std::max(a.x, b.x) &&
+         std::min(a.y, b.y) <= p.y && p.y <= std::max(a.y, b.y);
+}
+
+/// Any contact (crossing or touch) between segments [p1,p2] and [p3,p4].
+bool segments_intersect(const Point& p1, const Point& p2, const Point& p3,
+                        const Point& p4) {
+  const int d1 = orient(p3, p4, p1);
+  const int d2 = orient(p3, p4, p2);
+  const int d3 = orient(p1, p2, p3);
+  const int d4 = orient(p1, p2, p4);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  if (d1 == 0 && on_segment(p3, p4, p1)) return true;
+  if (d2 == 0 && on_segment(p3, p4, p2)) return true;
+  if (d3 == 0 && on_segment(p1, p2, p3)) return true;
+  if (d4 == 0 && on_segment(p1, p2, p4)) return true;
+  return false;
+}
+
+/// Ring vertices with consecutive duplicates (incl. the wrap pair)
+/// removed, so every edge has positive length.
+std::vector<Point> dedup_ring(const Polygon& poly) {
+  std::vector<Point> v;
+  v.reserve(poly.size());
+  for (const Point& p : poly.ring()) {
+    if (v.empty() || !(v.back() == p)) v.push_back(p);
+  }
+  while (v.size() > 1 && v.front() == v.back()) v.pop_back();
+  return v;
+}
+
+/// True if the ring touches or crosses itself anywhere except at the
+/// shared endpoints of consecutive edges. Consecutive edges still count
+/// when they fold back onto each other (zero-width spike).
+bool ring_self_intersects(const std::vector<Point>& v) {
+  const std::size_t n = v.size();
+  if (n < 3) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a1 = v[i];
+    const Point& a2 = v[(i + 1) % n];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Point& b1 = v[j];
+      const Point& b2 = v[(j + 1) % n];
+      const bool adjacent = j == i + 1 || (i == 0 && j == n - 1);
+      if (adjacent) {
+        // Shared endpoint s; the edges overlap beyond s iff they are
+        // collinear and run the same way out of s.
+        const Point& s = j == i + 1 ? a2 : a1;
+        const Point& u = j == i + 1 ? a1 : a2;
+        const Point& w = j == i + 1 ? b2 : b1;
+        if (orient(u, s, w) == 0 && geom::dot(u - s, w - s) > 0) return true;
+        continue;
+      }
+      if (segments_intersect(a1, a2, b1, b2)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void lint_polygon(const Polygon& poly, const LintOptions& options,
+                  LintReport& report, const std::string& cell,
+                  const layout::Layer* layer) {
+  const auto add = [&](std::string_view code, std::string message) {
+    const CodeInfo* info = find_code(code);
+    OPCKIT_CHECK(info != nullptr);
+    Diagnostic d;
+    d.code = std::string(code);
+    d.severity = info->default_severity;
+    d.message = std::move(message);
+    d.cell = cell;
+    if (layer != nullptr) {
+      d.layer = *layer;
+      d.has_layer = true;
+    }
+    d.where = poly.bbox();
+    report.add(std::move(d));
+  };
+
+  // Structural limits on the ring exactly as stored.
+  if (poly.size() > options.max_gdsii_vertices) {
+    add("GDS001", "ring has " + std::to_string(poly.size()) +
+                      " vertices; GDSII XY records carry at most " +
+                      std::to_string(options.max_gdsii_vertices));
+  }
+  for (const Point& p : poly.ring()) {
+    if (std::abs(p.x) > kGdsCoordMax || std::abs(p.y) > kGdsCoordMax) {
+      std::ostringstream os;
+      os << "vertex " << p << " outside the signed 32-bit GDSII range";
+      add("GDS002", os.str());
+      break;  // one finding per ring is enough
+    }
+  }
+  if (options.grid_nm > 1) {
+    for (const Point& p : poly.ring()) {
+      if (p.x % options.grid_nm != 0 || p.y % options.grid_nm != 0) {
+        std::ostringstream os;
+        os << "vertex " << p << " off the " << options.grid_nm
+           << " nm mask grid";
+        add("LAY006", os.str());
+        break;
+      }
+    }
+  }
+
+  const std::vector<Point> ring = dedup_ring(poly);
+  if (ring_self_intersects(ring)) {
+    add("LAY001", "ring touches or crosses itself");
+    // Winding/area/shape checks are meaningless on a non-simple ring.
+    return;
+  }
+  const Polygon norm = poly.normalized();
+  if (norm.empty()) {
+    add("LAY002", "ring encloses no area");
+    return;
+  }
+  if (poly.signed_area2() < 0) {
+    add("LAY003", "stored ring is clockwise; engines expect CCW");
+  }
+  if (norm.size() != poly.size()) {
+    add("LAY005",
+        "ring stores " + std::to_string(poly.size()) + " vertices but only " +
+            std::to_string(norm.size()) + " are essential");
+  }
+  if (!norm.is_manhattan()) {
+    add("LAY004",
+        "ring has non-axis-parallel edges; OPC/DRC engines are Manhattan");
+  }
+}
+
+}  // namespace opckit::lint

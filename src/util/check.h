@@ -38,20 +38,40 @@ namespace detail {
 }  // namespace opckit::util
 
 /// Verify a contract; throws opckit::util::CheckError on failure.
-#define OPCKIT_CHECK(expr)                                                  \
-  do {                                                                      \
-    if (!(expr))                                                            \
-      ::opckit::util::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+#define OPCKIT_CHECK(expr)                                                   \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::opckit::util::detail::check_failed(#expr, __FILE__, __LINE__, "");   \
   } while (false)
 
 /// Verify a contract with a formatted message streamed into it, e.g.
 ///   OPCKIT_CHECK_MSG(n > 0, "need positive count, got " << n);
-#define OPCKIT_CHECK_MSG(expr, stream_expr)                            \
-  do {                                                                 \
-    if (!(expr)) {                                                     \
-      std::ostringstream opckit_msg_stream_;                                          \
-      opckit_msg_stream_ << stream_expr;                                              \
-      ::opckit::util::detail::check_failed(#expr, __FILE__, __LINE__,  \
-                                           opckit_msg_stream_.str());                 \
-    }                                                                  \
+#define OPCKIT_CHECK_MSG(expr, stream_expr)                                  \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream opckit_msg_stream_;                                 \
+      opckit_msg_stream_ << stream_expr;                                     \
+      ::opckit::util::detail::check_failed(#expr, __FILE__, __LINE__,        \
+                                           opckit_msg_stream_.str());        \
+    }                                                                        \
   } while (false)
+
+/// Debug-only variants for hot-loop invariants (per-fragment, per-edge,
+/// per-pixel loops) where even an untaken branch costs measurable time at
+/// full-chip scale. In release (NDEBUG) builds they compile to nothing;
+/// the condition is still type-checked (unevaluated) so it cannot rot.
+/// Anything guarding against adversarial *input* must stay OPCKIT_CHECK —
+/// DCHECK is strictly for invariants the library itself establishes.
+#ifndef NDEBUG
+#define OPCKIT_DCHECK(expr) OPCKIT_CHECK(expr)
+#define OPCKIT_DCHECK_MSG(expr, stream_expr) OPCKIT_CHECK_MSG(expr, stream_expr)
+#else
+#define OPCKIT_DCHECK(expr) \
+  do {                      \
+    (void)sizeof((expr));   \
+  } while (false)
+#define OPCKIT_DCHECK_MSG(expr, stream_expr) \
+  do {                                       \
+    (void)sizeof((expr));                    \
+  } while (false)
+#endif

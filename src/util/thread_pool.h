@@ -5,6 +5,26 @@
 /// model-based OPC loop (per-fragment intensity probes). The pool is
 /// deliberately simple: deterministic work partitioning (static chunking)
 /// so results are bit-identical regardless of scheduling.
+///
+/// Locking protocol (kept minimal so TSan can prove it):
+///  * `mutex_` guards `jobs_` and `stop_`; `cv_` is signalled after a
+///    push or stop while workers wait on it. Nothing else is touched
+///    under `mutex_`.
+///  * Each parallel_for call owns a stack-local completion record
+///    (remaining count, first captured exception, mutex + condvar). ALL
+///    of it — including the counter — is guarded by that record's mutex,
+///    and the finishing worker notifies while still holding the lock.
+///    This ordering is load-bearing: if the counter were decremented
+///    before the lock (e.g. as a bare atomic), the waiting caller could
+///    observe zero, return, and unwind the record while the worker is
+///    still about to lock it.
+///  * Workers never hold `mutex_` while running a job, so jobs may
+///    freely submit new work.
+///  * Nested use: a job that itself calls parallel_for (on any pool)
+///    runs its iterations inline. The caller already occupies a worker
+///    slot — queueing and blocking could deadlock once every worker
+///    waits on jobs parked behind it — and inline execution keeps the
+///    per-chunk accumulation order deterministic.
 #pragma once
 
 #include <condition_variable>

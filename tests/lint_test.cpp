@@ -1,0 +1,472 @@
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/flow.h"
+#include "layout/generators.h"
+#include "lint/lint.h"
+
+namespace opckit::lint {
+namespace {
+
+using geom::Point;
+using geom::Polygon;
+using geom::Rect;
+using layout::Library;
+
+bool has_code(const LintReport& r, const std::string& code) {
+  return std::any_of(r.findings().begin(), r.findings().end(),
+                     [&](const Diagnostic& d) { return d.code == code; });
+}
+
+layout::CellRef ref_to(const std::string& child) {
+  layout::CellRef ref;
+  ref.child = child;
+  return ref;
+}
+
+LintReport lint_one(const Polygon& poly, const LintOptions& options = {}) {
+  LintReport report;
+  lint_polygon(poly, options, report);
+  return report;
+}
+
+/// k-step Manhattan staircase: simple, CCW, 2k+2 vertices.
+Polygon staircase(int steps) {
+  std::vector<Point> ring;
+  for (int i = 0; i < steps; ++i) {
+    ring.push_back({10 * i, 10 * i});
+    ring.push_back({10 * (i + 1), 10 * i});
+  }
+  ring.push_back({10 * steps, 10 * steps});
+  ring.push_back({0, 10 * steps});
+  return Polygon(ring);
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(LintRegistry, AllCodesResolveAndAreDistinct) {
+  std::vector<std::string> seen;
+  for (const CodeInfo& info : all_codes()) {
+    EXPECT_EQ(find_code(info.code), &info);
+    seen.emplace_back(info.code);
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+  EXPECT_GE(seen.size(), 10u);  // the acceptance floor, with headroom
+}
+
+TEST(LintRegistry, UnknownCodeRejected) {
+  EXPECT_EQ(find_code("XXX999"), nullptr);
+  LintReport r;
+  EXPECT_THROW(r.add("XXX999", "nope"), util::CheckError);
+}
+
+// ---------------------------------------------------------- polygon checks
+
+TEST(LintPolygon, CleanRectHasNoFindings) {
+  EXPECT_TRUE(lint_one(Polygon(Rect(0, 0, 100, 200))).empty());
+}
+
+TEST(LintPolygon, Lay001SelfIntersection) {
+  // Bowtie: edges (0,0)-(100,100) and (100,0)-(0,100) cross.
+  const Polygon bowtie({{0, 0}, {100, 100}, {100, 0}, {0, 100}});
+  EXPECT_TRUE(has_code(lint_one(bowtie), "LAY001"));
+  // Zero-width spike folding back on itself is also self-contact.
+  const Polygon spike({{0, 0}, {100, 0}, {40, 0}, {40, 50}, {0, 50}});
+  EXPECT_TRUE(has_code(lint_one(spike), "LAY001"));
+  EXPECT_FALSE(has_code(lint_one(staircase(3)), "LAY001"));
+}
+
+TEST(LintPolygon, Lay002Degenerate) {
+  EXPECT_TRUE(has_code(lint_one(Polygon(std::vector<Point>{{0, 0}, {100, 0}})), "LAY002"));
+  EXPECT_TRUE(has_code(lint_one(Polygon{}), "LAY002"));
+  EXPECT_FALSE(has_code(lint_one(Polygon(Rect(0, 0, 5, 5))), "LAY002"));
+}
+
+TEST(LintPolygon, Lay003ClockwiseWinding) {
+  const Polygon cw({{0, 0}, {0, 100}, {100, 100}, {100, 0}});
+  const LintReport r = lint_one(cw);
+  EXPECT_TRUE(has_code(r, "LAY003"));
+  EXPECT_EQ(r.errors(), 0u);  // advisory: normalized() repairs winding
+  EXPECT_FALSE(has_code(lint_one(Polygon(Rect(0, 0, 100, 100))), "LAY003"));
+}
+
+TEST(LintPolygon, Lay004NonManhattan) {
+  const Polygon tri({{0, 0}, {100, 0}, {100, 100}});
+  EXPECT_TRUE(has_code(lint_one(tri), "LAY004"));
+  EXPECT_FALSE(has_code(lint_one(staircase(2)), "LAY004"));
+}
+
+TEST(LintPolygon, Lay005UnnormalizedRing) {
+  const Polygon collinear({{0, 0}, {50, 0}, {100, 0}, {100, 100}, {0, 100}});
+  EXPECT_TRUE(has_code(lint_one(collinear), "LAY005"));
+  const Polygon dup({{0, 0}, {100, 0}, {100, 0}, {100, 100}, {0, 100}});
+  EXPECT_TRUE(has_code(lint_one(dup), "LAY005"));
+  EXPECT_FALSE(has_code(lint_one(Polygon(Rect(0, 0, 9, 9))), "LAY005"));
+}
+
+TEST(LintPolygon, Lay006OffGridVertex) {
+  LintOptions options;
+  options.grid_nm = 5;
+  EXPECT_TRUE(
+      has_code(lint_one(Polygon(Rect(0, 0, 103, 100)), options), "LAY006"));
+  EXPECT_FALSE(
+      has_code(lint_one(Polygon(Rect(0, 0, 105, 100)), options), "LAY006"));
+  // Grid 1 (the DB unit) disables the check entirely.
+  EXPECT_TRUE(lint_one(Polygon(Rect(0, 0, 103, 100))).empty());
+}
+
+TEST(LintPolygon, Gds001VertexCapacity) {
+  LintOptions options;
+  options.max_gdsii_vertices = 16;
+  EXPECT_TRUE(has_code(lint_one(staircase(8), options), "GDS001"));
+  EXPECT_FALSE(has_code(lint_one(staircase(7), options), "GDS001"));
+}
+
+TEST(LintPolygon, Gds002CoordinateRange) {
+  const geom::Coord big = geom::Coord{1} << 33;
+  EXPECT_TRUE(
+      has_code(lint_one(Polygon(Rect(0, 0, big, 100))), "GDS002"));
+  EXPECT_FALSE(has_code(
+      lint_one(Polygon(Rect(0, 0, 2147483647, 100))), "GDS002"));
+}
+
+// ---------------------------------------------------------- library checks
+
+Library clean_library() {
+  Library lib("lint_clean");
+  layout::Cell& leaf = lib.cell("leaf");
+  leaf.add_rect(layout::layers::kPoly, Rect(0, 0, 180, 1200));
+  leaf.add_rect(layout::layers::kPoly, Rect(540, 0, 720, 1200));
+  layout::make_chip(lib, "top", "leaf", 2, 2, {1400, 1800});
+  return lib;
+}
+
+TEST(LintLibrary, CleanLibraryHasNoFindings) {
+  const LintReport r = lint_library(clean_library());
+  EXPECT_TRUE(r.empty()) << render_text(r);
+}
+
+TEST(LintLibrary, Hie001DanglingReference) {
+  Library lib;
+  lib.cell("a").add_ref(ref_to("ghost"));
+  const LintReport r = lint_library(lib);
+  EXPECT_TRUE(has_code(r, "HIE001"));
+  EXPECT_FALSE(r.clean());
+  EXPECT_FALSE(has_code(lint_library(clean_library()), "HIE001"));
+}
+
+TEST(LintLibrary, Hie002HierarchyCycle) {
+  Library lib;
+  lib.cell("a").add_ref(ref_to("b"));
+  lib.cell("b").add_ref(ref_to("a"));
+  const LintReport r = lint_library(lib);  // must terminate
+  EXPECT_TRUE(has_code(r, "HIE002"));
+  EXPECT_FALSE(has_code(lint_library(clean_library()), "HIE002"));
+}
+
+TEST(LintLibrary, Hie003EmptyCell) {
+  Library lib;
+  lib.cell("hollow");
+  EXPECT_TRUE(has_code(lint_library(lib), "HIE003"));
+  EXPECT_FALSE(has_code(lint_library(clean_library()), "HIE003"));
+}
+
+TEST(LintLibrary, Hie004DegenerateArray) {
+  Library lib;
+  lib.cell("leaf").add_rect(layout::layers::kPoly, Rect(0, 0, 10, 10));
+  layout::CellRef ref = ref_to("leaf");
+  ref.columns = 0;
+  lib.cell("top").add_ref(ref);
+  EXPECT_TRUE(has_code(lint_library(lib), "HIE004"));
+  EXPECT_FALSE(has_code(lint_library(clean_library()), "HIE004"));
+}
+
+TEST(LintLibrary, Hie005LayerDatatypeDrift) {
+  Library lib;
+  layout::Cell& c = lib.cell("mixed");
+  c.add_rect(layout::layers::kPoly, Rect(0, 0, 10, 10));
+  c.add_rect(layout::layers::kPolyOpc, Rect(20, 0, 30, 10));
+  const LintReport r = lint_library(lib);
+  EXPECT_TRUE(has_code(r, "HIE005"));
+  EXPECT_TRUE(r.clean());  // a note, not an error
+  EXPECT_FALSE(has_code(lint_library(clean_library()), "HIE005"));
+}
+
+TEST(LintLibrary, Gds003CellNaming) {
+  Library lib;
+  lib.cell("bad name!").add_rect(layout::layers::kPoly, Rect(0, 0, 9, 9));
+  EXPECT_TRUE(has_code(lint_library(lib), "GDS003"));
+  Library lib2;
+  lib2.cell(std::string(33, 'a'))
+      .add_rect(layout::layers::kPoly, Rect(0, 0, 9, 9));
+  EXPECT_TRUE(has_code(lint_library(lib2), "GDS003"));
+  EXPECT_FALSE(has_code(lint_library(clean_library()), "GDS003"));
+}
+
+TEST(LintLibrary, FindingsCarryCellAndLayerContext) {
+  Library lib;
+  lib.cell("bow").add_polygon(layout::layers::kPoly,
+                              Polygon({{0, 0}, {9, 9}, {9, 0}, {0, 9}}));
+  const LintReport r = lint_library(lib);
+  ASSERT_TRUE(has_code(r, "LAY001"));
+  const auto it =
+      std::find_if(r.findings().begin(), r.findings().end(),
+                   [](const Diagnostic& d) { return d.code == "LAY001"; });
+  EXPECT_EQ(it->cell, "bow");
+  EXPECT_TRUE(it->has_layer);
+  EXPECT_EQ(it->layer, layout::layers::kPoly);
+  EXPECT_FALSE(it->where.is_empty());
+}
+
+// ------------------------------------------------------------- deck checks
+
+opc::RuleDeck clean_deck() {
+  opc::RuleDeck deck;
+  deck.bias_rules = {{0, 240, 0}, {240, 480, 4}, {480, 960, 8},
+                     {960, 1200, 10}};
+  return deck;
+}
+
+TEST(LintDeck, CleanDeckHasNoFindings) {
+  const LintReport r = lint_rule_deck(clean_deck());
+  EXPECT_TRUE(r.empty()) << render_text(r);
+}
+
+TEST(LintDeck, DefaultDeckOnlyWarnsAboutForbiddenPitch) {
+  // The fitted 180nm deck is non-monotonic through the forbidden-pitch
+  // region — real physics, so it must stay a warning, never an error.
+  const LintReport r = lint_rule_deck(opc::default_rule_deck_180());
+  EXPECT_TRUE(r.clean()) << render_text(r);
+  EXPECT_TRUE(has_code(r, "RUL004"));
+  EXPECT_EQ(r.findings().size(), 1u);
+}
+
+TEST(LintDeck, Rul001InvalidRangeOrValue) {
+  opc::RuleDeck deck = clean_deck();
+  deck.bias_rules.push_back({300, 200, 2});  // inverted
+  EXPECT_TRUE(has_code(lint_rule_deck(deck), "RUL001"));
+  opc::RuleDeck deck2 = clean_deck();
+  deck2.serif_size = -5;
+  EXPECT_TRUE(has_code(lint_rule_deck(deck2), "RUL001"));
+  EXPECT_FALSE(has_code(lint_rule_deck(clean_deck()), "RUL001"));
+}
+
+TEST(LintDeck, Rul002OverlappingRanges) {
+  opc::RuleDeck deck;
+  deck.bias_rules = {{0, 300, 2}, {200, 400, 4}};
+  EXPECT_TRUE(has_code(lint_rule_deck(deck), "RUL002"));
+  EXPECT_FALSE(has_code(lint_rule_deck(clean_deck()), "RUL002"));
+}
+
+TEST(LintDeck, Rul003CoverageGap) {
+  opc::RuleDeck deck;
+  deck.bias_rules = {{0, 200, 2}, {300, 400, 4}};
+  EXPECT_TRUE(has_code(lint_rule_deck(deck), "RUL003"));
+  EXPECT_FALSE(has_code(lint_rule_deck(clean_deck()), "RUL003"));
+}
+
+TEST(LintDeck, Rul004NonMonotonicBias) {
+  opc::RuleDeck deck;
+  deck.bias_rules = {{0, 100, 5}, {100, 200, 2}, {200, 300, 7}};
+  EXPECT_TRUE(has_code(lint_rule_deck(deck), "RUL004"));
+  // Monotonic in either direction is fine.
+  opc::RuleDeck falling;
+  falling.bias_rules = {{0, 100, 7}, {100, 200, 5}, {200, 300, 2}};
+  EXPECT_FALSE(has_code(lint_rule_deck(falling), "RUL004"));
+}
+
+TEST(LintDeck, Rul005BiasMergesFacingEdges) {
+  opc::RuleDeck deck;
+  deck.bias_rules = {{100, 200, 60}};  // 100nm space shrinks by 120nm
+  const LintReport r = lint_rule_deck(deck);
+  EXPECT_TRUE(has_code(r, "RUL005"));
+  EXPECT_FALSE(r.clean());
+  EXPECT_FALSE(has_code(lint_rule_deck(clean_deck()), "RUL005"));
+}
+
+TEST(LintDeck, Rul006OversizedDecoration) {
+  opc::RuleDeck deck = clean_deck();
+  deck.serif_size = 100;  // > 180/2
+  EXPECT_TRUE(has_code(lint_rule_deck(deck), "RUL006"));
+  LintOptions coarse;
+  coarse.min_feature_nm = 250;
+  EXPECT_FALSE(has_code(lint_rule_deck(deck, coarse), "RUL006"));
+}
+
+TEST(LintDeck, Rul007InteractionRangeTooShort) {
+  opc::RuleDeck deck = clean_deck();
+  deck.bias_rules.push_back({1200, 2000, 10});
+  EXPECT_TRUE(has_code(lint_rule_deck(deck), "RUL007"));
+  // Open-ended upper bounds are not "largest table space".
+  opc::RuleDeck open = clean_deck();
+  open.bias_rules.push_back(
+      {1200, std::numeric_limits<geom::Coord>::max(), 10});
+  EXPECT_FALSE(has_code(lint_rule_deck(open), "RUL007"));
+}
+
+// ------------------------------------------------------------ model checks
+
+TEST(LintModel, CleanDefaultsHaveNoFindings) {
+  EXPECT_TRUE(lint_sim_spec(litho::SimSpec{}).empty());
+  EXPECT_TRUE(lint_opc_spec(opc::ModelOpcSpec{}).empty());
+}
+
+TEST(LintModel, Mod001NaBand) {
+  litho::SimSpec spec;
+  spec.optics.na = 1.35;  // immersion: outside the scalar model
+  EXPECT_TRUE(has_code(lint_sim_spec(spec), "MOD001"));
+  spec.optics.na = 0.93;
+  EXPECT_FALSE(has_code(lint_sim_spec(spec), "MOD001"));
+}
+
+TEST(LintModel, Mod002SigmaBand) {
+  litho::SimSpec spec;
+  spec.optics.source.sigma_outer = 1.4;
+  EXPECT_TRUE(has_code(lint_sim_spec(spec), "MOD002"));
+  litho::SimSpec annular;
+  annular.optics.source.sigma_inner = 0.9;  // >= outer 0.8
+  EXPECT_TRUE(has_code(lint_sim_spec(annular), "MOD002"));
+  litho::SimSpec dipole;
+  dipole.optics.source.shape = litho::SourceShape::kDipoleX;
+  dipole.optics.source.pole_center = 0.9;
+  dipole.optics.source.pole_radius = 0.3;  // pole leaves the pupil
+  EXPECT_TRUE(has_code(lint_sim_spec(dipole), "MOD002"));
+  EXPECT_FALSE(has_code(lint_sim_spec(litho::SimSpec{}), "MOD002"));
+}
+
+TEST(LintModel, Mod003WavelengthBand) {
+  litho::SimSpec spec;
+  spec.optics.wavelength_nm = 500.0;  // no production line
+  const LintReport warn = lint_sim_spec(spec);
+  EXPECT_TRUE(has_code(warn, "MOD003"));
+  EXPECT_TRUE(warn.clean());
+  spec.optics.wavelength_nm = -1.0;  // unusable, not merely unusual
+  const LintReport err = lint_sim_spec(spec);
+  EXPECT_TRUE(has_code(err, "MOD003"));
+  EXPECT_FALSE(err.clean());
+  spec.optics.wavelength_nm = 193.0;
+  EXPECT_FALSE(has_code(lint_sim_spec(spec), "MOD003"));
+}
+
+TEST(LintModel, Mod004NyquistPixel) {
+  litho::SimSpec spec;
+  spec.pixel_nm = 60.0;  // Nyquist for the default optics is ~50.7nm
+  EXPECT_TRUE(has_code(lint_sim_spec(spec), "MOD004"));
+  spec.pixel_nm = 8.0;
+  EXPECT_FALSE(has_code(lint_sim_spec(spec), "MOD004"));
+}
+
+TEST(LintModel, Mod005GuardBand) {
+  litho::SimSpec spec;
+  spec.guard_nm = 200;  // < 2*lambda/NA ~ 729nm
+  const LintReport r = lint_sim_spec(spec);
+  EXPECT_TRUE(has_code(r, "MOD005"));
+  EXPECT_TRUE(r.clean());
+  spec.guard_nm = 800;
+  EXPECT_FALSE(has_code(lint_sim_spec(spec), "MOD005"));
+}
+
+TEST(LintModel, Mod006GainBand) {
+  opc::ModelOpcSpec spec;
+  spec.gain = 3.0;
+  EXPECT_TRUE(has_code(lint_opc_spec(spec), "MOD006"));
+  spec.gain = 0.0;
+  EXPECT_TRUE(has_code(lint_opc_spec(spec), "MOD006"));
+  spec.gain = 0.6;
+  spec.corner_gain_scale = 1.5;
+  EXPECT_TRUE(has_code(lint_opc_spec(spec), "MOD006"));
+  EXPECT_FALSE(has_code(lint_opc_spec(opc::ModelOpcSpec{}), "MOD006"));
+}
+
+TEST(LintModel, Mod007ClampConsistency) {
+  opc::ModelOpcSpec spec;
+  spec.grid_nm = 4;
+  spec.max_move_per_iter = 2;  // snaps every move to zero
+  EXPECT_TRUE(has_code(lint_opc_spec(spec), "MOD007"));
+  opc::ModelOpcSpec spec2;
+  spec2.max_total_offset = 8;  // < max_move_per_iter 16
+  EXPECT_TRUE(has_code(lint_opc_spec(spec2), "MOD007"));
+  opc::ModelOpcSpec spec3;
+  spec3.probe_range_nm = 50.0;  // cannot see a converged 90nm offset
+  EXPECT_TRUE(has_code(lint_opc_spec(spec3), "MOD007"));
+  opc::ModelOpcSpec spec4;
+  spec4.epe_tolerance_nm = 0.0;
+  EXPECT_TRUE(has_code(lint_opc_spec(spec4), "MOD007"));
+  EXPECT_FALSE(has_code(lint_opc_spec(opc::ModelOpcSpec{}), "MOD007"));
+}
+
+// ------------------------------------------------------------- rendering
+
+TEST(LintReportRender, TextAndCsvCarryCodes) {
+  Library lib;
+  lib.cell("a").add_ref(ref_to("ghost"));
+  const LintReport r = lint_library(lib);
+  const std::string text = render_text(r, "unit");
+  EXPECT_NE(text.find("HIE001"), std::string::npos);
+  EXPECT_NE(text.find("error"), std::string::npos);
+  const std::string csv = render_csv(r);
+  EXPECT_NE(csv.find("code,severity"), std::string::npos);
+  EXPECT_NE(csv.find("HIE001"), std::string::npos);
+}
+
+// -------------------------------------------------------- flow pre-flight
+
+TEST(LintPreflight, FlowRefusesHierarchyCycle) {
+  Library lib;
+  lib.cell("a").add_rect(layout::layers::kPoly, Rect(0, 0, 180, 1000));
+  lib.cell("a").add_ref(ref_to("b"));
+  lib.cell("b").add_ref(ref_to("a"));
+  const opc::FlowSpec spec;  // preflight on by default
+  try {
+    opc::run_cell_opc(lib, "a", spec);
+    FAIL() << "cycle must not reach correction";
+  } catch (const util::InputError& e) {
+    EXPECT_NE(std::string(e.what()).find("HIE002"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("pre-flight"), std::string::npos);
+  }
+}
+
+TEST(LintPreflight, FlowRefusesSelfIntersectingInput) {
+  Library lib;
+  lib.cell("bow").add_polygon(
+      layout::layers::kPoly,
+      Polygon({{0, 0}, {400, 400}, {400, 0}, {0, 400}}));
+  const opc::FlowSpec spec;
+  EXPECT_THROW(opc::run_flat_opc(lib, "bow", spec), util::InputError);
+}
+
+TEST(LintPreflight, FlowRefusesBadModelParameters) {
+  Library lib;
+  lib.cell("ok").add_rect(layout::layers::kPoly, Rect(0, 0, 180, 1000));
+  opc::FlowSpec spec;
+  spec.opc.gain = 5.0;
+  try {
+    opc::run_cell_opc(lib, "ok", spec);
+    FAIL() << "diverging gain must not reach correction";
+  } catch (const util::InputError& e) {
+    EXPECT_NE(std::string(e.what()).find("MOD006"), std::string::npos);
+  }
+}
+
+TEST(LintPreflight, GateCanBeDisabled) {
+  Library lib;
+  lib.cell("a").add_ref(ref_to("b"));
+  lib.cell("b").add_ref(ref_to("a"));
+  opc::FlowSpec spec;
+  spec.preflight = false;
+  // Library::validate() still refuses the cycle, via its own message.
+  try {
+    opc::run_cell_opc(lib, "a", spec);
+    FAIL() << "validate() must still catch the cycle";
+  } catch (const util::InputError& e) {
+    EXPECT_EQ(std::string(e.what()).find("pre-flight"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace opckit::lint

@@ -143,6 +143,92 @@ TEST(Cli, ModelOpcRoundTrip) {
   std::remove(out_path.c_str());
 }
 
+TEST(Cli, LintCleanLayoutReturnsZero) {
+  const std::string gds = make_test_gds("cli_lint_clean.gds");
+  const auto r = run_cli({"lint", "--in", gds});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("0 finding(s)"), std::string::npos);
+  std::remove(gds.c_str());
+}
+
+TEST(Cli, LintDirtyLayoutReturnsOneWithCodes) {
+  layout::Library lib("dirty");
+  lib.cell("bow").add_polygon(
+      layout::layers::kPoly,
+      geom::Polygon({{0, 0}, {400, 400}, {400, 0}, {0, 400}}));
+  layout::CellRef orphan_ref;
+  orphan_ref.child = "ghost";
+  lib.cell("orphan").add_ref(orphan_ref);
+  const std::string gds = ::testing::TempDir() + "/cli_lint_dirty.gds";
+  layout::write_gdsii_file(lib, gds);
+  const auto r = run_cli({"lint", "--in", gds});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("LAY001"), std::string::npos);
+  EXPECT_NE(r.out.find("HIE001"), std::string::npos);
+  std::remove(gds.c_str());
+}
+
+TEST(Cli, LintCsvFormatIsMachineReadable) {
+  layout::Library lib("dirty_csv");
+  lib.cell("bow").add_polygon(
+      layout::layers::kPoly,
+      geom::Polygon({{0, 0}, {400, 400}, {400, 0}, {0, 400}}));
+  const std::string gds = ::testing::TempDir() + "/cli_lint_csv.gds";
+  layout::write_gdsii_file(lib, gds);
+  const auto r = run_cli({"lint", "--in", gds, "--format", "csv"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("code,severity"), std::string::npos);
+  EXPECT_NE(r.out.find("LAY001,error"), std::string::npos);
+  std::remove(gds.c_str());
+}
+
+TEST(Cli, LintCodesListsTheRegistry) {
+  const auto r = run_cli({"lint", "--codes"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("LAY001"), std::string::npos);
+  EXPECT_NE(r.out.find("RUL004"), std::string::npos);
+  EXPECT_NE(r.out.find("MOD007"), std::string::npos);
+}
+
+TEST(Cli, LintModelFlagsBadOptics) {
+  const auto clean = run_cli({"lint", "--model"});
+  EXPECT_EQ(clean.code, 0) << clean.err;
+  const auto bad = run_cli({"lint", "--model", "--na", "1.5"});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.out.find("MOD001"), std::string::npos);
+}
+
+TEST(Cli, BadNumericOptionRejectedWithFlagName) {
+  const auto r = run_cli({"lint", "--model", "--na", "abc"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--na"), std::string::npos);
+  const auto r2 = run_cli({"lint", "--model", "--pixel", "12xyz"});
+  EXPECT_EQ(r2.code, 2);
+  EXPECT_NE(r2.err.find("--pixel"), std::string::npos);
+}
+
+TEST(Cli, OpcRefusesLintDirtyInput) {
+  layout::Library lib("dirty_opc");
+  lib.cell("bow").add_polygon(
+      layout::layers::kPoly,
+      geom::Polygon({{0, 0}, {400, 400}, {400, 0}, {0, 400}}));
+  const std::string in = ::testing::TempDir() + "/cli_opc_dirty.gds";
+  layout::write_gdsii_file(lib, in);
+  const std::string out_path = ::testing::TempDir() + "/cli_opc_dirty_out.gds";
+  const auto r = run_cli({"opc", "--in", in, "--out", out_path, "--layer",
+                          "10/0", "--mode", "model"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("pre-flight"), std::string::npos);
+  EXPECT_NE(r.err.find("LAY001"), std::string::npos);
+  std::remove(in.c_str());
+}
+
+TEST(Cli, LintWithoutScopeRejected) {
+  const auto r = run_cli({"lint"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--in"), std::string::npos);
+}
+
 TEST(Cli, AmbiguousTopCellNeedsCellOption) {
   layout::Library lib("two_tops");
   lib.cell("a").add_rect(layout::layers::kPoly, geom::Rect(0, 0, 10, 10));

@@ -45,6 +45,31 @@ TEST(Check, MessageNotEvaluatedOnSuccess) {
   EXPECT_EQ(evaluations, 0);
 }
 
+TEST(Check, DcheckActiveExactlyInDebugBuilds) {
+  EXPECT_NO_THROW(OPCKIT_DCHECK(true));
+#ifdef NDEBUG
+  EXPECT_NO_THROW(OPCKIT_DCHECK(false));
+  EXPECT_NO_THROW(OPCKIT_DCHECK_MSG(false, "invisible"));
+#else
+  EXPECT_THROW(OPCKIT_DCHECK(false), CheckError);
+  EXPECT_THROW(OPCKIT_DCHECK_MSG(false, "visible"), CheckError);
+#endif
+}
+
+TEST(Check, DcheckDoesNotEvaluateConditionInRelease) {
+  int evaluations = 0;
+  auto probe = [&]() {
+    ++evaluations;
+    return true;
+  };
+  OPCKIT_DCHECK(probe());
+#ifdef NDEBUG
+  EXPECT_EQ(evaluations, 0);  // sizeof() keeps it type-checked, unevaluated
+#else
+  EXPECT_EQ(evaluations, 1);
+#endif
+}
+
 class CerrCapture {
  public:
   CerrCapture() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}

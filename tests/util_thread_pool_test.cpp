@@ -1,6 +1,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -66,6 +67,85 @@ TEST(ThreadPool, GlobalPoolIsUsable) {
   std::atomic<int> n{0};
   global_pool().parallel_for(64, [&](std::size_t) { ++n; });
   EXPECT_EQ(n.load(), 64);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // A worker issuing its own parallel_for must run it inline instead of
+  // queueing (queueing from a worker can deadlock a saturated pool).
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(50, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 8 * 50);
+}
+
+TEST(ThreadPool, NestedOnAnotherPoolAlsoRunsInline) {
+  // tl_pool_worker is pool-agnostic: a worker of pool A must not block
+  // inside pool B either, since B's workers may themselves be waiting.
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> total{0};
+  outer.parallel_for(6, [&](std::size_t) {
+    inner.parallel_for(40, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 6 * 40);
+}
+
+TEST(ThreadPool, ConcurrentExternalCallersShareOnePool) {
+  // Several non-worker threads driving the same pool at once: each call's
+  // completion record is stack-local, so waits must not cross-talk.
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr std::size_t kCount = 500;
+  std::atomic<long long> sum{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&] {
+      pool.parallel_for(kCount, [&](std::size_t i) {
+        sum += static_cast<long long>(i);
+      });
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(sum.load(), kCallers * (kCount * (kCount - 1) / 2));
+}
+
+TEST(ThreadPool, NestedExceptionPropagatesThroughBothLevels) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(4,
+                                 [&](std::size_t) {
+                                   pool.parallel_for(20, [&](std::size_t i) {
+                                     if (i == 13) {
+                                       throw std::runtime_error("inner");
+                                     }
+                                   });
+                                 }),
+               std::runtime_error);
+  // Pool must stay healthy afterwards.
+  std::atomic<int> n{0};
+  pool.parallel_for(32, [&](std::size_t) { ++n; });
+  EXPECT_EQ(n.load(), 32);
+}
+
+TEST(ThreadPool, StressRepeatedConcurrentAndNestedUse) {
+  // Hammer the completion-handshake under TSan: concurrent external
+  // callers, each issuing nested calls, across several rounds.
+  ThreadPool pool(4);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> total{0};
+    std::vector<std::thread> callers;
+    for (int t = 0; t < 4; ++t) {
+      callers.emplace_back([&] {
+        pool.parallel_for(16, [&](std::size_t) {
+          pool.parallel_for(8, [&](std::size_t) { ++total; });
+        });
+      });
+    }
+    for (auto& c : callers) c.join();
+    EXPECT_EQ(total.load(), 4 * 16 * 8);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# opckit CI driver: build + test matrix, dynamic analysis, and static
+# analysis (clang-tidy + opclint on the example layouts).
+#
+# Usage:
+#   tools/ci.sh            # release + sanitize + lint (the default gate)
+#   tools/ci.sh all        # everything, including tsan and tidy
+#   tools/ci.sh release    # Release build + ctest
+#   tools/ci.sh sanitize   # ASan+UBSan build + ctest
+#   tools/ci.sh tsan       # TSan build + thread-pool tests only
+#   tools/ci.sh tidy       # clang-tidy over src/ and tools/ (skips if absent)
+#   tools/ci.sh lint       # opckit lint on generated example layouts
+#
+# Build trees live under build-ci-<job> so CI never disturbs ./build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+CTEST_ARGS=(--output-on-failure -j "${JOBS}")
+
+log() { printf '\n=== ci: %s ===\n' "$*"; }
+
+configure_build() { # <dir> [extra cmake args...]
+  local dir="$1"; shift
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release "$@" > /dev/null
+  cmake --build "${dir}" -j "${JOBS}"
+}
+
+job_release() {
+  log "release build + full test suite"
+  configure_build build-ci-release
+  (cd build-ci-release && ctest "${CTEST_ARGS[@]}")
+}
+
+job_sanitize() {
+  log "ASan+UBSan build + full test suite"
+  configure_build build-ci-asan -DOPCKIT_SANITIZE=address,undefined
+  (cd build-ci-asan && \
+   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+   ctest "${CTEST_ARGS[@]}")
+}
+
+job_tsan() {
+  log "TSan build + concurrency tests"
+  configure_build build-ci-tsan -DOPCKIT_SANITIZE=thread
+  (cd build-ci-tsan && ctest "${CTEST_ARGS[@]}" -R 'ThreadPool')
+}
+
+job_tidy() {
+  if ! command -v clang-tidy > /dev/null; then
+    log "clang-tidy not installed — skipping (config: .clang-tidy)"
+    return 0
+  fi
+  log "clang-tidy over src/ and tools/"
+  configure_build build-ci-tidy -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  find src tools -name '*.cpp' -print0 |
+    xargs -0 -P "${JOBS}" -n 8 clang-tidy -p build-ci-tidy --quiet
+}
+
+job_lint() {
+  log "opclint over generated example layouts"
+  configure_build build-ci-release
+  local root; root="$(pwd)"
+  local bin="${root}/build-ci-release/tools/opckit"
+  local work; work="$(mktemp -d)"
+  # quickstart writes a drawn+corrected library; it must lint clean
+  # (exit 0: the derived-datatype note is advisory, not an error).
+  (cd "${work}" && "${root}/build-ci-release/examples/quickstart" > /dev/null)
+  "${bin}" lint --in "${work}/quickstart_out.gds"
+  "${bin}" lint --codes > /dev/null
+  "${bin}" lint --model > /dev/null
+  rm -rf "${work}"
+  echo "ci: lint clean"
+}
+
+main() {
+  local jobs=("${@:-}")
+  if [[ -z "${jobs[0]:-}" ]]; then jobs=(release sanitize lint); fi
+  if [[ "${jobs[0]}" == all ]]; then jobs=(release sanitize tsan tidy lint); fi
+  for j in "${jobs[@]}"; do "job_${j}"; done
+  log "all jobs passed"
+}
+
+main "$@"

@@ -8,6 +8,7 @@
 #include "core/deck_io.h"
 #include "drc/drc.h"
 #include "layout/layout.h"
+#include "lint/lint.h"
 #include "litho/litho.h"
 #include "pattern/pattern.h"
 #include "util/strings.h"
@@ -54,7 +55,29 @@ class Options {
   long long get_int(const std::string& key, long long fallback) const {
     const auto it = values_.find(key);
     if (it == values_.end() || it->second.empty()) return fallback;
-    return std::stoll(it->second);
+    try {
+      std::size_t used = 0;
+      const long long v = std::stoll(it->second, &used);
+      if (used != it->second.size()) throw std::invalid_argument(key);
+      return v;
+    } catch (const std::exception&) {
+      throw util::InputError("--" + key + " expects an integer, got: " +
+                             it->second);
+    }
+  }
+
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty()) return fallback;
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(it->second, &used);
+      if (used != it->second.size()) throw std::invalid_argument(key);
+      return v;
+    } catch (const std::exception&) {
+      throw util::InputError("--" + key + " expects a number, got: " +
+                             it->second);
+    }
   }
 
  private:
@@ -150,6 +173,15 @@ int cmd_opc(const Options& opts, std::ostream& out) {
                                     in_layer.datatype + 1)};
   const std::string mode = opts.get("mode", "model");
 
+  // Same pre-flight gate the core flows run: this command flattens and
+  // corrects directly, so it must refuse invalid inputs itself instead
+  // of letting them die on an internal invariant check mid-correction.
+  const lint::LintReport report = lint::lint_library(lib);
+  if (!report.clean()) {
+    throw util::InputError("pre-flight lint failed (run `opckit lint`):\n" +
+                           lint::render_text(report, "opc pre-flight"));
+  }
+
   const auto polys = lib.flatten(top, in_layer);
   if (polys.empty()) {
     throw util::InputError("no shapes on the input layer");
@@ -196,6 +228,66 @@ int cmd_opc(const Options& opts, std::ostream& out) {
   return 0;
 }
 
+int cmd_lint(const Options& opts, std::ostream& out) {
+  if (opts.has("codes")) {
+    util::Table t({"code", "severity", "title"});
+    for (const lint::CodeInfo& info : lint::all_codes()) {
+      t.add_row(std::string(info.code),
+                std::string(lint::to_string(info.default_severity)),
+                std::string(info.title));
+    }
+    out << t.to_text("opclint diagnostic codes");
+    return 0;
+  }
+
+  lint::LintOptions options;
+  options.grid_nm = static_cast<geom::Coord>(opts.get_int("grid", 1));
+  options.min_feature_nm =
+      static_cast<geom::Coord>(opts.get_int("min-feature", 180));
+
+  lint::LintReport report;
+  std::string scope;
+  if (opts.has("in")) {
+    const layout::Library lib = layout::read_gdsii_file(opts.require("in"));
+    report.merge(lint::lint_library(lib, options));
+    scope = opts.require("in");
+  }
+  if (opts.has("deck")) {
+    const opc::RuleDeck deck = opc::read_rule_deck_file(opts.require("deck"));
+    report.merge(lint::lint_rule_deck(deck, options));
+    scope += (scope.empty() ? "" : " + ") + opts.require("deck");
+  }
+  if (opts.has("model")) {
+    litho::SimSpec sim;
+    sim.optics.na = opts.get_double("na", sim.optics.na);
+    sim.optics.wavelength_nm =
+        opts.get_double("wavelength", sim.optics.wavelength_nm);
+    sim.optics.source.sigma_outer =
+        opts.get_double("sigma-outer", sim.optics.source.sigma_outer);
+    sim.optics.source.sigma_inner =
+        opts.get_double("sigma-inner", sim.optics.source.sigma_inner);
+    sim.pixel_nm = opts.get_double("pixel", sim.pixel_nm);
+    report.merge(lint::lint_sim_spec(sim, options));
+    report.merge(lint::lint_opc_spec(opc::ModelOpcSpec{}, options));
+    scope += (scope.empty() ? "" : " + ") + std::string("model");
+  }
+  if (scope.empty()) {
+    throw util::InputError(
+        "nothing to lint: give --in and/or --deck and/or --model "
+        "(or --codes to list diagnostics)");
+  }
+
+  const std::string format = opts.get("format", "text");
+  if (format == "csv") {
+    out << lint::render_csv(report);
+  } else if (format == "text") {
+    out << lint::render_text(report, "opckit lint (" + scope + ")");
+  } else {
+    throw util::InputError("unknown --format (use text or csv): " + format);
+  }
+  return report.clean() ? 0 : 1;
+}
+
 int cmd_patterns(const Options& opts, std::ostream& out) {
   const layout::Library lib = layout::read_gdsii_file(opts.require("in"));
   const std::string top = pick_cell(lib, opts);
@@ -226,9 +318,13 @@ int cmd_patterns(const Options& opts, std::ostream& out) {
 }
 
 void usage(std::ostream& err) {
-  err << "usage: opckit <stats|drc|opc|patterns> --in FILE [options]\n"
+  err << "usage: opckit <stats|drc|lint|opc|patterns> --in FILE [options]\n"
          "  stats     --in a.gds [--cell NAME]\n"
          "  drc       --in a.gds --layer L/D --min-width N --min-space N\n"
+         "  lint      [--in a.gds] [--deck FILE] [--model] [--grid N]\n"
+         "            [--min-feature N] [--format text|csv] [--codes]\n"
+         "            [--na F] [--wavelength F] [--sigma-outer F]\n"
+         "            [--sigma-inner F] [--pixel F]\n"
          "  opc       --in a.gds --out b.gds --layer L/D [--mode rule|model]\n"
          "            [--deck FILE]\n"
          "            [--srafs] [--anchor-cd N] [--anchor-pitch N]\n"
@@ -248,6 +344,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     const std::string& cmd = args[0];
     if (cmd == "stats") return cmd_stats(opts, out);
     if (cmd == "drc") return cmd_drc(opts, out);
+    if (cmd == "lint") return cmd_lint(opts, out);
     if (cmd == "opc") return cmd_opc(opts, out);
     if (cmd == "patterns") return cmd_patterns(opts, out);
     err << "unknown command: " << cmd << '\n';

@@ -6,6 +6,10 @@
 ///       hierarchy and data-volume report
 ///   drc       --in a.gds --layer L/D [--min-width N] [--min-space N]
 ///       morphological design-rule check of one layer (flattened)
+///   lint      [--in a.gds] [--deck FILE] [--model] [--codes]
+///       opclint static analysis: polygon/hierarchy/GDSII checks on the
+///       library, rule-deck sanity, model-parameter bands; --codes lists
+///       every diagnostic. Exit 1 when error-severity findings exist.
 ///   opc       --in a.gds --out b.gds --layer L/D [--cell NAME]
 ///             [--mode rule|model] [--srafs] [--anchor CD PITCH]
 ///       correct one layer, write corrected shapes to datatype+1
