@@ -5,6 +5,15 @@
 /// pays an imaging simulation per iteration and is orders of magnitude
 /// slower per area. Benchmarked on pseudo-random routed blocks of growing
 /// area, plus pattern-catalog extraction as the analysis-side workload.
+///
+/// The flat-flow sweeps probe the two production levers on top of the
+/// per-window cost: thread count (BM_FlatFlowJobs, x-axis = FlowSpec::jobs,
+/// wall-clock via UseRealTime; speedup = t(1)/t(N), expect >= 2.5x at 4
+/// jobs on >= 4 hardware threads) and pattern reuse (BM_FlatFlowCache,
+/// x-axis = cache on/off on a chip of repeated placements; the hit_rate
+/// counter reports the fraction of windows replayed). Output geometry is
+/// byte-identical across every point of both sweeps — that is the flow
+/// driver's determinism guarantee, asserted by tests/core_flow_parallel_test.
 #include <benchmark/benchmark.h>
 
 #include "core/opc.h"
@@ -110,6 +119,71 @@ void BM_GdsiiRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_GdsiiRoundTrip)->Arg(12000)->Arg(24000)->Arg(48000)
     ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oN);
+
+/// A chip of repeated two-bar leaf placements for the flow sweeps.
+layout::Library flow_chip(int cols, int rows, geom::Point pitch) {
+  layout::Library lib("bench");
+  layout::Cell& leaf = lib.cell("leaf");
+  leaf.add_rect(layout::layers::kPoly, geom::Rect(0, 0, 180, 1200));
+  leaf.add_rect(layout::layers::kPoly, geom::Rect(540, 0, 720, 1200));
+  layout::make_chip(lib, "top", "leaf", cols, rows, pitch);
+  return lib;
+}
+
+opc::FlowSpec flow_spec() {
+  opc::FlowSpec spec;
+  spec.sim = process();
+  spec.opc.max_iterations = 4;  // fixed iteration count isolates scaling
+  spec.opc.epe_tolerance_nm = 0.0;
+  // Zero tolerance is deliberately out-of-band (MOD007), so skip the
+  // pre-flight gate the production flow would run.
+  spec.preflight = false;
+  spec.input_layer = layout::layers::kPoly;
+  spec.output_layer = layout::layers::kPolyOpc;
+  return spec;
+}
+
+/// Thread sweep: same chip, jobs = 1/2/4/8, cache off so every placement
+/// pays its full simulation cost. Pitch below the halo couples neighbours,
+/// the realistic (and cache-hostile) regime.
+void BM_FlatFlowJobs(benchmark::State& state) {
+  layout::Library lib = flow_chip(4, 4, {1400, 1800});
+  opc::FlowSpec spec = flow_spec();
+  spec.jobs = static_cast<int>(state.range(0));
+  spec.cache = false;
+  std::size_t opc_runs = 0;
+  for (auto _ : state) {
+    const opc::FlowStats stats = opc::run_flat_opc(lib, "top", spec);
+    opc_runs = stats.opc_runs;
+    benchmark::DoNotOptimize(stats);
+  }
+  state.counters["jobs"] = static_cast<double>(spec.jobs);
+  state.counters["opc_runs"] = static_cast<double>(opc_runs);
+}
+BENCHMARK(BM_FlatFlowJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+
+/// Cache sweep: placements isolated (pitch > halo) so every window is a
+/// translated copy — the repeated-pattern regime AdaOPC exploits. Arg 0 =
+/// cache off (seed behavior), Arg 1 = cache on (one solve, rest replay).
+void BM_FlatFlowCache(benchmark::State& state) {
+  layout::Library lib = flow_chip(4, 4, {4000, 4000});
+  opc::FlowSpec spec = flow_spec();
+  spec.jobs = 1;
+  spec.cache = state.range(0) != 0;
+  opc::FlowStats stats;
+  for (auto _ : state) {
+    stats = opc::run_flat_opc(lib, "top", spec);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.counters["opc_runs"] = static_cast<double>(stats.opc_runs);
+  state.counters["cache_hits"] = static_cast<double>(stats.cache_hits);
+  const double total = static_cast<double>(stats.tile_simulations.size());
+  state.counters["hit_rate"] =
+      total == 0.0 ? 0.0 : static_cast<double>(stats.cache_hits) / total;
+}
+BENCHMARK(BM_FlatFlowCache)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
 
 }  // namespace
 

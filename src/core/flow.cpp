@@ -1,11 +1,15 @@
 #include "core/flow.h"
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
 #include <set>
 #include <sstream>
 
+#include "core/correction_cache.h"
 #include "lint/lint.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace opckit::opc {
 
@@ -51,15 +55,82 @@ void preflight_gate(const Library& lib, const FlowSpec& spec) {
   throw util::InputError(os.str());
 }
 
+/// Runs the parallel phases under FlowSpec::jobs: 1 = inline in the
+/// calling thread, 0 = the shared global pool, N > 1 = a pool owned by
+/// this flow run. Tile bodies may call parallel_for themselves (the Abbe
+/// source-point loop does); on a pool worker the nested call runs inline
+/// per the ThreadPool protocol, so tiles never deadlock the pool and the
+/// per-chunk accumulation order stays deterministic either way.
+class TileExecutor {
+ public:
+  explicit TileExecutor(int jobs) : jobs_(jobs) {
+    if (jobs > 1) {
+      owned_ = std::make_unique<util::ThreadPool>(
+          static_cast<std::size_t>(jobs));
+    }
+  }
+
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn) {
+    if (count == 0) return;
+    if (owned_) {
+      owned_->parallel_for(count, fn);
+    } else if (jobs_ == 0) {
+      util::global_pool().parallel_for(count, fn);
+    } else {
+      for (std::size_t i = 0; i < count; ++i) fn(i);
+    }
+  }
+
+ private:
+  int jobs_;
+  std::unique_ptr<util::ThreadPool> owned_;
+};
+
+/// Per-tile phase state: the simulation input assembled by the gather
+/// phase, the cache decision from the resolve phase, and the solver
+/// output from the solve phase.
+struct TileWork {
+  std::vector<Polygon> targets;     ///< own shapes + halo context
+  CorrectionCache::Key key;         ///< valid when the cache is on
+  CorrectionCache::Resolution res;  ///< valid when the cache is on
+  bool replay = false;              ///< resolved to a cache replay
+  ModelOpcResult result;            ///< valid when !replay
+};
+
+/// Serial resolve phase: placement-ordered lookups make the choice of
+/// representative per pattern class a pure function of the layout.
+void resolve_tiles(CorrectionCache& cache, std::vector<TileWork>& tiles) {
+  for (TileWork& t : tiles) {
+    t.res = cache.resolve(t.key);
+    t.replay = t.res.outcome == CacheOutcome::kHit ||
+               t.res.outcome == CacheOutcome::kSymmetryHit;
+  }
+}
+
+void finalize_cache_stats(const CorrectionCache& cache, FlowStats& stats) {
+  const CorrectionCacheStats& cs = cache.stats();
+  stats.cache_hits = cs.hits + cs.symmetry_hits;
+  stats.cache_misses = cs.misses;
+  stats.cache_conflicts = cs.conflicts;
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 }  // namespace
 
 FlowStats run_cell_opc(Library& lib, const std::string& top,
                        const FlowSpec& spec) {
+  const auto t0 = std::chrono::steady_clock::now();
   if (spec.preflight) preflight_gate(lib, spec);
   lib.validate();
   FlowStats stats;
 
-  // Distinct reachable cells.
+  // Distinct reachable cells; the sorted std::set order is the placement
+  // order every serial phase below follows.
   std::set<std::string> reachable;
   std::vector<std::string> queue{top};
   while (!queue.empty()) {
@@ -68,31 +139,72 @@ FlowStats run_cell_opc(Library& lib, const std::string& top,
     if (!reachable.insert(name).second) continue;
     for (const auto& ref : lib.at(name).refs()) queue.push_back(ref.child);
   }
-
+  std::vector<std::string> work;
   for (const std::string& name : reachable) {
-    Cell& cell = lib.cell(name);
+    if (!lib.at(name).shapes(spec.input_layer).empty()) {
+      work.push_back(name);
+    }
+  }
+
+  CorrectionCache cache({spec.cache_symmetry});
+  TileExecutor exec(spec.jobs);
+  std::vector<TileWork> tiles(work.size());
+
+  // Phase A — gather (parallel, read-only on the library).
+  exec.run(work.size(), [&](std::size_t i) {
+    const Cell& cell = lib.at(work[i]);
     const auto shapes = cell.shapes(spec.input_layer);
-    if (shapes.empty()) continue;
+    tiles[i].targets.assign(shapes.begin(), shapes.end());
+    if (spec.cache) {
+      tiles[i].key = CorrectionCache::make_key(
+          tiles[i].targets, geom::Region::from_polygons(tiles[i].targets),
+          cell.local_bbox());
+    }
+  });
 
-    const std::vector<Polygon> targets(shapes.begin(), shapes.end());
-    Rect window = cell.local_bbox();
-    const ModelOpcResult r =
-        run_model_opc(targets, spec.sim, window, spec.opc);
-    ++stats.opc_runs;
-    stats.simulations += r.history.size();
-    stats.all_converged = stats.all_converged && r.converged;
+  // Phase B — resolve (serial, in order).
+  if (spec.cache) resolve_tiles(cache, tiles);
 
+  // Phase C — solve (parallel; run_model_opc is a pure function of the
+  // per-tile inputs).
+  exec.run(work.size(), [&](std::size_t i) {
+    TileWork& t = tiles[i];
+    if (t.replay) return;
+    t.result = run_model_opc(t.targets, spec.sim,
+                             lib.at(work[i]).local_bbox(), spec.opc);
+  });
+
+  // Phase D — merge (serial, in order): account, store/replay, write.
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    TileWork& t = tiles[i];
+    std::vector<Polygon> corrected;
+    if (t.replay) {
+      corrected = cache.fetch(t.res.entry, t.key);
+      stats.tile_simulations.push_back(0);
+    } else {
+      corrected = std::move(t.result.corrected);
+      ++stats.opc_runs;
+      stats.simulations += t.result.history.size();
+      stats.tile_simulations.push_back(t.result.history.size());
+      stats.all_converged = stats.all_converged && t.result.converged;
+      if (spec.cache) cache.store(t.res.entry, t.key, corrected);
+    }
+    Cell& cell = lib.cell(work[i]);
     cell.clear_layer(spec.output_layer);
-    for (const auto& p : r.corrected) {
+    for (const auto& p : corrected) {
       cell.add_polygon(spec.output_layer, p);
       ++stats.corrected_polygons;
     }
   }
+
+  finalize_cache_stats(cache, stats);
+  stats.wall_ms = elapsed_ms(t0);
   return stats;
 }
 
 FlowStats run_flat_opc(Library& lib, const std::string& top,
                        const FlowSpec& spec) {
+  const auto t0 = std::chrono::steady_clock::now();
   if (spec.preflight) preflight_gate(lib, spec);
   lib.validate();
   FlowStats stats;
@@ -103,15 +215,12 @@ FlowStats run_flat_opc(Library& lib, const std::string& top,
   FlowSpec eff = spec;
   eff.sim.guard_nm = std::max(spec.sim.guard_nm, spec.halo_nm);
 
-  // Flatten the chip once and index it for context queries.
+  // Flatten once for the chip extent (context queries use the per-pass
+  // corrected pool below, which starts from the same drawn geometry).
   const std::vector<Polygon> flat = lib.flatten(top, spec.input_layer);
   if (flat.empty()) return stats;
   Rect chip_box = geom::Rect::empty();
   for (const auto& p : flat) chip_box = chip_box.united(p.bbox());
-  geom::TileIndex index(chip_box.inflated(spec.halo_nm + 1), 2048);
-  for (std::size_t i = 0; i < flat.size(); ++i) {
-    index.insert(i, flat[i].bbox());
-  }
 
   // Enumerate placements (cell instances with shapes on the input layer).
   struct Placement {
@@ -158,11 +267,14 @@ FlowStats run_flat_opc(Library& lib, const std::string& top,
     jobs.push_back(std::move(job));
   }
 
+  CorrectionCache cache({spec.cache_symmetry});
+  TileExecutor exec(spec.jobs);
+
   const int passes = std::max(1, spec.flat_context_passes);
   for (int pass = 0; pass < passes; ++pass) {
     // Context pool for this pass: every placement's latest mask state.
+    // Frozen before the phases start, so gathers are read-only.
     std::vector<Polygon> pool;
-    std::vector<geom::Region> pool_owner;  // owner region per polygon
     for (const Job& job : jobs) {
       for (const auto& p : job.corrected) {
         pool.push_back(p);
@@ -173,10 +285,14 @@ FlowStats run_flat_opc(Library& lib, const std::string& top,
       pool_index.insert(i, pool[i].bbox());
     }
 
-    for (Job& job : jobs) {
-      // Targets: own DRAWN shapes (design intent never goes stale), plus
-      // the latest corrected neighbours as context.
-      std::vector<Polygon> targets = job.drawn;
+    std::vector<TileWork> tiles(jobs.size());
+
+    // Phase A — gather (parallel): own DRAWN shapes (design intent never
+    // goes stale) plus the latest corrected neighbours as context.
+    exec.run(jobs.size(), [&](std::size_t i) {
+      const Job& job = jobs[i];
+      TileWork& t = tiles[i];
+      t.targets = job.drawn;
       for (std::size_t id :
            pool_index.query(job.window.inflated(spec.halo_nm))) {
         const Polygon& cand = pool[id];
@@ -186,21 +302,47 @@ FlowStats run_flat_opc(Library& lib, const std::string& top,
                  .empty()) {
           continue;
         }
-        targets.push_back(cand);
+        t.targets.push_back(cand);
       }
+      if (spec.cache) {
+        t.key = CorrectionCache::make_key(t.targets, job.own_region,
+                                          job.window);
+      }
+    });
 
-      const ModelOpcResult r =
-          run_model_opc(targets, eff.sim, job.window, spec.opc);
+    // Phase B — resolve (serial, placement order).
+    if (spec.cache) resolve_tiles(cache, tiles);
+
+    // Phase C — solve (parallel).
+    exec.run(jobs.size(), [&](std::size_t i) {
+      TileWork& t = tiles[i];
+      if (t.replay) return;
+      t.result = run_model_opc(t.targets, eff.sim, jobs[i].window, spec.opc);
+    });
+
+    // Phase D — merge (serial, placement order). A replay's
+    // representative always precedes it in this order (resolve handed
+    // out entries in the same order), so every store lands before the
+    // fetch that needs it.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      Job& job = jobs[i];
+      TileWork& t = tiles[i];
+      if (t.replay) {
+        job.corrected = cache.fetch(t.res.entry, t.key);
+        stats.tile_simulations.push_back(0);
+        continue;
+      }
       ++stats.opc_runs;
-      stats.simulations += r.history.size();
-      stats.all_converged = stats.all_converged && r.converged;
-
+      stats.simulations += t.result.history.size();
+      stats.tile_simulations.push_back(t.result.history.size());
+      stats.all_converged = stats.all_converged && t.result.converged;
       job.corrected.clear();
-      for (const auto& p : r.corrected) {
+      for (const auto& p : t.result.corrected) {
         if (!job.own_region.intersected(geom::Region(p)).empty()) {
           job.corrected.push_back(p);
         }
       }
+      if (spec.cache) cache.store(t.res.entry, t.key, job.corrected);
     }
   }
 
@@ -212,6 +354,9 @@ FlowStats run_flat_opc(Library& lib, const std::string& top,
       ++stats.corrected_polygons;
     }
   }
+
+  finalize_cache_stats(cache, stats);
+  stats.wall_ms = elapsed_ms(t0);
   return stats;
 }
 

@@ -13,9 +13,36 @@
 ///   placements and the output is flat — the hierarchy "explodes".
 ///
 /// Experiment T6 quantifies both sides.
+///
+/// ## Execution model
+///
+/// Both flows run as a sequence of *phases* over independent work units
+/// (tiles: one placement in the flat flow, one cell in the cell flow):
+///
+///   A. **gather** (parallel)  — assemble each tile's simulation input
+///      (own targets + halo context) and its cache key; reads shared
+///      immutable state only.
+///   B. **resolve** (serial)   — look every tile up in the correction
+///      cache, in placement order, so the choice of representative per
+///      pattern class never depends on thread timing.
+///   C. **solve** (parallel)   — run_model_opc on the tiles that missed;
+///      pure function of per-tile inputs.
+///   D. **merge** (serial)     — store/replay cache solutions and write
+///      corrected shapes, again in placement order.
+///
+/// Because every parallel phase is read-only on shared state and every
+/// ordering decision happens in a serial phase, the output is
+/// **byte-identical to the serial flow at any `jobs` value** — the tier-1
+/// determinism regression tests assert exactly this.
+///
+/// The correction cache (see correction_cache.h) replays fragment-move
+/// solutions across geometrically identical tiles. Translation-exact
+/// replay reproduces the fresh solve bit for bit, so enabling the cache
+/// does not change output geometry either — only the work done.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/model.h"
 #include "layout/library.h"
@@ -41,6 +68,21 @@ struct FlowSpec {
   /// the flow with util::InputError. Sub-wavelength masks built from
   /// invalid inputs fail silently, so flows verify before they correct.
   bool preflight = true;
+  /// Worker threads for the parallel phases: 1 = serial in the calling
+  /// thread (default), N > 1 = a dedicated N-worker pool for this run,
+  /// 0 = util::global_pool() (hardware concurrency, shared with the Abbe
+  /// source-point integration). Output geometry is identical for every
+  /// value — see the execution-model notes above.
+  int jobs = 1;
+  /// Reuse fragment-move solutions across geometrically identical tiles
+  /// (translation-exact matches only; see CorrectionCache). Replayed
+  /// solutions are bit-identical to fresh solves, so this changes
+  /// FlowStats (fewer opc_runs/simulations), never the output layer.
+  bool cache = true;
+  /// Additionally reuse across D4 rotations/reflections. Off by default:
+  /// replay is then exact only up to float round-off, and only physically
+  /// valid for rotationally symmetric illumination.
+  bool cache_symmetry = false;
 };
 
 /// Cost/coverage accounting of a flow run.
@@ -49,6 +91,16 @@ struct FlowStats {
   std::size_t simulations = 0;    ///< total imaging iterations
   std::size_t corrected_polygons = 0;
   bool all_converged = true;
+  std::size_t cache_hits = 0;       ///< tiles replayed from the cache
+  std::size_t cache_misses = 0;     ///< tiles solved fresh (first sighting)
+  std::size_t cache_conflicts = 0;  ///< hash/ownership collisions (solved fresh)
+  /// Imaging iterations per work unit, in deterministic placement order
+  /// (flat flow: placements × passes; cell flow: reachable cells with
+  /// shapes, sorted by name). Cache-replayed tiles record 0.
+  std::vector<std::size_t> tile_simulations;
+  /// Wall-clock of the whole flow in milliseconds. Observability only —
+  /// the one field that is not deterministic.
+  double wall_ms = 0.0;
 };
 
 /// Hierarchy-preserving OPC: every distinct cell reachable from \p top

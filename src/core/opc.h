@@ -2,6 +2,7 @@
 /// Umbrella header for the opckit OPC engine (the paper's subject).
 #pragma once
 
+#include "core/correction_cache.h"  // IWYU pragma: export
 #include "core/deck_io.h"       // IWYU pragma: export
 #include "core/electrical.h"    // IWYU pragma: export
 #include "core/flow.h"          // IWYU pragma: export

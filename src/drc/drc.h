@@ -8,6 +8,10 @@
 /// mechanism doubles as MRC (mask rule checking) for post-OPC data —
 /// fragmented OPC output must still satisfy mask-shop minimums, a
 /// constraint the paper calls out as a new step OPC forced into the flow.
+///
+/// All checks are pure functions of their inputs — no shared or static
+/// state — so callers may run decks over disjoint regions from distinct
+/// threads; violation lists come back in deterministic scanline order.
 #pragma once
 
 #include <string>

@@ -16,45 +16,88 @@ namespace {
 // DESIGN.md code listing; keep new codes at the end of their group.
 constexpr CodeInfo kCodes[] = {
     // Polygon well-formedness.
-    {"LAY001", Severity::kError, "self-intersecting polygon ring"},
+    {"LAY001", Severity::kError, "self-intersecting polygon ring",
+     "split the ring at the crossing into simple polygons"},
     {"LAY002", Severity::kError,
-     "degenerate polygon (zero area or < 3 distinct vertices)"},
-    {"LAY003", Severity::kWarning, "clockwise winding as stored"},
-    {"LAY004", Severity::kError, "non-Manhattan edge"},
+     "degenerate polygon (zero area or < 3 distinct vertices)",
+     "drop the shape or redraw it with area and three distinct vertices"},
+    {"LAY003", Severity::kWarning, "clockwise winding as stored",
+     "reverse the vertex order to counter-clockwise"},
+    {"LAY004", Severity::kError, "non-Manhattan edge",
+     "rectilinearize the edge; this engine corrects Manhattan masks only"},
     {"LAY005", Severity::kWarning,
-     "unnormalized ring (duplicate or collinear vertices)"},
-    {"LAY006", Severity::kWarning, "vertex off the mask grid"},
+     "unnormalized ring (duplicate or collinear vertices)",
+     "normalize the ring: drop duplicate and collinear vertices"},
+    {"LAY006", Severity::kWarning, "vertex off the mask grid",
+     "snap the vertex to the mask grid (ModelOpcSpec::grid_nm)"},
     // Hierarchy / library structure.
-    {"HIE001", Severity::kError, "dangling cell reference"},
-    {"HIE002", Severity::kError, "cell-hierarchy cycle"},
-    {"HIE003", Severity::kWarning, "empty cell (no shapes, no references)"},
-    {"HIE004", Severity::kError, "degenerate array reference"},
+    {"HIE001", Severity::kError, "dangling cell reference",
+     "add the missing cell to the library or delete the reference"},
+    {"HIE002", Severity::kError, "cell-hierarchy cycle",
+     "break the cycle; a cell may never reach itself through references"},
+    {"HIE003", Severity::kWarning, "empty cell (no shapes, no references)",
+     "delete the empty cell or add its intended content"},
+    {"HIE004", Severity::kError, "degenerate array reference",
+     "give the array positive rows/columns and a nonzero pitch"},
     {"HIE005", Severity::kNote,
-     "layer number carries multiple datatypes (derived data present?)"},
+     "layer number carries multiple datatypes (derived data present?)",
+     "confirm the extra datatypes are intended derived data (e.g. OPC "
+     "output); move unrelated data to its own layer"},
     // GDSII structural limits.
-    {"GDS001", Severity::kError, "polygon exceeds GDSII vertex capacity"},
-    {"GDS002", Severity::kError, "coordinate outside GDSII 32-bit range"},
-    {"GDS003", Severity::kWarning, "cell name violates GDSII naming rules"},
+    {"GDS001", Severity::kError, "polygon exceeds GDSII vertex capacity",
+     "split the polygon below the GDSII XY-record vertex limit"},
+    {"GDS002", Severity::kError, "coordinate outside GDSII 32-bit range",
+     "recenter or shrink the layout to fit signed 32-bit coordinates"},
+    {"GDS003", Severity::kWarning, "cell name violates GDSII naming rules",
+     "rename the cell within GDSII's allowed character set and length"},
     // Rule-deck sanity.
-    {"RUL001", Severity::kError, "invalid deck value or bias range"},
-    {"RUL002", Severity::kError, "overlapping bias-table ranges"},
-    {"RUL003", Severity::kWarning, "gap in bias-table space coverage"},
-    {"RUL004", Severity::kWarning, "non-monotonic bias table"},
-    {"RUL005", Severity::kError, "bias large enough to merge facing edges"},
+    {"RUL001", Severity::kError, "invalid deck value or bias range",
+     "fix the deck entry so values are finite and ranges are ordered"},
+    {"RUL002", Severity::kError, "overlapping bias-table ranges",
+     "make the space ranges disjoint so each space matches one row"},
+    {"RUL003", Severity::kWarning, "gap in bias-table space coverage",
+     "extend adjacent ranges so every space value maps to a bias"},
+    {"RUL004", Severity::kWarning, "non-monotonic bias table",
+     "order the biases monotonically in space (denser gets more bias)"},
+    {"RUL005", Severity::kError, "bias large enough to merge facing edges",
+     "reduce the bias below half the smallest space its range covers"},
     {"RUL006", Severity::kWarning,
-     "serif/hammerhead/mousebite exceeds half the min feature"},
+     "serif/hammerhead/mousebite exceeds half the min feature",
+     "shrink the decoration below half the minimum feature size"},
     {"RUL007", Severity::kWarning,
-     "interaction range below largest bias-table space"},
+     "interaction range below largest bias-table space",
+     "raise the interaction range above the largest bias-table space"},
     // Model-parameter bands.
-    {"MOD001", Severity::kError, "numerical aperture out of range"},
-    {"MOD002", Severity::kError, "illumination sigma out of range"},
-    {"MOD003", Severity::kWarning, "non-standard exposure wavelength"},
+    {"MOD001", Severity::kError, "numerical aperture out of range",
+     "set the numerical aperture inside the physical (0, 1) band"},
+    {"MOD002", Severity::kError, "illumination sigma out of range",
+     "keep the partial-coherence sigma within [0, 1]"},
+    {"MOD003", Severity::kWarning, "non-standard exposure wavelength",
+     "use a production exposure line (436/365/248/193 nm) or re-check"},
     {"MOD004", Severity::kError,
-     "pixel size undersamples the aerial image (Nyquist)"},
+     "pixel size undersamples the aerial image (Nyquist)",
+     "shrink pixel_nm below the Nyquist limit for lambda/NA"},
     {"MOD005", Severity::kWarning,
-     "guard band below the optical interaction range"},
-    {"MOD006", Severity::kError, "OPC feedback gain outside stable range"},
-    {"MOD007", Severity::kError, "inconsistent OPC move/grid clamps"},
+     "guard band below the optical interaction range",
+     "raise guard_nm to at least the optical interaction range"},
+    {"MOD006", Severity::kError, "OPC feedback gain outside stable range",
+     "bring the feedback gain back inside the stable band"},
+    {"MOD007", Severity::kError, "inconsistent OPC move/grid clamps",
+     "order the clamps: grid <= per-iter move <= total offset <= probe "
+     "range"},
+};
+
+// Domain groups in kCodes presentation order. The prefix is the first
+// three characters of the codes in the group.
+constexpr struct {
+  const char* prefix;
+  const char* title;
+} kDomains[] = {
+    {"LAY", "Polygon well-formedness"},
+    {"HIE", "Hierarchy / library structure"},
+    {"GDS", "GDSII structural limits"},
+    {"RUL", "Rule-deck sanity"},
+    {"MOD", "Model-parameter bands"},
 };
 
 }  // namespace
@@ -82,6 +125,13 @@ std::string Diagnostic::to_line() const {
 }
 
 std::span<const CodeInfo> all_codes() { return kCodes; }
+
+const char* domain_title(std::string_view code) {
+  for (const auto& d : kDomains) {
+    if (code.substr(0, 3) == d.prefix) return d.title;
+  }
+  return nullptr;
+}
 
 const CodeInfo* find_code(std::string_view code) {
   for (const CodeInfo& info : kCodes) {
@@ -156,6 +206,32 @@ std::string render_text(const LintReport& report, const std::string& title) {
 
 std::string render_csv(const LintReport& report) {
   return report_table(report).to_csv();
+}
+
+std::string render_codes_markdown() {
+  std::ostringstream os;
+  os << "# opclint diagnostic codes\n"
+        "\n"
+        "Generated by `opckit lint --codes --format md` from the compiled\n"
+        "registry in `src/lint/diagnostic.cpp`. Do not edit by hand —\n"
+        "`tools/ci.sh` regenerates this file and fails on drift.\n"
+        "\n"
+        "Severities: **error** findings block flows (the OPC pre-flight\n"
+        "gate aborts); warnings and notes are advisory. See\n"
+        "[DESIGN.md](../DESIGN.md) for the analyzer's architecture.\n";
+  const char* current = nullptr;
+  for (const CodeInfo& info : kCodes) {
+    const char* domain = domain_title(info.code);
+    if (domain != current) {
+      os << "\n## " << (domain ? domain : "Other") << "\n\n";
+      os << "| Code | Severity | Finding | Remedy |\n";
+      os << "|------|----------|---------|--------|\n";
+      current = domain;
+    }
+    os << "| " << info.code << " | " << to_string(info.default_severity)
+       << " | " << info.title << " | " << info.remedy << " |\n";
+  }
+  return os.str();
 }
 
 }  // namespace opckit::lint

@@ -53,11 +53,16 @@ struct Diagnostic {
 struct CodeInfo {
   const char* code;
   Severity default_severity;
-  const char* title;  ///< one-line description for listings/docs
+  const char* title;   ///< one-line description for listings/docs
+  const char* remedy;  ///< one-line fix guidance for listings/docs
 };
 
 /// All registered codes, grouped by domain, stable order.
 std::span<const CodeInfo> all_codes();
+
+/// Human-readable name of a code's domain group ("LAY001" -> "Polygon
+/// well-formedness"); nullptr for an unknown prefix.
+const char* domain_title(std::string_view code);
 
 /// Look up a code; nullptr if unknown.
 const CodeInfo* find_code(std::string_view code);
@@ -97,5 +102,12 @@ std::string render_text(const LintReport& report,
 
 /// Machine-readable CSV (code,severity,cell,layer,bbox,message).
 std::string render_csv(const LintReport& report);
+
+/// Markdown rendering of the full code registry, one table per domain —
+/// the source of truth for docs/LINT_CODES.md. `opckit lint --codes
+/// --format md` prints exactly this string, and tools/ci.sh regenerates
+/// the doc and fails on drift, so registry and documentation cannot
+/// diverge.
+std::string render_codes_markdown();
 
 }  // namespace opckit::lint

@@ -7,6 +7,16 @@
 /// guard band (optical interaction range) and rounded to power-of-two
 /// pixel dimensions so the FFT's periodic boundary never touches the
 /// region of interest.
+///
+/// Thread safety: a constructed Simulator is immutable through its const
+/// interface — aerial/latent/printed touch no mutable or static state, so
+/// distinct threads may share one instance or build their own (the tiled
+/// flow driver in core/flow.cpp runs one run_model_opc per worker, each
+/// constructing its own Simulator). set_threshold is the one mutator;
+/// calibrate before sharing. The Abbe source-point loop inside aerial()
+/// uses util::global_pool() and runs inline when the caller is itself a
+/// pool worker (see thread_pool.h), with a fixed-order reduction either
+/// way — results are bit-identical at any thread count.
 #pragma once
 
 #include <span>

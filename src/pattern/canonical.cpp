@@ -50,20 +50,27 @@ std::uint64_t hash_rects(const std::vector<Rect>& rects) {
 
 }  // namespace
 
-CanonicalPattern canonicalize(const Region& window_geometry) {
-  CanonicalPattern best;
+OrientedCanonical canonicalize_oriented(const Region& window_geometry) {
+  OrientedCanonical best;
   bool first = true;
   for (Orientation o : geom::all_orientations()) {
     // Region::rects() is already canonical (slab order) for a given
-    // geometry, so orientations compare deterministically.
+    // geometry, so orientations compare deterministically. Strict
+    // less-than keeps the FIRST minimal orientation, making the reported
+    // witness a pure function of the geometry.
     std::vector<Rect> rects = oriented(window_geometry, o).rects();
-    if (first || rect_list_less(rects, best.rects)) {
-      best.rects = std::move(rects);
+    if (first || rect_list_less(rects, best.pattern.rects)) {
+      best.pattern.rects = std::move(rects);
+      best.orientation = o;
       first = false;
     }
   }
-  best.hash = hash_rects(best.rects);
+  best.pattern.hash = hash_rects(best.pattern.rects);
   return best;
+}
+
+CanonicalPattern canonicalize(const Region& window_geometry) {
+  return canonicalize_oriented(window_geometry).pattern;
 }
 
 }  // namespace opckit::pat

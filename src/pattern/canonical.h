@@ -7,6 +7,12 @@
 /// over all eight orientations — unique and unambiguous, so pattern
 /// identity is pure data, with no matching code to write (the property the
 /// topological-pattern line of work emphasizes).
+///
+/// Two consumers: pattern catalogs (catalog.h) key classes by the
+/// canonical form alone, and the OPC correction cache
+/// (core/correction_cache.h) additionally uses the witness orientation
+/// from canonicalize_oriented() to tell pure translations apart from
+/// genuine D4 frame changes when reusing solved corrections.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +34,22 @@ struct CanonicalPattern {
 /// Canonicalize a window-local region (as produced by extract_windows:
 /// centered on the origin, clipped to [-radius, radius]²) under D4.
 CanonicalPattern canonicalize(const geom::Region& window_geometry);
+
+/// A canonical pattern together with the orientation that produced it.
+struct OrientedCanonical {
+  CanonicalPattern pattern;
+  /// The D4 element mapping the *input* geometry onto the canonical form:
+  /// oriented(input, orientation).rects() == pattern.rects. When several
+  /// orientations reach the same minimum (symmetric patterns), the first
+  /// in all_orientations() order is chosen — so geometrically identical
+  /// inputs always report identical orientations, a property the OPC
+  /// correction cache relies on to map solutions between frames.
+  geom::Orientation orientation = geom::Orientation::kR0;
+};
+
+/// Canonicalize and report the witnessing orientation. canonicalize() is
+/// this function with the orientation discarded.
+OrientedCanonical canonicalize_oriented(const geom::Region& window_geometry);
 
 /// The orientation-invariance witness: canonicalize(apply(o, region)) is
 /// identical for every o in D4. Exposed for testing and for building

@@ -4,7 +4,9 @@
 /// The catalog is the dataset DFM flows mine: which 2D configurations a
 /// design contains and how often. Supports frequency spectra, top-k
 /// coverage (the "10 classes cover 90% of vias" style of result), and
-/// cross-design comparison via set algebra and KL divergence.
+/// cross-design comparison via set algebra and KL divergence. Catalog
+/// contents and orderings are deterministic functions of the input layout
+/// (classes keyed by canonical hash, ties broken by rect serialization).
 #pragma once
 
 #include <map>

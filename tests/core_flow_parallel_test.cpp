@@ -1,0 +1,150 @@
+/// Determinism and cache regression tests for the tiled flow driver.
+///
+/// Named FlowParallel* so tools/ci.sh can select them (with the
+/// ThreadPool tests) for the thread-sanitizer job.
+#include <gtest/gtest.h>
+
+#include "core/flow.h"
+#include "layout/generators.h"
+
+namespace opckit::opc {
+namespace {
+
+using layout::Library;
+
+FlowSpec fast_flow() {
+  FlowSpec spec;
+  spec.sim.optics.source.grid = 5;
+  litho::calibrate_threshold(spec.sim, 180, 360);
+  spec.opc.max_iterations = 3;  // determinism is iteration-count agnostic
+  spec.input_layer = layout::layers::kPoly;
+  spec.output_layer = layout::layers::kPolyOpc;
+  return spec;
+}
+
+/// Context-coupled chip: pitch below the halo, every window unique-ish.
+Library dense_chip(int cols, int rows) {
+  Library lib("chip");
+  layout::Cell& leaf = lib.cell("leaf");
+  leaf.add_rect(layout::layers::kPoly, geom::Rect(0, 0, 180, 1200));
+  leaf.add_rect(layout::layers::kPoly, geom::Rect(540, 0, 720, 1200));
+  layout::make_chip(lib, "top", "leaf", cols, rows, {1400, 1800});
+  return lib;
+}
+
+/// Isolated chip: pitch beyond the halo, every window a translated copy.
+Library sparse_chip(int cols, int rows) {
+  Library lib("chip");
+  layout::Cell& leaf = lib.cell("leaf");
+  leaf.add_rect(layout::layers::kPoly, geom::Rect(0, 0, 180, 1200));
+  leaf.add_rect(layout::layers::kPoly, geom::Rect(540, 0, 720, 1200));
+  layout::make_chip(lib, "top", "leaf", cols, rows, {4000, 4000});
+  return lib;
+}
+
+std::vector<geom::Polygon> output_polys(const Library& lib,
+                                        const std::string& cell,
+                                        const FlowSpec& spec) {
+  const auto shapes = lib.at(cell).shapes(spec.output_layer);
+  return {shapes.begin(), shapes.end()};
+}
+
+TEST(FlowParallel, FlatOutputIdenticalAcrossJobCounts) {
+  FlowSpec spec = fast_flow();
+  spec.cache = false;
+
+  spec.jobs = 1;
+  Library serial = dense_chip(2, 2);
+  const FlowStats s1 = run_flat_opc(serial, "top", spec);
+  const auto ref = output_polys(serial, "top", spec);
+  ASSERT_FALSE(ref.empty());
+
+  for (int jobs : {2, 8, 0}) {
+    spec.jobs = jobs;
+    Library lib = dense_chip(2, 2);
+    const FlowStats s = run_flat_opc(lib, "top", spec);
+    EXPECT_EQ(output_polys(lib, "top", spec), ref) << "jobs=" << jobs;
+    EXPECT_EQ(s.opc_runs, s1.opc_runs) << "jobs=" << jobs;
+    EXPECT_EQ(s.simulations, s1.simulations) << "jobs=" << jobs;
+    EXPECT_EQ(s.tile_simulations, s1.tile_simulations) << "jobs=" << jobs;
+  }
+}
+
+TEST(FlowParallel, CellOutputIdenticalAcrossJobCounts) {
+  FlowSpec spec = fast_flow();
+  spec.cache = false;
+
+  spec.jobs = 1;
+  Library serial = dense_chip(3, 2);
+  run_cell_opc(serial, "top", spec);
+  const auto ref = output_polys(serial, "leaf", spec);
+  ASSERT_FALSE(ref.empty());
+
+  for (int jobs : {2, 8}) {
+    spec.jobs = jobs;
+    Library lib = dense_chip(3, 2);
+    run_cell_opc(lib, "top", spec);
+    EXPECT_EQ(output_polys(lib, "leaf", spec), ref) << "jobs=" << jobs;
+  }
+}
+
+TEST(FlowParallel, CacheReplaySkipsSimulationOnRepeatedPlacements) {
+  FlowSpec spec = fast_flow();
+
+  spec.cache = false;
+  Library cold = sparse_chip(2, 2);
+  const FlowStats off = run_flat_opc(cold, "top", spec);
+  EXPECT_EQ(off.cache_hits, 0u);
+  EXPECT_EQ(off.opc_runs, 8u);  // 4 placements x 2 passes
+
+  spec.cache = true;
+  Library warm = sparse_chip(2, 2);
+  const FlowStats on = run_flat_opc(warm, "top", spec);
+  // Isolated identical placements: one representative solve, the other
+  // 7 windows (3 in pass 1, all 4 in pass 2) replay.
+  EXPECT_EQ(on.opc_runs, 1u);
+  EXPECT_EQ(on.cache_hits, 7u);
+  EXPECT_EQ(on.cache_misses, 1u);
+  EXPECT_LT(on.simulations, off.simulations);
+  // Per-tile accounting: only the representative simulated.
+  ASSERT_EQ(on.tile_simulations.size(), 8u);
+  EXPECT_GT(on.tile_simulations[0], 0u);
+  for (std::size_t i = 1; i < on.tile_simulations.size(); ++i) {
+    EXPECT_EQ(on.tile_simulations[i], 0u) << "tile " << i;
+  }
+
+  // Translation replay is byte-exact: cache on/off agree on geometry.
+  EXPECT_EQ(output_polys(warm, "top", spec), output_polys(cold, "top", spec));
+}
+
+TEST(FlowParallel, CacheDoesNotChangeDenseChipBehavior) {
+  // Context-coupled corners are D4 copies, not translations: the default
+  // exact-match policy must not fire, reproducing seed behavior.
+  FlowSpec spec = fast_flow();
+  spec.flat_context_passes = 1;
+
+  spec.cache = false;
+  Library off_lib = dense_chip(2, 2);
+  const FlowStats off = run_flat_opc(off_lib, "top", spec);
+
+  spec.cache = true;
+  Library on_lib = dense_chip(2, 2);
+  const FlowStats on = run_flat_opc(on_lib, "top", spec);
+
+  EXPECT_EQ(on.cache_hits, 0u);
+  EXPECT_EQ(on.opc_runs, off.opc_runs);
+  EXPECT_EQ(output_polys(on_lib, "top", spec),
+            output_polys(off_lib, "top", spec));
+}
+
+TEST(FlowParallel, StatsObservability) {
+  FlowSpec spec = fast_flow();
+  Library lib = sparse_chip(2, 1);
+  const FlowStats stats = run_flat_opc(lib, "top", spec);
+  EXPECT_GT(stats.wall_ms, 0.0);
+  EXPECT_EQ(stats.tile_simulations.size(), 4u);  // 2 placements x 2 passes
+  EXPECT_TRUE(stats.all_converged || stats.simulations > 0);
+}
+
+}  // namespace
+}  // namespace opckit::opc

@@ -61,5 +61,32 @@ TEST(Canonical, OrientedPreservesArea) {
   }
 }
 
+TEST(Canonical, OrientedWitnessMapsInputToCanonicalForm) {
+  for (Orientation o : geom::all_orientations()) {
+    const Region input = oriented(l_pattern(), o);
+    const OrientedCanonical oc = canonicalize_oriented(input);
+    EXPECT_EQ(oriented(input, oc.orientation).rects(), oc.pattern.rects)
+        << geom::name(o);
+  }
+}
+
+TEST(Canonical, IdenticalInputsReportIdenticalWitness) {
+  // The property the OPC correction cache builds on: the witness is a
+  // pure function of the geometry, even for symmetric patterns where
+  // several orientations reach the same minimal form.
+  const Region square{Rect(-25, -25, 25, 25)};
+  for (const Region& r : {l_pattern(), square}) {
+    const OrientedCanonical a = canonicalize_oriented(r);
+    const OrientedCanonical b = canonicalize_oriented(r);
+    EXPECT_EQ(a.orientation, b.orientation);
+    EXPECT_EQ(a.pattern, b.pattern);
+  }
+}
+
+TEST(Canonical, CanonicalizeMatchesOrientedCanonicalize) {
+  const OrientedCanonical oc = canonicalize_oriented(l_pattern());
+  EXPECT_EQ(canonicalize(l_pattern()), oc.pattern);
+}
+
 }  // namespace
 }  // namespace opckit::pat

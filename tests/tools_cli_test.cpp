@@ -143,6 +143,34 @@ TEST(Cli, ModelOpcRoundTrip) {
   std::remove(out_path.c_str());
 }
 
+TEST(Cli, FlatFlowOpcRoundTrip) {
+  // Single small cell so the two-pass flow stays quick.
+  layout::Library lib("cli_flow");
+  lib.cell("only").add_rect(layout::layers::kPoly,
+                            geom::Rect(0, 0, 180, 1500));
+  const std::string in = ::testing::TempDir() + "/cli_flow_in.gds";
+  layout::write_gdsii_file(lib, in);
+  const std::string out_path = ::testing::TempDir() + "/cli_flow_out.gds";
+  const auto r = run_cli({"opc", "--in", in, "--out", out_path, "--layer",
+                          "10/0", "--flow", "flat", "--jobs", "2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("flat flow:"), std::string::npos);
+  EXPECT_NE(r.out.find("cache:"), std::string::npos);
+  EXPECT_NE(r.out.find("wall clock:"), std::string::npos);
+  const layout::Library back = layout::read_gdsii_file(out_path);
+  EXPECT_FALSE(back.flatten("only", layout::Layer{10, 1}).empty());
+  std::remove(in.c_str());
+  std::remove(out_path.c_str());
+}
+
+TEST(Cli, FlowRequiresModelMode) {
+  const auto r = run_cli({"opc", "--in", "x.gds", "--out", "y.gds",
+                          "--layer", "10/0", "--mode", "rule", "--flow",
+                          "flat"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--mode model"), std::string::npos);
+}
+
 TEST(Cli, LintCleanLayoutReturnsZero) {
   const std::string gds = make_test_gds("cli_lint_clean.gds");
   const auto r = run_cli({"lint", "--in", gds});
@@ -188,6 +216,15 @@ TEST(Cli, LintCodesListsTheRegistry) {
   EXPECT_NE(r.out.find("LAY001"), std::string::npos);
   EXPECT_NE(r.out.find("RUL004"), std::string::npos);
   EXPECT_NE(r.out.find("MOD007"), std::string::npos);
+}
+
+TEST(Cli, LintCodesMarkdownRendersTheRegistry) {
+  const auto r = run_cli({"lint", "--codes", "--format", "md"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out.rfind("# opclint diagnostic codes", 0), 0u);
+  EXPECT_NE(r.out.find("| LAY001 | error |"), std::string::npos);
+  EXPECT_NE(r.out.find("| MOD007 | error |"), std::string::npos);
+  EXPECT_NE(r.out.find("Remedy"), std::string::npos);
 }
 
 TEST(Cli, LintModelFlagsBadOptics) {

@@ -43,7 +43,9 @@ job_sanitize() {
 job_tsan() {
   log "TSan build + concurrency tests"
   configure_build build-ci-tsan -DOPCKIT_SANITIZE=thread
-  (cd build-ci-tsan && ctest "${CTEST_ARGS[@]}" -R 'ThreadPool')
+  # ThreadPool: the pool's own protocol; FlowParallel: the tiled OPC flow
+  # driver's parallel gather/solve phases on top of it.
+  (cd build-ci-tsan && ctest "${CTEST_ARGS[@]}" -R 'ThreadPool|FlowParallel')
 }
 
 job_tidy() {
@@ -70,7 +72,14 @@ job_lint() {
   "${bin}" lint --codes > /dev/null
   "${bin}" lint --model > /dev/null
   rm -rf "${work}"
-  echo "ci: lint clean"
+  # docs/LINT_CODES.md is generated from the compiled registry; fail on
+  # drift so the doc can never lag a code change.
+  if ! "${bin}" lint --codes --format md | diff -u docs/LINT_CODES.md -; then
+    echo "ci: docs/LINT_CODES.md is stale — regenerate with:" >&2
+    echo "    build/tools/opckit lint --codes --format md > docs/LINT_CODES.md" >&2
+    exit 1
+  fi
+  echo "ci: lint clean (docs/LINT_CODES.md in sync)"
 }
 
 main() {

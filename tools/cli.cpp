@@ -165,17 +165,63 @@ int cmd_drc(const Options& opts, std::ostream& out) {
 }
 
 int cmd_opc(const Options& opts, std::ostream& out) {
+  const std::string mode = opts.get("mode", "model");
+  const std::string flow = opts.get("flow", "direct");
+  if (flow != "direct" && flow != "flat" && flow != "cell") {
+    throw util::InputError("unknown --flow (use direct, flat or cell): " +
+                           flow);
+  }
+  if (flow != "direct" && mode != "model") {
+    throw util::InputError("--flow flat|cell requires --mode model");
+  }
+
   layout::Library lib = layout::read_gdsii_file(opts.require("in"));
   const std::string top = pick_cell(lib, opts);
   const layout::Layer in_layer = parse_layer(opts.require("layer"));
   const layout::Layer out_layer{in_layer.layer,
                                 static_cast<std::uint16_t>(
                                     in_layer.datatype + 1)};
-  const std::string mode = opts.get("mode", "model");
 
-  // Same pre-flight gate the core flows run: this command flattens and
-  // corrects directly, so it must refuse invalid inputs itself instead
-  // of letting them die on an internal invariant check mid-correction.
+  // The full-chip flows (--flow flat|cell): placement-aware correction on
+  // the parallel tiled driver, with the pattern-reuse cache on unless
+  // --no-cache. run_*_opc runs its own pre-flight gate (library + model
+  // parameters), so no separate lint pass is needed here.
+  if (flow != "direct") {
+    opc::FlowSpec spec;
+    litho::calibrate_threshold(
+        spec.sim, static_cast<geom::Coord>(opts.get_int("anchor-cd", 180)),
+        static_cast<geom::Coord>(opts.get_int("anchor-pitch", 360)));
+    spec.input_layer = in_layer;
+    spec.output_layer = out_layer;
+    spec.jobs = static_cast<int>(opts.get_int("jobs", 1));
+    spec.cache = !opts.has("no-cache");
+    const opc::FlowStats stats = flow == "flat"
+                                     ? opc::run_flat_opc(lib, top, spec)
+                                     : opc::run_cell_opc(lib, top, spec);
+    out << flow << " flow: " << stats.opc_runs << " OPC runs, "
+        << stats.simulations << " simulations, " << stats.corrected_polygons
+        << " corrected polygons, "
+        << (stats.all_converged ? "converged" : "residual error left")
+        << '\n';
+    if (spec.cache) {
+      out << "cache: " << stats.cache_hits << " hit(s), "
+          << stats.cache_misses << " miss(es), " << stats.cache_conflicts
+          << " conflict(s)\n";
+    }
+    out << "wall clock: " << stats.wall_ms << " ms ("
+        << (spec.jobs == 0 ? std::string("all")
+                           : std::to_string(spec.jobs))
+        << " job(s))\n";
+    layout::write_gdsii_file(lib, opts.require("out"));
+    out << "wrote " << opts.require("out") << " (corrected shapes on "
+        << out_layer << ")\n";
+    return 0;
+  }
+
+  // Direct mode corrects the flattened layer as one window. It bypasses
+  // the flow driver, so it must refuse invalid inputs itself (a reduced
+  // gate: library structure/geometry only) instead of letting them die on
+  // an internal invariant check mid-correction.
   const lint::LintReport report = lint::lint_library(lib);
   if (!report.clean()) {
     throw util::InputError("pre-flight lint failed (run `opckit lint`):\n" +
@@ -230,11 +276,21 @@ int cmd_opc(const Options& opts, std::ostream& out) {
 
 int cmd_lint(const Options& opts, std::ostream& out) {
   if (opts.has("codes")) {
-    util::Table t({"code", "severity", "title"});
+    const std::string format = opts.get("format", "text");
+    if (format == "md") {
+      // Source of truth for docs/LINT_CODES.md (tools/ci.sh drift check).
+      out << lint::render_codes_markdown();
+      return 0;
+    }
+    if (format != "text") {
+      throw util::InputError("unknown --format for --codes (use text or md): " +
+                             format);
+    }
+    util::Table t({"code", "severity", "title", "remedy"});
     for (const lint::CodeInfo& info : lint::all_codes()) {
       t.add_row(std::string(info.code),
                 std::string(lint::to_string(info.default_severity)),
-                std::string(info.title));
+                std::string(info.title), std::string(info.remedy));
     }
     out << t.to_text("opclint diagnostic codes");
     return 0;
@@ -322,12 +378,16 @@ void usage(std::ostream& err) {
          "  stats     --in a.gds [--cell NAME]\n"
          "  drc       --in a.gds --layer L/D --min-width N --min-space N\n"
          "  lint      [--in a.gds] [--deck FILE] [--model] [--grid N]\n"
-         "            [--min-feature N] [--format text|csv] [--codes]\n"
+         "            [--min-feature N] [--format text|csv]\n"
+         "            [--codes [--format text|md]]\n"
          "            [--na F] [--wavelength F] [--sigma-outer F]\n"
          "            [--sigma-inner F] [--pixel F]\n"
          "  opc       --in a.gds --out b.gds --layer L/D [--mode rule|model]\n"
+         "            [--flow direct|flat|cell] [--jobs N] [--no-cache]\n"
          "            [--deck FILE]\n"
          "            [--srafs] [--anchor-cd N] [--anchor-pitch N]\n"
+         "            (inputs are lint pre-flighted; errors abort, see\n"
+         "             `opckit lint --codes`)\n"
          "  patterns  --in a.gds --layer L/D [--radius N] [--top K]\n";
 }
 
