@@ -16,6 +16,9 @@
 /// driver's determinism guarantee, asserted by tests/core_flow_parallel_test.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <string>
+
 #include "core/opc.h"
 #include "layout/layout.h"
 #include "litho/litho.h"
@@ -183,6 +186,68 @@ void BM_FlatFlowCache(benchmark::State& state) {
       total == 0.0 ? 0.0 : static_cast<double>(stats.cache_hits) / total;
 }
 BENCHMARK(BM_FlatFlowCache)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+
+/// The repeated-placement chip of the cache sweep, rebuilt from 16
+/// individual SREFs so a single placement can be retargeted for the ECO
+/// point (an AREF cannot be partially edited). Placement \p eco, if
+/// non-negative, references a leaf whose second bar is 40nm wider. Pitch
+/// 4000 keeps every placement outside its neighbours' halo, so unedited
+/// placements keep their stored optical neighborhood.
+layout::Library sref_chip(int eco = -1) {
+  layout::Library lib("bench");
+  layout::Cell& leaf = lib.cell("leaf");
+  leaf.add_rect(layout::layers::kPoly, geom::Rect(0, 0, 180, 1200));
+  leaf.add_rect(layout::layers::kPoly, geom::Rect(540, 0, 720, 1200));
+  if (eco >= 0) {
+    layout::Cell& edited = lib.cell("leaf_eco");
+    edited.add_rect(layout::layers::kPoly, geom::Rect(0, 0, 180, 1200));
+    edited.add_rect(layout::layers::kPoly, geom::Rect(540, 0, 760, 1200));
+  }
+  layout::Cell& top = lib.cell("top");
+  for (int i = 0; i < 16; ++i) {
+    layout::CellRef ref;
+    ref.child = i == eco ? "leaf_eco" : "leaf";
+    ref.transform =
+        geom::Transform(geom::Point{(i % 4) * 4000, (i / 4) * 4000});
+    top.add_ref(std::move(ref));
+  }
+  return lib;
+}
+
+/// Store sweep: the persistent correction store across process restarts.
+/// Arg 0 = cold run (store written, the one window class solved fresh),
+/// Arg 1 = warm resume on the unchanged chip (every window replayed from
+/// the store, zero simulations), Arg 2 = incremental ECO resume after
+/// widening one bar in 1 of the 16 placements (only the edited placement
+/// re-solves; store_hits counts the windows replayed from disk).
+void BM_FlatFlowStore(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "t3_store.ocs").string();
+  opc::FlowSpec spec = flow_spec();
+  spec.jobs = 1;
+  spec.store_path = path;
+  std::filesystem::remove(path);
+  if (mode != 0) {
+    // Warm/ECO resume from a store populated by an untimed cold run.
+    layout::Library base = sref_chip();
+    opc::run_flat_opc(base, "top", spec);
+    spec.resume = true;
+  }
+  opc::FlowStats stats;
+  for (auto _ : state) {
+    layout::Library lib = sref_chip(mode == 2 ? 5 : -1);
+    stats = opc::run_flat_opc(lib, "top", spec);
+    benchmark::DoNotOptimize(stats);
+  }
+  std::filesystem::remove(path);
+  state.counters["opc_runs"] = static_cast<double>(stats.opc_runs);
+  state.counters["store_hits"] = static_cast<double>(stats.store_hits);
+  state.counters["appended"] =
+      static_cast<double>(stats.store_entries_appended);
+}
+BENCHMARK(BM_FlatFlowStore)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
 
 }  // namespace

@@ -126,6 +126,33 @@ std::vector<Polygon> CorrectionCache::fetch(std::size_t entry,
   return out;
 }
 
+store::TileRecord CorrectionCache::export_entry(std::size_t entry) const {
+  OPCKIT_CHECK(entry < entries_.size());
+  const Entry& e = entries_[entry];
+  OPCKIT_CHECK_MSG(e.solved, "export of an unsolved cache entry");
+  store::TileRecord rec;
+  rec.window_rects = e.window_rects;
+  rec.own_rects = e.own_rects;
+  rec.frame = e.frame;
+  rec.orientation = e.orientation;
+  rec.solution = e.solution;
+  return rec;
+}
+
+std::size_t CorrectionCache::import_entry(const store::TileRecord& record) {
+  Entry e;
+  e.window_rects = record.window_rects;
+  e.own_rects = record.own_rects;
+  e.frame = record.frame;
+  e.orientation = record.orientation;
+  e.solution = record.solution;
+  e.solved = true;
+  entries_.push_back(std::move(e));
+  const std::size_t idx = entries_.size() - 1;
+  by_hash_[pat::hash_rects(record.window_rects)].push_back(idx);
+  return idx;
+}
+
 std::size_t CorrectionCache::reserve(const Key& key) {
   Entry e;
   e.window_rects = key.window.rects;

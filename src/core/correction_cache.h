@@ -44,6 +44,7 @@
 
 #include "geometry/geometry.h"
 #include "pattern/canonical.h"
+#include "store/result_store.h"
 
 namespace opckit::opc {
 
@@ -128,6 +129,19 @@ class CorrectionCache {
   const CorrectionCacheStats& stats() const { return stats_; }
   /// Number of distinct window classes seen (solved or reserved).
   std::size_t size() const { return entries_.size(); }
+
+  /// Export a *solved* entry as a persistable record (canonical-frame
+  /// geometry and solution, verbatim). The record carries no layout
+  /// coordinates, so it replays into any placement of the class.
+  store::TileRecord export_entry(std::size_t entry) const;
+
+  /// Import a persisted record as a solved entry, recomputing the
+  /// canonical hash from its window rects (`pat::hash_rects`) — a stored
+  /// hash is never trusted. Returns the new entry index. Imported entries
+  /// participate in resolve() exactly like in-run representatives: a tile
+  /// whose key matches replays translation-exactly; anything else
+  /// (collision, ownership, frame, witness mismatch) stays conflict-safe.
+  std::size_t import_entry(const store::TileRecord& record);
 
  private:
   struct Entry {

@@ -1,13 +1,17 @@
 #include "core/flow.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
+#include <filesystem>
 #include <memory>
+#include <optional>
 #include <set>
 #include <sstream>
 
 #include "core/correction_cache.h"
 #include "lint/lint.h"
+#include "store/result_store.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -120,7 +124,157 @@ double elapsed_ms(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// The store side of a flow run: preload on resume, stream fresh solves
+/// from the serial merge phase, and host the fail_after_tiles fault
+/// injection (which works with or without a store — a crash is a crash).
+/// Constructed and used exclusively from the flow's serial sections, so
+/// the TSan contract of the phases is untouched.
+class StoreSession {
+ public:
+  StoreSession(const FlowSpec& spec, std::string_view flow_kind,
+               CorrectionCache& cache, FlowStats& stats)
+      : fail_after_(spec.fail_after_tiles) {
+    if (spec.store_path.empty()) return;
+    if (!spec.cache) {
+      throw util::InputError(
+          "correction store: store_path requires the correction cache "
+          "(FlowSpec::cache) — the store persists cache entries");
+    }
+    const std::uint64_t fp = flow_fingerprint(spec, flow_kind);
+    if (spec.resume && std::filesystem::exists(spec.store_path)) {
+      store::LoadResult loaded = store::ResultStore::load(
+          spec.store_path, fp);  // throws InputError with the STO line
+      for (const store::TileRecord& rec : loaded.records) {
+        cache.import_entry(rec);
+      }
+      stats.store_entries_loaded = loaded.records.size();
+      stats.store_tail_recovered = loaded.tail_recovered;
+      store_.emplace(store::ResultStore::append_to(spec.store_path,
+                                                   loaded.valid_bytes));
+    } else {
+      store_.emplace(store::ResultStore::create(spec.store_path, fp));
+    }
+    preloaded_ = cache.size();
+  }
+
+  /// Tiles resolved against entries below this index replay *from the
+  /// store* (imports happen before any in-run reservation).
+  std::size_t preloaded() const { return preloaded_; }
+
+  /// Serial merge phase, once per merged tile: persist a fresh solve,
+  /// account a store replay, and fire the fault injection.
+  void on_tile_merged(const CorrectionCache& cache, bool replay,
+                      std::size_t entry, FlowStats& stats) {
+    if (store_) {
+      if (replay) {
+        if (entry < preloaded_) ++stats.store_hits;
+      } else {
+        store_->append(cache.export_entry(entry));
+        ++stats.store_entries_appended;
+      }
+    }
+    ++merged_;
+    if (fail_after_ >= 0 && merged_ >= static_cast<std::size_t>(fail_after_)) {
+      throw FlowAborted("flow aborted by FlowSpec::fail_after_tiles after " +
+                        std::to_string(merged_) + " merged tiles");
+    }
+  }
+
+ private:
+  std::optional<store::ResultStore> store_;
+  std::size_t preloaded_ = 0;
+  std::size_t merged_ = 0;
+  int fail_after_;
+};
+
 }  // namespace
+
+std::uint64_t flow_fingerprint(const FlowSpec& spec,
+                               std::string_view flow_kind) {
+  // FNV-1a over the byte stream of every output-affecting knob. Field
+  // order is append-only: new knobs go at the END so adding one changes
+  // the fingerprint for non-default values only by design review, not
+  // accident.
+  std::uint64_t h = 14695981039346656037ULL;
+  auto mix_u64 = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  auto mix_d = [&](double v) { mix_u64(std::bit_cast<std::uint64_t>(v)); };
+  auto mix_i = [&](std::int64_t v) {
+    mix_u64(static_cast<std::uint64_t>(v));
+  };
+  for (char c : flow_kind) mix_u64(static_cast<std::uint8_t>(c));
+
+  const ModelOpcSpec& o = spec.opc;
+  mix_i(o.fragmentation.target_length);
+  mix_i(o.fragmentation.corner_length);
+  mix_i(o.fragmentation.min_length);
+  mix_i(o.fragmentation.line_end_max);
+  mix_i(o.max_iterations);
+  mix_d(o.gain);
+  mix_i(o.max_move_per_iter);
+  mix_i(o.max_total_offset);
+  mix_d(o.epe_tolerance_nm);
+  mix_d(o.probe_range_nm);
+  mix_i(o.grid_nm);
+  mix_i(o.min_mask_space_nm);
+  mix_i(o.min_tip_gap_nm);
+  mix_d(o.corner_gain_scale);
+  mix_i(o.corner_max_offset);
+
+  const litho::SimSpec& s = spec.sim;
+  mix_d(s.optics.wavelength_nm);
+  mix_d(s.optics.na);
+  mix_i(static_cast<std::int64_t>(s.optics.source.shape));
+  mix_d(s.optics.source.sigma_outer);
+  mix_d(s.optics.source.sigma_inner);
+  mix_d(s.optics.source.pole_center);
+  mix_d(s.optics.source.pole_radius);
+  mix_i(s.optics.source.grid);
+  mix_d(s.optics.aberrations.coma_x_nm);
+  mix_d(s.optics.aberrations.coma_y_nm);
+  mix_d(s.optics.aberrations.astig_nm);
+  mix_i(static_cast<std::int64_t>(s.mask.type));
+  mix_d(s.mask.background_transmission);
+  mix_d(s.resist.threshold);
+  mix_d(s.resist.diffusion_nm);
+  mix_d(s.pixel_nm);
+  mix_i(s.guard_nm);
+
+  mix_i(spec.halo_nm);
+  mix_i(spec.input_layer.layer);
+  mix_i(spec.input_layer.datatype);
+  mix_i(spec.output_layer.layer);
+  mix_i(spec.output_layer.datatype);
+  mix_i(spec.flat_context_passes);
+  mix_u64(spec.cache_symmetry ? 1 : 0);
+  return h;
+}
+
+std::string render_stats_json(const FlowStats& stats) {
+  std::ostringstream os;
+  os << "{\"opc_runs\":" << stats.opc_runs
+     << ",\"simulations\":" << stats.simulations
+     << ",\"corrected_polygons\":" << stats.corrected_polygons
+     << ",\"all_converged\":" << (stats.all_converged ? "true" : "false")
+     << ",\"cache\":{\"hits\":" << stats.cache_hits
+     << ",\"misses\":" << stats.cache_misses
+     << ",\"conflicts\":" << stats.cache_conflicts << "}"
+     << ",\"store\":{\"hits\":" << stats.store_hits
+     << ",\"entries_loaded\":" << stats.store_entries_loaded
+     << ",\"entries_appended\":" << stats.store_entries_appended
+     << ",\"tail_recovered\":"
+     << (stats.store_tail_recovered ? "true" : "false") << "}"
+     << ",\"tile_simulations\":[";
+  for (std::size_t i = 0; i < stats.tile_simulations.size(); ++i) {
+    os << (i ? "," : "") << stats.tile_simulations[i];
+  }
+  os << "],\"wall_ms\":" << stats.wall_ms << "}";
+  return os.str();
+}
 
 FlowStats run_cell_opc(Library& lib, const std::string& top,
                        const FlowSpec& spec) {
@@ -147,6 +301,7 @@ FlowStats run_cell_opc(Library& lib, const std::string& top,
   }
 
   CorrectionCache cache({spec.cache_symmetry});
+  StoreSession store(spec, "cell", cache, stats);
   TileExecutor exec(spec.jobs);
   std::vector<TileWork> tiles(work.size());
 
@@ -195,6 +350,7 @@ FlowStats run_cell_opc(Library& lib, const std::string& top,
       cell.add_polygon(spec.output_layer, p);
       ++stats.corrected_polygons;
     }
+    store.on_tile_merged(cache, t.replay, t.res.entry, stats);
   }
 
   finalize_cache_stats(cache, stats);
@@ -268,6 +424,7 @@ FlowStats run_flat_opc(Library& lib, const std::string& top,
   }
 
   CorrectionCache cache({spec.cache_symmetry});
+  StoreSession store(spec, "flat", cache, stats);
   TileExecutor exec(spec.jobs);
 
   const int passes = std::max(1, spec.flat_context_passes);
@@ -330,6 +487,7 @@ FlowStats run_flat_opc(Library& lib, const std::string& top,
       if (t.replay) {
         job.corrected = cache.fetch(t.res.entry, t.key);
         stats.tile_simulations.push_back(0);
+        store.on_tile_merged(cache, true, t.res.entry, stats);
         continue;
       }
       ++stats.opc_runs;
@@ -343,6 +501,7 @@ FlowStats run_flat_opc(Library& lib, const std::string& top,
         }
       }
       if (spec.cache) cache.store(t.res.entry, t.key, job.corrected);
+      store.on_tile_merged(cache, false, t.res.entry, stats);
     }
   }
 

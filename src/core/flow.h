@@ -39,9 +39,19 @@
 /// solutions across geometrically identical tiles. Translation-exact
 /// replay reproduces the fresh solve bit for bit, so enabling the cache
 /// does not change output geometry either — only the work done.
+///
+/// The persistent correction store (FlowSpec::store_path, see
+/// store/result_store.h) makes that reuse durable: solved classes are
+/// streamed to disk from the serial merge phase and preloaded on resume,
+/// so a crashed run restarts from its last merged tile and an edited
+/// layout (ECO) re-solves only tiles whose halo neighborhood changed —
+/// both with output byte-identical to a from-scratch run.
 #pragma once
 
+#include <cstdint>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/model.h"
@@ -83,6 +93,32 @@ struct FlowSpec {
   /// replay is then exact only up to float round-off, and only physically
   /// valid for rotationally symmetric illumination.
   bool cache_symmetry = false;
+  /// Path of the persistent correction store (see store/result_store.h).
+  /// Empty (default) = no store. When set, every freshly solved pattern
+  /// class is appended (and flushed) from the serial merge phase, so a
+  /// crashed run leaves a valid store behind. Requires `cache`.
+  std::string store_path;
+  /// Preload `store_path` before correcting: previously solved classes
+  /// replay translation-exactly, so a resumed run's output is
+  /// byte-identical to an uninterrupted one, and an edited layout
+  /// re-solves only tiles whose halo neighborhood changed (ECO mode —
+  /// same mechanism, no diffing step). The store must carry the current
+  /// flow_fingerprint(); a mismatch aborts with an STO001 diagnostic.
+  /// If the file does not exist yet it is created (cold start).
+  bool resume = false;
+  /// Fault injection for crash-recovery tests: abort the flow (throwing
+  /// FlowAborted) once this many tiles have been merged. Negative
+  /// (default) = off. Test-only; the abort happens after the tile's
+  /// record is flushed to the store, modelling a crash between tiles.
+  int fail_after_tiles = -1;
+};
+
+/// Thrown by FlowSpec::fail_after_tiles fault injection — a stand-in for
+/// the process dying mid-run. The store file is valid when it propagates.
+class FlowAborted : public std::runtime_error {
+ public:
+  explicit FlowAborted(const std::string& what)
+      : std::runtime_error(what) {}
 };
 
 /// Cost/coverage accounting of a flow run.
@@ -94,6 +130,15 @@ struct FlowStats {
   std::size_t cache_hits = 0;       ///< tiles replayed from the cache
   std::size_t cache_misses = 0;     ///< tiles solved fresh (first sighting)
   std::size_t cache_conflicts = 0;  ///< hash/ownership collisions (solved fresh)
+  /// Tiles replayed from entries *preloaded* from the store (a subset of
+  /// cache_hits; in-run reuse of a class first solved this run does not
+  /// count). The resume/ECO acceptance metric.
+  std::size_t store_hits = 0;
+  std::size_t store_entries_loaded = 0;    ///< records imported on resume
+  std::size_t store_entries_appended = 0;  ///< fresh solves persisted
+  /// True when the loaded store ended in a torn record that was dropped
+  /// and truncated (STO002) — the crash-recovery path, not an error.
+  bool store_tail_recovered = false;
   /// Imaging iterations per work unit, in deterministic placement order
   /// (flat flow: placements × passes; cell flow: reachable cells with
   /// shapes, sorted by name). Cache-replayed tiles record 0.
@@ -102,6 +147,23 @@ struct FlowStats {
   /// the one field that is not deterministic.
   double wall_ms = 0.0;
 };
+
+/// Fingerprint of everything a stored correction's validity depends on:
+/// the flow kind ("flat"/"cell") plus every FlowSpec knob that reaches
+/// the solver — optical model, resist, mask stack, OPC recipe,
+/// fragmentation, halo, layers, pass count, symmetry policy. Two specs
+/// with equal fingerprints produce interchangeable corrections for the
+/// same geometry; any difference must change the fingerprint so a stale
+/// store is refused (STO001) instead of silently replayed. Job count,
+/// preflight, stats, and store knobs are deliberately excluded — they
+/// cannot change output geometry.
+std::uint64_t flow_fingerprint(const FlowSpec& spec,
+                               std::string_view flow_kind);
+
+/// Machine-readable FlowStats rendering (stable single-line JSON) for
+/// the bench harness and CI: cache/store counters, per-tile simulation
+/// counts, wall_ms. `opckit opc --stats json` prints exactly this.
+std::string render_stats_json(const FlowStats& stats);
 
 /// Hierarchy-preserving OPC: every distinct cell reachable from \p top
 /// that has shapes on the input layer is corrected once, in isolation;

@@ -85,6 +85,23 @@ constexpr CodeInfo kCodes[] = {
     {"MOD007", Severity::kError, "inconsistent OPC move/grid clamps",
      "order the clamps: grid <= per-iter move <= total offset <= probe "
      "range"},
+
+    {"STO001", Severity::kError,
+     "correction store written under a different process fingerprint",
+     "rerun without --resume to rebuild the store under the current "
+     "model/deck/flow setup"},
+    {"STO002", Severity::kWarning,
+     "correction store tail torn mid-record; partial record dropped",
+     "no action needed — the interrupted tile is re-solved and the tail "
+     "is truncated on the next append"},
+    {"STO003", Severity::kError,
+     "correction store header malformed or version unknown",
+     "the file is not a store this build can read; delete it and rerun "
+     "without --resume"},
+    {"STO004", Severity::kError,
+     "correction store record corrupt (checksum or structure)",
+     "the store is damaged beyond a torn tail; delete it and rerun "
+     "without --resume"},
 };
 
 // Domain groups in kCodes presentation order. The prefix is the first
@@ -98,6 +115,7 @@ constexpr struct {
     {"GDS", "GDSII structural limits"},
     {"RUL", "Rule-deck sanity"},
     {"MOD", "Model-parameter bands"},
+    {"STO", "Correction-store integrity"},
 };
 
 }  // namespace

@@ -11,6 +11,7 @@
 ///   GDSnnn  GDSII structural limits
 ///   RULnnn  rule-deck (rule-OPC recipe) sanity
 ///   MODnnn  imaging/OPC model-parameter bands
+///   STOnnn  correction-store integrity (src/store)
 ///
 /// The full registry (code, default severity, one-line title) is
 /// compiled into the library and queryable at runtime, which keeps the

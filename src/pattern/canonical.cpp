@@ -29,6 +29,8 @@ bool rect_list_less(const std::vector<Rect>& a, const std::vector<Rect>& b) {
   return a.size() < b.size();
 }
 
+}  // namespace
+
 std::uint64_t hash_rects(const std::vector<Rect>& rects) {
   // FNV-1a over the coordinate stream.
   std::uint64_t h = 14695981039346656037ULL;
@@ -47,8 +49,6 @@ std::uint64_t hash_rects(const std::vector<Rect>& rects) {
   }
   return h;
 }
-
-}  // namespace
 
 OrientedCanonical canonicalize_oriented(const Region& window_geometry) {
   OrientedCanonical best;

@@ -57,4 +57,11 @@ OrientedCanonical canonicalize_oriented(const geom::Region& window_geometry);
 geom::Region oriented(const geom::Region& window_geometry,
                       geom::Orientation o);
 
+/// The content hash CanonicalPattern::hash is computed with (FNV-1a over
+/// the rect coordinate stream). Public so pattern keys can round-trip
+/// through external serializations — the persistent correction store
+/// saves an entry's canonical rects and recomputes the hash on import
+/// rather than trusting a stored one.
+std::uint64_t hash_rects(const std::vector<geom::Rect>& rects);
+
 }  // namespace opckit::pat

@@ -1,0 +1,357 @@
+#include "store/result_store.h"
+
+#include <array>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace opckit::store {
+namespace {
+
+constexpr std::array<std::uint8_t, 8> kMagic = {'O', 'P', 'C', 'K',
+                                               'I', 'T', 'S', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 4;
+constexpr std::size_t kRectBytes = 4 * 8;
+constexpr std::size_t kPointBytes = 2 * 8;
+
+// ---- serialization primitives (explicit little-endian) ----------------
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+}
+
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_rect(std::vector<std::uint8_t>& out, const geom::Rect& r) {
+  put_i64(out, r.lo.x);
+  put_i64(out, r.lo.y);
+  put_i64(out, r.hi.x);
+  put_i64(out, r.hi.y);
+}
+
+/// Bounds-checked cursor over an in-memory byte range. Every accessor
+/// reports failure instead of reading past the end, so corrupt counts
+/// can never drive an out-of-range access.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  std::size_t pos() const { return pos_; }
+
+  bool read_u32(std::uint32_t& v) {
+    if (remaining() < 4) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(
+                                                      i)])
+           << (8 * i);
+    pos_ += 4;
+    return true;
+  }
+
+  bool read_u64(std::uint64_t& v) {
+    if (remaining() < 8) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(
+                                                      i)])
+           << (8 * i);
+    pos_ += 8;
+    return true;
+  }
+
+  bool read_i64(std::int64_t& v) {
+    std::uint64_t u = 0;
+    if (!read_u64(u)) return false;
+    v = static_cast<std::int64_t>(u);
+    return true;
+  }
+
+  bool read_u8(std::uint8_t& v) {
+    if (remaining() < 1) return false;
+    v = data_[pos_++];
+    return true;
+  }
+
+  bool read_rect(geom::Rect& r) {
+    return read_i64(r.lo.x) && read_i64(r.lo.y) && read_i64(r.hi.x) &&
+           read_i64(r.hi.y);
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// ---- diagnostics ------------------------------------------------------
+
+lint::Diagnostic make_diag(std::string_view code, std::string message) {
+  lint::Diagnostic d;
+  d.code = std::string(code);
+  const lint::CodeInfo* info = lint::find_code(code);
+  OPCKIT_CHECK_MSG(info != nullptr, "unregistered store code " << code);
+  d.severity = info->default_severity;
+  d.message = std::move(message);
+  return d;
+}
+
+[[noreturn]] void refuse(lint::LintReport* report, std::string_view code,
+                         const std::string& message) {
+  lint::Diagnostic d = make_diag(code, message);
+  std::string line = d.to_line();
+  if (report) report->add(std::move(d));
+  throw util::InputError("correction store: " + line);
+}
+
+// ---- record payload parsing -------------------------------------------
+
+/// Parse one record payload; false on any structural violation.
+bool parse_payload(const std::uint8_t* data, std::size_t size,
+                   TileRecord& rec) {
+  Reader r(data, size);
+  std::uint8_t orient = 0;
+  if (!r.read_u8(orient) || orient >= geom::kOrientationCount) return false;
+  rec.orientation = static_cast<geom::Orientation>(orient);
+  if (!r.read_rect(rec.frame)) return false;
+
+  auto read_rects = [&r](std::vector<geom::Rect>& out) {
+    std::uint32_t n = 0;
+    if (!r.read_u32(n)) return false;
+    if (r.remaining() < static_cast<std::uint64_t>(n) * kRectBytes)
+      return false;
+    out.resize(n);
+    for (auto& rect : out)
+      if (!r.read_rect(rect)) return false;
+    return true;
+  };
+  if (!read_rects(rec.window_rects)) return false;
+  if (!read_rects(rec.own_rects)) return false;
+
+  std::uint32_t n_polys = 0;
+  if (!r.read_u32(n_polys)) return false;
+  // Each polygon costs at least a vertex count; cheap pre-check before
+  // the resize so a corrupt count cannot allocate unboundedly.
+  if (r.remaining() < static_cast<std::uint64_t>(n_polys) * 4) return false;
+  rec.solution.clear();
+  rec.solution.reserve(n_polys);
+  for (std::uint32_t p = 0; p < n_polys; ++p) {
+    std::uint32_t n_verts = 0;
+    if (!r.read_u32(n_verts)) return false;
+    if (r.remaining() < static_cast<std::uint64_t>(n_verts) * kPointBytes)
+      return false;
+    std::vector<geom::Point> ring(n_verts);
+    for (auto& v : ring)
+      if (!r.read_i64(v.x) || !r.read_i64(v.y)) return false;
+    rec.solution.emplace_back(std::move(ring));
+  }
+  // Trailing bytes after a well-formed record are corruption too.
+  return r.remaining() == 0;
+}
+
+std::ofstream open_for_append(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out)
+    throw util::InputError("correction store: cannot open '" + path +
+                           "' for writing");
+  return out;
+}
+
+}  // namespace
+
+namespace store_detail {
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i)
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> encode_record(const TileRecord& record) {
+  std::vector<std::uint8_t> out;
+  out.push_back(static_cast<std::uint8_t>(record.orientation));
+  put_rect(out, record.frame);
+  put_u32(out, static_cast<std::uint32_t>(record.window_rects.size()));
+  for (const auto& r : record.window_rects) put_rect(out, r);
+  put_u32(out, static_cast<std::uint32_t>(record.own_rects.size()));
+  for (const auto& r : record.own_rects) put_rect(out, r);
+  put_u32(out, static_cast<std::uint32_t>(record.solution.size()));
+  for (const auto& poly : record.solution) {
+    put_u32(out, static_cast<std::uint32_t>(poly.ring().size()));
+    for (const auto& v : poly.ring()) {
+      put_i64(out, v.x);
+      put_i64(out, v.y);
+    }
+  }
+  return out;
+}
+
+}  // namespace store_detail
+
+ResultStore ResultStore::create(const std::string& path,
+                                std::uint64_t fingerprint) {
+  std::vector<std::uint8_t> header;
+  header.insert(header.end(), kMagic.begin(), kMagic.end());
+  put_u32(header, kVersion);
+  put_u64(header, fingerprint);
+  put_u32(header, store_detail::crc32(header.data(), header.size()));
+  OPCKIT_DCHECK(header.size() == kHeaderSize);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out)
+    throw util::InputError("correction store: cannot create '" + path + "'");
+  out.write(reinterpret_cast<const char*>(header.data()),
+            static_cast<std::streamsize>(header.size()));
+  out.flush();
+  if (!out)
+    throw util::InputError("correction store: write failed on '" + path +
+                           "'");
+  return ResultStore(path, std::move(out));
+}
+
+ResultStore ResultStore::append_to(const std::string& path,
+                                   std::uint64_t valid_bytes) {
+  // Drop any recovered torn tail before appending: new records must land
+  // directly after the last whole one.
+  std::error_code ec;
+  std::filesystem::resize_file(path, valid_bytes, ec);
+  if (ec)
+    throw util::InputError("correction store: cannot truncate '" + path +
+                           "' to its valid prefix: " + ec.message());
+  return ResultStore(path, open_for_append(path));
+}
+
+LoadResult ResultStore::load(const std::string& path,
+                             std::uint64_t expected_fingerprint,
+                             lint::LintReport* report) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw util::InputError("correction store: cannot open '" + path + "'");
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  in.close();
+
+  // ---- header ----
+  if (bytes.size() < kHeaderSize)
+    refuse(report, "STO003",
+           "'" + path + "' is too short to hold a store header (" +
+               std::to_string(bytes.size()) + " bytes)");
+  if (!std::equal(kMagic.begin(), kMagic.end(), bytes.begin()))
+    refuse(report, "STO003",
+           "'" + path + "' does not start with the OPCKITS1 magic");
+  Reader hdr(bytes.data() + kMagic.size(), kHeaderSize - kMagic.size());
+  std::uint32_t version = 0, header_crc = 0;
+  std::uint64_t fingerprint = 0;
+  hdr.read_u32(version);
+  hdr.read_u64(fingerprint);
+  hdr.read_u32(header_crc);
+  if (store_detail::crc32(bytes.data(), kHeaderSize - 4) != header_crc)
+    refuse(report, "STO003", "'" + path + "' header checksum mismatch");
+  if (version != kVersion)
+    refuse(report, "STO003",
+           "'" + path + "' has store version " + std::to_string(version) +
+               "; this build reads version " + std::to_string(kVersion));
+  if (fingerprint != expected_fingerprint) {
+    std::ostringstream os;
+    os << "'" << path << "' was written under a different process setup "
+       << "(store fingerprint " << std::hex << fingerprint << ", expected "
+       << expected_fingerprint << std::dec
+       << "); refusing to replay — rerun without --resume to rebuild it";
+    refuse(report, "STO001", os.str());
+  }
+
+  // ---- records ----
+  LoadResult result;
+  std::size_t pos = kHeaderSize;
+  result.valid_bytes = pos;
+  while (pos < bytes.size()) {
+    std::size_t rem = bytes.size() - pos;
+    std::uint32_t len = 0;
+    bool torn = rem < 4;
+    if (!torn) {
+      Reader lr(bytes.data() + pos, 4);
+      lr.read_u32(len);
+      // A length that runs past EOF is an interrupted write, not
+      // corruption — the CRC that would vouch for it was never written.
+      torn = static_cast<std::uint64_t>(len) + 8 > rem;
+    }
+    if (torn) {
+      result.tail_recovered = true;
+      lint::Diagnostic d = make_diag(
+          "STO002", "'" + path + "' ends inside a record (torn write); "
+                        "dropped " +
+                        std::to_string(rem) + " tail bytes, kept " +
+                        std::to_string(result.records.size()) +
+                        " whole records");
+      if (report) report->add(std::move(d));
+      break;
+    }
+    const std::uint8_t* payload = bytes.data() + pos + 4;
+    std::uint32_t stored_crc = 0;
+    Reader cr(payload + len, 4);
+    cr.read_u32(stored_crc);
+    if (store_detail::crc32(payload, len) != stored_crc)
+      refuse(report, "STO004",
+             "'" + path + "' record " +
+                 std::to_string(result.records.size()) +
+                 " fails its checksum; the store is corrupt — delete it "
+                 "and rerun without --resume");
+    TileRecord rec;
+    if (!parse_payload(payload, len, rec))
+      refuse(report, "STO004",
+             "'" + path + "' record " +
+                 std::to_string(result.records.size()) +
+                 " is structurally malformed despite a valid checksum; "
+                 "the store is corrupt — delete it and rerun without "
+                 "--resume");
+    result.records.push_back(std::move(rec));
+    pos += 4 + static_cast<std::size_t>(len) + 4;
+    result.valid_bytes = pos;
+  }
+  return result;
+}
+
+void ResultStore::append(const TileRecord& record) {
+  std::vector<std::uint8_t> payload = store_detail::encode_record(record);
+  std::vector<std::uint8_t> framed;
+  framed.reserve(payload.size() + 8);
+  put_u32(framed, static_cast<std::uint32_t>(payload.size()));
+  framed.insert(framed.end(), payload.begin(), payload.end());
+  put_u32(framed, store_detail::crc32(payload.data(), payload.size()));
+  out_.write(reinterpret_cast<const char*>(framed.data()),
+             static_cast<std::streamsize>(framed.size()));
+  // Flush per record: a crash costs at most the record being written,
+  // which the next load recovers as a torn tail.
+  out_.flush();
+  if (!out_)
+    throw util::InputError("correction store: write failed on '" + path_ +
+                           "'");
+  ++appended_;
+}
+
+}  // namespace opckit::store

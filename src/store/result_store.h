@@ -1,0 +1,144 @@
+/// \file result_store.h
+/// The persistent correction store: crash-safe on-disk reuse of solved
+/// OPC pattern classes across runs, crashes, and layout revisions.
+///
+/// The paper's adoption story is operational — full-chip model OPC is
+/// orders of magnitude more expensive per area than rule OPC (T3), so a
+/// tapeout run that dies at tile 900/1000 and restarts from zero, or a
+/// one-cell ECO that forces a full-chip re-correction, is exactly the
+/// flow cost it warns about. The store makes the in-process correction
+/// cache (core/correction_cache.h) durable: every freshly solved pattern
+/// class is streamed to an append-only file as its tile completes, and a
+/// later run — a resume after a crash, or an ECO re-correction of an
+/// edited layout — preloads the file and replays every tile whose
+/// D4-canonical optical neighborhood is unchanged. Tiles whose halo
+/// context changed simply miss the preloaded entries and are re-solved;
+/// invalidation is key-exact, never heuristic.
+///
+/// ## File format (version 1, little-endian)
+///
+/// ```
+/// header  (24 bytes)
+///   u8[8]  magic  "OPCKITS1"
+///   u32    version (1)
+///   u64    fingerprint   — hash of every process knob replay depends on
+///                          (optical model, OPC recipe, flow shape); see
+///                          opc::flow_fingerprint. A store written under
+///                          one setup must refuse replay under another.
+///   u32    crc32 of the 20 bytes above
+/// record  (repeated; one solved pattern class, canonical frame)
+///   u32    payload length L
+///   u8[L]  payload        — TileRecord serialization (see .cpp)
+///   u32    crc32(payload)
+/// ```
+///
+/// ## Integrity contract
+///
+/// * Records append strictly after the serial merge phase of the flow
+///   driver and are flushed per record — the writer is never touched by
+///   a parallel phase, so the TSan job stays clean.
+/// * A *torn tail* (file ends inside a record: a crash mid-write) is
+///   recovered on load: the partial record is dropped, the valid prefix
+///   is kept, and append_to() truncates the file back to it (STO002,
+///   warning). Losing the last tile re-solves one tile; losing the store
+///   re-solves the chip.
+/// * Any *complete* record whose CRC or structure does not verify is
+///   corruption, not a torn write: the load refuses (STO004). Same for a
+///   malformed header (STO003) and a fingerprint mismatch (STO001) —
+///   a store is never silently replayed into the wrong process setup.
+/// * Load-or-refuse is deterministic and allocation-bounded: lengths and
+///   element counts are validated against the bytes actually present
+///   before anything is allocated, so a corrupt file can never crash or
+///   OOM the loader (the corpus tests run under ASan/UBSan).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "geometry/polygon.h"
+#include "geometry/rect.h"
+#include "geometry/transform.h"
+#include "lint/diagnostic.h"
+
+namespace opckit::store {
+
+/// One persisted pattern class: the canonical-frame identity the
+/// correction cache keys on (window geometry, ownership split, simulation
+/// frame, witness orientation) plus the solved correction polygons in the
+/// same canonical frame. Field-for-field the cache's Entry — see
+/// opc::CorrectionCache::export_entry / import_entry.
+struct TileRecord {
+  std::vector<geom::Rect> window_rects;  ///< canonical window geometry
+  std::vector<geom::Rect> own_rects;     ///< canonical ownership split
+  geom::Rect frame = geom::Rect::empty();///< canonical simulation frame
+  geom::Orientation orientation =        ///< representative's witness
+      geom::Orientation::kR0;
+  std::vector<geom::Polygon> solution;   ///< corrected own, canonical frame
+
+  friend bool operator==(const TileRecord&, const TileRecord&) = default;
+};
+
+/// Result of loading a store file.
+struct LoadResult {
+  std::vector<TileRecord> records;  ///< every whole, verified record
+  /// True when the file ended inside a record (torn write); the partial
+  /// tail was dropped and valid_bytes points at the last whole record.
+  bool tail_recovered = false;
+  /// Byte length of the verified prefix (header + whole records). Pass
+  /// to append_to() so new records land after the last good one.
+  std::uint64_t valid_bytes = 0;
+};
+
+/// Append handle on a correction-store file. Obtain via create() (fresh
+/// file) or append_to() (extend a loaded file); append() writes and
+/// flushes one record. Move-only.
+class ResultStore {
+ public:
+  /// Create (truncate) \p path and write a version-1 header carrying
+  /// \p fingerprint. Throws util::InputError on I/O failure.
+  static ResultStore create(const std::string& path,
+                            std::uint64_t fingerprint);
+
+  /// Open \p path for appending after a successful load(): the file is
+  /// first truncated to \p valid_bytes so a recovered torn tail can never
+  /// precede fresh records. Throws util::InputError on I/O failure.
+  static ResultStore append_to(const std::string& path,
+                               std::uint64_t valid_bytes);
+
+  /// Parse and verify \p path against \p expected_fingerprint.
+  /// Refusals (malformed header, fingerprint mismatch, corrupt record)
+  /// throw util::InputError whose message carries the STO diagnostic
+  /// line; a recovered torn tail only warns. When \p report is non-null
+  /// every diagnostic is also appended to it (STO001..STO004).
+  static LoadResult load(const std::string& path,
+                         std::uint64_t expected_fingerprint,
+                         lint::LintReport* report = nullptr);
+
+  /// Serialize, CRC, append, and flush one record.
+  /// Throws util::InputError on I/O failure.
+  void append(const TileRecord& record);
+
+  const std::string& path() const { return path_; }
+  /// Records appended through this handle.
+  std::size_t appended() const { return appended_; }
+
+ private:
+  ResultStore(std::string path, std::ofstream out)
+      : path_(std::move(path)), out_(std::move(out)) {}
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t appended_ = 0;
+};
+
+namespace store_detail {
+/// CRC-32 (IEEE 802.3, reflected) over a byte range; exposed for the
+/// corrupt-file corpus tests, which must forge valid checksums.
+std::uint32_t crc32(const void* data, std::size_t size);
+/// Serialize one record to the payload byte layout (exposed for tests).
+std::vector<std::uint8_t> encode_record(const TileRecord& record);
+}  // namespace store_detail
+
+}  // namespace opckit::store

@@ -1,0 +1,240 @@
+/// Robustness tests for the persistent correction store: format round
+/// trip plus the corrupt-file corpus — every damaged input must load or
+/// refuse deterministically (never crash), and torn tails must recover.
+/// Runs under ASan/UBSan in CI (label `store`).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "store/result_store.h"
+#include "util/check.h"
+
+namespace opckit::store {
+namespace {
+
+constexpr std::uint64_t kFp = 0x1234'5678'9abc'def0ULL;
+constexpr std::size_t kHeaderSize = 24;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TileRecord sample_record(int salt = 0) {
+  TileRecord rec;
+  rec.window_rects = {geom::Rect(0, 0, 180, 1200 + salt),
+                      geom::Rect(540, 0, 720, 1200)};
+  rec.own_rects = {geom::Rect(0, 0, 180, 1200 + salt)};
+  rec.frame = geom::Rect(-800, -800, 1520, 2000);
+  rec.orientation = geom::Orientation::kR90;
+  rec.solution = {geom::Polygon(geom::Rect(-4, -12, 184, 1212 + salt)),
+                  geom::Polygon({{540, 0}, {720, 0}, {720, 1212}, {540, 1212}})};
+  return rec;
+}
+
+std::vector<std::uint8_t> file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_bytes(const std::string& path,
+                 const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A store with two good records, returned as raw bytes for mutilation.
+std::vector<std::uint8_t> good_store_bytes(const std::string& path) {
+  auto store = ResultStore::create(path, kFp);
+  store.append(sample_record(0));
+  store.append(sample_record(7));
+  return file_bytes(path);
+}
+
+TEST(ResultStore, RoundTripsRecords) {
+  const std::string path = temp_path("store_roundtrip.ocs");
+  {
+    auto store = ResultStore::create(path, kFp);
+    store.append(sample_record(0));
+    store.append(sample_record(7));
+    EXPECT_EQ(store.appended(), 2u);
+  }
+  const LoadResult loaded = ResultStore::load(path, kFp);
+  EXPECT_FALSE(loaded.tail_recovered);
+  ASSERT_EQ(loaded.records.size(), 2u);
+  EXPECT_EQ(loaded.records[0], sample_record(0));
+  EXPECT_EQ(loaded.records[1], sample_record(7));
+  EXPECT_EQ(loaded.valid_bytes,
+            std::filesystem::file_size(path));
+}
+
+TEST(ResultStore, EmptyStoreLoadsCleanly) {
+  const std::string path = temp_path("store_empty.ocs");
+  ResultStore::create(path, kFp);
+  const LoadResult loaded = ResultStore::load(path, kFp);
+  EXPECT_TRUE(loaded.records.empty());
+  EXPECT_FALSE(loaded.tail_recovered);
+  EXPECT_EQ(loaded.valid_bytes, kHeaderSize);
+}
+
+TEST(ResultStore, AppendToExtendsAfterLoad) {
+  const std::string path = temp_path("store_extend.ocs");
+  {
+    auto store = ResultStore::create(path, kFp);
+    store.append(sample_record(0));
+  }
+  const LoadResult first = ResultStore::load(path, kFp);
+  {
+    auto store = ResultStore::append_to(path, first.valid_bytes);
+    store.append(sample_record(7));
+  }
+  const LoadResult both = ResultStore::load(path, kFp);
+  ASSERT_EQ(both.records.size(), 2u);
+  EXPECT_EQ(both.records[1], sample_record(7));
+}
+
+TEST(ResultStore, RefusesFingerprintMismatch) {
+  const std::string path = temp_path("store_fp.ocs");
+  ResultStore::create(path, kFp);
+  lint::LintReport report;
+  EXPECT_THROW(ResultStore::load(path, kFp + 1, &report),
+               util::InputError);
+  ASSERT_EQ(report.findings().size(), 1u);
+  EXPECT_EQ(report.findings()[0].code, "STO001");
+  EXPECT_EQ(report.findings()[0].severity, lint::Severity::kError);
+}
+
+TEST(ResultStore, RefusesWrongMagic) {
+  const std::string path = temp_path("store_magic.ocs");
+  auto bytes = good_store_bytes(path);
+  bytes[0] = 'X';
+  write_bytes(path, bytes);
+  lint::LintReport report;
+  EXPECT_THROW(ResultStore::load(path, kFp, &report), util::InputError);
+  ASSERT_EQ(report.findings().size(), 1u);
+  EXPECT_EQ(report.findings()[0].code, "STO003");
+}
+
+TEST(ResultStore, RefusesTruncatedHeader) {
+  const std::string path = temp_path("store_shorthdr.ocs");
+  auto bytes = good_store_bytes(path);
+  bytes.resize(kHeaderSize / 2);
+  write_bytes(path, bytes);
+  lint::LintReport report;
+  EXPECT_THROW(ResultStore::load(path, kFp, &report), util::InputError);
+  ASSERT_EQ(report.findings().size(), 1u);
+  EXPECT_EQ(report.findings()[0].code, "STO003");
+}
+
+TEST(ResultStore, RefusesUnknownVersionWithValidChecksum) {
+  const std::string path = temp_path("store_version.ocs");
+  auto bytes = good_store_bytes(path);
+  bytes[8] = 99;  // version field, little-endian low byte
+  // Re-forge the header CRC so the version check (not the checksum) fires.
+  const std::uint32_t crc = store_detail::crc32(bytes.data(), 20);
+  for (int i = 0; i < 4; ++i)
+    bytes[20 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((crc >> (8 * i)) & 0xFFu);
+  write_bytes(path, bytes);
+  lint::LintReport report;
+  EXPECT_THROW(ResultStore::load(path, kFp, &report), util::InputError);
+  ASSERT_EQ(report.findings().size(), 1u);
+  EXPECT_EQ(report.findings()[0].code, "STO003");
+  EXPECT_NE(report.findings()[0].message.find("version"), std::string::npos);
+}
+
+TEST(ResultStore, RefusesFlippedRecordByte) {
+  const std::string path = temp_path("store_crc.ocs");
+  auto bytes = good_store_bytes(path);
+  // Flip a byte inside the first record's payload (after length prefix).
+  bytes[kHeaderSize + 4 + 3] ^= 0x40u;
+  write_bytes(path, bytes);
+  lint::LintReport report;
+  EXPECT_THROW(ResultStore::load(path, kFp, &report), util::InputError);
+  ASSERT_EQ(report.findings().size(), 1u);
+  EXPECT_EQ(report.findings()[0].code, "STO004");
+}
+
+TEST(ResultStore, RefusesMalformedPayloadWithForgedChecksum) {
+  // A structurally bogus payload (orientation out of range) behind a
+  // *valid* CRC must still be refused — the CRC authenticates bytes, the
+  // parser authenticates structure.
+  const std::string path = temp_path("store_struct.ocs");
+  std::vector<std::uint8_t> bytes = [&] {
+    ResultStore::create(path, kFp);
+    return file_bytes(path);
+  }();
+  const std::vector<std::uint8_t> payload = {0xEE};  // orientation 0xEE
+  bytes.push_back(1);  // length = 1, little-endian
+  bytes.push_back(0);
+  bytes.push_back(0);
+  bytes.push_back(0);
+  bytes.push_back(payload[0]);
+  const std::uint32_t crc = store_detail::crc32(payload.data(), 1);
+  for (int i = 0; i < 4; ++i)
+    bytes.push_back(static_cast<std::uint8_t>((crc >> (8 * i)) & 0xFFu));
+  write_bytes(path, bytes);
+  lint::LintReport report;
+  EXPECT_THROW(ResultStore::load(path, kFp, &report), util::InputError);
+  ASSERT_EQ(report.findings().size(), 1u);
+  EXPECT_EQ(report.findings()[0].code, "STO004");
+}
+
+TEST(ResultStore, RecoversTornTail) {
+  const std::string path = temp_path("store_torn.ocs");
+  const auto bytes = good_store_bytes(path);
+  const LoadResult whole = ResultStore::load(path, kFp);
+  ASSERT_EQ(whole.records.size(), 2u);
+
+  // Tear the file at every byte inside the second record: each prefix
+  // must recover record 1 and report the torn tail as a warning.
+  const std::size_t second_start =
+      kHeaderSize + (whole.valid_bytes - kHeaderSize) / 2;
+  for (std::size_t cut : {second_start + 1, second_start + 5,
+                          bytes.size() - 1}) {
+    auto torn = bytes;
+    torn.resize(cut);
+    write_bytes(path, torn);
+    lint::LintReport report;
+    const LoadResult loaded = ResultStore::load(path, kFp, &report);
+    ASSERT_EQ(loaded.records.size(), 1u) << "cut=" << cut;
+    EXPECT_EQ(loaded.records[0], sample_record(0));
+    EXPECT_TRUE(loaded.tail_recovered);
+    EXPECT_EQ(loaded.valid_bytes, second_start);
+    ASSERT_EQ(report.findings().size(), 1u);
+    EXPECT_EQ(report.findings()[0].code, "STO002");
+    EXPECT_EQ(report.findings()[0].severity, lint::Severity::kWarning);
+  }
+}
+
+TEST(ResultStore, AppendAfterTornTailTruncatesGarbage) {
+  const std::string path = temp_path("store_heal.ocs");
+  auto bytes = good_store_bytes(path);
+  bytes.resize(bytes.size() - 3);  // tear inside the last record
+  write_bytes(path, bytes);
+
+  const LoadResult loaded = ResultStore::load(path, kFp);
+  ASSERT_TRUE(loaded.tail_recovered);
+  {
+    auto store = ResultStore::append_to(path, loaded.valid_bytes);
+    store.append(sample_record(42));
+  }
+  // The healed file has no trace of the torn bytes.
+  const LoadResult healed = ResultStore::load(path, kFp);
+  EXPECT_FALSE(healed.tail_recovered);
+  ASSERT_EQ(healed.records.size(), 2u);
+  EXPECT_EQ(healed.records[0], sample_record(0));
+  EXPECT_EQ(healed.records[1], sample_record(42));
+}
+
+TEST(ResultStore, MissingFileThrows) {
+  EXPECT_THROW(ResultStore::load(temp_path("store_nope.ocs"), kFp),
+               util::InputError);
+}
+
+}  // namespace
+}  // namespace opckit::store

@@ -1,4 +1,5 @@
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -161,6 +162,77 @@ TEST(Cli, FlatFlowOpcRoundTrip) {
   EXPECT_FALSE(back.flatten("only", layout::Layer{10, 1}).empty());
   std::remove(in.c_str());
   std::remove(out_path.c_str());
+}
+
+TEST(Cli, FlowStoreResumeAndJsonStats) {
+  layout::Library lib("cli_store");
+  lib.cell("only").add_rect(layout::layers::kPoly,
+                            geom::Rect(0, 0, 180, 1500));
+  const std::string in = ::testing::TempDir() + "/cli_store_in.gds";
+  layout::write_gdsii_file(lib, in);
+  const std::string out_path = ::testing::TempDir() + "/cli_store_out.gds";
+  const std::string store = ::testing::TempDir() + "/cli_store.ocs";
+  const std::string stats_path = ::testing::TempDir() + "/cli_store.json";
+  std::remove(store.c_str());
+
+  // Cold run writes the store; --stats json replaces the text report.
+  const auto cold = run_cli({"opc", "--in", in, "--out", out_path,
+                             "--layer", "10/0", "--flow", "flat",
+                             "--store", store, "--stats", "json"});
+  EXPECT_EQ(cold.code, 0) << cold.err;
+  EXPECT_EQ(cold.out.rfind("{\"opc_runs\":", 0), 0u) << cold.out;
+  EXPECT_NE(cold.out.find("\"store\":{\"hits\":0,\"entries_loaded\":0,"
+                          "\"entries_appended\":"),
+            std::string::npos)
+      << cold.out;
+
+  // Resume replays everything; --stats-out writes the same JSON to disk.
+  const auto warm = run_cli({"opc", "--in", in, "--out", out_path,
+                             "--layer", "10/0", "--flow", "flat",
+                             "--store", store, "--resume",
+                             "--stats-out", stats_path});
+  EXPECT_EQ(warm.code, 0) << warm.err;
+  EXPECT_NE(warm.out.find("store:"), std::string::npos) << warm.out;
+  std::ifstream stats_file(stats_path);
+  std::string json((std::istreambuf_iterator<char>(stats_file)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(json.rfind("{\"opc_runs\":0,", 0), 0u) << json;
+  EXPECT_NE(json.find("\"entries_appended\":0"), std::string::npos) << json;
+
+  std::remove(in.c_str());
+  std::remove(out_path.c_str());
+  std::remove(store.c_str());
+  std::remove(stats_path.c_str());
+}
+
+TEST(Cli, StoreFlagsRequireAFlow) {
+  for (const std::vector<std::string> extra :
+       {std::vector<std::string>{"--store", "x.ocs"},
+        std::vector<std::string>{"--stats", "json"},
+        std::vector<std::string>{"--stats-out", "x.json"}}) {
+    std::vector<std::string> args{"opc",     "--in",  "x.gds", "--out",
+                                  "y.gds",   "--layer", "10/0"};
+    args.insert(args.end(), extra.begin(), extra.end());
+    const auto r = run_cli(args);
+    EXPECT_EQ(r.code, 2) << extra[0];
+    EXPECT_NE(r.err.find("--flow flat|cell"), std::string::npos)
+        << r.err;
+  }
+}
+
+TEST(Cli, ResumeRequiresStore) {
+  const auto r = run_cli({"opc", "--in", "x.gds", "--out", "y.gds",
+                          "--layer", "10/0", "--flow", "flat", "--resume"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--resume requires --store"), std::string::npos);
+}
+
+TEST(Cli, UnknownStatsFormatRejected) {
+  const auto r = run_cli({"opc", "--in", "x.gds", "--out", "y.gds",
+                          "--layer", "10/0", "--flow", "flat", "--stats",
+                          "xml"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--stats"), std::string::npos);
 }
 
 TEST(Cli, FlowRequiresModelMode) {

@@ -38,14 +38,24 @@ job_sanitize() {
   (cd build-ci-asan && \
    ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
    ctest "${CTEST_ARGS[@]}")
+  # The correction-store suite (corrupt-file corpus + crash/resume) is
+  # part of the full run above; gate explicitly on the `store` label so a
+  # test-discovery regression can never silently drop it from the
+  # sanitizer matrix.
+  (cd build-ci-asan && \
+   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+   ctest "${CTEST_ARGS[@]}" --no-tests=error -L store \
+         -R 'FlowResume\.FlatCrashThenResume')
 }
 
 job_tsan() {
   log "TSan build + concurrency tests"
   configure_build build-ci-tsan -DOPCKIT_SANITIZE=thread
   # ThreadPool: the pool's own protocol; FlowParallel: the tiled OPC flow
-  # driver's parallel gather/solve phases on top of it.
-  (cd build-ci-tsan && ctest "${CTEST_ARGS[@]}" -R 'ThreadPool|FlowParallel')
+  # driver's parallel gather/solve phases on top of it; FlowResume: the
+  # persistent store's append path behind the serial merge phase.
+  (cd build-ci-tsan && \
+   ctest "${CTEST_ARGS[@]}" -R 'ThreadPool|FlowParallel|FlowResume')
 }
 
 job_tidy() {

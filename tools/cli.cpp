@@ -1,5 +1,6 @@
 #include "cli.h"
 
+#include <fstream>
 #include <map>
 #include <ostream>
 #include <sstream>
@@ -174,6 +175,21 @@ int cmd_opc(const Options& opts, std::ostream& out) {
   if (flow != "direct" && mode != "model") {
     throw util::InputError("--flow flat|cell requires --mode model");
   }
+  if (flow == "direct") {
+    for (const char* key : {"store", "resume", "stats", "stats-out"}) {
+      if (opts.has(key)) {
+        throw util::InputError(std::string("--") + key +
+                               " requires --flow flat|cell");
+      }
+    }
+  }
+  if (opts.has("resume") && !opts.has("store")) {
+    throw util::InputError("--resume requires --store FILE");
+  }
+  if (opts.has("stats") && opts.get("stats", "") != "json") {
+    throw util::InputError("unknown --stats format (use json): " +
+                           opts.get("stats", ""));
+  }
 
   layout::Library lib = layout::read_gdsii_file(opts.require("in"));
   const std::string top = pick_cell(lib, opts);
@@ -195,26 +211,50 @@ int cmd_opc(const Options& opts, std::ostream& out) {
     spec.output_layer = out_layer;
     spec.jobs = static_cast<int>(opts.get_int("jobs", 1));
     spec.cache = !opts.has("no-cache");
+    if (opts.has("store")) spec.store_path = opts.require("store");
+    spec.resume = opts.has("resume");
     const opc::FlowStats stats = flow == "flat"
                                      ? opc::run_flat_opc(lib, top, spec)
                                      : opc::run_cell_opc(lib, top, spec);
-    out << flow << " flow: " << stats.opc_runs << " OPC runs, "
-        << stats.simulations << " simulations, " << stats.corrected_polygons
-        << " corrected polygons, "
-        << (stats.all_converged ? "converged" : "residual error left")
-        << '\n';
-    if (spec.cache) {
-      out << "cache: " << stats.cache_hits << " hit(s), "
-          << stats.cache_misses << " miss(es), " << stats.cache_conflicts
-          << " conflict(s)\n";
+    if (opts.has("stats-out")) {
+      std::ofstream stats_file(opts.require("stats-out"));
+      if (!stats_file) {
+        throw util::InputError("cannot write --stats-out file: " +
+                               opts.require("stats-out"));
+      }
+      stats_file << opc::render_stats_json(stats) << '\n';
     }
-    out << "wall clock: " << stats.wall_ms << " ms ("
-        << (spec.jobs == 0 ? std::string("all")
-                           : std::to_string(spec.jobs))
-        << " job(s))\n";
+    if (opts.has("stats")) {
+      // Machine-readable mode: the JSON blob is the whole report.
+      out << opc::render_stats_json(stats) << '\n';
+    } else {
+      out << flow << " flow: " << stats.opc_runs << " OPC runs, "
+          << stats.simulations << " simulations, "
+          << stats.corrected_polygons << " corrected polygons, "
+          << (stats.all_converged ? "converged" : "residual error left")
+          << '\n';
+      if (spec.cache) {
+        out << "cache: " << stats.cache_hits << " hit(s), "
+            << stats.cache_misses << " miss(es), " << stats.cache_conflicts
+            << " conflict(s)\n";
+      }
+      if (!spec.store_path.empty()) {
+        out << "store: " << stats.store_hits << " tile(s) replayed from "
+            << stats.store_entries_loaded << " loaded entr(ies), "
+            << stats.store_entries_appended << " appended"
+            << (stats.store_tail_recovered ? ", torn tail recovered" : "")
+            << '\n';
+      }
+      out << "wall clock: " << stats.wall_ms << " ms ("
+          << (spec.jobs == 0 ? std::string("all")
+                             : std::to_string(spec.jobs))
+          << " job(s))\n";
+    }
     layout::write_gdsii_file(lib, opts.require("out"));
-    out << "wrote " << opts.require("out") << " (corrected shapes on "
-        << out_layer << ")\n";
+    if (!opts.has("stats")) {
+      out << "wrote " << opts.require("out") << " (corrected shapes on "
+          << out_layer << ")\n";
+    }
     return 0;
   }
 
@@ -384,6 +424,9 @@ void usage(std::ostream& err) {
          "            [--sigma-inner F] [--pixel F]\n"
          "  opc       --in a.gds --out b.gds --layer L/D [--mode rule|model]\n"
          "            [--flow direct|flat|cell] [--jobs N] [--no-cache]\n"
+         "            [--store f.ocs [--resume]] (persistent correction\n"
+         "             store: crash-safe checkpointing + incremental ECO)\n"
+         "            [--stats json] [--stats-out FILE]\n"
          "            [--deck FILE]\n"
          "            [--srafs] [--anchor-cd N] [--anchor-pitch N]\n"
          "            (inputs are lint pre-flighted; errors abort, see\n"
