@@ -155,13 +155,24 @@ void BM_FlatFlowJobs(benchmark::State& state) {
   spec.jobs = static_cast<int>(state.range(0));
   spec.cache = false;
   std::size_t opc_runs = 0;
+  opc::FlowStats stats;
   for (auto _ : state) {
-    const opc::FlowStats stats = opc::run_flat_opc(lib, "top", spec);
+    stats = opc::run_flat_opc(lib, "top", spec);
     opc_runs = stats.opc_runs;
     benchmark::DoNotOptimize(stats);
   }
   state.counters["jobs"] = static_cast<double>(spec.jobs);
   state.counters["opc_runs"] = static_cast<double>(opc_runs);
+  // Per-phase wall-time breakdown from the flow's embedded metrics
+  // snapshot (last iteration): shows WHERE the thread sweep buys time —
+  // gather/solve parallelize, resolve/merge stay serial (Amdahl floor).
+  const auto& gauges = stats.metrics.gauges;
+  state.counters["gather_ms"] =
+      gauges.at(trace::metric::kFlowPhaseGatherMs);
+  state.counters["resolve_ms"] =
+      gauges.at(trace::metric::kFlowPhaseResolveMs);
+  state.counters["solve_ms"] = gauges.at(trace::metric::kFlowPhaseSolveMs);
+  state.counters["merge_ms"] = gauges.at(trace::metric::kFlowPhaseMergeMs);
 }
 BENCHMARK(BM_FlatFlowJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();

@@ -1,5 +1,6 @@
 #include "core/correction_cache.h"
 
+#include "trace/metrics.h"
 #include "util/check.h"
 
 namespace opckit::opc {
@@ -85,20 +86,24 @@ CorrectionCache::Resolution CorrectionCache::resolve(const Key& key) {
       // even then an exact hit later in the bucket is preferred.
       if (key.orientation == e.orientation) {
         ++stats_.hits;
+        trace::metrics().counter(trace::metric::kCacheHits).add();
         return {CacheOutcome::kHit, idx};
       }
       if (symmetry_match == SIZE_MAX) symmetry_match = idx;
     }
     if (policy_.allow_symmetry && symmetry_match != SIZE_MAX) {
       ++stats_.symmetry_hits;
+      trace::metrics().counter(trace::metric::kCacheSymmetryHits).add();
       return {CacheOutcome::kSymmetryHit, symmetry_match};
     }
     if (mismatch && symmetry_match == SIZE_MAX) {
       ++stats_.conflicts;
+      trace::metrics().counter(trace::metric::kCacheConflicts).add();
       return {CacheOutcome::kConflict, reserve(key)};
     }
   }
   ++stats_.misses;
+  trace::metrics().counter(trace::metric::kCacheMisses).add();
   return {CacheOutcome::kMiss, reserve(key)};
 }
 

@@ -12,7 +12,9 @@
 #include "core/correction_cache.h"
 #include "lint/lint.h"
 #include "store/result_store.h"
+#include "trace/trace.h"
 #include "util/check.h"
+#include "util/strings.h"
 #include "util/thread_pool.h"
 
 namespace opckit::opc {
@@ -122,6 +124,63 @@ double elapsed_ms(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// RAII guard for one flow phase: a trace span plus accumulation of the
+/// phase's wall-clock into its flow.phase.*_ms gauge. Constructed and
+/// destroyed on the flow's driver thread only; the parallel work inside
+/// traces itself with per-tile spans.
+class PhaseScope {
+ public:
+  PhaseScope(const char* span_name, const char* gauge_name)
+      : span_(span_name),
+        gauge_name_(gauge_name),
+        t0_(std::chrono::steady_clock::now()) {}
+  ~PhaseScope() { trace::metrics().gauge(gauge_name_).add(elapsed_ms(t0_)); }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  trace::Span span_;
+  const char* gauge_name_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// Fold one freshly solved tile's result into the flow accounting
+/// (identical in both flows and in every flat pass).
+void account_fresh_solve(const ModelOpcResult& result, FlowStats& stats) {
+  ++stats.opc_runs;
+  stats.simulations += result.history.size();
+  stats.tile_simulations.push_back(result.history.size());
+  stats.all_converged = stats.all_converged && result.converged;
+  if (!result.history.empty()) {
+    const OpcIteration& last = result.final_iteration();
+    stats.max_abs_epe_nm = std::max(stats.max_abs_epe_nm, last.max_abs_epe_nm);
+    stats.worst_rms_epe_nm =
+        std::max(stats.worst_rms_epe_nm, last.rms_epe_nm);
+  }
+}
+
+/// End of a flow run: publish the flow-level counters and the per-tile
+/// simulation histogram into the process-wide registry, then embed this
+/// run's registry delta (which also picked up the litho/cache/store
+/// counters incremented along the way) in the stats.
+void publish_flow_metrics(const trace::MetricsSnapshot& before,
+                          FlowStats& stats) {
+  trace::MetricsRegistry& reg = trace::metrics();
+  reg.counter(trace::metric::kFlowTilesMerged)
+      .add(stats.tile_simulations.size());
+  reg.counter(trace::metric::kFlowOpcRuns).add(stats.opc_runs);
+  reg.counter(trace::metric::kFlowSimulations).add(stats.simulations);
+  reg.counter(trace::metric::kFlowCorrectedPolygons)
+      .add(stats.corrected_polygons);
+  trace::HistogramMetric& hist =
+      reg.histogram(trace::metric::kFlowTileSimulations);
+  for (std::size_t n : stats.tile_simulations) {
+    hist.observe(static_cast<double>(n));
+  }
+  stats.metrics = trace::MetricsSnapshot::delta(before, reg.snapshot());
 }
 
 /// The store side of a flow run: preload on resume, stream fresh solves
@@ -255,11 +314,18 @@ std::uint64_t flow_fingerprint(const FlowSpec& spec,
 }
 
 std::string render_stats_json(const FlowStats& stats) {
+  // Doubles go through util::format_double: the stream's default 6
+  // significant digits silently truncated wall_ms and the EPE fields,
+  // and the stream is locale-sensitive (a user locale with ',' decimal
+  // points produces invalid JSON).
   std::ostringstream os;
   os << "{\"opc_runs\":" << stats.opc_runs
      << ",\"simulations\":" << stats.simulations
      << ",\"corrected_polygons\":" << stats.corrected_polygons
      << ",\"all_converged\":" << (stats.all_converged ? "true" : "false")
+     << ",\"max_abs_epe_nm\":" << util::format_double(stats.max_abs_epe_nm)
+     << ",\"worst_rms_epe_nm\":"
+     << util::format_double(stats.worst_rms_epe_nm)
      << ",\"cache\":{\"hits\":" << stats.cache_hits
      << ",\"misses\":" << stats.cache_misses
      << ",\"conflicts\":" << stats.cache_conflicts << "}"
@@ -272,13 +338,16 @@ std::string render_stats_json(const FlowStats& stats) {
   for (std::size_t i = 0; i < stats.tile_simulations.size(); ++i) {
     os << (i ? "," : "") << stats.tile_simulations[i];
   }
-  os << "],\"wall_ms\":" << stats.wall_ms << "}";
+  os << "],\"wall_ms\":" << util::format_double(stats.wall_ms)
+     << ",\"metrics\":" << trace::render_metrics_json(stats.metrics) << "}";
   return os.str();
 }
 
 FlowStats run_cell_opc(Library& lib, const std::string& top,
                        const FlowSpec& spec) {
   const auto t0 = std::chrono::steady_clock::now();
+  const trace::MetricsSnapshot before = trace::metrics().snapshot();
+  trace::Span flow_span("flow.cell");
   if (spec.preflight) preflight_gate(lib, spec);
   lib.validate();
   FlowStats stats;
@@ -306,54 +375,66 @@ FlowStats run_cell_opc(Library& lib, const std::string& top,
   std::vector<TileWork> tiles(work.size());
 
   // Phase A — gather (parallel, read-only on the library).
-  exec.run(work.size(), [&](std::size_t i) {
-    const Cell& cell = lib.at(work[i]);
-    const auto shapes = cell.shapes(spec.input_layer);
-    tiles[i].targets.assign(shapes.begin(), shapes.end());
-    if (spec.cache) {
-      tiles[i].key = CorrectionCache::make_key(
-          tiles[i].targets, geom::Region::from_polygons(tiles[i].targets),
-          cell.local_bbox());
-    }
-  });
+  {
+    PhaseScope phase("flow.gather", trace::metric::kFlowPhaseGatherMs);
+    exec.run(work.size(), [&](std::size_t i) {
+      trace::Span span("flow.gather.tile", static_cast<std::int64_t>(i));
+      const Cell& cell = lib.at(work[i]);
+      const auto shapes = cell.shapes(spec.input_layer);
+      tiles[i].targets.assign(shapes.begin(), shapes.end());
+      if (spec.cache) {
+        tiles[i].key = CorrectionCache::make_key(
+            tiles[i].targets, geom::Region::from_polygons(tiles[i].targets),
+            cell.local_bbox());
+      }
+    });
+  }
 
   // Phase B — resolve (serial, in order).
-  if (spec.cache) resolve_tiles(cache, tiles);
+  {
+    PhaseScope phase("flow.resolve", trace::metric::kFlowPhaseResolveMs);
+    if (spec.cache) resolve_tiles(cache, tiles);
+  }
 
   // Phase C — solve (parallel; run_model_opc is a pure function of the
   // per-tile inputs).
-  exec.run(work.size(), [&](std::size_t i) {
-    TileWork& t = tiles[i];
-    if (t.replay) return;
-    t.result = run_model_opc(t.targets, spec.sim,
-                             lib.at(work[i]).local_bbox(), spec.opc);
-  });
+  {
+    PhaseScope phase("flow.solve", trace::metric::kFlowPhaseSolveMs);
+    exec.run(work.size(), [&](std::size_t i) {
+      TileWork& t = tiles[i];
+      if (t.replay) return;
+      trace::Span span("flow.solve.tile", static_cast<std::int64_t>(i));
+      t.result = run_model_opc(t.targets, spec.sim,
+                               lib.at(work[i]).local_bbox(), spec.opc);
+    });
+  }
 
   // Phase D — merge (serial, in order): account, store/replay, write.
-  for (std::size_t i = 0; i < work.size(); ++i) {
-    TileWork& t = tiles[i];
-    std::vector<Polygon> corrected;
-    if (t.replay) {
-      corrected = cache.fetch(t.res.entry, t.key);
-      stats.tile_simulations.push_back(0);
-    } else {
-      corrected = std::move(t.result.corrected);
-      ++stats.opc_runs;
-      stats.simulations += t.result.history.size();
-      stats.tile_simulations.push_back(t.result.history.size());
-      stats.all_converged = stats.all_converged && t.result.converged;
-      if (spec.cache) cache.store(t.res.entry, t.key, corrected);
+  {
+    PhaseScope phase("flow.merge", trace::metric::kFlowPhaseMergeMs);
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      TileWork& t = tiles[i];
+      std::vector<Polygon> corrected;
+      if (t.replay) {
+        corrected = cache.fetch(t.res.entry, t.key);
+        stats.tile_simulations.push_back(0);
+      } else {
+        corrected = std::move(t.result.corrected);
+        account_fresh_solve(t.result, stats);
+        if (spec.cache) cache.store(t.res.entry, t.key, corrected);
+      }
+      Cell& cell = lib.cell(work[i]);
+      cell.clear_layer(spec.output_layer);
+      for (const auto& p : corrected) {
+        cell.add_polygon(spec.output_layer, p);
+        ++stats.corrected_polygons;
+      }
+      store.on_tile_merged(cache, t.replay, t.res.entry, stats);
     }
-    Cell& cell = lib.cell(work[i]);
-    cell.clear_layer(spec.output_layer);
-    for (const auto& p : corrected) {
-      cell.add_polygon(spec.output_layer, p);
-      ++stats.corrected_polygons;
-    }
-    store.on_tile_merged(cache, t.replay, t.res.entry, stats);
   }
 
   finalize_cache_stats(cache, stats);
+  publish_flow_metrics(before, stats);
   stats.wall_ms = elapsed_ms(t0);
   return stats;
 }
@@ -361,6 +442,8 @@ FlowStats run_cell_opc(Library& lib, const std::string& top,
 FlowStats run_flat_opc(Library& lib, const std::string& top,
                        const FlowSpec& spec) {
   const auto t0 = std::chrono::steady_clock::now();
+  const trace::MetricsSnapshot before = trace::metrics().snapshot();
+  trace::Span flow_span("flow.flat");
   if (spec.preflight) preflight_gate(lib, spec);
   lib.validate();
   FlowStats stats;
@@ -446,62 +529,74 @@ FlowStats run_flat_opc(Library& lib, const std::string& top,
 
     // Phase A — gather (parallel): own DRAWN shapes (design intent never
     // goes stale) plus the latest corrected neighbours as context.
-    exec.run(jobs.size(), [&](std::size_t i) {
-      const Job& job = jobs[i];
-      TileWork& t = tiles[i];
-      t.targets = job.drawn;
-      for (std::size_t id :
-           pool_index.query(job.window.inflated(spec.halo_nm))) {
-        const Polygon& cand = pool[id];
-        // Skip our own shapes: anything overlapping our drawn area is
-        // ours (moves are far smaller than placement spacing).
-        if (!job.own_region.intersected(geom::Region(cand.normalized()))
-                 .empty()) {
-          continue;
+    {
+      PhaseScope phase("flow.gather", trace::metric::kFlowPhaseGatherMs);
+      exec.run(jobs.size(), [&](std::size_t i) {
+        trace::Span span("flow.gather.tile", static_cast<std::int64_t>(i));
+        const Job& job = jobs[i];
+        TileWork& t = tiles[i];
+        t.targets = job.drawn;
+        for (std::size_t id :
+             pool_index.query(job.window.inflated(spec.halo_nm))) {
+          const Polygon& cand = pool[id];
+          // Skip our own shapes: anything overlapping our drawn area is
+          // ours (moves are far smaller than placement spacing).
+          if (!job.own_region.intersected(geom::Region(cand.normalized()))
+                   .empty()) {
+            continue;
+          }
+          t.targets.push_back(cand);
         }
-        t.targets.push_back(cand);
-      }
-      if (spec.cache) {
-        t.key = CorrectionCache::make_key(t.targets, job.own_region,
-                                          job.window);
-      }
-    });
+        if (spec.cache) {
+          t.key = CorrectionCache::make_key(t.targets, job.own_region,
+                                            job.window);
+        }
+      });
+    }
 
     // Phase B — resolve (serial, placement order).
-    if (spec.cache) resolve_tiles(cache, tiles);
+    {
+      PhaseScope phase("flow.resolve", trace::metric::kFlowPhaseResolveMs);
+      if (spec.cache) resolve_tiles(cache, tiles);
+    }
 
     // Phase C — solve (parallel).
-    exec.run(jobs.size(), [&](std::size_t i) {
-      TileWork& t = tiles[i];
-      if (t.replay) return;
-      t.result = run_model_opc(t.targets, eff.sim, jobs[i].window, spec.opc);
-    });
+    {
+      PhaseScope phase("flow.solve", trace::metric::kFlowPhaseSolveMs);
+      exec.run(jobs.size(), [&](std::size_t i) {
+        TileWork& t = tiles[i];
+        if (t.replay) return;
+        trace::Span span("flow.solve.tile", static_cast<std::int64_t>(i));
+        t.result =
+            run_model_opc(t.targets, eff.sim, jobs[i].window, spec.opc);
+      });
+    }
 
     // Phase D — merge (serial, placement order). A replay's
     // representative always precedes it in this order (resolve handed
     // out entries in the same order), so every store lands before the
     // fetch that needs it.
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      Job& job = jobs[i];
-      TileWork& t = tiles[i];
-      if (t.replay) {
-        job.corrected = cache.fetch(t.res.entry, t.key);
-        stats.tile_simulations.push_back(0);
-        store.on_tile_merged(cache, true, t.res.entry, stats);
-        continue;
-      }
-      ++stats.opc_runs;
-      stats.simulations += t.result.history.size();
-      stats.tile_simulations.push_back(t.result.history.size());
-      stats.all_converged = stats.all_converged && t.result.converged;
-      job.corrected.clear();
-      for (const auto& p : t.result.corrected) {
-        if (!job.own_region.intersected(geom::Region(p)).empty()) {
-          job.corrected.push_back(p);
+    {
+      PhaseScope phase("flow.merge", trace::metric::kFlowPhaseMergeMs);
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        Job& job = jobs[i];
+        TileWork& t = tiles[i];
+        if (t.replay) {
+          job.corrected = cache.fetch(t.res.entry, t.key);
+          stats.tile_simulations.push_back(0);
+          store.on_tile_merged(cache, true, t.res.entry, stats);
+          continue;
         }
+        account_fresh_solve(t.result, stats);
+        job.corrected.clear();
+        for (const auto& p : t.result.corrected) {
+          if (!job.own_region.intersected(geom::Region(p)).empty()) {
+            job.corrected.push_back(p);
+          }
+        }
+        if (spec.cache) cache.store(t.res.entry, t.key, job.corrected);
+        store.on_tile_merged(cache, false, t.res.entry, stats);
       }
-      if (spec.cache) cache.store(t.res.entry, t.key, job.corrected);
-      store.on_tile_merged(cache, false, t.res.entry, stats);
     }
   }
 
@@ -515,6 +610,7 @@ FlowStats run_flat_opc(Library& lib, const std::string& top,
   }
 
   finalize_cache_stats(cache, stats);
+  publish_flow_metrics(before, stats);
   stats.wall_ms = elapsed_ms(t0);
   return stats;
 }

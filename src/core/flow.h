@@ -56,6 +56,7 @@
 
 #include "core/model.h"
 #include "layout/library.h"
+#include "trace/metrics.h"
 
 namespace opckit::opc {
 
@@ -143,8 +144,20 @@ struct FlowStats {
   /// (flat flow: placements × passes; cell flow: reachable cells with
   /// shapes, sorted by name). Cache-replayed tiles record 0.
   std::vector<std::size_t> tile_simulations;
+  /// Worst final-iteration edge-placement errors over all freshly solved
+  /// tiles (run/line-end sites): the max of max_abs_epe_nm and the max of
+  /// rms_epe_nm. Deterministic — cache replays reuse the representative's
+  /// solve, so they contribute through it, not separately. 0 when every
+  /// tile replayed.
+  double max_abs_epe_nm = 0.0;
+  double worst_rms_epe_nm = 0.0;
+  /// Everything the observability layer measured during this run: the
+  /// per-run delta of the process-wide metrics registry (counters like
+  /// litho.fft2d_transforms, per-phase wall-time gauges, the per-tile
+  /// simulation histogram). See trace/metrics.h for the full name table.
+  trace::MetricsSnapshot metrics;
   /// Wall-clock of the whole flow in milliseconds. Observability only —
-  /// the one field that is not deterministic.
+  /// like the phase gauges in `metrics`, not deterministic.
   double wall_ms = 0.0;
 };
 
@@ -161,8 +174,11 @@ std::uint64_t flow_fingerprint(const FlowSpec& spec,
                                std::string_view flow_kind);
 
 /// Machine-readable FlowStats rendering (stable single-line JSON) for
-/// the bench harness and CI: cache/store counters, per-tile simulation
-/// counts, wall_ms. `opckit opc --stats json` prints exactly this.
+/// the bench harness and CI: cache/store counters, worst EPEs, per-tile
+/// simulation counts, wall_ms, and the embedded metrics snapshot.
+/// Doubles render with util::format_double (shortest round-trip,
+/// locale-independent — never ostream's 6-digit default, which truncates
+/// wall_ms and EPE values). `opckit opc --stats json` prints exactly this.
 std::string render_stats_json(const FlowStats& stats);
 
 /// Hierarchy-preserving OPC: every distinct cell reachable from \p top

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "trace/metrics.h"
 #include "util/check.h"
 
 namespace opckit::litho {
@@ -59,6 +60,7 @@ void fft_2d(std::vector<Complex>& data, std::size_t nx, std::size_t ny,
   OPCKIT_CHECK(data.size() == nx * ny);
   OPCKIT_CHECK_MSG(is_pow2(nx) && is_pow2(ny),
                    "FFT dims " << nx << 'x' << ny << " not powers of two");
+  trace::metrics().counter(trace::metric::kLithoFft2dTransforms).add();
   // Rows (contiguous).
   for (std::size_t y = 0; y < ny; ++y) {
     fft_core(data.data() + y * nx, nx, inverse);

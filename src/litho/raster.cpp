@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+
+#include "trace/metrics.h"
 
 namespace opckit::litho {
 
@@ -22,6 +25,9 @@ void rasterize(const geom::Region& region, Image& img) {
   const double oy = static_cast<double>(f.origin.y);
   const double inv_area = 1.0 / (s * s);
 
+  // Count cells locally and publish once — one atomic add per call, not
+  // one per pixel, keeps the inner loop unchanged.
+  std::uint64_t cells = 0;
   for (const geom::Rect& r : region.rects()) {
     const double x0 = static_cast<double>(r.lo.x), x1 = static_cast<double>(r.hi.x);
     const double y0 = static_cast<double>(r.lo.y), y1 = static_cast<double>(r.hi.y);
@@ -42,9 +48,11 @@ void rasterize(const geom::Region& region, Image& img) {
         if (wx <= 0) continue;
         img.at(static_cast<std::size_t>(ix), static_cast<std::size_t>(iy)) +=
             wx * wy * inv_area;
+        ++cells;
       }
     }
   }
+  trace::metrics().counter(trace::metric::kLithoRasterCells).add(cells);
 }
 
 void rasterize(std::span<const geom::Polygon> polys, Image& img) {

@@ -6,6 +6,7 @@
 #include "litho/fft.h"
 #include "litho/metrology.h"
 #include "litho/raster.h"
+#include "trace/metrics.h"
 #include "util/check.h"
 
 namespace opckit::litho {
@@ -47,6 +48,7 @@ Simulator::Simulator(const SimSpec& spec, const geom::Rect& window)
       imager_(spec.optics, frame_) {}
 
 Image Simulator::aerial(const geom::Region& mask, double defocus_nm) const {
+  trace::metrics().counter(trace::metric::kLithoAerialImages).add();
   const Image coverage = rasterize(mask, frame_);
   return imager_.aerial_image(coverage, defocus_nm, spec_.mask);
 }

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <sstream>
 
+#include "trace/metrics.h"
 #include "util/check.h"
 
 namespace opckit::store {
@@ -302,6 +303,9 @@ LoadResult ResultStore::load(const std::string& path,
     }
     if (torn) {
       result.tail_recovered = true;
+      trace::metrics()
+          .counter(trace::metric::kStoreRecoveredTailBytes)
+          .add(rem);
       lint::Diagnostic d = make_diag(
           "STO002", "'" + path + "' ends inside a record (torn write); "
                         "dropped " +
@@ -333,6 +337,9 @@ LoadResult ResultStore::load(const std::string& path,
     pos += 4 + static_cast<std::size_t>(len) + 4;
     result.valid_bytes = pos;
   }
+  trace::metrics()
+      .counter(trace::metric::kStoreRecordsLoaded)
+      .add(result.records.size());
   return result;
 }
 
@@ -352,6 +359,7 @@ void ResultStore::append(const TileRecord& record) {
     throw util::InputError("correction store: write failed on '" + path_ +
                            "'");
   ++appended_;
+  trace::metrics().counter(trace::metric::kStoreRecordsAppended).add();
 }
 
 }  // namespace opckit::store

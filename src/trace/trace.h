@@ -1,0 +1,9 @@
+/// \file trace.h
+/// Umbrella header for the opckit observability layer: span tracing
+/// (tracer.h) and the metrics registry (metrics.h). See
+/// docs/ARCHITECTURE.md ("Observability") for the span taxonomy, the
+/// metric name registry, and the overhead contract.
+#pragma once
+
+#include "trace/metrics.h"
+#include "trace/tracer.h"

@@ -1,0 +1,141 @@
+#include "trace/tracer.h"
+
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace opckit::trace {
+
+namespace {
+
+/// One collected event. Names are static-storage strings, so storing the
+/// pointer is safe and allocation-free.
+struct Event {
+  const char* name;
+  std::int64_t arg;
+  std::uint64_t ts_ns;  ///< nanoseconds since session start
+  char phase;           ///< 'B' or 'E'
+};
+
+/// Per-thread event buffer. The owning thread appends without locking;
+/// the tracer reads it only after the owning work has completed (the
+/// pool's completion handshake provides the happens-before edge).
+struct ThreadBuffer {
+  int tid = 0;
+  std::vector<Event> events;
+};
+
+/// Session state shared by all threads. Guarded by `mutex` except for
+/// per-thread event appends (see ThreadBuffer).
+struct TracerState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::chrono::steady_clock::time_point epoch;
+};
+
+TracerState& state() {
+  static TracerState s;
+  return s;
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::start() {
+  TracerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.buffers.clear();
+  s.epoch = std::chrono::steady_clock::now();
+  // Bump the session before enabling: a thread that still holds a buffer
+  // from the previous session re-registers on its next event instead of
+  // appending to a discarded buffer.
+  session_.fetch_add(1, std::memory_order_release);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::stop() { enabled_.store(false, std::memory_order_release); }
+
+void Tracer::record(const char* name, char phase, std::int64_t arg) {
+  thread_local struct {
+    std::uint64_t session = 0;
+    std::shared_ptr<ThreadBuffer> buf;
+  } tl;
+
+  TracerState& s = state();
+  const std::uint64_t session = session_.load(std::memory_order_acquire);
+  if (tl.session != session || !tl.buf) {
+    auto buf = std::make_shared<ThreadBuffer>();
+    {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      buf->tid = static_cast<int>(s.buffers.size());
+      s.buffers.push_back(buf);
+    }
+    allocations_.fetch_add(1, std::memory_order_relaxed);
+    tl.buf = std::move(buf);
+    tl.session = session;
+  }
+
+  std::vector<Event>& events = tl.buf->events;
+  if (events.size() == events.capacity()) {
+    allocations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const auto ts = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - s.epoch)
+          .count());
+  events.push_back({name, arg, ts, phase});
+}
+
+std::size_t Tracer::event_count() const {
+  TracerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::size_t n = 0;
+  for (const auto& buf : s.buffers) n += buf->events.size();
+  return n;
+}
+
+std::string Tracer::to_json() const {
+  TracerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::ostringstream os;
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& buf : s.buffers) {
+    for (const Event& e : buf->events) {
+      if (!first) os << ",\n";
+      first = false;
+      // Chrome's ts unit is microseconds; keep sub-µs precision.
+      os << "{\"name\":\"" << e.name << "\",\"cat\":\"opckit\",\"ph\":\""
+         << e.phase << "\",\"pid\":1,\"tid\":" << buf->tid << ",\"ts\":"
+         << util::format_double(static_cast<double>(e.ts_ns) / 1000.0);
+      if (e.arg != kNoArg) os << ",\"args\":{\"index\":" << e.arg << '}';
+      os << '}';
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+void Tracer::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw util::InputError("trace: cannot write '" + path + "'");
+  }
+  out << to_json();
+  out.flush();
+  if (!out) {
+    throw util::InputError("trace: write failed on '" + path + "'");
+  }
+}
+
+}  // namespace opckit::trace

@@ -1,0 +1,106 @@
+/// \file tracer.h
+/// Low-overhead span tracing to Chrome `trace_event` JSON.
+///
+/// The flow driver wraps its phases and per-tile work in `Span` guards;
+/// when tracing is enabled (`opckit opc --trace FILE`) every span records
+/// a begin/end event pair with a timestamp, its thread, and an optional
+/// integer argument (the tile index). The resulting file loads directly
+/// into chrome://tracing / https://ui.perfetto.dev.
+///
+/// ## Overhead contract
+///
+/// * **Tracing off** (the default): a Span is one relaxed atomic load and
+///   two untaken branches — no clock read, no allocation, no stores. The
+///   regression test asserts the zero-allocation part via the tracer's
+///   own allocation counter (`debug_allocations`).
+/// * **Tracing on**: events append to a lock-free *per-thread* buffer
+///   (plain vector, touched only by its owning thread). The only lock is
+///   taken once per thread per session, to register the buffer. Buffers
+///   are merged when the JSON is rendered, after the parallel phases have
+///   completed — the thread pool's completion handshake orders every
+///   worker write before the merge read, which keeps TSan clean.
+///
+/// Span names must be string literals (static storage): events store the
+/// pointer, not a copy, so the hot path never allocates for names.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace opckit::trace {
+
+/// Sentinel for "span has no argument".
+inline constexpr std::int64_t kNoArg =
+    std::numeric_limits<std::int64_t>::min();
+
+/// Collects span events while enabled; renders/writes trace_event JSON.
+class Tracer {
+ public:
+  /// The process-wide tracer.
+  static Tracer& instance();
+
+  /// Enable collection. Discards events and buffers from any previous
+  /// session and restarts the clock. Not re-entrant with active spans.
+  void start();
+  /// Disable collection. Spans already begun still record their end
+  /// event so the stream stays balanced.
+  void stop();
+
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  /// Record one event; called by Span (hot path, owning thread only).
+  void record(const char* name, char phase, std::int64_t arg);
+
+  /// Total events collected in the current session.
+  std::size_t event_count() const;
+  /// Allocations the tracer has performed since process start (buffer
+  /// registrations + event-buffer growth). The "tracing off costs
+  /// nothing" regression test asserts this stays flat while disabled.
+  std::size_t debug_allocations() const {
+    return allocations_.load(std::memory_order_relaxed);
+  }
+
+  /// Render the collected events as Chrome trace_event JSON (one event
+  /// per line). Call after stop(); spans still open are not terminated.
+  std::string to_json() const;
+  /// Write to_json() to \p path; throws util::InputError on I/O failure.
+  void write_json(const std::string& path) const;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+ private:
+  Tracer() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> session_{0};
+  std::atomic<std::size_t> allocations_{0};
+};
+
+/// RAII span: records a begin event on construction and the matching end
+/// on destruction. \p name must be a string literal. \p arg (optional)
+/// is emitted as the span's "index" argument — the flow driver passes
+/// the tile index.
+class Span {
+ public:
+  explicit Span(const char* name, std::int64_t arg = kNoArg) : name_(name) {
+    Tracer& t = Tracer::instance();
+    if (!t.enabled()) return;
+    active_ = true;
+    t.record(name_, 'B', arg);
+  }
+  ~Span() {
+    if (active_) Tracer::instance().record(name_, 'E', kNoArg);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  bool active_ = false;
+};
+
+}  // namespace opckit::trace

@@ -75,12 +75,33 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
   OPCKIT_CHECK(bins > 0);
 }
 
+int histogram_bin(double lo, double hi, std::size_t bins, double x) {
+  if (std::isnan(x)) return kHistogramNan;
+  if (x < lo) return kHistogramUnderflow;
+  if (x > hi) return kHistogramOverflow;
+  const double t = (x - lo) / (hi - lo);
+  // t is in [0, 1]; x == hi would index one past the end, so fold the
+  // closed upper edge into the last bin.
+  const auto idx = static_cast<std::size_t>(t * static_cast<double>(bins));
+  return static_cast<int>(std::min(idx, bins - 1));
+}
+
 void Histogram::add(double x) {
-  const double t = (x - lo_) / (hi_ - lo_);
-  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(bins()));
-  idx = std::clamp<std::ptrdiff_t>(idx, 0,
-                                   static_cast<std::ptrdiff_t>(bins()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  const int bin = histogram_bin(lo_, hi_, bins(), x);
+  switch (bin) {
+    case kHistogramNan:
+      ++nan_;
+      break;
+    case kHistogramUnderflow:
+      ++underflow_;
+      break;
+    case kHistogramOverflow:
+      ++overflow_;
+      break;
+    default:
+      ++counts_[static_cast<std::size_t>(bin)];
+      break;
+  }
   ++total_;
 }
 

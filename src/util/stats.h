@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 namespace opckit::util {
@@ -36,8 +37,12 @@ class Accumulator {
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
-  double min_;
-  double max_;
+  // Empty-state sentinels (+inf/-inf) back the documented min()/max()
+  // behavior and make merge() order-insensitive. They can never leak
+  // into results: add() and merge() only fold in real samples, and
+  // merge() copies/returns early while either side is empty.
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
 };
 
 /// Percentile of a sample set using linear interpolation between order
@@ -47,19 +52,41 @@ double percentile(std::vector<double> samples, double q);
 /// Root-mean-square of a sample set; 0 when empty.
 double rms(const std::vector<double>& samples);
 
-/// Histogram over [lo, hi) with \p bins equal-width bins; samples outside
-/// the range clamp into the edge bins. Used by pattern-frequency reports.
+/// Slot codes returned by histogram_bin for samples that do not land in
+/// a regular bin.
+inline constexpr int kHistogramUnderflow = -1;  ///< x < lo
+inline constexpr int kHistogramOverflow = -2;   ///< x > hi
+inline constexpr int kHistogramNan = -3;        ///< x is NaN
+
+/// Bin index for sample \p x over [lo, hi] split into \p bins equal-width
+/// bins, or a kHistogram* slot code. Boundary rules: x == lo lands in bin
+/// 0, x == hi lands in the LAST bin (the closed upper edge — never one
+/// past the end), anything outside [lo, hi] reports under/overflow, and
+/// NaN reports its own slot (it is never cast to an index, which would
+/// be undefined behavior). Shared by util::Histogram and the metrics
+/// registry's histogram (trace/metrics.h) so both bin identically.
+int histogram_bin(double lo, double hi, std::size_t bins, double x);
+
+/// Histogram over [lo, hi] with \p bins equal-width bins. Samples outside
+/// the range are counted in explicit underflow/overflow slots and NaN
+/// samples in a nan slot — never silently clamped into the edge bins,
+/// which would bias the distribution tails. Used by pattern-frequency
+/// reports and the metrics registry.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
 
-  /// Add one sample.
+  /// Add one sample (see histogram_bin for the boundary rules).
   void add(double x);
   /// Number of bins.
   std::size_t bins() const { return counts_.size(); }
   /// Count in bin \p i.
   std::size_t count(std::size_t i) const { return counts_[i]; }
-  /// Total samples.
+  /// Samples below lo / above hi / NaN (not in any bin).
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t nan_count() const { return nan_; }
+  /// Total samples, including the underflow/overflow/nan slots.
   std::size_t total() const { return total_; }
   /// Center of bin \p i.
   double bin_center(std::size_t i) const;
@@ -67,6 +94,9 @@ class Histogram {
  private:
   double lo_, hi_;
   std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t nan_ = 0;
   std::size_t total_ = 0;
 };
 

@@ -1,6 +1,8 @@
 #include "util/strings.h"
 
 #include <cctype>
+#include <charconv>
+#include <cmath>
 #include <iomanip>
 #include <sstream>
 
@@ -51,6 +53,13 @@ std::string human_bytes(unsigned long long bytes) {
   os << std::fixed << std::setprecision(unit == 0 ? 0 : 2) << v << ' '
      << kUnits[unit];
   return os.str();
+}
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
 }
 
 }  // namespace opckit::util

@@ -22,4 +22,11 @@ std::string to_lower(std::string s);
 /// Render bytes with binary unit suffix, e.g. "1.21 MiB".
 std::string human_bytes(unsigned long long bytes);
 
+/// Shortest decimal string that round-trips \p v exactly (std::to_chars),
+/// independent of the global locale — safe for machine-read output such
+/// as stats JSON, where ostream's default 6-significant-digit precision
+/// silently truncates values. Non-finite values render as "null" so the
+/// result is always valid JSON.
+std::string format_double(double v);
+
 }  // namespace opckit::util

@@ -271,14 +271,40 @@ TEST(FlowResume, StatsJsonRendersAllCounters) {
   stats.store_entries_appended = 2;
   stats.store_tail_recovered = true;
   stats.tile_simulations = {4, 0, 5};
+  stats.max_abs_epe_nm = 1.75;
+  // A value the old default-precision stream would have truncated to
+  // "7.10986" — format_double must round-trip every digit.
+  stats.worst_rms_epe_nm = 7.109864439;
   stats.wall_ms = 12.5;
+  stats.metrics.counters["cache.hits"] = 30;
+  stats.metrics.gauges["flow.phase.solve_ms"] = 10.25;
   EXPECT_EQ(render_stats_json(stats),
             "{\"opc_runs\":2,\"simulations\":9,\"corrected_polygons\":4,"
             "\"all_converged\":false,"
+            "\"max_abs_epe_nm\":1.75,"
+            "\"worst_rms_epe_nm\":7.109864439,"
             "\"cache\":{\"hits\":30,\"misses\":1,\"conflicts\":1},"
             "\"store\":{\"hits\":30,\"entries_loaded\":1,"
             "\"entries_appended\":2,\"tail_recovered\":true},"
-            "\"tile_simulations\":[4,0,5],\"wall_ms\":12.5}");
+            "\"tile_simulations\":[4,0,5],\"wall_ms\":12.5,"
+            "\"metrics\":{\"counters\":{\"cache.hits\":30},"
+            "\"gauges\":{\"flow.phase.solve_ms\":10.25},"
+            "\"histograms\":{}}}");
+}
+
+TEST(FlowResume, StatsJsonDoublesRoundTripAtFullPrecision) {
+  // Regression for the double-emission bug: the default ostream
+  // precision (6 significant digits) truncated wall_ms — a run of
+  // 123456.789 ms rendered as "123457", losing sub-ms resolution and
+  // breaking bench comparisons. format_double keeps every digit.
+  FlowStats stats;
+  stats.wall_ms = 123456.789;
+  EXPECT_NE(render_stats_json(stats).find("\"wall_ms\":123456.789"),
+            std::string::npos);
+  stats.wall_ms = 0.30000000000000004;  // classic non-representable sum
+  EXPECT_NE(
+      render_stats_json(stats).find("\"wall_ms\":0.30000000000000004"),
+      std::string::npos);
 }
 
 }  // namespace

@@ -205,11 +205,79 @@ TEST(Cli, FlowStoreResumeAndJsonStats) {
   std::remove(stats_path.c_str());
 }
 
+TEST(Cli, FlowTraceWritesChromeTraceJson) {
+  layout::Library lib("cli_trace");
+  lib.cell("only").add_rect(layout::layers::kPoly,
+                            geom::Rect(0, 0, 180, 1500));
+  const std::string in = ::testing::TempDir() + "/cli_trace_in.gds";
+  layout::write_gdsii_file(lib, in);
+  const std::string out_path = ::testing::TempDir() + "/cli_trace_out.gds";
+  const std::string trace_path = ::testing::TempDir() + "/cli_trace.json";
+
+  const auto r = run_cli({"opc", "--in", in, "--out", out_path, "--layer",
+                          "10/0", "--flow", "flat", "--jobs", "2",
+                          "--trace", trace_path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("wrote trace to"), std::string::npos) << r.out;
+
+  std::ifstream trace_file(trace_path);
+  std::string json((std::istreambuf_iterator<char>(trace_file)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json.substr(0, 60);
+  EXPECT_NE(json.find("\"name\":\"flow.flat\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"flow.solve.tile\""), std::string::npos);
+
+  std::remove(in.c_str());
+  std::remove(out_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST(Cli, StatsJsonEmbedsTheMetricsSnapshot) {
+  layout::Library lib("cli_metrics");
+  lib.cell("only").add_rect(layout::layers::kPoly,
+                            geom::Rect(0, 0, 180, 1500));
+  const std::string in = ::testing::TempDir() + "/cli_metrics_in.gds";
+  layout::write_gdsii_file(lib, in);
+  const std::string out_path =
+      ::testing::TempDir() + "/cli_metrics_out.gds";
+
+  const auto r = run_cli({"opc", "--in", in, "--out", out_path, "--layer",
+                          "10/0", "--flow", "flat", "--stats", "json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"metrics\":{\"counters\":{"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("\"litho.fft2d_transforms\":"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("\"flow.phase.solve_ms\":"), std::string::npos)
+      << r.out;
+
+  std::remove(in.c_str());
+  std::remove(out_path.c_str());
+}
+
+TEST(Cli, MetricsCommandListsTheRegistry) {
+  const auto text = run_cli({"metrics"});
+  EXPECT_EQ(text.code, 0) << text.err;
+  EXPECT_NE(text.out.find("flow.tiles_merged"), std::string::npos);
+  EXPECT_NE(text.out.find("litho.raster_cells"), std::string::npos);
+
+  const auto md = run_cli({"metrics", "--format", "md"});
+  EXPECT_EQ(md.code, 0) << md.err;
+  EXPECT_EQ(md.out.rfind("# opckit metric registry", 0), 0u);
+  EXPECT_NE(md.out.find("| `store.recovered_tail_bytes` | counter |"),
+            std::string::npos);
+
+  const auto bad = run_cli({"metrics", "--format", "yaml"});
+  EXPECT_EQ(bad.code, 2);
+  EXPECT_NE(bad.err.find("--format"), std::string::npos);
+}
+
 TEST(Cli, StoreFlagsRequireAFlow) {
-  for (const std::vector<std::string> extra :
+  for (const std::vector<std::string>& extra :
        {std::vector<std::string>{"--store", "x.ocs"},
         std::vector<std::string>{"--stats", "json"},
-        std::vector<std::string>{"--stats-out", "x.json"}}) {
+        std::vector<std::string>{"--stats-out", "x.json"},
+        std::vector<std::string>{"--trace", "x.json"}}) {
     std::vector<std::string> args{"opc",     "--in",  "x.gds", "--out",
                                   "y.gds",   "--layer", "10/0"};
     args.insert(args.end(), extra.begin(), extra.end());

@@ -1,0 +1,152 @@
+/// Unit tests for the span tracer (trace/tracer.h).
+///
+/// The tracer is process-global; every test that enables it stops it
+/// before finishing so later tests (and the flow tests in this binary)
+/// start from a disabled tracer.
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "trace/tracer.h"
+#include "util/thread_pool.h"
+
+namespace opckit::trace {
+namespace {
+
+/// Minimal structural JSON check: balanced {}/[] outside strings and a
+/// sane escape state. Not a parser — enough to catch truncated or
+/// interleaved writer output.
+bool json_well_formed(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false, escaped = false;
+  for (char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return stack.empty() && !in_string;
+}
+
+std::size_t count_occurrences(const std::string& hay,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(Tracer, DisabledSpansCostNoAllocationsOrEvents) {
+  Tracer& t = Tracer::instance();
+  ASSERT_FALSE(t.enabled());
+  const std::size_t allocs = t.debug_allocations();
+  for (int i = 0; i < 1000; ++i) {
+    Span span("test.noop", i);
+  }
+  // The overhead contract: with tracing off a span performs no
+  // allocation (and records nothing).
+  EXPECT_EQ(t.debug_allocations(), allocs);
+}
+
+TEST(Tracer, RecordsBalancedNestedSpans) {
+  Tracer& t = Tracer::instance();
+  t.start();
+  {
+    Span outer("test.outer");
+    {
+      Span inner("test.inner", 7);
+    }
+  }
+  t.stop();
+  EXPECT_EQ(t.event_count(), 4u);
+  const std::string json = t.to_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"E\""), 2u);
+  EXPECT_NE(json.find("\"name\":\"test.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.inner\""), std::string::npos);
+  // The span argument surfaces as args.index on the begin event only.
+  EXPECT_EQ(count_occurrences(json, "\"args\":{\"index\":7}"), 1u);
+}
+
+TEST(Tracer, SpanOpenAcrossStopStillRecordsItsEnd) {
+  Tracer& t = Tracer::instance();
+  t.start();
+  {
+    Span span("test.straddle");
+    t.stop();
+    // Destructor runs with tracing disabled; the stream must stay
+    // balanced anyway.
+  }
+  const std::string json = t.to_json();
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"E\""), 1u);
+}
+
+TEST(Tracer, StartDiscardsThePreviousSession) {
+  Tracer& t = Tracer::instance();
+  t.start();
+  { Span span("test.first"); }
+  t.stop();
+  t.start();
+  { Span span("test.second"); }
+  t.stop();
+  const std::string json = t.to_json();
+  EXPECT_EQ(json.find("test.first"), std::string::npos);
+  EXPECT_NE(json.find("test.second"), std::string::npos);
+  EXPECT_EQ(t.event_count(), 2u);
+}
+
+TEST(Tracer, WorkerThreadSpansLandInPerThreadBuffers) {
+  Tracer& t = Tracer::instance();
+  util::ThreadPool pool(4);
+  t.start();
+  pool.parallel_for(64, [](std::size_t i) {
+    Span span("test.tile", static_cast<std::int64_t>(i));
+  });
+  t.stop();
+  EXPECT_EQ(t.event_count(), 128u);
+  const std::string json = t.to_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+
+  // Per-tid balance: every thread's stream must close what it opened.
+  std::map<std::string, long> balance;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"tid\":", pos)) != std::string::npos) {
+    pos += 6;
+    std::size_t end = json.find_first_of(",}", pos);
+    const std::string tid = json.substr(pos, end - pos);
+    const std::size_t ph = json.rfind("\"ph\":\"", pos);
+    ASSERT_NE(ph, std::string::npos);
+    balance[tid] += json[ph + 6] == 'B' ? 1 : -1;
+  }
+  EXPECT_FALSE(balance.empty());
+  for (const auto& [tid, b] : balance) {
+    EXPECT_EQ(b, 0) << "unbalanced spans on tid " << tid;
+  }
+}
+
+}  // namespace
+}  // namespace opckit::trace

@@ -1,4 +1,6 @@
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -62,6 +64,64 @@ TEST(Accumulator, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 1.5);
 }
 
+TEST(Accumulator, EmptyMinMaxAreDocumentedSentinels) {
+  // min()/max() document +inf/-inf for the empty state; before the
+  // members were default-initialized the values were indeterminate and
+  // reading them was undefined behavior.
+  Accumulator a;
+  EXPECT_EQ(a.min(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(a.max(), -std::numeric_limits<double>::infinity());
+}
+
+TEST(Accumulator, MergePropertyOverRandomPartitions) {
+  // Property: splitting any sample stream into consecutive chunks —
+  // including EMPTY chunks, which is where a leaked sentinel would
+  // surface — and merging the per-chunk accumulators matches the
+  // sequential accumulator on count/mean/variance/min/max.
+  std::vector<double> samples;
+  for (int i = 0; i < 200; ++i) {
+    samples.push_back(std::cos(i * 1.37) * 25 + (i % 7) - 3);
+  }
+  // Deterministic pseudo-random chunking (xorshift).
+  std::uint64_t rng = 0x9e3779b97f4a7c15ULL;
+  auto next = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int round = 0; round < 20; ++round) {
+    Accumulator whole, merged;
+    std::size_t pos = 0;
+    while (pos <= samples.size()) {
+      Accumulator chunk;  // stays empty when len == 0
+      const std::size_t len = next() % 40;
+      for (std::size_t k = 0; k < len && pos < samples.size(); ++k, ++pos) {
+        chunk.add(samples[pos]);
+        whole.add(samples[pos]);
+      }
+      merged.merge(chunk);
+      if (pos == samples.size()) break;
+    }
+    ASSERT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(merged.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+    EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+    // The sentinels never leak: the merged extrema are real samples.
+    EXPECT_TRUE(std::isfinite(merged.min()));
+    EXPECT_TRUE(std::isfinite(merged.max()));
+  }
+}
+
+TEST(Accumulator, MergeEmptyIntoEmptyStaysEmpty) {
+  Accumulator a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.min(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(a.max(), -std::numeric_limits<double>::infinity());
+}
+
 TEST(Accumulator, MaxAbsTracksNegatives) {
   Accumulator a;
   a.add(-8.0);
@@ -86,17 +146,68 @@ TEST(Rms, KnownValue) {
   EXPECT_DOUBLE_EQ(rms({}), 0.0);
 }
 
-TEST(Histogram, BinsAndClamping) {
+TEST(Histogram, BinsAndOutOfRangeSlots) {
   Histogram h(0.0, 10.0, 5);
   h.add(0.5);   // bin 0
   h.add(9.9);   // bin 4
-  h.add(-3.0);  // clamps to bin 0
-  h.add(42.0);  // clamps to bin 4
+  h.add(-3.0);  // underflow slot, NOT clamped into bin 0
+  h.add(42.0);  // overflow slot, NOT clamped into bin 4
   EXPECT_EQ(h.total(), 4u);
-  EXPECT_EQ(h.count(0), 2u);
-  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.nan_count(), 0u);
   EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
   EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+}
+
+TEST(Histogram, BoundarySamplesLandInEdgeBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);  // x == lo: first bin
+  EXPECT_EQ(h.count(0), 1u);
+  // x == hi is the closed upper edge: it must land in the LAST bin, not
+  // one past it (the old clamp code happened to get this right, but via
+  // an out-of-range index that was clamped back — now it's the rule).
+  h.add(10.0);
+  EXPECT_EQ(h.count(4), 1u);
+  // Just below hi stays in the last bin too.
+  h.add(std::nextafter(10.0, 0.0));
+  EXPECT_EQ(h.count(4), 2u);
+  // Just above hi overflows.
+  h.add(std::nextafter(10.0, 11.0));
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, NanSamplesAreCountedNotBinned) {
+  Histogram h(0.0, 10.0, 5);
+  // The old code cast (NaN * bins) to an integer — undefined behavior.
+  // NaN must be classified before any cast and land in its own slot.
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(5.0);
+  EXPECT_EQ(h.nan_count(), 1u);
+  EXPECT_EQ(h.total(), 2u);
+  std::size_t binned = 0;
+  for (std::size_t i = 0; i < h.bins(); ++i) binned += h.count(i);
+  EXPECT_EQ(binned, 1u);
+}
+
+TEST(HistogramBin, SlotCodes) {
+  EXPECT_EQ(histogram_bin(0.0, 10.0, 5, 0.0), 0);
+  EXPECT_EQ(histogram_bin(0.0, 10.0, 5, 10.0), 4);
+  EXPECT_EQ(histogram_bin(0.0, 10.0, 5, -0.001), kHistogramUnderflow);
+  EXPECT_EQ(histogram_bin(0.0, 10.0, 5, 10.001), kHistogramOverflow);
+  EXPECT_EQ(histogram_bin(0.0, 10.0, 5,
+                          std::numeric_limits<double>::quiet_NaN()),
+            kHistogramNan);
+  EXPECT_EQ(histogram_bin(0.0, 10.0, 5,
+                          std::numeric_limits<double>::infinity()),
+            kHistogramOverflow);
+  EXPECT_EQ(histogram_bin(0.0, 10.0, 5,
+                          -std::numeric_limits<double>::infinity()),
+            kHistogramUnderflow);
 }
 
 TEST(KlDivergence, ZeroForIdenticalDistributions) {

@@ -46,6 +46,12 @@ job_sanitize() {
    ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
    ctest "${CTEST_ARGS[@]}" --no-tests=error -L store \
          -R 'FlowResume\.FlatCrashThenResume')
+  # Same explicit gate for the observability suite (`trace` label): the
+  # tracer's per-thread buffers and the metrics atomics must stay clean
+  # under ASan/UBSan too, not just TSan.
+  (cd build-ci-asan && \
+   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+   ctest "${CTEST_ARGS[@]}" --no-tests=error -L trace)
 }
 
 job_tsan() {
@@ -53,9 +59,15 @@ job_tsan() {
   configure_build build-ci-tsan -DOPCKIT_SANITIZE=thread
   # ThreadPool: the pool's own protocol; FlowParallel: the tiled OPC flow
   # driver's parallel gather/solve phases on top of it; FlowResume: the
-  # persistent store's append path behind the serial merge phase.
+  # persistent store's append path behind the serial merge phase;
+  # TraceFlow: worker threads writing per-thread span buffers and metric
+  # atomics during a traced jobs=8 flow, merged at flow end.
   (cd build-ci-tsan && \
-   ctest "${CTEST_ARGS[@]}" -R 'ThreadPool|FlowParallel|FlowResume')
+   ctest "${CTEST_ARGS[@]}" -R 'ThreadPool|FlowParallel|FlowResume|TraceFlow')
+  # Gate on the `trace` label explicitly so a test-discovery regression
+  # can never silently drop the traced-flow suite from the TSan matrix.
+  (cd build-ci-tsan && \
+   ctest "${CTEST_ARGS[@]}" --no-tests=error -L trace)
 }
 
 job_tidy() {
@@ -89,7 +101,15 @@ job_lint() {
     echo "    build/tools/opckit lint --codes --format md > docs/LINT_CODES.md" >&2
     exit 1
   fi
-  echo "ci: lint clean (docs/LINT_CODES.md in sync)"
+  # Same contract for the metric registry: docs/METRICS.md is generated
+  # from the compiled table (trace/metrics.cpp), so a metric added,
+  # renamed, or re-described in code must regenerate the doc.
+  if ! "${bin}" metrics --format md | diff -u docs/METRICS.md -; then
+    echo "ci: docs/METRICS.md is stale — regenerate with:" >&2
+    echo "    build/tools/opckit metrics --format md > docs/METRICS.md" >&2
+    exit 1
+  fi
+  echo "ci: lint clean (docs/LINT_CODES.md and docs/METRICS.md in sync)"
 }
 
 main() {

@@ -12,6 +12,7 @@
 #include "lint/lint.h"
 #include "litho/litho.h"
 #include "pattern/pattern.h"
+#include "trace/trace.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -176,7 +177,8 @@ int cmd_opc(const Options& opts, std::ostream& out) {
     throw util::InputError("--flow flat|cell requires --mode model");
   }
   if (flow == "direct") {
-    for (const char* key : {"store", "resume", "stats", "stats-out"}) {
+    for (const char* key :
+         {"store", "resume", "stats", "stats-out", "trace"}) {
       if (opts.has(key)) {
         throw util::InputError(std::string("--") + key +
                                " requires --flow flat|cell");
@@ -213,9 +215,21 @@ int cmd_opc(const Options& opts, std::ostream& out) {
     spec.cache = !opts.has("no-cache");
     if (opts.has("store")) spec.store_path = opts.require("store");
     spec.resume = opts.has("resume");
-    const opc::FlowStats stats = flow == "flat"
-                                     ? opc::run_flat_opc(lib, top, spec)
-                                     : opc::run_cell_opc(lib, top, spec);
+    const bool tracing = opts.has("trace");
+    if (tracing) trace::Tracer::instance().start();
+    opc::FlowStats stats;
+    try {
+      stats = flow == "flat" ? opc::run_flat_opc(lib, top, spec)
+                             : opc::run_cell_opc(lib, top, spec);
+    } catch (...) {
+      // Leave the process-wide tracer off for whoever catches this.
+      if (tracing) trace::Tracer::instance().stop();
+      throw;
+    }
+    if (tracing) {
+      trace::Tracer::instance().stop();
+      trace::Tracer::instance().write_json(opts.require("trace"));
+    }
     if (opts.has("stats-out")) {
       std::ofstream stats_file(opts.require("stats-out"));
       if (!stats_file) {
@@ -249,6 +263,10 @@ int cmd_opc(const Options& opts, std::ostream& out) {
           << (spec.jobs == 0 ? std::string("all")
                              : std::to_string(spec.jobs))
           << " job(s))\n";
+    }
+    if (tracing && !opts.has("stats")) {
+      out << "wrote trace to " << opts.require("trace")
+          << " (load in chrome://tracing or https://ui.perfetto.dev)\n";
     }
     layout::write_gdsii_file(lib, opts.require("out"));
     if (!opts.has("stats")) {
@@ -413,8 +431,31 @@ int cmd_patterns(const Options& opts, std::ostream& out) {
   return 0;
 }
 
+/// The observability registry: every metric this binary can emit, from
+/// the same compiled table the instruments read (trace/metrics.h). The
+/// md rendering IS docs/METRICS.md — tools/ci.sh diffs the two so the
+/// doc cannot drift from the code.
+int cmd_metrics(const Options& opts, std::ostream& out) {
+  const std::string format = opts.get("format", "text");
+  if (format == "md") {
+    out << trace::render_metrics_markdown();
+    return 0;
+  }
+  if (format != "text") {
+    throw util::InputError("unknown --format (use text or md): " + format);
+  }
+  util::Table t({"metric", "kind", "meaning"});
+  for (const trace::MetricInfo& info : trace::all_metrics()) {
+    t.add_row(std::string(info.name), std::string(to_string(info.kind)),
+              std::string(info.help));
+  }
+  out << t.to_text("opckit metrics");
+  return 0;
+}
+
 void usage(std::ostream& err) {
-  err << "usage: opckit <stats|drc|lint|opc|patterns> --in FILE [options]\n"
+  err << "usage: opckit <stats|drc|lint|opc|patterns|metrics> --in FILE "
+         "[options]\n"
          "  stats     --in a.gds [--cell NAME]\n"
          "  drc       --in a.gds --layer L/D --min-width N --min-space N\n"
          "  lint      [--in a.gds] [--deck FILE] [--model] [--grid N]\n"
@@ -426,12 +467,15 @@ void usage(std::ostream& err) {
          "            [--flow direct|flat|cell] [--jobs N] [--no-cache]\n"
          "            [--store f.ocs [--resume]] (persistent correction\n"
          "             store: crash-safe checkpointing + incremental ECO)\n"
-         "            [--stats json] [--stats-out FILE]\n"
+         "            [--stats json] [--stats-out FILE] [--trace FILE]\n"
+         "            (--trace writes a chrome://tracing span timeline\n"
+         "             of the flow phases and per-tile work)\n"
          "            [--deck FILE]\n"
          "            [--srafs] [--anchor-cd N] [--anchor-pitch N]\n"
          "            (inputs are lint pre-flighted; errors abort, see\n"
          "             `opckit lint --codes`)\n"
-         "  patterns  --in a.gds --layer L/D [--radius N] [--top K]\n";
+         "  patterns  --in a.gds --layer L/D [--radius N] [--top K]\n"
+         "  metrics   [--format text|md] (the compiled metric registry)\n";
 }
 
 }  // namespace
@@ -450,6 +494,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (cmd == "lint") return cmd_lint(opts, out);
     if (cmd == "opc") return cmd_opc(opts, out);
     if (cmd == "patterns") return cmd_patterns(opts, out);
+    if (cmd == "metrics") return cmd_metrics(opts, out);
     err << "unknown command: " << cmd << '\n';
     usage(err);
     return 2;
