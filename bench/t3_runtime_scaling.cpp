@@ -11,9 +11,12 @@
 /// wall-clock via UseRealTime; speedup = t(1)/t(N), expect >= 2.5x at 4
 /// jobs on >= 4 hardware threads) and pattern reuse (BM_FlatFlowCache,
 /// x-axis = cache on/off on a chip of repeated placements; the hit_rate
-/// counter reports the fraction of windows replayed). Output geometry is
-/// byte-identical across every point of both sweeps — that is the flow
-/// driver's determinism guarantee, asserted by tests/core_flow_parallel_test.
+/// counter reports the fraction of windows replayed). BM_FlatFlowImaging
+/// probes the third lever, the imaging engine itself: Abbe reference vs
+/// SOCS kernel compression on a production-dense source (solve_ms is the
+/// number to compare). Output geometry is byte-identical across every
+/// point of the jobs/cache sweeps — that is the flow driver's determinism
+/// guarantee, asserted by tests/core_flow_parallel_test.
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
@@ -197,6 +200,65 @@ void BM_FlatFlowCache(benchmark::State& state) {
       total == 0.0 ? 0.0 : static_cast<double>(stats.cache_hits) / total;
 }
 BENCHMARK(BM_FlatFlowCache)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+
+/// A production-dense illumination (grid 21, ~212 source points) —
+/// the regime where SOCS pays: the kept-kernel count saturates toward
+/// the continuous-TCC spectrum (~48 at ε = 1e-3) while the Abbe cost
+/// keeps growing with the point count. Each spec calibrates under its
+/// own engine, as the production flow would.
+const litho::SimSpec& dense_process(bool socs) {
+  static const litho::SimSpec abbe = [] {
+    litho::SimSpec s;
+    s.optics.source.grid = 21;
+    litho::calibrate_threshold(s, 180, 360);
+    return s;
+  }();
+  static const litho::SimSpec kernelized = [] {
+    litho::SimSpec s = abbe;
+    s.imaging = litho::ImagingMode::kSocs;
+    s.socs_epsilon = 1e-3;  // the production speed setting
+    litho::calibrate_threshold(s, 180, 360);
+    return s;
+  }();
+  return socs ? kernelized : abbe;
+}
+
+/// Imaging sweep: the same jobs=1 flat flow driven by the Abbe
+/// reference (Arg 0) versus SOCS kernel imaging (Arg 1) on the dense
+/// source. The solve phase pays one IFFT per source point under Abbe
+/// and one per kept kernel under SOCS; kernel eigensolves are one-time
+/// costs shared through the process-wide KernelCache and are included
+/// in the measured run (cache cleared up front; the kernel_* counters
+/// report sets built, kernels kept, and cache hits).
+void BM_FlatFlowImaging(benchmark::State& state) {
+  const bool socs = state.range(0) != 0;
+  layout::Library lib = flow_chip(2, 2, {1400, 1800});
+  opc::FlowSpec spec = flow_spec();
+  spec.sim = dense_process(socs);
+  spec.jobs = 1;
+  spec.cache = false;
+  litho::KernelCache::instance().clear();
+  opc::FlowStats stats;
+  for (auto _ : state) {
+    stats = opc::run_flat_opc(lib, "top", spec);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.counters["solve_ms"] =
+      stats.metrics.gauges.at(trace::metric::kFlowPhaseSolveMs);
+  const auto counter = [&](const char* name) {
+    const auto it = stats.metrics.counters.find(name);
+    return it == stats.metrics.counters.end()
+               ? 0.0
+               : static_cast<double>(it->second);
+  };
+  state.counters["kernel_sets"] =
+      counter(trace::metric::kLithoSocsKernelSetsBuilt);
+  state.counters["kernels"] = counter(trace::metric::kLithoSocsKernelsBuilt);
+  state.counters["kernel_hits"] =
+      counter(trace::metric::kLithoSocsCacheHits);
+}
+BENCHMARK(BM_FlatFlowImaging)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
 
 /// The repeated-placement chip of the cache sweep, rebuilt from 16

@@ -310,6 +310,11 @@ std::uint64_t flow_fingerprint(const FlowSpec& spec,
   mix_i(spec.output_layer.datatype);
   mix_i(spec.flat_context_passes);
   mix_u64(spec.cache_symmetry ? 1 : 0);
+  // Imaging engine selection and its truncation ε change the aerial
+  // intensities, hence the corrected output (appended fields; abbe with
+  // default ε hashes differently from pre-SOCS builds by design).
+  mix_i(static_cast<std::int64_t>(s.imaging));
+  mix_d(s.socs_epsilon);
   return h;
 }
 

@@ -9,3 +9,4 @@
 #include "litho/raster.h"     // IWYU pragma: export
 #include "litho/resist.h"     // IWYU pragma: export
 #include "litho/simulator.h"  // IWYU pragma: export
+#include "litho/socs.h"       // IWYU pragma: export

@@ -7,6 +7,21 @@
 
 namespace opckit::litho {
 
+namespace detail {
+
+std::size_t scan_sample_count(double t0, double t1, double step) {
+  return static_cast<std::size_t>((t1 - t0) / step + 1e-9) + 1;
+}
+
+double interpolate_crossing(double t0, double t1, double v0, double v1,
+                            double threshold) {
+  if (v1 == v0) return 0.5 * (t0 + t1);
+  const double frac = (threshold - v0) / (v1 - v0);
+  return t0 + frac * (t1 - t0);
+}
+
+}  // namespace detail
+
 namespace {
 
 constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
@@ -22,10 +37,11 @@ LineScan scan(const Image& img, const geom::Point& center,
               const geom::Point& dir, double t0, double t1, double step) {
   OPCKIT_CHECK(manhattan_length(dir) == 1);  // unit Manhattan direction
   LineScan s;
-  const auto n = static_cast<std::size_t>((t1 - t0) / step) + 1;
+  const std::size_t n = detail::scan_sample_count(t0, t1, step);
   s.t.reserve(n);
   s.v.reserve(n);
-  for (double t = t0; t <= t1 + 1e-9; t += step) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = t0 + static_cast<double>(i) * step;
     const double x = static_cast<double>(center.x) +
                      static_cast<double>(dir.x) * t;
     const double y = static_cast<double>(center.y) +
@@ -38,9 +54,8 @@ LineScan scan(const Image& img, const geom::Point& center,
 
 /// Linear-interpolated crossing of \p thr between samples i and i+1.
 double crossing_t(const LineScan& s, std::size_t i, double thr) {
-  const double v0 = s.v[i], v1 = s.v[i + 1];
-  const double frac = (thr - v0) / (v1 - v0);
-  return s.t[i] + frac * (s.t[i + 1] - s.t[i]);
+  return detail::interpolate_crossing(s.t[i], s.t[i + 1], s.v[i], s.v[i + 1],
+                                      thr);
 }
 
 /// Width of the span around t=0 where (v >= thr) == \p want_printed.
@@ -137,24 +152,45 @@ std::vector<ExposureLatitude> exposure_defocus_window(
   OPCKIT_CHECK(tol_frac > 0 && dose_step > 0 && dose_max > dose_min);
   std::vector<ExposureLatitude> out;
   out.reserve(defocus_list.size());
+  const auto steps =
+      static_cast<std::size_t>((dose_max - dose_min) / dose_step + 1e-9) + 1;
   for (double z : defocus_list) {
     ExposureLatitude el;
     el.defocus_nm = z;
-    bool any = false;
-    for (double dose = dose_min; dose <= dose_max + 1e-12;
-         dose += dose_step) {
+    // The passing-dose set can be non-contiguous (e.g. a sidelobe
+    // printing only at mid doses); reporting min..max of the whole set
+    // would overstate the latitude, so keep the largest contiguous run.
+    bool best_any = false, in_run = false;
+    double best_lo = 0.0, best_hi = 0.0, run_lo = 0.0, run_hi = 0.0;
+    const auto close_run = [&] {
+      if (in_run && (!best_any || run_hi - run_lo > best_hi - best_lo)) {
+        best_any = true;
+        best_lo = run_lo;
+        best_hi = run_hi;
+      }
+      in_run = false;
+    };
+    for (std::size_t i = 0; i < steps; ++i) {
+      const double dose = dose_min + static_cast<double>(i) * dose_step;
       const double cd = cd_fn(z, dose);
       const bool ok =
           !std::isnan(cd) && std::abs(cd - target_cd) <= tol_frac * target_cd;
       if (ok) {
-        if (!any) {
-          el.dose_lo = dose;
-          any = true;
+        if (!in_run) {
+          in_run = true;
+          run_lo = dose;
         }
-        el.dose_hi = dose;
+        run_hi = dose;
+      } else {
+        close_run();
       }
     }
-    el.latitude_pct = any ? 100.0 * (el.dose_hi - el.dose_lo) : 0.0;
+    close_run();
+    if (best_any) {
+      el.dose_lo = best_lo;
+      el.dose_hi = best_hi;
+    }
+    el.latitude_pct = best_any ? 100.0 * (best_hi - best_lo) : 0.0;
     out.push_back(el);
   }
   return out;

@@ -16,6 +16,25 @@
 
 namespace opckit::litho {
 
+namespace detail {
+
+/// Number of samples an inclusive [t0, t1] line scan takes at \p step:
+/// floor((t1 - t0)/step) + 1, with an epsilon so a span that is an
+/// exact multiple of step (up to FP rounding in the division) includes
+/// its endpoint. Scans index with t = t0 + i·step — accumulating
+/// t += step drifts by an ULP per iteration and can disagree with this
+/// count or overshoot t1.
+std::size_t scan_sample_count(double t0, double t1, double step);
+
+/// Linear-interpolated threshold crossing between samples (t0, v0) and
+/// (t1, v1). A flat segment (v0 == v1, both exactly at threshold in
+/// practice) has its crossing anywhere in the segment: returns the
+/// midpoint instead of a division by zero.
+double interpolate_crossing(double t0, double t1, double v0, double v1,
+                            double threshold);
+
+}  // namespace detail
+
 /// Width of the printed (intensity >= threshold) span containing
 /// \p center, measured along \p direction (unit Manhattan vector) within
 /// +/- span_nm/2. NaN if \p center is not printed or an edge is not found

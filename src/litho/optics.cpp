@@ -53,9 +53,11 @@ std::vector<SourcePoint> sample_source(const OpticalSystem& sys) {
   // Dipoles need a finer raster than disc sources to land enough points
   // inside the small poles; scale the raster so the pole diameter spans
   // at least ~3 cells.
+  // std::ceil, not a truncating cast: 3·r_out/radius = 10.2 must mean
+  // 11 cells, or small poles land under the 3-cells-across guarantee.
   const int eff_n =
-      dipole ? std::max<int>(n, static_cast<int>(3.0 * r_out /
-                                                 src.pole_radius)) : n;
+      dipole ? std::max<int>(n, static_cast<int>(std::ceil(
+                                    3.0 * r_out / src.pole_radius))) : n;
   for (int j = 0; j < eff_n; ++j) {
     for (int i = 0; i < eff_n; ++i) {
       // Cell centers of an eff_n x eff_n raster over [-r_out, r_out]^2.
@@ -78,6 +80,61 @@ std::vector<SourcePoint> sample_source(const OpticalSystem& sys) {
   for (auto& p : pts) p.weight = w;
   return pts;
 }
+
+Complex pupil_transmission(const OpticalSystem& sys, double fx, double fy,
+                           double defocus_nm) {
+  const double f_cut = sys.na / sys.wavelength_nm;
+  const double f_cut2 = f_cut * f_cut;
+  const double f2 = fx * fx + fy * fy;
+  if (f2 > f_cut2) return Complex{0.0, 0.0};  // outside pupil
+  const double defocus_phase_scale =
+      -std::numbers::pi * sys.wavelength_nm * defocus_nm;
+  double phase = defocus_phase_scale * f2;
+  const Aberrations& ab = sys.aberrations;
+  if (ab.any()) {
+    // Normalized pupil coordinates: u = cosθ·ρ, v = sinθ·ρ.
+    const double wf_to_phase = 2.0 * std::numbers::pi / sys.wavelength_nm;
+    const double u = fx / f_cut;
+    const double v = fy / f_cut;
+    const double rho2 = u * u + v * v;
+    const double coma_radial = 3.0 * rho2 - 2.0;  // (3ρ³-2ρ)/ρ
+    const double wavefront_nm =
+        ab.coma_x_nm * coma_radial * u +
+        ab.coma_y_nm * coma_radial * v +
+        ab.astig_nm * (u * u - v * v);  // ρ²cos2θ
+    phase += wf_to_phase * wavefront_nm;
+  }
+  return Complex{std::cos(phase), std::sin(phase)};
+}
+
+namespace detail {
+
+void weighted_intensity_sum(
+    std::size_t units, std::size_t n,
+    const std::function<void(std::size_t, std::vector<double>&)>& compute,
+    const std::function<double(std::size_t)>& weight,
+    std::vector<double>& acc) {
+  OPCKIT_CHECK(acc.size() == n);
+  // At most kChunk per-unit frames resident at once; accumulation runs
+  // in ascending unit order within and across chunks — the same order
+  // as an all-at-once reduction, so results are bit-identical at any
+  // thread count while peak memory stays O(kChunk·n).
+  constexpr std::size_t kChunk = 16;
+  std::vector<std::vector<double>> scratch(std::min(kChunk, units));
+  for (auto& buf : scratch) buf.resize(n);
+  for (std::size_t base = 0; base < units; base += kChunk) {
+    const std::size_t m = std::min(kChunk, units - base);
+    util::global_pool().parallel_for(
+        m, [&](std::size_t j) { compute(base + j, scratch[j]); });
+    for (std::size_t j = 0; j < m; ++j) {
+      const double w = weight(base + j);
+      const std::vector<double>& img = scratch[j];
+      for (std::size_t i = 0; i < n; ++i) acc[i] += w * img[i];
+    }
+  }
+}
+
+}  // namespace detail
 
 AbbeImager::AbbeImager(const OpticalSystem& sys, const Frame& frame)
     : sys_(sys), frame_(frame), source_(sample_source(sys)) {
@@ -110,58 +167,31 @@ Image AbbeImager::aerial_image(const Image& mask, double defocus_nm,
   }
   fft_2d(spectrum, nx, ny, /*inverse=*/false);
 
-  const double f_cut = sys_.na / sys_.wavelength_nm;
-  const double f_cut2 = f_cut * f_cut;
-  const double defocus_phase_scale =
-      -std::numbers::pi * sys_.wavelength_nm * defocus_nm;
-  const Aberrations& ab = sys_.aberrations;
-  const bool aberrated = ab.any();
-  const double wf_to_phase = 2.0 * std::numbers::pi / sys_.wavelength_nm;
-
-  // One coherent intensity per source point, then a fixed-order reduction:
-  // deterministic regardless of thread count.
-  std::vector<std::vector<double>> per_source(source_.size());
-  util::global_pool().parallel_for(source_.size(), [&](std::size_t si) {
-    const SourcePoint& sp = source_[si];
-    std::vector<Complex> field(n, Complex{0.0, 0.0});
-    for (std::size_t ky = 0; ky < ny; ++ky) {
-      const double fy = freq_y_[ky] + sp.fy;
-      const double fy2 = fy * fy;
-      for (std::size_t kx = 0; kx < nx; ++kx) {
-        const double fx = freq_x_[kx] + sp.fx;
-        const double f2 = fx * fx + fy2;
-        if (f2 > f_cut2) continue;  // outside pupil
-        double phase = defocus_phase_scale * f2;
-        if (aberrated) {
-          // Normalized pupil coordinates: u = cosθ·ρ, v = sinθ·ρ.
-          const double u = fx / f_cut;
-          const double v = fy / f_cut;
-          const double rho2 = u * u + v * v;
-          const double coma_radial = 3.0 * rho2 - 2.0;  // (3ρ³-2ρ)/ρ
-          const double wavefront_nm =
-              ab.coma_x_nm * coma_radial * u +
-              ab.coma_y_nm * coma_radial * v +
-              ab.astig_nm * (u * u - v * v);  // ρ²cos2θ
-          phase += wf_to_phase * wavefront_nm;
-        }
-        const Complex pupil(std::cos(phase), std::sin(phase));
-        const std::size_t idx = ky * nx + kx;
-        field[idx] = spectrum[idx] * pupil;
-      }
-    }
-    fft_2d(field, nx, ny, /*inverse=*/true);
-    auto& out = per_source[si];
-    out.resize(n);
-    for (std::size_t i = 0; i < n; ++i) out[i] = std::norm(field[i]);
-  });
-
+  // One coherent intensity per source point, reduced in fixed order by
+  // the chunked helper: deterministic regardless of thread count, and
+  // peak memory bounded by the chunk size instead of |S|.
   Image intensity(frame_, 0.0);
-  auto& acc = intensity.values();
-  for (std::size_t si = 0; si < source_.size(); ++si) {
-    const double w = source_[si].weight;
-    const auto& img = per_source[si];
-    for (std::size_t i = 0; i < n; ++i) acc[i] += w * img[i];
-  }
+  detail::weighted_intensity_sum(
+      source_.size(), n,
+      [&](std::size_t si, std::vector<double>& out) {
+        const SourcePoint& sp = source_[si];
+        std::vector<Complex> field(n, Complex{0.0, 0.0});
+        for (std::size_t ky = 0; ky < ny; ++ky) {
+          const double fy = freq_y_[ky] + sp.fy;
+          for (std::size_t kx = 0; kx < nx; ++kx) {
+            const double fx = freq_x_[kx] + sp.fx;
+            const Complex pupil =
+                pupil_transmission(sys_, fx, fy, defocus_nm);
+            if (pupil == Complex{0.0, 0.0}) continue;  // outside pupil
+            const std::size_t idx = ky * nx + kx;
+            field[idx] = spectrum[idx] * pupil;
+          }
+        }
+        fft_2d(field, nx, ny, /*inverse=*/true);
+        for (std::size_t i = 0; i < n; ++i) out[i] = std::norm(field[i]);
+      },
+      [&](std::size_t si) { return source_[si].weight; },
+      intensity.values());
   return intensity;
 }
 

@@ -16,9 +16,11 @@
 /// field (all-transmitting mask) normalizes to intensity 1.0.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "geometry/rect.h"
+#include "litho/fft.h"
 #include "litho/image.h"
 
 namespace opckit::litho {
@@ -102,6 +104,34 @@ struct SourcePoint {
 /// total weight normalized to 1. Throws if no point falls inside the
 /// source shape (degenerate spec).
 std::vector<SourcePoint> sample_source(const OpticalSystem& sys);
+
+/// Complex pupil transmission at absolute spatial frequency (fx, fy) in
+/// 1/nm — the caller applies any source-point shift before calling.
+/// Zero outside the NA cutoff; inside, a unit-magnitude phase factor
+/// combining the paraxial defocus term exp(-iπλz|f|²) with the Zernike
+/// aberration phases of sys.aberrations. This is the single pupil model
+/// shared by the Abbe and SOCS imaging engines; keeping one definition
+/// guarantees the engines agree on the physics bit-for-bit.
+Complex pupil_transmission(const OpticalSystem& sys, double fx, double fy,
+                           double defocus_nm);
+
+namespace detail {
+
+/// Deterministic chunked reduction: acc[i] += Σ_u weight(u)·frame_u[i],
+/// where frame_u is produced by compute(u, out) into a caller-invisible
+/// scratch buffer of size \p n (compute must overwrite every element).
+/// Units are computed in parallel (util::global_pool) but accumulated
+/// serially in ascending unit order, chunked so at most a fixed small
+/// number of frames is resident at once — O(chunk·n) peak instead of
+/// the O(units·n) of materialize-everything, with a summation order
+/// identical to it, so results are bit-identical at any thread count.
+void weighted_intensity_sum(
+    std::size_t units, std::size_t n,
+    const std::function<void(std::size_t, std::vector<double>&)>& compute,
+    const std::function<double(std::size_t)>& weight,
+    std::vector<double>& acc);
+
+}  // namespace detail
 
 /// Abbe imaging engine bound to a pixel frame. The frame's dimensions
 /// must be powers of two (the Simulator facade arranges this) and the

@@ -45,11 +45,16 @@ Simulator::Simulator(const SimSpec& spec, const geom::Rect& window)
     : spec_(spec),
       window_(window),
       frame_(make_frame(spec, window)),
-      imager_(spec.optics, frame_) {}
+      imager_(spec.optics, frame_) {
+  if (spec.imaging == ImagingMode::kSocs) {
+    socs_.emplace(spec.optics, frame_, SocsOptions{spec.socs_epsilon});
+  }
+}
 
 Image Simulator::aerial(const geom::Region& mask, double defocus_nm) const {
   trace::metrics().counter(trace::metric::kLithoAerialImages).add();
   const Image coverage = rasterize(mask, frame_);
+  if (socs_) return socs_->aerial_image(coverage, defocus_nm, spec_.mask);
   return imager_.aerial_image(coverage, defocus_nm, spec_.mask);
 }
 

@@ -13,17 +13,21 @@
 /// distinct threads may share one instance or build their own (the tiled
 /// flow driver in core/flow.cpp runs one run_model_opc per worker, each
 /// constructing its own Simulator). set_threshold is the one mutator;
-/// calibrate before sharing. The Abbe source-point loop inside aerial()
-/// uses util::global_pool() and runs inline when the caller is itself a
-/// pool worker (see thread_pool.h), with a fixed-order reduction either
-/// way — results are bit-identical at any thread count.
+/// calibrate before sharing. The per-source (Abbe) and per-kernel
+/// (SOCS) loops inside aerial() use util::global_pool() and run inline
+/// when the caller is itself a pool worker (see thread_pool.h), with a
+/// fixed-order reduction either way — results are bit-identical at any
+/// thread count. SOCS kernel sets come from the process-wide
+/// KernelCache (internally locked).
 #pragma once
 
+#include <optional>
 #include <span>
 
 #include "geometry/geometry.h"
 #include "litho/optics.h"
 #include "litho/resist.h"
+#include "litho/socs.h"
 
 namespace opckit::litho {
 
@@ -35,6 +39,14 @@ struct SimSpec {
   ResistModel resist;
   double pixel_nm = 8.0;       ///< raster pixel (integer nm recommended)
   geom::Coord guard_nm = 800;  ///< padding beyond the window of interest
+  /// Imaging engine: kAbbe (reference, one FFT per source point) or
+  /// kSocs (kernel compression, one FFT per kept eigen-kernel — within
+  /// socs_epsilon in intensity, several times faster on dense sources).
+  ImagingMode imaging = ImagingMode::kAbbe;
+  /// SOCS relative-eigenvalue truncation ε (keep λ_k ≥ ε·λ_max; ≈ the
+  /// max intensity deviation vs Abbe). Output-affecting; ignored by
+  /// kAbbe. 1e-4 is near-exact; 1e-3 is the production speed setting.
+  double socs_epsilon = 1e-4;
 };
 
 /// A simulation context bound to a physical window of interest.
@@ -70,6 +82,7 @@ class Simulator {
   geom::Rect window_;
   Frame frame_;
   AbbeImager imager_;
+  std::optional<SocsImager> socs_;  ///< engaged when spec.imaging == kSocs
 };
 
 /// Double-exposure latent image: the resist integrates the dose of two

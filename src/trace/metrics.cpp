@@ -46,11 +46,19 @@ constexpr std::array kMetricTable = {
     MetricInfo{metric::kStoreRecoveredTailBytes, MetricKind::kCounter,
                "torn-tail bytes dropped by store crash recovery (STO002)"},
     MetricInfo{metric::kLithoAerialImages, MetricKind::kCounter,
-               "aerial images computed by the Abbe imaging engine"},
+               "aerial images computed (Abbe or SOCS imaging engine)"},
     MetricInfo{metric::kLithoFft2dTransforms, MetricKind::kCounter,
                "2D FFT invocations (imaging + resist diffusion)"},
     MetricInfo{metric::kLithoRasterCells, MetricKind::kCounter,
                "pixel cells written by the mask rasterizer"},
+    MetricInfo{metric::kLithoSocsKernelSetsBuilt, MetricKind::kCounter,
+               "SOCS kernel sets built (Gram + Jacobi eigensolves run)"},
+    MetricInfo{metric::kLithoSocsKernelsBuilt, MetricKind::kCounter,
+               "coherent kernels synthesized across all built sets"},
+    MetricInfo{metric::kLithoSocsCacheHits, MetricKind::kCounter,
+               "kernel-set requests served from the process KernelCache"},
+    MetricInfo{metric::kLithoSocsEnergyCaptured, MetricKind::kGauge,
+               "sum over built sets of the captured source-energy fraction"},
 };
 
 }  // namespace

@@ -81,6 +81,13 @@ inline constexpr const char* kStoreRecoveredTailBytes =
 inline constexpr const char* kLithoAerialImages = "litho.aerial_images";
 inline constexpr const char* kLithoFft2dTransforms = "litho.fft2d_transforms";
 inline constexpr const char* kLithoRasterCells = "litho.raster_cells";
+inline constexpr const char* kLithoSocsKernelSetsBuilt =
+    "litho.socs_kernel_sets_built";
+inline constexpr const char* kLithoSocsKernelsBuilt =
+    "litho.socs_kernels_built";
+inline constexpr const char* kLithoSocsCacheHits = "litho.socs_cache_hits";
+inline constexpr const char* kLithoSocsEnergyCaptured =
+    "litho.socs_energy_captured";
 }  // namespace metric
 
 /// Monotone event counter. add() is a relaxed atomic increment — safe

@@ -1,0 +1,172 @@
+/// Edge-case regression tests for the metrology/optics bugfix sweep:
+/// flat-segment threshold crossings, index-based scan stepping,
+/// largest-contiguous-run exposure windows, and dipole source raster
+/// resolution.
+///
+/// Labelled `metrology` (with the socs suite's binary) so tools/ci.sh
+/// can gate the sanitizer jobs on it explicitly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "litho/metrology.h"
+#include "litho/optics.h"
+
+namespace opckit::litho {
+namespace {
+
+// A flat segment exactly at threshold used to divide by v1 - v0 and
+// feed ±inf/NaN into EPE statistics; the crossing is now the midpoint.
+TEST(MetrologyEdge, FlatSegmentCrossingReturnsMidpoint) {
+  EXPECT_DOUBLE_EQ(detail::interpolate_crossing(2.0, 4.0, 0.5, 0.5, 0.5),
+                   3.0);
+  EXPECT_DOUBLE_EQ(detail::interpolate_crossing(-8.0, -6.0, 0.3, 0.3, 0.3),
+                   -7.0);
+  EXPECT_TRUE(std::isfinite(
+      detail::interpolate_crossing(0.0, 1.0, 0.5, 0.5, 0.5)));
+}
+
+TEST(MetrologyEdge, SlopedSegmentCrossingStillInterpolates) {
+  // v: 0.2 -> 0.8 over t: 0 -> 2; threshold 0.5 crosses at t = 1.
+  EXPECT_DOUBLE_EQ(detail::interpolate_crossing(0.0, 2.0, 0.2, 0.8, 0.5),
+                   1.0);
+  // Quarter of the way up the segment.
+  EXPECT_DOUBLE_EQ(detail::interpolate_crossing(0.0, 4.0, 0.4, 0.8, 0.5),
+                   1.0);
+}
+
+// `t += step` accumulation drifted: (1.0 - 0.0)/0.1 evaluates below 10
+// in floating point, so the old truncating count reserved one sample
+// too few while the loop's epsilon test still emitted it.
+TEST(MetrologyEdge, ScanSampleCountExactForNonDyadicSteps) {
+  EXPECT_EQ(detail::scan_sample_count(0.0, 1.0, 0.1), 11u);
+  EXPECT_EQ(detail::scan_sample_count(0.0, 0.35, 0.07), 6u);
+  EXPECT_EQ(detail::scan_sample_count(-160.0, 160.0, 2.0), 161u);
+  EXPECT_EQ(detail::scan_sample_count(0.0, 0.9, 0.2), 5u);  // partial tail
+  EXPECT_EQ(detail::scan_sample_count(0.0, 0.0, 2.0), 1u);
+}
+
+// Metrology probes on a frame whose pixel/4 scan step is non-dyadic
+// must still see a symmetric feature as symmetric: the index-based
+// stepping samples the same |t| on both sides of zero.
+TEST(MetrologyEdge, NonDyadicStepKeepsSymmetricProbeSymmetric) {
+  Frame f;
+  f.origin = {-63, -63};
+  f.pixel_nm = 6.0;  // step = 1.5; spans/steps hit the epsilon paths
+  f.nx = 32;
+  f.ny = 32;
+  Image img(f, 0.0);
+  // Symmetric triangular ridge around x = 0, uniform in y.
+  for (std::size_t iy = 0; iy < f.ny; ++iy) {
+    for (std::size_t ix = 0; ix < f.nx; ++ix) {
+      const double x = static_cast<double>(f.origin.x) +
+                       (static_cast<double>(ix) + 0.5) * f.pixel_nm;
+      img.at(ix, iy) = std::max(0.0, 1.0 - std::abs(x) / 48.0);
+    }
+  }
+  const double cd = printed_cd(img, {0, 0}, {1, 0}, 90.0, 0.5);
+  ASSERT_FALSE(std::isnan(cd));
+  // Threshold 0.5 crosses at |x| = 24 -> width 48, sub-pixel accurate.
+  EXPECT_NEAR(cd, 48.0, 1.5);
+  const double epe = edge_placement_error(img, {24, 0}, {1, 0}, 30.0, 0.5);
+  ASSERT_FALSE(std::isnan(epe));
+  EXPECT_NEAR(epe, 0.0, 1.5);
+}
+
+// A passing-dose set with a detached island (e.g. a sidelobe printing
+// on target only at mid dose) must not be reported as one wide lo..hi
+// window — that overstated the exposure latitude.
+TEST(MetrologyEdge, ExposureWindowTakesLargestContiguousRun) {
+  const auto cd_fn = [](double, double dose) {
+    const bool pass = (dose >= 0.795 && dose <= 0.905) ||
+                      (dose >= 1.195 && dose <= 1.225);
+    return pass ? 100.0 : 150.0;  // target 100, tol 5% -> ±5nm
+  };
+  const auto window =
+      exposure_defocus_window(cd_fn, {0.0}, 100.0, 0.05, 0.70, 1.30, 0.01);
+  ASSERT_EQ(window.size(), 1u);
+  EXPECT_NEAR(window[0].dose_lo, 0.80, 1e-9);
+  EXPECT_NEAR(window[0].dose_hi, 0.90, 1e-9);
+  EXPECT_NEAR(window[0].latitude_pct, 10.0, 1e-6);
+}
+
+TEST(MetrologyEdge, ExposureWindowPrefersLaterRunWhenLarger) {
+  const auto cd_fn = [](double, double dose) {
+    const bool pass = (dose >= 0.745 && dose <= 0.775) ||
+                      (dose >= 1.095 && dose <= 1.255);
+    return pass ? 100.0 : std::numeric_limits<double>::quiet_NaN();
+  };
+  const auto window =
+      exposure_defocus_window(cd_fn, {0.0}, 100.0, 0.05, 0.70, 1.30, 0.01);
+  ASSERT_EQ(window.size(), 1u);
+  EXPECT_NEAR(window[0].dose_lo, 1.10, 1e-9);
+  EXPECT_NEAR(window[0].dose_hi, 1.25, 1e-9);
+}
+
+TEST(MetrologyEdge, ExposureWindowContiguousSetUnchanged) {
+  const auto cd_fn = [](double, double dose) {
+    return (dose >= 0.895 && dose <= 1.105) ? 100.0 : 200.0;
+  };
+  const auto window =
+      exposure_defocus_window(cd_fn, {0.0}, 100.0, 0.05, 0.70, 1.30, 0.01);
+  ASSERT_EQ(window.size(), 1u);
+  EXPECT_NEAR(window[0].dose_lo, 0.90, 1e-9);
+  EXPECT_NEAR(window[0].dose_hi, 1.10, 1e-9);
+  EXPECT_NEAR(window[0].latitude_pct, 20.0, 1e-6);
+}
+
+TEST(MetrologyEdge, ExposureWindowAllFailingReportsZeroLatitude) {
+  const auto cd_fn = [](double, double) { return 500.0; };
+  const auto window =
+      exposure_defocus_window(cd_fn, {0.0, 100.0}, 100.0, 0.05);
+  ASSERT_EQ(window.size(), 2u);
+  for (const auto& el : window) {
+    EXPECT_EQ(el.latitude_pct, 0.0);
+    EXPECT_EQ(el.dose_lo, 0.0);
+    EXPECT_EQ(el.dose_hi, 0.0);
+  }
+}
+
+// The dipole raster guarantee is "at least ~3 cells across the pole";
+// 3·r_out/pole_radius = 10.8 must round UP to 11 cells, not truncate to
+// 10 — truncation under-resolves small poles.
+TEST(MetrologyEdge, DipoleRasterResolvesSmallPoles) {
+  OpticalSystem sys;
+  sys.source.shape = SourceShape::kDipoleX;
+  sys.source.pole_center = 0.65;
+  sys.source.pole_radius = 0.25;  // r_out = 0.90, 3·r_out/radius = 10.8
+  const double f_na = sys.na / sys.wavelength_nm;
+  const double r_out = sys.source.pole_center + sys.source.pole_radius;
+
+  const std::vector<SourcePoint> pts = sample_source(sys);
+  ASSERT_FALSE(pts.empty());
+  // Recover the raster pitch from the distinct fx coordinates; the
+  // 3-cells-across guarantee bounds it by (2/3)·pole_radius·f_na.
+  std::set<double> xs;
+  for (const SourcePoint& p : pts) xs.insert(p.fx);
+  ASSERT_GE(xs.size(), 2u);
+  double pitch = std::numeric_limits<double>::infinity();
+  for (auto it = std::next(xs.begin()); it != xs.end(); ++it) {
+    pitch = std::min(pitch, *it - *std::prev(it));
+  }
+  const double max_pitch = 2.0 / 3.0 * sys.source.pole_radius * f_na;
+  EXPECT_LE(pitch, max_pitch * (1.0 + 1e-12));
+  // And the raster really is the ceil'd 11 cells: pitch = 2·r_out/11.
+  EXPECT_NEAR(pitch, 2.0 * r_out * f_na / 11.0, 1e-15);
+}
+
+TEST(MetrologyEdge, DipoleWeightsStillNormalized) {
+  OpticalSystem sys;
+  sys.source.shape = SourceShape::kDipoleY;
+  sys.source.pole_radius = 0.25;
+  double total = 0.0;
+  for (const SourcePoint& p : sample_source(sys)) total += p.weight;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace opckit::litho

@@ -52,6 +52,16 @@ job_sanitize() {
   (cd build-ci-asan && \
    ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
    ctest "${CTEST_ARGS[@]}" --no-tests=error -L trace)
+  # And for the SOCS kernel-imaging + metrology edge-case suite (`socs`
+  # and `metrology` labels): the eigensolver and kernel synthesis are
+  # index-heavy numerics the address sanitizer should sweep on every CI
+  # run, not only when the full suite happens to include them.
+  (cd build-ci-asan && \
+   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+   ctest "${CTEST_ARGS[@]}" --no-tests=error -L socs)
+  (cd build-ci-asan && \
+   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+   ctest "${CTEST_ARGS[@]}" --no-tests=error -L metrology)
 }
 
 job_tsan() {
@@ -68,6 +78,11 @@ job_tsan() {
   # can never silently drop the traced-flow suite from the TSan matrix.
   (cd build-ci-tsan && \
    ctest "${CTEST_ARGS[@]}" --no-tests=error -L trace)
+  # `socs` label: the process-wide KernelCache (mutex under concurrent
+  # flow workers) and both engines' pooled chunked reductions are
+  # concurrency machinery — keep them in the TSan matrix explicitly.
+  (cd build-ci-tsan && \
+   ctest "${CTEST_ARGS[@]}" --no-tests=error -L socs)
 }
 
 job_tidy() {

@@ -192,6 +192,21 @@ int cmd_opc(const Options& opts, std::ostream& out) {
     throw util::InputError("unknown --stats format (use json): " +
                            opts.get("stats", ""));
   }
+  const std::string imaging = opts.get("imaging", "abbe");
+  if (imaging != "abbe" && imaging != "socs") {
+    throw util::InputError("unknown --imaging (use abbe or socs): " +
+                           imaging);
+  }
+  if (mode == "rule" && (opts.has("imaging") || opts.has("socs-epsilon"))) {
+    throw util::InputError("--imaging/--socs-epsilon require --mode model");
+  }
+  // Applied before threshold calibration so the calibrated resist
+  // threshold and the production runs use the same imaging engine.
+  const auto apply_imaging = [&](litho::SimSpec& sim) {
+    sim.imaging = imaging == "socs" ? litho::ImagingMode::kSocs
+                                    : litho::ImagingMode::kAbbe;
+    sim.socs_epsilon = opts.get_double("socs-epsilon", sim.socs_epsilon);
+  };
 
   layout::Library lib = layout::read_gdsii_file(opts.require("in"));
   const std::string top = pick_cell(lib, opts);
@@ -206,6 +221,7 @@ int cmd_opc(const Options& opts, std::ostream& out) {
   // parameters), so no separate lint pass is needed here.
   if (flow != "direct") {
     opc::FlowSpec spec;
+    apply_imaging(spec.sim);
     litho::calibrate_threshold(
         spec.sim, static_cast<geom::Coord>(opts.get_int("anchor-cd", 180)),
         static_cast<geom::Coord>(opts.get_int("anchor-pitch", 360)));
@@ -302,6 +318,7 @@ int cmd_opc(const Options& opts, std::ostream& out) {
     out << "rule OPC: " << corrected.size() << " corrected polygons\n";
   } else if (mode == "model") {
     litho::SimSpec process;
+    apply_imaging(process);
     const auto anchor_cd =
         static_cast<geom::Coord>(opts.get_int("anchor-cd", 180));
     const auto anchor_pitch =
@@ -470,6 +487,9 @@ void usage(std::ostream& err) {
          "            [--stats json] [--stats-out FILE] [--trace FILE]\n"
          "            (--trace writes a chrome://tracing span timeline\n"
          "             of the flow phases and per-tile work)\n"
+         "            [--imaging abbe|socs] [--socs-epsilon F]\n"
+         "            (socs: SOCS kernel imaging — a few FFTs per image\n"
+         "             instead of one per source point, within ε)\n"
          "            [--deck FILE]\n"
          "            [--srafs] [--anchor-cd N] [--anchor-pitch N]\n"
          "            (inputs are lint pre-flighted; errors abort, see\n"
