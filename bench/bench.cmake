@@ -40,3 +40,7 @@ opckit_add_experiment(f11_aberrations)
 # T3 uses google-benchmark.
 opckit_add_experiment(t3_runtime_scaling)
 target_link_libraries(t3_runtime_scaling PRIVATE benchmark::benchmark)
+
+# T10 times the scanline MRC engine against the morphology checker.
+opckit_add_experiment(t10_mrc)
+target_link_libraries(t10_mrc PRIVATE opckit_mrc)

@@ -1,0 +1,119 @@
+/// T10 — MRC signoff runtime: scanline engine vs morphology residue.
+///
+/// The paper predicts post-OPC masks fragment into many small figures;
+/// signoff checking must keep up with that data-volume explosion. This
+/// experiment times the two checkers in this repo on the same
+/// rule-OPC-corrected random blocks: the morphology DRC (full-region
+/// opening/closing Booleans per rule, in doubled coordinates) against
+/// the scanline MRC engine (one sweep over the canonical slab stack per
+/// rule + transpose). Both run the width/space/area deck with identical
+/// open-semantics verdicts — the differential test suite asserts the
+/// agreement; this binary measures the cost.
+///
+/// Output: the usual text table, plus BENCH_t10.json (path overridable
+/// as argv[1]) with the per-size timings and the speedup for CI
+/// trending. Acceptance: scanline >= 3x faster on the largest block.
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "drc/drc.h"
+#include "exp_common.h"
+#include "mrc/mrc.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace opckit;
+using Clock = std::chrono::steady_clock;
+
+/// A rule-OPC-corrected random routed block: serifs, hammerheads, and
+/// biased edges — the fragmented figure soup signoff actually sees.
+geom::Region corrected_block(geom::Coord side, std::uint64_t seed) {
+  util::Rng rng(seed);
+  layout::Cell cell("t10");
+  layout::RandomBlockSpec spec;
+  spec.width = side;
+  spec.height = side;
+  layout::add_random_block(cell, layout::layers::kMetal1, spec, rng);
+  const auto shapes = cell.shapes(layout::layers::kMetal1);
+  const std::vector<geom::Polygon> drawn(shapes.begin(), shapes.end());
+  const auto corrected =
+      opc::apply_rule_opc(drawn, opc::default_rule_deck_180());
+  return geom::Region::from_polygons(corrected.corrected);
+}
+
+double time_ms(const std::function<void()>& fn, int reps) {
+  const auto t0 = Clock::now();
+  for (int i = 0; i < reps; ++i) fn();
+  const auto t1 = Clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count() / reps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_t10.json";
+
+  const mrc::Deck scan_deck = {
+      {mrc::CheckKind::kWidth, "width.60", 60},
+      {mrc::CheckKind::kSpace, "space.60", 60},
+      {mrc::CheckKind::kArea, "area.6400", 6400},
+  };
+  const std::vector<drc::Rule> morph_deck = {
+      {drc::RuleKind::kMinWidth, "width.60", 60},
+      {drc::RuleKind::kMinSpace, "space.60", 60},
+      {drc::RuleKind::kMinArea, "area.6400", 6400},
+  };
+
+  util::Table table({"side_nm", "rects", "scanline_ms", "morphology_ms",
+                     "speedup", "scan_violations", "morph_violations"});
+  std::ostringstream json;
+  json << "{\"experiment\":\"t10_mrc\",\"sizes\":[";
+  double last_speedup = 0.0;
+  bool first = true;
+  for (const geom::Coord side : {geom::Coord{6000}, geom::Coord{12000},
+                                 geom::Coord{24000}}) {
+    const geom::Region mask = corrected_block(side, 42);
+    const int reps = side <= 6000 ? 5 : (side <= 12000 ? 3 : 1);
+
+    mrc::MrcReport scan;
+    const double scan_ms =
+        time_ms([&] { scan = mrc::check_mask(mask, scan_deck); }, reps);
+    drc::DrcReport morph;
+    const double morph_ms =
+        time_ms([&] { morph = drc::run_deck(mask, morph_deck); }, reps);
+    last_speedup = scan_ms > 0.0 ? morph_ms / scan_ms : 0.0;
+
+    table.add_row(static_cast<long long>(side), mask.rect_count(), scan_ms,
+                  morph_ms, last_speedup, scan.violations.size(),
+                  morph.violations.size());
+    json << (first ? "" : ",") << "{\"side_nm\":" << side
+         << ",\"rects\":" << mask.rect_count()
+         << ",\"scanline_ms\":" << util::format_double(scan_ms)
+         << ",\"morphology_ms\":" << util::format_double(morph_ms)
+         << ",\"speedup\":" << util::format_double(last_speedup)
+         << ",\"scan_violations\":" << scan.violations.size()
+         << ",\"morph_violations\":" << morph.violations.size() << "}";
+    first = false;
+  }
+  json << "],\"speedup_largest\":" << util::format_double(last_speedup)
+       << "}\n";
+
+  opckit::exp::emit(
+      "T10", "MRC signoff runtime: scanline engine vs morphology residue",
+      table);
+  std::ofstream(json_path) << json.str();
+  std::cout << "wrote " << json_path << '\n';
+
+  // The tentpole's performance claim: the sweep must beat the Booleans
+  // clearly on the largest block. A regression here is a build failure
+  // for the bench job, not a silent slowdown.
+  if (last_speedup < 3.0) {
+    std::cerr << "t10: scanline speedup " << last_speedup
+              << "x below the 3x acceptance floor\n";
+    return 1;
+  }
+  return 0;
+}

@@ -21,6 +21,7 @@
 
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "core/opc.h"
 #include "layout/layout.h"
@@ -325,4 +326,28 @@ BENCHMARK(BM_FlatFlowStore)->Arg(0)->Arg(1)->Arg(2)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+/// Like BENCHMARK_MAIN(), but the machine-readable report is on by
+/// default: without an explicit --benchmark_out, results are written to
+/// BENCH_t3.json (JSON format) next to the console report, so the CI
+/// bench job always leaves a trendable artifact behind.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      has_out = true;
+    }
+  }
+  static std::string out_flag = "--benchmark_out=BENCH_t3.json";
+  static std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <bit>
 #include <chrono>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -246,6 +247,135 @@ class StoreSession {
   int fail_after_;
 };
 
+/// FlowSpec::mrc_deck split for the tiled signoff gate. Every
+/// edge-pair/boundary check is a local function of the geometry within
+/// the largest rule distance of its marker, so it tiles exactly; the
+/// connected-component area check does not, so it runs once globally.
+struct MrcDeckSplit {
+  mrc::Deck edge;
+  mrc::Deck area;
+  geom::Coord rule_max = 0;  ///< largest edge-deck rule distance
+};
+
+MrcDeckSplit split_mrc_deck(const mrc::Deck& deck) {
+  MrcDeckSplit split;
+  for (const mrc::Check& c : deck) {
+    if (c.kind == mrc::CheckKind::kArea) {
+      split.area.push_back(c);
+    } else {
+      split.edge.push_back(c);
+      split.rule_max = std::max(split.rule_max, c.value);
+    }
+  }
+  return split;
+}
+
+/// Fold one tile's violation count into the accounting (serial, tile
+/// order — the histogram observation order matches tile_simulations).
+void account_mrc_tile(std::size_t violations, FlowStats& stats) {
+  stats.tile_mrc_violations.push_back(violations);
+  trace::metrics().counter(trace::metric::kMrcTilesChecked).add(1);
+  trace::metrics()
+      .histogram(trace::metric::kMrcTileViolations)
+      .observe(static_cast<double>(violations));
+}
+
+/// Seal the merged report: canonical order, counters, stats flags.
+void finish_mrc_report(std::vector<mrc::Violation> merged, bool dedup,
+                       FlowStats& stats) {
+  if (dedup) mrc::sort_and_dedup(merged);
+  stats.mrc.violations = std::move(merged);
+  stats.mrc_checked = true;
+  trace::metrics()
+      .counter(trace::metric::kMrcViolations)
+      .add(stats.mrc.violations.size());
+}
+
+/// Flat-flow signoff: sweep the written output per placement tile, in
+/// parallel, against the frozen corrected pool. Each tile checks the
+/// un-clipped polygons within `2 * rule_max` of its window and keeps
+/// the violations whose marker touches the window inflated by
+/// `rule_max` — every polygon a kept marker depends on is inside the
+/// query zone, so a kept violation is exact, and every violation on the
+/// mask falls inside at least one tile's kept zone. Straddling markers
+/// surface from several tiles and collapse in sort_and_dedup. The area
+/// deck runs once over the whole pool (global connectivity).
+void run_flat_mrc_gate(const FlowSpec& spec, TileExecutor& exec,
+                       const std::vector<Polygon>& pool,
+                       const std::vector<Rect>& windows, FlowStats& stats) {
+  if (spec.mrc_deck.empty()) return;
+  PhaseScope phase("flow.mrc", trace::metric::kFlowPhaseMrcMs);
+  const MrcDeckSplit deck = split_mrc_deck(spec.mrc_deck);
+
+  Rect chip_box = geom::Rect::empty();
+  for (const auto& p : pool) chip_box = chip_box.united(p.bbox());
+  if (chip_box.is_empty()) {
+    finish_mrc_report({}, /*dedup=*/true, stats);
+    return;
+  }
+  const geom::Coord margin = 2 * deck.rule_max;
+  geom::TileIndex index(chip_box.inflated(margin + 256), 2048);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    index.insert(i, pool[i].bbox());
+  }
+
+  std::vector<mrc::Violation> merged;
+  std::vector<std::vector<mrc::Violation>> per_tile(windows.size());
+  exec.run(windows.size(), [&](std::size_t i) {
+    trace::Span span("flow.mrc.tile", static_cast<std::int64_t>(i));
+    const Rect window = windows[i];
+    if (window.is_empty() || deck.edge.empty()) return;
+    std::vector<Polygon> local;
+    for (std::size_t id : index.query(window.inflated(margin))) {
+      local.push_back(pool[id]);
+    }
+    mrc::MrcReport report = mrc::check_polygons(local, deck.edge);
+    const Rect keep = window.inflated(deck.rule_max);
+    for (mrc::Violation& v : report.violations) {
+      if (v.marker.touches(keep)) per_tile[i].push_back(std::move(v));
+    }
+  });
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    account_mrc_tile(per_tile[i].size(), stats);
+    for (mrc::Violation& v : per_tile[i]) merged.push_back(std::move(v));
+  }
+
+  if (!deck.area.empty()) {
+    mrc::MrcReport area =
+        mrc::check_mask(geom::Region::from_polygons(pool), deck.area);
+    for (mrc::Violation& v : area.violations) merged.push_back(std::move(v));
+  }
+  finish_mrc_report(std::move(merged), /*dedup=*/true, stats);
+}
+
+/// Evaluate FlowSpec::mrc_action once the stats are sealed. kFail
+/// throws on error-severity findings only (MRC005 jogs warn); the
+/// message mirrors the pre-flight gate's shape.
+void apply_mrc_action(const FlowSpec& spec, FlowStats& stats) {
+  if (!stats.mrc_checked || spec.mrc_action != mrc::Action::kFail) return;
+  const lint::LintReport lint = mrc::to_lint_report(stats.mrc);
+  if (lint.clean()) return;
+  std::set<std::string> error_codes;
+  for (const lint::Diagnostic& d : lint.findings()) {
+    if (d.severity == lint::Severity::kError) error_codes.insert(d.code);
+  }
+  std::ostringstream os;
+  os << "MRC signoff gate found " << lint.errors() << " error(s) [";
+  bool first = true;
+  for (const std::string& code : error_codes) {
+    os << (first ? "" : " ") << code;
+    first = false;
+  }
+  os << "]:";
+  std::size_t shown = 0;
+  for (const lint::Diagnostic& d : lint.findings()) {
+    if (d.severity != lint::Severity::kError) continue;
+    os << (shown == 0 ? " " : "; ") << d.to_line();
+    if (++shown == 3) break;
+  }
+  throw MrcGateError(os.str(), std::move(stats));
+}
+
 }  // namespace
 
 std::uint64_t flow_fingerprint(const FlowSpec& spec,
@@ -343,7 +473,20 @@ std::string render_stats_json(const FlowStats& stats) {
   for (std::size_t i = 0; i < stats.tile_simulations.size(); ++i) {
     os << (i ? "," : "") << stats.tile_simulations[i];
   }
-  os << "],\"wall_ms\":" << util::format_double(stats.wall_ms)
+  os << "],\"mrc\":{\"checked\":" << (stats.mrc_checked ? "true" : "false")
+     << ",\"violations\":" << stats.mrc.violations.size() << ",\"by_rule\":{";
+  std::map<std::string, std::size_t> by_rule;
+  for (const mrc::Violation& v : stats.mrc.violations) ++by_rule[v.rule];
+  bool first_rule = true;
+  for (const auto& [rule, n] : by_rule) {
+    os << (first_rule ? "" : ",") << "\"" << rule << "\":" << n;
+    first_rule = false;
+  }
+  os << "},\"tile_violations\":[";
+  for (std::size_t i = 0; i < stats.tile_mrc_violations.size(); ++i) {
+    os << (i ? "," : "") << stats.tile_mrc_violations[i];
+  }
+  os << "]},\"wall_ms\":" << util::format_double(stats.wall_ms)
      << ",\"metrics\":" << trace::render_metrics_json(stats.metrics) << "}";
   return os.str();
 }
@@ -438,9 +581,35 @@ FlowStats run_cell_opc(Library& lib, const std::string& top,
     }
   }
 
+  // Phase E — MRC signoff (parallel, read-only on the written output).
+  // Cells are corrected in isolation, so they are signed off the same
+  // way: one gate tile per cell, full deck (a cell is its own
+  // connectivity universe here, so the area check tiles too).
+  if (!spec.mrc_deck.empty()) {
+    PhaseScope phase("flow.mrc", trace::metric::kFlowPhaseMrcMs);
+    std::vector<mrc::MrcReport> reports(work.size());
+    exec.run(work.size(), [&](std::size_t i) {
+      trace::Span span("flow.mrc.tile", static_cast<std::int64_t>(i));
+      const auto shapes = lib.at(work[i]).shapes(spec.output_layer);
+      const std::vector<Polygon> mask(shapes.begin(), shapes.end());
+      reports[i] = mrc::check_polygons(mask, spec.mrc_deck);
+    });
+    std::vector<mrc::Violation> merged;
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      account_mrc_tile(reports[i].violations.size(), stats);
+      for (mrc::Violation& v : reports[i].violations) {
+        merged.push_back(std::move(v));
+      }
+    }
+    // Concatenated in sorted cell order, NOT deduplicated: two cells
+    // with identical local geometry are distinct masks.
+    finish_mrc_report(std::move(merged), /*dedup=*/false, stats);
+  }
+
   finalize_cache_stats(cache, stats);
   publish_flow_metrics(before, stats);
   stats.wall_ms = elapsed_ms(t0);
+  apply_mrc_action(spec, stats);
   return stats;
 }
 
@@ -614,9 +783,28 @@ FlowStats run_flat_opc(Library& lib, const std::string& top,
     }
   }
 
+  // Phase E — MRC signoff over the written flat mask, one gate tile per
+  // placement (the corrected extents, not the drawn windows: corrected
+  // edges can move outward and the kept zones must cover every marker).
+  if (!spec.mrc_deck.empty()) {
+    std::vector<Polygon> final_pool;
+    std::vector<Rect> windows;
+    windows.reserve(jobs.size());
+    for (const Job& job : jobs) {
+      Rect w = geom::Rect::empty();
+      for (const auto& p : job.corrected) {
+        w = w.united(p.bbox());
+        final_pool.push_back(p);
+      }
+      windows.push_back(w);
+    }
+    run_flat_mrc_gate(spec, exec, final_pool, windows, stats);
+  }
+
   finalize_cache_stats(cache, stats);
   publish_flow_metrics(before, stats);
   stats.wall_ms = elapsed_ms(t0);
+  apply_mrc_action(spec, stats);
   return stats;
 }
 

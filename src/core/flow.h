@@ -56,6 +56,7 @@
 
 #include "core/model.h"
 #include "layout/library.h"
+#include "mrc/mrc.h"
 #include "trace/metrics.h"
 
 namespace opckit::opc {
@@ -112,6 +113,21 @@ struct FlowSpec {
   /// (default) = off. Test-only; the abort happens after the tile's
   /// record is flushed to the store, modelling a crash between tiles.
   int fail_after_tiles = -1;
+  /// Post-OPC mask-rule signoff gate (see mrc/mrc.h). Empty (default) =
+  /// gate off. When set, after the corrected output is written the
+  /// scanline MRC engine sweeps it — per tile, in parallel, reusing the
+  /// flow's executor and tile index — and the merged report lands in
+  /// FlowStats::mrc. The edge-pair/boundary checks tile exactly (each
+  /// is a local function of the geometry near its marker); the area
+  /// check needs global connectivity, so it runs once over the whole
+  /// mask. Signoff reads the output, never rewrites it, so the deck and
+  /// action are excluded from flow_fingerprint().
+  mrc::Deck mrc_deck;
+  /// kFail (default): error-severity violations throw MrcGateError —
+  /// after the output layer is written, so the rejected mask can be
+  /// inspected. kWarn: the report is kept in FlowStats only. Jog
+  /// findings (MRC005) are warning-severity and never block.
+  mrc::Action mrc_action = mrc::Action::kFail;
 };
 
 /// Thrown by FlowSpec::fail_after_tiles fault injection — a stand-in for
@@ -159,6 +175,34 @@ struct FlowStats {
   /// Wall-clock of the whole flow in milliseconds. Observability only —
   /// like the phase gauges in `metrics`, not deterministic.
   double wall_ms = 0.0;
+  /// True when the MRC signoff gate ran (FlowSpec::mrc_deck non-empty),
+  /// even if the mask came back clean.
+  bool mrc_checked = false;
+  /// Merged signoff report, in the engine's canonical order — identical
+  /// at any `jobs` value. Flat flow: chip coordinates, deduplicated.
+  /// Cell flow: per-cell reports concatenated in sorted cell order
+  /// (markers in each cell's local frame).
+  mrc::MrcReport mrc;
+  /// Violations attributed per checked tile, in the same deterministic
+  /// tile order as tile_simulations (a straddling marker may count in
+  /// more than one tile; the report above is deduplicated).
+  std::vector<std::size_t> tile_mrc_violations;
+};
+
+/// Thrown when FlowSpec::mrc_action is kFail and the corrected mask
+/// violates the signoff deck with error severity. The output layer IS
+/// written before this propagates — signoff rejects a mask, it does not
+/// destroy it — and the carried stats embed the full violation report
+/// (stats().mrc) plus every metric the run produced.
+class MrcGateError : public std::runtime_error {
+ public:
+  MrcGateError(const std::string& what, FlowStats stats)
+      : std::runtime_error(what), stats_(std::move(stats)) {}
+  const FlowStats& stats() const { return stats_; }
+  const mrc::MrcReport& report() const { return stats_.mrc; }
+
+ private:
+  FlowStats stats_;
 };
 
 /// Fingerprint of everything a stored correction's validity depends on:
@@ -168,8 +212,9 @@ struct FlowStats {
 /// with equal fingerprints produce interchangeable corrections for the
 /// same geometry; any difference must change the fingerprint so a stale
 /// store is refused (STO001) instead of silently replayed. Job count,
-/// preflight, stats, and store knobs are deliberately excluded — they
-/// cannot change output geometry.
+/// preflight, stats, store knobs, and the MRC signoff deck/action are
+/// deliberately excluded — they cannot change output geometry (signoff
+/// only accepts or rejects the mask it reads).
 std::uint64_t flow_fingerprint(const FlowSpec& spec,
                                std::string_view flow_kind);
 

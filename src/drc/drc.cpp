@@ -1,5 +1,6 @@
 #include "drc/drc.h"
 
+#include <algorithm>
 #include <map>
 
 #include "util/check.h"
@@ -20,13 +21,21 @@ std::size_t DrcReport::count(const std::string& rule_name) const {
 namespace {
 
 /// Convert residue area into per-component violation markers by grouping
-/// touching rectangles (single-linkage via region contours).
+/// touching rectangles (single-linkage via region contours). When the
+/// residue was computed in scaled-up coordinates, \p scale_down maps the
+/// markers back to design units (exact: see the doubling notes below).
 std::vector<Violation> markers_from(const Region& residue,
-                                    const std::string& rule_name) {
+                                    const std::string& rule_name,
+                                    Coord scale_down = 1) {
   std::vector<Violation> out;
   for (const Polygon& p : residue.polygons()) {
     if (!p.is_ccw()) continue;  // holes of residue blobs carry no info
-    out.push_back({rule_name, p.bbox()});
+    Rect box = p.bbox();
+    if (scale_down != 1) {
+      box = Rect(box.lo.x / scale_down, box.lo.y / scale_down,
+                 box.hi.x / scale_down, box.hi.y / scale_down);
+    }
+    out.push_back({rule_name, box});
   }
   return out;
 }
@@ -36,19 +45,32 @@ std::vector<Violation> markers_from(const Region& residue,
 std::vector<Violation> check_min_width(const Region& shapes, Coord min_width,
                                        const std::string& rule_name) {
   OPCKIT_CHECK(min_width > 0);
-  // Opening by floor(w/2) removes every part with width < 2*floor(w/2)+1;
-  // using (w-1)/2 flags strictly-narrower-than-w area for odd/even w.
-  const Coord half = (min_width - 1) / 2;
-  if (half == 0) return {};
-  return markers_from(shapes.subtracted(shapes.opened(half)), rule_name);
+  // Open/closed semantics: a part measuring exactly min_width PASSES;
+  // only width < min_width is flagged. Opening by an integer kernel d
+  // removes area narrower than or equal to 2d, which cannot express the
+  // "< w" threshold at both parities in design units (d = (w-1)/2 is
+  // exact for odd w but under-checks even w by one DBU). Doubling the
+  // coordinates makes the kernel d = w-1 exact for every parity:
+  //   doubled width <= 2(w-1)  <=>  width <= w-1  <=>  width < w.
+  // Every boundary coordinate of the doubled residue is even (the input
+  // is doubled and erosion/dilation shift boundaries by the even-width
+  // kernel's reach in lockstep), so halving the markers is exact.
+  if (min_width == 1) return {};  // integer geometry is always >= 1 wide
+  const Region doubled = shapes.scaled(2);
+  return markers_from(doubled.subtracted(doubled.opened(min_width - 1)),
+                      rule_name, 2);
 }
 
 std::vector<Violation> check_min_space(const Region& shapes, Coord min_space,
                                        const std::string& rule_name) {
   OPCKIT_CHECK(min_space > 0);
-  const Coord half = (min_space - 1) / 2;
-  if (half == 0) return {};
-  return markers_from(shapes.closed(half).subtracted(shapes), rule_name);
+  // Same open/closed semantics and doubling trick as check_min_width:
+  // a gap measuring exactly min_space passes, anything narrower is
+  // flagged, for odd and even rule values alike.
+  if (min_space == 1) return {};
+  const Region doubled = shapes.scaled(2);
+  return markers_from(doubled.closed(min_space - 1).subtracted(doubled),
+                      rule_name, 2);
 }
 
 std::vector<Violation> check_min_area(const Region& shapes, Coord min_area,
@@ -115,6 +137,23 @@ DrcReport run_deck(const Region& shapes, const std::vector<Rule>& deck) {
     }
     report.violations.insert(report.violations.end(), v.begin(), v.end());
   }
+  // Deterministic report order regardless of deck order or how each
+  // check enumerated its residue: sort by rule name, then marker rect
+  // lexicographically, and drop exact duplicates — so morphology and
+  // scanline reports are diffable and stable across thread counts.
+  std::sort(report.violations.begin(), report.violations.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.rule != b.rule) return a.rule < b.rule;
+              if (a.bbox.lo != b.bbox.lo) return a.bbox.lo < b.bbox.lo;
+              return a.bbox.hi < b.bbox.hi;
+            });
+  report.violations.erase(
+      std::unique(report.violations.begin(), report.violations.end(),
+                  [](const Violation& a, const Violation& b) {
+                    return a.rule == b.rule && a.bbox.lo == b.bbox.lo &&
+                           a.bbox.hi == b.bbox.hi;
+                  }),
+      report.violations.end());
   return report;
 }
 

@@ -46,12 +46,19 @@ struct DrcReport {
 
 /// Minimum width: flag area of \p shapes narrower than \p min_width in
 /// either axis (morphological opening residue).
+///
+/// Open/closed semantics: strictly-narrower-than-rule violates; a part
+/// measuring exactly \p min_width passes. Exact for odd AND even rule
+/// values (evaluated in doubled coordinates so the integer half-kernel
+/// never rounds).
 std::vector<Violation> check_min_width(const geom::Region& shapes,
                                        geom::Coord min_width,
                                        const std::string& rule_name);
 
 /// Minimum space: flag gaps between (or within) \p shapes narrower than
-/// \p min_space (closing residue).
+/// \p min_space (closing residue). Same open/closed semantics as
+/// check_min_width: a gap of exactly \p min_space passes, both parities
+/// exact.
 std::vector<Violation> check_min_space(const geom::Region& shapes,
                                        geom::Coord min_space,
                                        const std::string& rule_name);
@@ -69,7 +76,10 @@ std::vector<Violation> check_enclosure(const geom::Region& inner,
                                        geom::Coord margin,
                                        const std::string& rule_name);
 
-/// Run a whole deck against one layer region.
+/// Run a whole deck against one layer region. Violations come back in a
+/// deterministic order — sorted by rule name, then marker rect
+/// lexicographically, exact duplicates removed — so reports are diffable
+/// against the scanline MRC engine (src/mrc) and stable across runs.
 DrcReport run_deck(const geom::Region& shapes, const std::vector<Rule>& deck);
 
 /// The mask-rule deck used to validate OPC output (values for a 4x

@@ -312,6 +312,22 @@ Region Region::transposed() const {
   return out;
 }
 
+Region Region::scaled(Coord f) const {
+  OPCKIT_CHECK_MSG(f > 0, "Region::scaled requires a positive factor");
+  // Multiplying by f > 0 is strictly monotone, so slab order, interval
+  // order, disjointness, and maximality all survive unchanged.
+  Region out = *this;
+  for (auto& s : out.slabs_) {
+    s.y0 *= f;
+    s.y1 *= f;
+    for (auto& iv : s.intervals) {
+      iv.x0 *= f;
+      iv.x1 *= f;
+    }
+  }
+  return out;
+}
+
 namespace {
 
 /// Dilate every interval horizontally by d (>0) and re-merge.

@@ -85,6 +85,12 @@ class Region {
   Region translated(const Point& v) const;
   /// Copy reflected about the line y = x (coordinates swapped).
   Region transposed() const;
+  /// Copy with every coordinate multiplied by \p f (f > 0). Scaling a
+  /// canonical region by a positive factor preserves canonical form, so
+  /// this is a pure coordinate map — no rebuild. Used by the DRC checks
+  /// to evaluate integer half-kernels exactly at both rule parities
+  /// (work in 2x coordinates, then halve the markers).
+  Region scaled(Coord f) const;
   /// Minkowski dilation (d >= 0) or erosion (d < 0) with the square
   /// [-|d|,|d|]². The standard isotropic "size" operation of layout tools.
   Region inflated(Coord d) const;

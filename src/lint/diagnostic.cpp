@@ -102,6 +102,25 @@ constexpr CodeInfo kCodes[] = {
      "correction store record corrupt (checksum or structure)",
      "the store is damaged beyond a torn tail; delete it and rerun "
      "without --resume"},
+
+    // Mask-rule signoff (scanline MRC engine, src/mrc). Each finding
+    // carries the witness edges and measured distance in its message
+    // and the marker rect as its location.
+    {"MRC001", Severity::kError, "mask feature narrower than minimum width",
+     "widen the feature or relax the correction move that pinched it"},
+    {"MRC002", Severity::kError, "mask gap narrower than minimum space",
+     "pull the facing edges apart or merge the shapes intentionally"},
+    {"MRC003", Severity::kError, "boundary edge shorter than minimum length",
+     "coarsen the fragmentation or drop the sub-resolution decoration"},
+    {"MRC004", Severity::kError, "notch opening narrower than minimum",
+     "fill the indentation or widen its opening beyond the rule"},
+    {"MRC005", Severity::kWarning, "jog step shorter than minimum",
+     "snap neighbouring fragment offsets to a coarser move grid"},
+    {"MRC006", Severity::kError, "corner-to-corner gap below minimum",
+     "pull the diagonally facing convex corners apart"},
+    {"MRC007", Severity::kError, "connected mask area below minimum",
+     "grow the island above the mask shop's minimum writable area or "
+     "delete it"},
 };
 
 // Domain groups in kCodes presentation order. The prefix is the first
@@ -116,6 +135,7 @@ constexpr struct {
     {"RUL", "Rule-deck sanity"},
     {"MOD", "Model-parameter bands"},
     {"STO", "Correction-store integrity"},
+    {"MRC", "Mask-rule signoff"},
 };
 
 }  // namespace

@@ -12,6 +12,7 @@
 ///   RULnnn  rule-deck (rule-OPC recipe) sanity
 ///   MODnnn  imaging/OPC model-parameter bands
 ///   STOnnn  correction-store integrity (src/store)
+///   MRCnnn  mask-rule signoff (scanline MRC engine, src/mrc)
 ///
 /// The full registry (code, default severity, one-line title) is
 /// compiled into the library and queryable at runtime, which keeps the

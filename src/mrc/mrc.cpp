@@ -1,0 +1,490 @@
+#include "mrc/mrc.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace opckit::mrc {
+
+using geom::Coord;
+using geom::Edge;
+using geom::Point;
+using geom::Polygon;
+using geom::Rect;
+using geom::Region;
+using geom::Slab;
+
+const char* to_string(CheckKind kind) {
+  switch (kind) {
+    case CheckKind::kWidth: return "width";
+    case CheckKind::kSpace: return "space";
+    case CheckKind::kEdgeLength: return "edge";
+    case CheckKind::kNotch: return "notch";
+    case CheckKind::kJog: return "jog";
+    case CheckKind::kCorner: return "corner";
+    case CheckKind::kArea: return "area";
+  }
+  return "?";
+}
+
+const char* lint_code(CheckKind kind) {
+  switch (kind) {
+    case CheckKind::kWidth: return "MRC001";
+    case CheckKind::kSpace: return "MRC002";
+    case CheckKind::kEdgeLength: return "MRC003";
+    case CheckKind::kNotch: return "MRC004";
+    case CheckKind::kJog: return "MRC005";
+    case CheckKind::kCorner: return "MRC006";
+    case CheckKind::kArea: return "MRC007";
+  }
+  return "?";
+}
+
+std::size_t MrcReport::count(const std::string& rule_name) const {
+  std::size_t n = 0;
+  for (const auto& v : violations) n += v.rule == rule_name;
+  return n;
+}
+
+bool violation_less(const Violation& a, const Violation& b) {
+  if (a.rule != b.rule) return a.rule < b.rule;
+  if (a.marker.lo != b.marker.lo) return a.marker.lo < b.marker.lo;
+  if (a.marker.hi != b.marker.hi) return a.marker.hi < b.marker.hi;
+  if (a.e1.a != b.e1.a) return a.e1.a < b.e1.a;
+  if (a.e1.b != b.e1.b) return a.e1.b < b.e1.b;
+  if (a.e2.a != b.e2.a) return a.e2.a < b.e2.a;
+  return a.e2.b < b.e2.b;
+}
+
+void sort_and_dedup(std::vector<Violation>& violations) {
+  std::sort(violations.begin(), violations.end(), violation_less);
+  violations.erase(std::unique(violations.begin(), violations.end()),
+                   violations.end());
+}
+
+namespace {
+
+/// Map a witness edge found in the transposed region back to the
+/// original frame. Transposition reflects about y = x, which reverses
+/// orientation, so the endpoints swap coordinates AND order — keeping
+/// the interior-on-the-left convention intact.
+Edge untranspose(const Edge& e) {
+  return Edge({e.b.y, e.b.x}, {e.a.y, e.a.x});
+}
+
+Rect untranspose(const Rect& r) {
+  return Rect(r.lo.y, r.lo.x, r.hi.y, r.hi.x);
+}
+
+/// A maximal y-run of one violating interval (width) or gap (space):
+/// x-extent constant over y in [y0, y1).
+struct Run {
+  Coord x0, x1, y0, y1;
+};
+
+/// Sweep the slab stack, finding intervals (internal = width) or gaps
+/// (external = space) narrower than \p rule and merging them into
+/// maximal y-runs across slab boundaries. Calls \p emit once per run.
+template <typename EmitFn>
+void scan_runs(const std::vector<Slab>& slabs, Coord rule, bool internal,
+               const EmitFn& emit) {
+  // Open runs keyed by x-extent; a run continues into the next slab only
+  // when the same extent recurs with no y-gap.
+  std::map<std::pair<Coord, Coord>, Run> open;
+  std::vector<std::pair<Coord, Coord>> hits;
+  for (const Slab& s : slabs) {
+    hits.clear();
+    if (internal) {
+      for (const auto& iv : s.intervals) {
+        if (iv.x1 - iv.x0 < rule) hits.emplace_back(iv.x0, iv.x1);
+      }
+    } else {
+      for (std::size_t i = 0; i + 1 < s.intervals.size(); ++i) {
+        const Coord g0 = s.intervals[i].x1;
+        const Coord g1 = s.intervals[i + 1].x0;
+        if (g1 - g0 < rule) hits.emplace_back(g0, g1);
+      }
+    }
+    std::map<std::pair<Coord, Coord>, Run> next;
+    for (const auto& key : hits) {
+      const auto it = open.find(key);
+      if (it != open.end() && it->second.y1 == s.y0) {
+        Run run = it->second;
+        run.y1 = s.y1;
+        next.emplace(key, run);
+        open.erase(it);
+      } else {
+        next.emplace(key, Run{key.first, key.second, s.y0, s.y1});
+      }
+    }
+    for (const auto& kv : open) emit(kv.second);
+    open = std::move(next);
+  }
+  for (const auto& kv : open) emit(kv.second);
+}
+
+/// Width + space scans in one orientation. With transposed = true the
+/// slabs come from the transposed region and results are mapped back.
+void scan_pairs(const std::vector<Slab>& slabs, const Check& check,
+                bool transposed, std::vector<Violation>& out) {
+  const bool internal = check.kind == CheckKind::kWidth;
+  scan_runs(slabs, check.value, internal, [&](const Run& run) {
+    Violation v;
+    v.rule = check.name;
+    v.kind = check.kind;
+    v.distance = run.x1 - run.x0;
+    if (internal) {
+      // Facing pair across covered area: the left boundary travels
+      // South (interior to its East), the right boundary North.
+      v.e1 = Edge({run.x0, run.y1}, {run.x0, run.y0});
+      v.e2 = Edge({run.x1, run.y0}, {run.x1, run.y1});
+    } else {
+      // Facing pair across a gap: the left flank is a right boundary
+      // (North), the right flank a left boundary (South).
+      v.e1 = Edge({run.x0, run.y0}, {run.x0, run.y1});
+      v.e2 = Edge({run.x1, run.y1}, {run.x1, run.y0});
+    }
+    v.marker = Rect(run.x0, run.y0, run.x1, run.y1);
+    if (transposed) {
+      v.e1 = untranspose(v.e1);
+      v.e2 = untranspose(v.e2);
+      v.marker = untranspose(v.marker);
+    }
+    out.push_back(std::move(v));
+  });
+}
+
+Point unit_dir(const Point& delta) {
+  return {delta.x == 0 ? 0 : (delta.x > 0 ? 1 : -1),
+          delta.y == 0 ? 0 : (delta.y > 0 ? 1 : -1)};
+}
+
+/// One convex corner of the boundary with the diagonal quadrant its
+/// exterior opens into.
+struct Corner {
+  Point pt;
+  Point diag;  ///< one of (±1, ±1)
+  Edge in;     ///< incoming boundary edge (ends at pt)
+};
+
+/// Ring walks: edge length, notch, jog, and convex-corner collection.
+/// Rings from Region::polygons() keep the interior on the LEFT for
+/// outers and holes alike, so a left turn (cross > 0) is a convex solid
+/// corner and a right turn a reflex one on every ring.
+void scan_rings(const std::vector<Polygon>& rings, const Deck& deck,
+                std::vector<Violation>& out, std::vector<Corner>& corners) {
+  const Check* edge_rule = nullptr;
+  const Check* notch_rule = nullptr;
+  const Check* jog_rule = nullptr;
+  bool want_corners = false;
+  for (const Check& c : deck) {
+    if (c.kind == CheckKind::kEdgeLength) edge_rule = &c;
+    if (c.kind == CheckKind::kNotch) notch_rule = &c;
+    if (c.kind == CheckKind::kJog) jog_rule = &c;
+    if (c.kind == CheckKind::kCorner) want_corners = true;
+  }
+  if (!edge_rule && !notch_rule && !jog_rule && !want_corners) return;
+
+  for (const Polygon& ring : rings) {
+    const std::size_t n = ring.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Edge prev = ring.edge((i + n - 1) % n);
+      const Edge cur = ring.edge(i);
+      const Edge next = ring.edge((i + 1) % n);
+      if (edge_rule && cur.length() < edge_rule->value) {
+        out.push_back({edge_rule->name, CheckKind::kEdgeLength, cur, cur,
+                       cur.length(), cur.bbox()});
+      }
+      // Normalized rings alternate between horizontal and vertical, so
+      // consecutive edges are perpendicular and both crosses nonzero.
+      const Coord turn_in = geom::cross(prev.delta(), cur.delta());
+      const Coord turn_out = geom::cross(cur.delta(), next.delta());
+      if (prev.dir() == next.dir()) {
+        // S-step: arms parallel, the riser `cur` is the jog.
+        if (jog_rule && cur.length() < jog_rule->value) {
+          out.push_back({jog_rule->name, CheckKind::kJog, prev, next,
+                         cur.length(), cur.bbox()});
+        }
+      } else if (turn_in < 0 && turn_out < 0) {
+        // U-turn with two reflex corners: a notch whose base `cur` is
+        // the opening between the facing arms. (Two convex corners make
+        // a tab — that is the width scan's job.)
+        if (notch_rule && cur.length() < notch_rule->value) {
+          out.push_back({notch_rule->name, CheckKind::kNotch, prev, next,
+                         cur.length(), cur.bbox()});
+        }
+      }
+      if (want_corners && turn_out > 0) {
+        // Convex corner at cur.b: the exterior opens into the diagonal
+        // quadrant between the reversed incoming and outgoing travel.
+        corners.push_back({cur.b,
+                           unit_dir(cur.delta()) - unit_dir(next.delta()),
+                           cur});
+      }
+    }
+  }
+}
+
+/// Corner-to-corner: flag pairs of convex corners whose exteriors open
+/// toward each other diagonally within the rule (Chebyshev distance).
+/// NE openers pair with SW openers to their upper-right; SE openers
+/// with NW openers to their upper-... to their lower-right mirror.
+void scan_corners(std::vector<Corner>& corners, const Check& check,
+                  std::vector<Violation>& out) {
+  auto pick = [&](Coord dx, Coord dy) {
+    std::vector<const Corner*> sel;
+    for (const Corner& c : corners) {
+      if (c.diag.x == dx && c.diag.y == dy) sel.push_back(&c);
+    }
+    std::sort(sel.begin(), sel.end(), [](const Corner* a, const Corner* b) {
+      return a->pt < b->pt;
+    });
+    return sel;
+  };
+  auto emit = [&](const Corner& a, const Corner& b, Coord dx, Coord dy) {
+    Violation v;
+    v.rule = check.name;
+    v.kind = CheckKind::kCorner;
+    v.e1 = a.in;
+    v.e2 = b.in;
+    v.distance = std::max(dx, dy);
+    v.marker = Rect(std::min(a.pt.x, b.pt.x), std::min(a.pt.y, b.pt.y),
+                    std::max(a.pt.x, b.pt.x), std::max(a.pt.y, b.pt.y));
+    out.push_back(std::move(v));
+  };
+  // NE-opening corner A faces SW-opening corner B when B sits within
+  // the rule window to A's upper-right.
+  const auto ne = pick(1, 1);
+  const auto sw = pick(-1, -1);
+  for (const Corner* a : ne) {
+    for (const Corner* b : sw) {
+      const Coord dx = b->pt.x - a->pt.x;
+      const Coord dy = b->pt.y - a->pt.y;
+      if (dx < 0 || dy < 0) continue;
+      if (dx >= check.value || dy >= check.value) continue;
+      emit(*a, *b, dx, dy);
+    }
+  }
+  // SE-opening corner A faces NW-opening corner B to A's lower-right.
+  const auto se = pick(1, -1);
+  const auto nw = pick(-1, 1);
+  for (const Corner* a : se) {
+    for (const Corner* b : nw) {
+      const Coord dx = b->pt.x - a->pt.x;
+      const Coord dy = a->pt.y - b->pt.y;
+      if (dx < 0 || dy < 0) continue;
+      if (dx >= check.value || dy >= check.value) continue;
+      emit(*a, *b, dx, dy);
+    }
+  }
+}
+
+/// Connected-component area via a single union-find sweep over adjacent
+/// slabs — O(n alpha(n)) in decomposition rects, unlike the O(n^2)
+/// pairwise Region::components(). Holes subtract naturally: they are
+/// simply area the component does not cover.
+void scan_area(const std::vector<Slab>& slabs, const Check& check,
+               std::vector<Violation>& out) {
+  struct Item {
+    Coord x0, x1, y0, y1;
+  };
+  std::vector<Item> items;
+  std::vector<std::size_t> slab_begin;  // first item index of each slab
+  for (const Slab& s : slabs) {
+    slab_begin.push_back(items.size());
+    for (const auto& iv : s.intervals) {
+      items.push_back({iv.x0, iv.x1, s.y0, s.y1});
+    }
+  }
+  slab_begin.push_back(items.size());
+
+  std::vector<std::size_t> parent(items.size());
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (std::size_t si = 0; si + 1 < slabs.size(); ++si) {
+    if (slabs[si].y1 != slabs[si + 1].y0) continue;  // y-gap: no contact
+    std::size_t i = slab_begin[si];
+    std::size_t j = slab_begin[si + 1];
+    const std::size_t iend = slab_begin[si + 1];
+    const std::size_t jend = slab_begin[si + 2];
+    while (i < iend && j < jend) {
+      const Coord lo = std::max(items[i].x0, items[j].x0);
+      const Coord hi = std::min(items[i].x1, items[j].x1);
+      if (hi - lo > 0) parent[find(i)] = find(j);
+      if (items[i].x1 < items[j].x1) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+  }
+
+  struct Comp {
+    Coord area = 0;
+    Rect box = Rect::empty();
+    std::size_t first = SIZE_MAX;  ///< lowest item index, for the witness
+  };
+  std::map<std::size_t, Comp> comps;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    Comp& c = comps[find(i)];
+    c.area += (items[i].x1 - items[i].x0) * (items[i].y1 - items[i].y0);
+    c.box = c.box.united(
+        Rect(items[i].x0, items[i].y0, items[i].x1, items[i].y1));
+    c.first = std::min(c.first, i);
+  }
+  for (const auto& kv : comps) {
+    const Comp& c = kv.second;
+    if (c.area >= check.value) continue;
+    // Witness: the component's first bottom edge in scan order (East —
+    // interior above).
+    const Item& it = items[c.first];
+    const Edge bottom({it.x0, it.y0}, {it.x1, it.y0});
+    out.push_back(
+        {check.name, CheckKind::kArea, bottom, bottom, c.area, c.box});
+  }
+}
+
+}  // namespace
+
+MrcReport check_mask(const Region& mask, const Deck& deck) {
+  MrcReport report;
+  if (deck.empty() || mask.empty()) return report;
+
+  bool need_transposed = false;
+  bool need_rings = false;
+  for (const Check& c : deck) {
+    OPCKIT_CHECK_MSG(c.value > 0, "MRC rule '" << c.name
+                                               << "' needs a positive value");
+    need_transposed |= c.kind == CheckKind::kWidth ||
+                       c.kind == CheckKind::kSpace;
+    need_rings |= c.kind == CheckKind::kEdgeLength ||
+                  c.kind == CheckKind::kNotch || c.kind == CheckKind::kJog ||
+                  c.kind == CheckKind::kCorner;
+  }
+  const std::vector<Slab>* tslabs = nullptr;
+  Region transposed;
+  if (need_transposed) {
+    transposed = mask.transposed();
+    tslabs = &transposed.slabs();
+  }
+  std::vector<Polygon> rings;
+  if (need_rings) rings = mask.polygons();
+
+  std::vector<Corner> corners;
+  scan_rings(rings, deck, report.violations, corners);
+
+  for (const Check& c : deck) {
+    switch (c.kind) {
+      case CheckKind::kWidth:
+      case CheckKind::kSpace:
+        scan_pairs(mask.slabs(), c, false, report.violations);
+        scan_pairs(*tslabs, c, true, report.violations);
+        break;
+      case CheckKind::kCorner:
+        scan_corners(corners, c, report.violations);
+        break;
+      case CheckKind::kArea:
+        scan_area(mask.slabs(), c, report.violations);
+        break;
+      case CheckKind::kEdgeLength:
+      case CheckKind::kNotch:
+      case CheckKind::kJog:
+        break;  // handled by scan_rings above
+    }
+  }
+  sort_and_dedup(report.violations);
+  return report;
+}
+
+MrcReport check_polygons(std::span<const Polygon> polys, const Deck& deck) {
+  return check_mask(Region::from_polygons(polys), deck);
+}
+
+lint::LintReport to_lint_report(const MrcReport& report,
+                                const std::string& cell) {
+  lint::LintReport out;
+  for (const Violation& v : report.violations) {
+    std::ostringstream msg;
+    msg << v.rule << ": measured " << v.distance << " (" << to_string(v.kind)
+        << "), witnesses " << v.e1 << " / " << v.e2;
+    out.add(lint_code(v.kind), msg.str(), cell, v.marker);
+  }
+  return out;
+}
+
+Deck parse_deck(const std::string& text) {
+  Deck deck;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;  // blank / comment-only line
+    Coord value = 0;
+    if (!(ls >> value) || value <= 0) {
+      throw util::InputError("mrc deck line " + std::to_string(lineno) +
+                             ": expected '<check> <positive value>', got: " +
+                             line);
+    }
+    std::string extra;
+    if (ls >> extra) {
+      throw util::InputError("mrc deck line " + std::to_string(lineno) +
+                             ": trailing tokens: " + line);
+    }
+    static constexpr CheckKind kKinds[] = {
+        CheckKind::kWidth, CheckKind::kSpace,  CheckKind::kEdgeLength,
+        CheckKind::kNotch, CheckKind::kJog,    CheckKind::kCorner,
+        CheckKind::kArea,
+    };
+    bool found = false;
+    for (CheckKind k : kKinds) {
+      if (keyword == to_string(k)) {
+        deck.push_back({k, "mrc." + keyword + "." + std::to_string(value),
+                        value});
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw util::InputError("mrc deck line " + std::to_string(lineno) +
+                             ": unknown check '" + keyword +
+                             "' (use width/space/edge/notch/jog/corner/area)");
+    }
+  }
+  return deck;
+}
+
+Deck read_deck_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw util::InputError("cannot read mrc deck file: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_deck(text.str());
+}
+
+Deck mask_deck_180() {
+  return parse_deck(
+      "width 60\n"
+      "space 60\n"
+      "area 6400\n"
+      "edge 8\n"
+      "notch 80\n"
+      "jog 2\n"
+      "corner 60\n");
+}
+
+}  // namespace opckit::mrc

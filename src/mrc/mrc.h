@@ -1,0 +1,152 @@
+/// \file mrc.h
+/// Scanline mask-rule checking (MRC) with exact edge-pair witnesses.
+///
+/// The morphology checker (src/drc) answers "is there violating area?"
+/// by Boolean residue — robust, but it reports blobs, not edges, it
+/// cannot express edge-count rules at all, and full-region Booleans
+/// scale poorly on exactly the fragmented post-OPC masks the paper
+/// predicts. This engine is the signoff-side complement: a sweep-line
+/// static analysis over the corrected mask that reports **witnesses**.
+///
+/// ## Engine
+///
+/// The canonical Region slab stack IS a y-sorted scanline: each slab is
+/// one status line of the sweep and its sorted interval list is the
+/// interval-indexed active set. The checks walk that structure directly:
+///
+/// * **width** (internal edge pair, MRC001): slab intervals narrower
+///   than the rule, merged into maximal y-runs across slab boundaries.
+///   Witnesses are the facing left/right boundary edges.
+/// * **space** (external edge pair, MRC002): gaps between consecutive
+///   intervals narrower than the rule, merged the same way. Witnesses
+///   are the facing right/left boundary edges across the gap. Because
+///   gaps within one polygon's own indentations are gaps too, this
+///   subsumes the same-shape "space" semantics of the morphology check.
+/// * Both scans run again on the transposed region to measure the
+///   orthogonal direction; witnesses are mapped back exactly.
+///
+/// The remaining checks walk the boundary rings (Region::polygons()
+/// keeps the interior on the LEFT for outers and holes alike):
+///
+/// * **edge length** (MRC003): any boundary edge shorter than the rule.
+/// * **notch** (MRC004): a U-turn edge triple (arms anti-parallel, both
+///   corners reflex) whose base — the opening between the facing arms —
+///   is narrower than the rule. Single-segment bases only; staircase
+///   notch floors surface through the width/space scans instead.
+/// * **jog / step** (MRC005): an S-step triple (arms parallel, one
+///   convex + one reflex corner) whose step is shorter than the rule —
+///   the fragment-offset staircase OPC is known for.
+/// * **corner-to-corner** (MRC006): two convex corners opening toward
+///   each other diagonally with Chebyshev distance below the rule
+///   (diagonal-constriction semantics; touching corners measure 0).
+/// * **area** (MRC007): connected-component area (holes subtracted)
+///   below the rule, via a linear union-find over adjacent slabs.
+///
+/// Every violation carries the two witness edges, the measured
+/// distance, and a marker rect; reports come back sorted (rule, marker,
+/// witnesses) and deduplicated, so they are diffable against
+/// drc::run_deck and stable at any thread count — the property the
+/// post-OPC flow gate (FlowSpec::mrc_deck) relies on.
+///
+/// Distance semantics match the (fixed) morphology checks: strictly
+/// less than the rule violates; exactly-at-rule passes.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geometry/geometry.h"
+#include "lint/diagnostic.h"
+
+namespace opckit::mrc {
+
+/// What a deck entry measures.
+enum class CheckKind {
+  kWidth,       ///< internal facing-edge distance (MRC001)
+  kSpace,       ///< external facing-edge distance (MRC002)
+  kEdgeLength,  ///< single boundary edge length (MRC003)
+  kNotch,       ///< U-turn base width (MRC004)
+  kJog,         ///< S-step riser length (MRC005)
+  kCorner,      ///< convex corner-to-corner Chebyshev distance (MRC006)
+  kArea,        ///< connected-component area, holes subtracted (MRC007)
+};
+
+/// Printable name ("width", "space", ...), also the deck-file keyword.
+const char* to_string(CheckKind kind);
+
+/// Lint registry code for a check kind ("MRC001"...).
+const char* lint_code(CheckKind kind);
+
+/// One rule of an MRC deck.
+struct Check {
+  CheckKind kind = CheckKind::kWidth;
+  std::string name;       ///< stable rule name, e.g. "mrc.width.60"
+  geom::Coord value = 0;  ///< nm (nm² for kArea)
+};
+
+/// An MRC rule deck. Empty deck = nothing to check.
+using Deck = std::vector<Check>;
+
+/// What the flow gate does when the deck is violated.
+enum class Action {
+  kFail,  ///< throw opc::MrcGateError after the output is written
+  kWarn,  ///< log a warning, keep the report in FlowStats
+};
+
+/// One flagged violation with its witnesses.
+struct Violation {
+  std::string rule;                   ///< deck entry name
+  CheckKind kind = CheckKind::kWidth;
+  geom::Edge e1;          ///< first witness edge (on the mask boundary)
+  geom::Edge e2;          ///< second witness (== e1 for edge/area checks)
+  geom::Coord distance = 0;  ///< measured value that violates the rule
+  geom::Rect marker = geom::Rect::empty();  ///< violation extent
+
+  friend bool operator==(const Violation&, const Violation&) = default;
+};
+
+/// Check results for one deck run, in deterministic order.
+struct MrcReport {
+  std::vector<Violation> violations;
+  bool clean() const { return violations.empty(); }
+  std::size_t count(const std::string& rule_name) const;
+};
+
+/// Strict weak order used for report determinism: rule name, then
+/// marker rect lexicographic, then witness edges.
+bool violation_less(const Violation& a, const Violation& b);
+
+/// Sort by violation_less and drop exact duplicates — the normal form
+/// every MrcReport is in. Exposed so the flow gate can merge per-tile
+/// reports into the same canonical order.
+void sort_and_dedup(std::vector<Violation>& violations);
+
+/// Run a deck against one mask region. Pure function, safe to call from
+/// disjoint tiles on distinct threads.
+MrcReport check_mask(const geom::Region& mask, const Deck& deck);
+
+/// Convenience: union the polygons, then check.
+MrcReport check_polygons(std::span<const geom::Polygon> polys,
+                         const Deck& deck);
+
+/// Map a report onto the lint diagnostic registry (MRC001..MRC007), one
+/// finding per violation, markers as locations.
+lint::LintReport to_lint_report(const MrcReport& report,
+                                const std::string& cell = "");
+
+/// Parse a deck from text: one `<check> <value>` pair per line, where
+/// <check> is a to_string(CheckKind) keyword; '#' starts a comment.
+/// Rule names are derived as "mrc.<check>.<value>". Throws
+/// util::InputError on unknown keywords or non-positive values.
+Deck parse_deck(const std::string& text);
+
+/// Read and parse a deck file. Throws util::InputError when unreadable.
+Deck read_deck_file(const std::string& path);
+
+/// The default mask-shop deck for the 180nm node (1x design units):
+/// the morphology deck's width/space/area minimums plus the edge-count
+/// rules morphology cannot express.
+Deck mask_deck_180();
+
+}  // namespace opckit::mrc

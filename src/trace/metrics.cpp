@@ -59,6 +59,15 @@ constexpr std::array kMetricTable = {
                "kernel-set requests served from the process KernelCache"},
     MetricInfo{metric::kLithoSocsEnergyCaptured, MetricKind::kGauge,
                "sum over built sets of the captured source-energy fraction"},
+    MetricInfo{metric::kMrcViolations, MetricKind::kCounter,
+               "mask-rule violations found by the post-OPC MRC gate"},
+    MetricInfo{metric::kMrcTilesChecked, MetricKind::kCounter,
+               "tiles swept by the scanline MRC engine in the flow gate"},
+    MetricInfo{metric::kMrcTileViolations, MetricKind::kHistogram,
+               "MRC violations attributed per checked tile",
+               0.0, 64.0, 16},
+    MetricInfo{metric::kFlowPhaseMrcMs, MetricKind::kGauge,
+               "wall-clock in the parallel MRC signoff phase"},
 };
 
 }  // namespace

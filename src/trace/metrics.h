@@ -88,6 +88,10 @@ inline constexpr const char* kLithoSocsKernelsBuilt =
 inline constexpr const char* kLithoSocsCacheHits = "litho.socs_cache_hits";
 inline constexpr const char* kLithoSocsEnergyCaptured =
     "litho.socs_energy_captured";
+inline constexpr const char* kMrcViolations = "mrc.violations";
+inline constexpr const char* kMrcTilesChecked = "mrc.tiles_checked";
+inline constexpr const char* kMrcTileViolations = "mrc.tile_violations";
+inline constexpr const char* kFlowPhaseMrcMs = "flow.phase.mrc_ms";
 }  // namespace metric
 
 /// Monotone event counter. add() is a relaxed atomic increment — safe

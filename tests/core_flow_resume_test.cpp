@@ -286,7 +286,10 @@ TEST(FlowResume, StatsJsonRendersAllCounters) {
             "\"cache\":{\"hits\":30,\"misses\":1,\"conflicts\":1},"
             "\"store\":{\"hits\":30,\"entries_loaded\":1,"
             "\"entries_appended\":2,\"tail_recovered\":true},"
-            "\"tile_simulations\":[4,0,5],\"wall_ms\":12.5,"
+            "\"tile_simulations\":[4,0,5],"
+            "\"mrc\":{\"checked\":false,\"violations\":0,"
+            "\"by_rule\":{},\"tile_violations\":[]},"
+            "\"wall_ms\":12.5,"
             "\"metrics\":{\"counters\":{\"cache.hits\":30},"
             "\"gauges\":{\"flow.phase.solve_ms\":10.25},"
             "\"histograms\":{}}}");

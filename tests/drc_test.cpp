@@ -85,6 +85,30 @@ TEST(Enclosure, EdgeProximityFlagged) {
   EXPECT_LE(v[0].bbox.lo.x, 50);
 }
 
+TEST(MinWidth, EvenRuleParityIsExact) {
+  // Regression for the half-kernel rounding bug: with an even rule the
+  // kernel radius used to truncate, passing widths one below the rule.
+  // Open semantics: strictly-below violates, exactly-at passes.
+  for (geom::Coord rule : {geom::Coord{60}, geom::Coord{61}}) {
+    for (geom::Coord w = rule - 2; w <= rule + 1; ++w) {
+      const Region bar{Rect(0, 0, w, 2000)};
+      EXPECT_EQ(!check_min_width(bar, rule, "w").empty(), w < rule)
+          << "width " << w << " rule " << rule;
+    }
+  }
+}
+
+TEST(MinSpace, EvenRuleParityIsExact) {
+  for (geom::Coord rule : {geom::Coord{60}, geom::Coord{61}}) {
+    for (geom::Coord g = rule - 2; g <= rule + 1; ++g) {
+      const Region pair = Region{Rect(0, 0, 500, 2000)}.united(
+          Region{Rect(500 + g, 0, 1000 + g, 2000)});
+      EXPECT_EQ(!check_min_space(pair, rule, "s").empty(), g < rule)
+          << "gap " << g << " rule " << rule;
+    }
+  }
+}
+
 TEST(Deck, RunDeckAggregates) {
   const Region r =
       Region{Rect(0, 0, 50, 1000)}.united(Region{Rect(80, 0, 800, 1000)});
@@ -94,6 +118,30 @@ TEST(Deck, RunDeckAggregates) {
   EXPECT_EQ(rep.count("w.60"), 1u);  // 50-wide line
   EXPECT_EQ(rep.count("s.60"), 1u);  // 30 gap
   EXPECT_FALSE(rep.clean());
+}
+
+TEST(Deck, ReportsAreDeterministicAndDeduplicated) {
+  // Messy multi-violation mask: two runs must produce identical,
+  // duplicate-free reports (the ordering the MRC differential and the
+  // signoff gate both rely on).
+  const Region r = Region{Rect(0, 0, 50, 1000)}
+                       .united(Region{Rect(80, 0, 800, 1000)})
+                       .united(Region{Rect(900, 0, 940, 40)});
+  const std::vector<Rule> deck{{RuleKind::kMinWidth, "w.60", 60},
+                               {RuleKind::kMinSpace, "s.60", 60},
+                               {RuleKind::kMinArea, "a.4k", 4000}};
+  const DrcReport a = run_deck(r, deck);
+  const DrcReport b = run_deck(r, deck);
+  ASSERT_EQ(a.violations.size(), b.violations.size());
+  for (std::size_t i = 0; i < a.violations.size(); ++i) {
+    EXPECT_EQ(a.violations[i].rule, b.violations[i].rule) << i;
+    EXPECT_EQ(a.violations[i].bbox, b.violations[i].bbox) << i;
+  }
+  for (std::size_t i = 1; i < a.violations.size(); ++i) {
+    EXPECT_FALSE(a.violations[i].rule == a.violations[i - 1].rule &&
+                 a.violations[i].bbox == a.violations[i - 1].bbox)
+        << "duplicate at " << i;
+  }
 }
 
 TEST(Deck, MaskRuleDeckRunsClean) {

@@ -1,0 +1,99 @@
+/// Degenerate-input regressions for the Region canonical form — the
+/// cases the scanline MRC engine leans on hardest: touching boxes must
+/// merge into single slab intervals (no phantom zero-width gaps),
+/// zero-area inputs must vanish, slivers must survive exactly, and
+/// scaled() must be a pure coordinate map.
+#include <gtest/gtest.h>
+
+#include "geometry/geometry.h"
+
+namespace opckit::geom {
+namespace {
+
+TEST(RegionDegenerate, EdgeTouchingBoxesMergeIntoOneInterval) {
+  // Abutting side-by-side: canonical form must fuse the intervals —
+  // a seam would read as a zero-width gap to the space scan.
+  const Region r =
+      Region{Rect(0, 0, 100, 100)}.united(Region{Rect(100, 0, 200, 100)});
+  EXPECT_EQ(r, Region{Rect(0, 0, 200, 100)});
+  EXPECT_EQ(r.rect_count(), 1u);
+  EXPECT_EQ(r.polygons().size(), 1u);
+
+  // Abutting stacked: slabs with identical interval lists coalesce.
+  const Region v =
+      Region{Rect(0, 0, 100, 100)}.united(Region{Rect(0, 100, 100, 250)});
+  EXPECT_EQ(v, Region{Rect(0, 0, 100, 250)});
+  EXPECT_EQ(v.slabs().size(), 1u);
+}
+
+TEST(RegionDegenerate, PartialSharedEdgeKeepsCollinearBoundary) {
+  // Offset abutment: the shared x=100 line is boundary above/below the
+  // contact but interior inside it. Area and contours must be exact.
+  const Region r =
+      Region{Rect(0, 0, 100, 300)}.united(Region{Rect(100, 100, 200, 200)});
+  EXPECT_EQ(r.area(), 100 * 300 + 100 * 100);
+  EXPECT_EQ(r.polygons().size(), 1u);
+  EXPECT_EQ(r.components().size(), 1u);
+  EXPECT_TRUE(r.contains({100, 150}));  // interior of the fused edge
+  EXPECT_TRUE(r.contains({100, 50}));   // boundary (closed semantics)
+  EXPECT_FALSE(r.contains({101, 50}));
+}
+
+TEST(RegionDegenerate, ZeroAreaRectsVanish) {
+  EXPECT_TRUE(Region{Rect(10, 10, 10, 500)}.empty());  // zero width
+  EXPECT_TRUE(Region{Rect(10, 10, 500, 10)}.empty());  // zero height
+  const Region r = Region{Rect(0, 0, 100, 100)}
+                       .united(Region{Rect(200, 0, 200, 100)})
+                       .united(Region{Rect(0, 200, 100, 200)});
+  EXPECT_EQ(r, Region{Rect(0, 0, 100, 100)});
+  // Subtracting a degenerate region is a no-op, not a sliver cut.
+  EXPECT_EQ(r.subtracted(Region{Rect(50, 0, 50, 100)}), r);
+}
+
+TEST(RegionDegenerate, SingleUnitSliversSurviveExactly) {
+  const Region hair{Rect(0, 0, 1, 1000)};
+  EXPECT_EQ(hair.area(), 1000);
+  EXPECT_EQ(hair.bbox(), Rect(0, 0, 1, 1000));
+  // A 1-unit bite out of a solid square leaves exactly area-1.
+  const Region bitten = Region{Rect(0, 0, 100, 100)}.subtracted(
+      Region{Rect(50, 99, 51, 100)});
+  EXPECT_EQ(bitten.area(), 100 * 100 - 1);
+  EXPECT_FALSE(bitten.contains({51, 100}) &&
+               !Region{Rect(0, 0, 100, 100)}.contains({51, 100}));
+  // And the subtraction round-trips through the union.
+  EXPECT_EQ(bitten.united(Region{Rect(50, 99, 51, 100)}),
+            Region{Rect(0, 0, 100, 100)});
+}
+
+TEST(RegionDegenerate, CornerTouchingSquaresStaySeparate) {
+  const Region r =
+      Region{Rect(0, 0, 100, 100)}.united(Region{Rect(100, 100, 200, 200)});
+  EXPECT_EQ(r.area(), 2 * 100 * 100);
+  EXPECT_EQ(r.components().size(), 2u);  // point contact does not connect
+  EXPECT_EQ(r.polygons().size(), 2u);    // the 4-valent vertex is split
+  EXPECT_TRUE(r.contains({100, 100}));   // but the point itself is in
+}
+
+TEST(RegionScaled, ScalesAreaAndBboxExactly) {
+  const Region r = Region{Rect(0, 0, 100, 300)}
+                       .united(Region{Rect(100, 100, 200, 200)})
+                       .subtracted(Region{Rect(20, 20, 40, 40)});
+  const Region s = r.scaled(2);
+  EXPECT_EQ(s.area(), 4 * r.area());
+  EXPECT_EQ(s.bbox(), Rect(0, 0, 400, 600));
+  EXPECT_EQ(s.rect_count(), r.rect_count());  // pure coordinate map
+  EXPECT_EQ(s.polygons().size(), r.polygons().size());
+}
+
+TEST(RegionScaled, IdentityEmptyAndComposition) {
+  const Region r =
+      Region{Rect(-50, -50, 50, 50)}.united(Region{Rect(60, 0, 100, 10)});
+  EXPECT_EQ(r.scaled(1), r);
+  EXPECT_TRUE(Region().scaled(3).empty());
+  // scaled(2).scaled(3) == scaled(6), including negative coordinates.
+  EXPECT_EQ(r.scaled(2).scaled(3), r.scaled(6));
+  EXPECT_EQ(r.scaled(2).bbox().lo, Point(-100, -100));
+}
+
+}  // namespace
+}  // namespace opckit::geom

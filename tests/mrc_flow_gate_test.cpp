@@ -1,0 +1,197 @@
+/// Post-OPC MRC signoff gate: determinism across job counts, fail/warn
+/// actions, per-tile accounting, metrics, and the stats JSON embedding.
+#include <gtest/gtest.h>
+
+#include "core/flow.h"
+#include "layout/generators.h"
+#include "trace/metrics.h"
+
+namespace opckit::opc {
+namespace {
+
+using layout::Library;
+
+FlowSpec fast_flow() {
+  FlowSpec spec;
+  spec.sim.optics.source.grid = 5;
+  litho::calibrate_threshold(spec.sim, 180, 360);
+  spec.opc.max_iterations = 3;
+  spec.input_layer = layout::layers::kPoly;
+  spec.output_layer = layout::layers::kPolyOpc;
+  return spec;
+}
+
+Library dense_chip(int cols, int rows) {
+  Library lib("chip");
+  layout::Cell& leaf = lib.cell("leaf");
+  leaf.add_rect(layout::layers::kPoly, geom::Rect(0, 0, 180, 1200));
+  leaf.add_rect(layout::layers::kPoly, geom::Rect(540, 0, 720, 1200));
+  layout::make_chip(lib, "top", "leaf", cols, rows, {1400, 1800});
+  return lib;
+}
+
+std::vector<geom::Polygon> output_polys(const Library& lib,
+                                        const std::string& cell,
+                                        const FlowSpec& spec) {
+  const auto shapes = lib.at(cell).shapes(spec.output_layer);
+  return {shapes.begin(), shapes.end()};
+}
+
+/// A deck the ~180nm corrected features can always satisfy.
+mrc::Deck clean_deck() {
+  return {{mrc::CheckKind::kWidth, "gate.width", 2},
+          {mrc::CheckKind::kSpace, "gate.space", 2}};
+}
+
+/// A deck the corrected mask can never satisfy (features are ~180 wide).
+mrc::Deck violating_deck() {
+  return {{mrc::CheckKind::kWidth, "gate.width", 500}};
+}
+
+TEST(MrcFlowGate, CleanDeckIdenticalOutputAndReportAcrossJobCounts) {
+  FlowSpec spec = fast_flow();
+  spec.mrc_deck = clean_deck();
+  spec.mrc_action = mrc::Action::kFail;  // clean mask: must not throw
+
+  spec.jobs = 1;
+  Library serial = dense_chip(2, 2);
+  const FlowStats s1 = run_flat_opc(serial, "top", spec);
+  const auto ref = output_polys(serial, "top", spec);
+  ASSERT_FALSE(ref.empty());
+  EXPECT_TRUE(s1.mrc_checked);
+  EXPECT_TRUE(s1.mrc.clean());
+  EXPECT_EQ(s1.tile_mrc_violations.size(), 4u);  // one per placement
+
+  for (int jobs : {2, 8}) {
+    spec.jobs = jobs;
+    Library lib = dense_chip(2, 2);
+    const FlowStats s = run_flat_opc(lib, "top", spec);
+    EXPECT_EQ(output_polys(lib, "top", spec), ref) << "jobs=" << jobs;
+    EXPECT_EQ(s.mrc.violations, s1.mrc.violations) << "jobs=" << jobs;
+    EXPECT_EQ(s.tile_mrc_violations, s1.tile_mrc_violations)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(MrcFlowGate, FailActionThrowsAfterOutputIsWritten) {
+  FlowSpec spec = fast_flow();
+  spec.mrc_deck = violating_deck();
+  spec.mrc_action = mrc::Action::kFail;
+
+  Library lib = dense_chip(2, 1);
+  try {
+    run_flat_opc(lib, "top", spec);
+    FAIL() << "violating deck did not throw";
+  } catch (const MrcGateError& e) {
+    // The rejected mask is still written for inspection.
+    EXPECT_FALSE(output_polys(lib, "top", spec).empty());
+    // The carried stats embed the full report and run accounting.
+    EXPECT_TRUE(e.stats().mrc_checked);
+    ASSERT_FALSE(e.report().clean());
+    EXPECT_EQ(e.report().violations.front().rule, "gate.width");
+    EXPECT_GT(e.stats().wall_ms, 0.0);
+    EXPECT_NE(std::string(e.what()).find("MRC signoff"), std::string::npos);
+  }
+}
+
+TEST(MrcFlowGate, WarnActionKeepsReportWithoutThrowing) {
+  FlowSpec spec = fast_flow();
+  spec.mrc_deck = violating_deck();
+  spec.mrc_action = mrc::Action::kWarn;
+
+  Library lib = dense_chip(2, 1);
+  FlowStats stats;
+  ASSERT_NO_THROW(stats = run_flat_opc(lib, "top", spec));
+  EXPECT_TRUE(stats.mrc_checked);
+  EXPECT_FALSE(stats.mrc.clean());
+
+  // mrc.* metrics land in the run's snapshot.
+  EXPECT_EQ(stats.metrics.counters.at(trace::metric::kMrcViolations),
+            stats.mrc.violations.size());
+  EXPECT_EQ(stats.metrics.counters.at(trace::metric::kMrcTilesChecked), 2u);
+  EXPECT_GT(stats.metrics.gauges.at(trace::metric::kFlowPhaseMrcMs), 0.0);
+
+  // Per-tile attribution covers every placement window; a violation
+  // charged to a tile must exist in the merged report too.
+  ASSERT_EQ(stats.tile_mrc_violations.size(), 2u);
+  std::size_t attributed = 0;
+  for (std::size_t n : stats.tile_mrc_violations) attributed += n;
+  EXPECT_GE(attributed, stats.mrc.violations.size());
+}
+
+TEST(MrcFlowGate, WarnReportIdenticalAcrossJobCounts) {
+  FlowSpec spec = fast_flow();
+  spec.mrc_deck = violating_deck();
+  spec.mrc_action = mrc::Action::kWarn;
+
+  spec.jobs = 1;
+  Library serial = dense_chip(2, 2);
+  const FlowStats s1 = run_flat_opc(serial, "top", spec);
+  ASSERT_FALSE(s1.mrc.clean());
+
+  for (int jobs : {2, 8}) {
+    spec.jobs = jobs;
+    Library lib = dense_chip(2, 2);
+    const FlowStats s = run_flat_opc(lib, "top", spec);
+    EXPECT_EQ(s.mrc.violations, s1.mrc.violations) << "jobs=" << jobs;
+    EXPECT_EQ(s.tile_mrc_violations, s1.tile_mrc_violations)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(MrcFlowGate, CellFlowChecksEachCorrectedCell) {
+  FlowSpec spec = fast_flow();
+  spec.mrc_deck = violating_deck();
+  spec.mrc_action = mrc::Action::kWarn;
+
+  Library lib = dense_chip(2, 2);
+  const FlowStats stats = run_cell_opc(lib, "top", spec);
+  EXPECT_TRUE(stats.mrc_checked);
+  EXPECT_FALSE(stats.mrc.clean());
+  // One corrected cell ("leaf") = one checked tile.
+  EXPECT_EQ(stats.tile_mrc_violations.size(), 1u);
+  EXPECT_EQ(stats.metrics.counters.at(trace::metric::kMrcTilesChecked), 1u);
+
+  // Cell flow gates too.
+  spec.mrc_action = mrc::Action::kFail;
+  Library lib2 = dense_chip(2, 2);
+  EXPECT_THROW(run_cell_opc(lib2, "top", spec), MrcGateError);
+}
+
+TEST(MrcFlowGate, StatsJsonEmbedsMrcBlock) {
+  FlowSpec spec = fast_flow();
+  spec.mrc_deck = violating_deck();
+  spec.mrc_action = mrc::Action::kWarn;
+
+  Library lib = dense_chip(2, 1);
+  const FlowStats stats = run_flat_opc(lib, "top", spec);
+  const std::string json = render_stats_json(stats);
+  EXPECT_NE(json.find("\"mrc\":{\"checked\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"by_rule\":{\"gate.width\":"), std::string::npos);
+  EXPECT_NE(json.find("\"tile_violations\":["), std::string::npos);
+
+  // Gate off: the block still renders, marked unchecked.
+  FlowSpec off = fast_flow();
+  Library lib2 = dense_chip(2, 1);
+  const FlowStats none = run_flat_opc(lib2, "top", off);
+  EXPECT_FALSE(none.mrc_checked);
+  EXPECT_NE(render_stats_json(none).find("\"mrc\":{\"checked\":false"),
+            std::string::npos);
+}
+
+TEST(MrcFlowGate, JogWarningsNeverBlock) {
+  // MRC005 maps to lint warning severity: a jog-only deck must not trip
+  // the kFail action even when jogs are found (OPC staircases are
+  // exactly what post-OPC masks contain).
+  FlowSpec spec = fast_flow();
+  spec.mrc_deck = {{mrc::CheckKind::kJog, "gate.jog", 400}};
+  spec.mrc_action = mrc::Action::kFail;
+
+  Library lib = dense_chip(2, 1);
+  FlowStats stats;
+  ASSERT_NO_THROW(stats = run_flat_opc(lib, "top", spec));
+  EXPECT_TRUE(stats.mrc_checked);
+}
+
+}  // namespace
+}  // namespace opckit::opc

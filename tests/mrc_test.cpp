@@ -1,0 +1,384 @@
+/// Unit tests for the scanline MRC engine: one suite per check kind,
+/// witness-edge exactness, deck parsing, and the lint mapping.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "mrc/mrc.h"
+#include "util/check.h"
+
+namespace opckit::mrc {
+namespace {
+
+using geom::Coord;
+using geom::Edge;
+using geom::Point;
+using geom::Rect;
+using geom::Region;
+
+Deck one(CheckKind kind, Coord value) {
+  return {Check{kind, std::string("t.") + to_string(kind), value}};
+}
+
+TEST(MrcWidth, WideBarClean) {
+  EXPECT_TRUE(
+      check_mask(Region{Rect(0, 0, 500, 500)}, one(CheckKind::kWidth, 60))
+          .clean());
+}
+
+TEST(MrcWidth, NarrowBarWitnessesFacingEdges) {
+  // 40-wide vertical bar under a 60 rule: one run, exact witnesses.
+  const auto report =
+      check_mask(Region{Rect(0, 0, 40, 200)}, one(CheckKind::kWidth, 60));
+  ASSERT_EQ(report.violations.size(), 1u);
+  const Violation& v = report.violations[0];
+  EXPECT_EQ(v.kind, CheckKind::kWidth);
+  EXPECT_EQ(v.distance, 40);
+  EXPECT_EQ(v.marker, Rect(0, 0, 40, 200));
+  // Left boundary travels South (interior East), right boundary North.
+  EXPECT_EQ(v.e1, Edge({0, 200}, {0, 0}));
+  EXPECT_EQ(v.e2, Edge({40, 0}, {40, 200}));
+}
+
+TEST(MrcWidth, HorizontalBarMeasuredViaTranspose) {
+  const auto report =
+      check_mask(Region{Rect(0, 0, 200, 40)}, one(CheckKind::kWidth, 60));
+  ASSERT_EQ(report.violations.size(), 1u);
+  const Violation& v = report.violations[0];
+  EXPECT_EQ(v.distance, 40);
+  EXPECT_EQ(v.marker, Rect(0, 0, 200, 40));
+  // Witnesses are the horizontal facing pair, mapped back exactly.
+  EXPECT_EQ(v.e1.bbox(), Rect(0, 0, 200, 0));
+  EXPECT_EQ(v.e2.bbox(), Rect(0, 40, 200, 40));
+}
+
+TEST(MrcWidth, ExactlyAtRulePassesBothParities) {
+  // Open semantics at even and odd rule values.
+  EXPECT_TRUE(
+      check_mask(Region{Rect(0, 0, 60, 900)}, one(CheckKind::kWidth, 60))
+          .clean());
+  EXPECT_FALSE(
+      check_mask(Region{Rect(0, 0, 59, 900)}, one(CheckKind::kWidth, 60))
+          .clean());
+  EXPECT_TRUE(
+      check_mask(Region{Rect(0, 0, 61, 900)}, one(CheckKind::kWidth, 61))
+          .clean());
+  EXPECT_FALSE(
+      check_mask(Region{Rect(0, 0, 60, 900)}, one(CheckKind::kWidth, 61))
+          .clean());
+}
+
+TEST(MrcWidth, NeckRunSpansOnlyTheNeck) {
+  // Dumbbell: the 40-wide neck violates, the 300-wide pads do not.
+  const Region r = Region{Rect(0, 0, 300, 300)}
+                       .united(Region{Rect(300, 130, 700, 170)})
+                       .united(Region{Rect(700, 0, 1000, 300)});
+  const auto report = check_mask(r, one(CheckKind::kWidth, 60));
+  ASSERT_FALSE(report.clean());
+  for (const Violation& v : report.violations) {
+    EXPECT_TRUE(v.marker.touches(Rect(300, 130, 700, 170))) << v.marker;
+    EXPECT_LT(v.distance, 60);
+  }
+}
+
+TEST(MrcSpace, FarShapesClean) {
+  const Region r =
+      Region{Rect(0, 0, 100, 100)}.united(Region{Rect(500, 0, 600, 100)});
+  EXPECT_TRUE(check_mask(r, one(CheckKind::kSpace, 60)).clean());
+}
+
+TEST(MrcSpace, NarrowGapWitnessesFlankEdges) {
+  const Region r =
+      Region{Rect(0, 0, 100, 300)}.united(Region{Rect(140, 0, 240, 300)});
+  const auto report = check_mask(r, one(CheckKind::kSpace, 60));
+  ASSERT_EQ(report.violations.size(), 1u);
+  const Violation& v = report.violations[0];
+  EXPECT_EQ(v.kind, CheckKind::kSpace);
+  EXPECT_EQ(v.distance, 40);
+  EXPECT_EQ(v.marker, Rect(100, 0, 140, 300));
+  // Left flank is a right boundary (travels North), right flank South.
+  EXPECT_EQ(v.e1, Edge({100, 0}, {100, 300}));
+  EXPECT_EQ(v.e2, Edge({140, 300}, {140, 0}));
+}
+
+TEST(MrcSpace, VerticalGapMeasuredViaTranspose) {
+  const Region r =
+      Region{Rect(0, 0, 300, 100)}.united(Region{Rect(0, 140, 300, 240)});
+  const auto report = check_mask(r, one(CheckKind::kSpace, 60));
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].distance, 40);
+  EXPECT_EQ(report.violations[0].marker, Rect(0, 100, 300, 140));
+}
+
+TEST(MrcSpace, ExactGapPassesBothParities) {
+  const auto two_bars = [](Coord gap) {
+    return Region{Rect(0, 0, 100, 500)}.united(
+        Region{Rect(100 + gap, 0, 200 + gap, 500)});
+  };
+  EXPECT_TRUE(check_mask(two_bars(60), one(CheckKind::kSpace, 60)).clean());
+  EXPECT_FALSE(check_mask(two_bars(59), one(CheckKind::kSpace, 60)).clean());
+  EXPECT_TRUE(check_mask(two_bars(61), one(CheckKind::kSpace, 61)).clean());
+  EXPECT_FALSE(check_mask(two_bars(60), one(CheckKind::kSpace, 61)).clean());
+}
+
+TEST(MrcSpace, SameShapeSlotFlagged) {
+  // U-shape whose 60-wide slot is a gap within one polygon.
+  const Region r = Region{Rect(0, 0, 500, 400)}.subtracted(
+      Region{Rect(220, 100, 280, 400)});
+  const auto report = check_mask(r, one(CheckKind::kSpace, 100));
+  ASSERT_FALSE(report.clean());
+  EXPECT_EQ(report.violations[0].distance, 60);
+}
+
+TEST(MrcEdge, ShortFragmentEdgesFlagged) {
+  // A 100x100 square under an edge rule of 101: all four edges short.
+  const auto report =
+      check_mask(Region{Rect(0, 0, 100, 100)}, one(CheckKind::kEdgeLength, 101));
+  EXPECT_EQ(report.violations.size(), 4u);
+  for (const Violation& v : report.violations) {
+    EXPECT_EQ(v.kind, CheckKind::kEdgeLength);
+    EXPECT_EQ(v.distance, 100);
+    EXPECT_EQ(v.e1, v.e2);  // single-edge check witnesses itself
+  }
+  EXPECT_TRUE(
+      check_mask(Region{Rect(0, 0, 100, 100)}, one(CheckKind::kEdgeLength, 100))
+          .clean());
+}
+
+TEST(MrcNotch, ReflexUTurnFlaggedTabExcluded) {
+  // Slot of width 60: a notch (both corners reflex).
+  const Region notch = Region{Rect(0, 0, 500, 400)}.subtracted(
+      Region{Rect(220, 100, 280, 400)});
+  const auto flagged = check_mask(notch, one(CheckKind::kNotch, 80));
+  ASSERT_EQ(flagged.violations.size(), 1u);
+  EXPECT_EQ(flagged.violations[0].kind, CheckKind::kNotch);
+  EXPECT_EQ(flagged.violations[0].distance, 60);
+  // Base edge of the slot is the marker.
+  EXPECT_EQ(flagged.violations[0].marker, Rect(220, 100, 280, 100));
+  // Exactly-at-rule passes.
+  EXPECT_TRUE(check_mask(notch, one(CheckKind::kNotch, 60)).clean());
+
+  // A 60-wide tab (both corners convex) is the width scan's job, not a
+  // notch.
+  const Region tab = Region{Rect(0, 0, 500, 100)}.united(
+      Region{Rect(220, 100, 280, 200)});
+  EXPECT_TRUE(check_mask(tab, one(CheckKind::kNotch, 80)).clean());
+}
+
+TEST(MrcJog, StaircaseRiserFlagged) {
+  // S-step: two East runs offset by a 10-long riser.
+  const geom::Polygon step({{0, 0},
+                            {100, 0},
+                            {100, 10},
+                            {200, 10},
+                            {200, 100},
+                            {0, 100}});
+  const Region r{step.normalized()};
+  const auto report = check_mask(r, one(CheckKind::kJog, 20));
+  ASSERT_FALSE(report.clean());
+  const Violation& v = report.violations[0];
+  EXPECT_EQ(v.kind, CheckKind::kJog);
+  EXPECT_EQ(v.distance, 10);
+  // Witnesses are the parallel arms, marker the riser.
+  EXPECT_EQ(v.marker, Rect(100, 0, 100, 10));
+  EXPECT_NE(v.e1, v.e2);
+  // Exactly-at-rule passes; a plain rectangle has no jogs at all.
+  EXPECT_TRUE(check_mask(r, one(CheckKind::kJog, 10)).clean());
+  EXPECT_TRUE(
+      check_mask(Region{Rect(0, 0, 300, 300)}, one(CheckKind::kJog, 50))
+          .clean());
+}
+
+TEST(MrcCorner, DiagonalGapChebyshev) {
+  // Convex corners opening toward each other across a 40/40 diagonal.
+  const Region r = Region{Rect(0, 0, 100, 100)}.united(
+      Region{Rect(140, 140, 240, 240)});
+  const auto report = check_mask(r, one(CheckKind::kCorner, 60));
+  ASSERT_EQ(report.violations.size(), 1u);
+  const Violation& v = report.violations[0];
+  EXPECT_EQ(v.kind, CheckKind::kCorner);
+  EXPECT_EQ(v.distance, 40);
+  EXPECT_EQ(v.marker, Rect(100, 100, 140, 140));
+  // Exactly-at-rule passes.
+  EXPECT_TRUE(check_mask(r, one(CheckKind::kCorner, 40)).clean());
+}
+
+TEST(MrcCorner, TouchingCornersMeasureZero) {
+  const Region r = Region{Rect(0, 0, 100, 100)}.united(
+      Region{Rect(100, 100, 200, 200)});
+  const auto report = check_mask(r, one(CheckKind::kCorner, 60));
+  ASSERT_FALSE(report.clean());
+  EXPECT_EQ(report.violations[0].distance, 0);
+}
+
+TEST(MrcCorner, ConcaveCornerNotPaired) {
+  // An L-shape's reflex corner must not pair with its own convex ones.
+  const Region l = Region{Rect(0, 0, 300, 100)}.united(
+      Region{Rect(0, 0, 100, 300)});
+  EXPECT_TRUE(check_mask(l, one(CheckKind::kCorner, 60)).clean());
+}
+
+TEST(MrcCorner, SecondDiagonalPairingDetected) {
+  // SE-opening corner faces NW-opening corner to its lower-right.
+  const Region r = Region{Rect(0, 140, 100, 240)}.united(
+      Region{Rect(130, 0, 230, 110)});
+  const auto report = check_mask(r, one(CheckKind::kCorner, 60));
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].distance, 30);
+  EXPECT_EQ(report.violations[0].marker, Rect(100, 110, 130, 140));
+}
+
+TEST(MrcArea, SmallIslandFlaggedWithComponentBox) {
+  const Region r = Region{Rect(0, 0, 1000, 1000)}.united(
+      Region{Rect(2000, 0, 2050, 50)});
+  const auto report = check_mask(r, one(CheckKind::kArea, 6400));
+  ASSERT_EQ(report.violations.size(), 1u);
+  const Violation& v = report.violations[0];
+  EXPECT_EQ(v.kind, CheckKind::kArea);
+  EXPECT_EQ(v.distance, 2500);  // measured value = component area
+  EXPECT_EQ(v.marker, Rect(2000, 0, 2050, 50));
+}
+
+TEST(MrcArea, HolesSubtractAndLShapeConnects) {
+  // Donut: 100x100 outer minus 60x60 hole = 6400 area exactly: passes
+  // at 6400, fails at 6401.
+  const Region donut = Region{Rect(0, 0, 100, 100)}.subtracted(
+      Region{Rect(20, 20, 80, 80)});
+  EXPECT_TRUE(check_mask(donut, one(CheckKind::kArea, 6400)).clean());
+  EXPECT_FALSE(check_mask(donut, one(CheckKind::kArea, 6401)).clean());
+
+  // L of two 100x20 arms: one component of area 3600, not two of 2000.
+  const Region l = Region{Rect(0, 0, 100, 20)}.united(
+      Region{Rect(0, 20, 20, 100)});
+  EXPECT_TRUE(check_mask(l, one(CheckKind::kArea, 3600)).clean());
+  const auto split = check_mask(l, one(CheckKind::kArea, 3601));
+  ASSERT_EQ(split.violations.size(), 1u);
+  EXPECT_EQ(split.violations[0].distance, 3600);
+}
+
+TEST(MrcReportApi, EmptyInputsAreClean) {
+  EXPECT_TRUE(check_mask(Region{}, mask_deck_180()).clean());
+  EXPECT_TRUE(check_mask(Region{Rect(0, 0, 10, 10)}, Deck{}).clean());
+  EXPECT_TRUE(check_polygons({}, mask_deck_180()).clean());
+}
+
+TEST(MrcReportApi, NonPositiveRuleValueChecks) {
+  EXPECT_THROW(
+      check_mask(Region{Rect(0, 0, 10, 10)}, one(CheckKind::kWidth, 0)),
+      util::CheckError);
+}
+
+TEST(MrcReportApi, SortAndDedupNormalizes) {
+  const Region r = Region{Rect(0, 0, 40, 200)};
+  const Deck deck = one(CheckKind::kWidth, 60);
+  auto report = check_mask(r, deck);
+  ASSERT_EQ(report.violations.size(), 1u);
+  std::vector<Violation> twice = {report.violations[0], report.violations[0]};
+  sort_and_dedup(twice);
+  EXPECT_EQ(twice.size(), 1u);
+  EXPECT_EQ(report.count("t.width"), 1u);
+  EXPECT_EQ(report.count("no.such.rule"), 0u);
+}
+
+TEST(MrcLint, ReportMapsToRegistryCodes) {
+  const Region r = Region{Rect(0, 0, 40, 40)};  // tiny: width + area
+  Deck deck = one(CheckKind::kWidth, 60);
+  deck.push_back({CheckKind::kArea, "t.area", 6400});
+  deck.push_back({CheckKind::kJog, "t.jog", 20});
+  const auto lint = to_lint_report(check_mask(r, deck), "leaf");
+  ASSERT_FALSE(lint.empty());
+  for (const auto& d : lint.findings()) {
+    EXPECT_EQ(d.cell, "leaf");
+    EXPECT_TRUE(d.code == "MRC001" || d.code == "MRC007") << d.code;
+    EXPECT_EQ(d.severity, lint::Severity::kError);
+    EXPECT_NE(d.message.find("measured"), std::string::npos);
+    EXPECT_FALSE(d.where.is_empty() && d.code == "MRC001");
+  }
+  // Jogs map to the warning-severity MRC005.
+  const geom::Polygon step({{0, 0},
+                            {100, 0},
+                            {100, 10},
+                            {200, 10},
+                            {200, 100},
+                            {0, 100}});
+  const auto jogs = to_lint_report(
+      check_mask(Region{step.normalized()}, one(CheckKind::kJog, 20)));
+  ASSERT_FALSE(jogs.empty());
+  EXPECT_EQ(jogs.findings()[0].code, "MRC005");
+  EXPECT_EQ(jogs.findings()[0].severity, lint::Severity::kWarning);
+  EXPECT_TRUE(jogs.clean());  // warnings only: no gate-blocking errors
+}
+
+TEST(MrcDeck, ParseAcceptsKeywordsAndComments) {
+  const Deck deck = parse_deck(
+      "# mask shop minimums\n"
+      "width 60\n"
+      "space 60  # facing edges\n"
+      "\n"
+      "area 6400\n");
+  ASSERT_EQ(deck.size(), 3u);
+  EXPECT_EQ(deck[0].kind, CheckKind::kWidth);
+  EXPECT_EQ(deck[0].name, "mrc.width.60");
+  EXPECT_EQ(deck[0].value, 60);
+  EXPECT_EQ(deck[2].kind, CheckKind::kArea);
+  EXPECT_EQ(deck[2].value, 6400);
+}
+
+TEST(MrcDeck, ParseRejectsMalformedLines) {
+  EXPECT_THROW(parse_deck("bogus 10\n"), util::InputError);
+  EXPECT_THROW(parse_deck("width -5\n"), util::InputError);
+  EXPECT_THROW(parse_deck("width 0\n"), util::InputError);
+  EXPECT_THROW(parse_deck("width\n"), util::InputError);
+  EXPECT_THROW(parse_deck("width 60 extra\n"), util::InputError);
+  try {
+    parse_deck("width 60\nbogus 10\n");
+    FAIL() << "expected InputError";
+  } catch (const util::InputError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(MrcDeck, ReadDeckFileRoundTripsAndRejectsMissing) {
+  const std::string path = ::testing::TempDir() + "/mrc_deck.txt";
+  {
+    std::ofstream out(path);
+    out << "width 60\nnotch 80\n";
+  }
+  const Deck deck = read_deck_file(path);
+  ASSERT_EQ(deck.size(), 2u);
+  EXPECT_EQ(deck[1].kind, CheckKind::kNotch);
+  std::remove(path.c_str());
+  EXPECT_THROW(read_deck_file(path), util::InputError);
+}
+
+TEST(MrcDeck, Deck180CoversEveryKind) {
+  const Deck deck = mask_deck_180();
+  ASSERT_EQ(deck.size(), 7u);
+  for (const Check& c : deck) {
+    EXPECT_GT(c.value, 0);
+    EXPECT_EQ(c.name.rfind("mrc.", 0), 0u) << c.name;
+    EXPECT_NE(std::string(lint_code(c.kind)).rfind("MRC", 0),
+              std::string::npos);
+  }
+}
+
+TEST(MrcDeterminism, ReportsAreInCanonicalOrder) {
+  // A mask violating several rules at once: the report must come back
+  // sorted under violation_less regardless of internal scan order.
+  const Region r = Region{Rect(0, 0, 40, 200)}
+                       .united(Region{Rect(70, 0, 110, 200)})
+                       .united(Region{Rect(300, 0, 330, 30)});
+  const auto report = check_mask(r, mask_deck_180());
+  ASSERT_FALSE(report.clean());
+  for (std::size_t i = 1; i < report.violations.size(); ++i) {
+    EXPECT_FALSE(violation_less(report.violations[i],
+                                report.violations[i - 1]))
+        << "out of order at " << i;
+  }
+  // And re-running yields the identical report.
+  const auto again = check_mask(r, mask_deck_180());
+  EXPECT_EQ(report.violations, again.violations);
+}
+
+}  // namespace
+}  // namespace opckit::mrc

@@ -311,6 +311,114 @@ TEST(Cli, FlowRequiresModelMode) {
   EXPECT_NE(r.err.find("--mode model"), std::string::npos);
 }
 
+TEST(Cli, MrcCleanLayerReturnsZero) {
+  const std::string gds = make_test_gds("cli_mrc.gds");
+  const auto r = run_cli({"mrc", "--in", gds, "--layer", "10/0",
+                          "--min-width", "100", "--min-space", "100"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("mrc.width.100"), std::string::npos);
+  EXPECT_NE(r.out.find("MRC001"), std::string::npos);
+  std::remove(gds.c_str());
+}
+
+TEST(Cli, MrcViolationsReturnOneWithWitnesses) {
+  const std::string gds = make_test_gds("cli_mrc2.gds");
+  const auto r = run_cli({"mrc", "--in", gds, "--layer", "10/0",
+                          "--min-width", "200"});
+  EXPECT_EQ(r.code, 1);  // 180nm lines violate min width 200
+  EXPECT_NE(r.out.find("mrc.width.200"), std::string::npos);
+  EXPECT_NE(r.out.find("measured 180"), std::string::npos) << r.out;
+  std::remove(gds.c_str());
+}
+
+TEST(Cli, MrcDefaultDeckRunsClean) {
+  const std::string gds = make_test_gds("cli_mrc3.gds");
+  const auto r = run_cli({"mrc", "--in", gds, "--layer", "10/0",
+                          "--deck", "default"});
+  EXPECT_EQ(r.code, 0) << r.err << r.out;
+  std::remove(gds.c_str());
+}
+
+TEST(Cli, MrcWithoutRulesRejected) {
+  const std::string gds = make_test_gds("cli_mrc4.gds");
+  const auto r = run_cli({"mrc", "--in", gds, "--layer", "10/0"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--min-"), std::string::npos);
+  std::remove(gds.c_str());
+}
+
+TEST(Cli, FlowMrcGateWarnEmbedsReportInJsonStats) {
+  layout::Library lib("cli_mrc_flow");
+  lib.cell("only").add_rect(layout::layers::kPoly,
+                            geom::Rect(0, 0, 180, 1500));
+  const std::string in = ::testing::TempDir() + "/cli_mrc_flow_in.gds";
+  layout::write_gdsii_file(lib, in);
+  const std::string out_path = ::testing::TempDir() + "/cli_mrc_flow_out.gds";
+
+  // A deck this corrected mask can never meet, downgraded to warn: the
+  // run succeeds, the JSON stats carry the violation counts.
+  const std::string deck = ::testing::TempDir() + "/cli_mrc_flow.deck";
+  std::ofstream(deck) << "width 500\n";
+  const auto r = run_cli({"opc", "--in", in, "--out", out_path, "--layer",
+                          "10/0", "--flow", "flat", "--mrc-deck", deck,
+                          "--mrc-action", "warn", "--stats", "json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"mrc\":{\"checked\":true"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("\"by_rule\":{\"mrc.width.500\":"), std::string::npos)
+      << r.out;
+
+  std::remove(in.c_str());
+  std::remove(out_path.c_str());
+  std::remove(deck.c_str());
+}
+
+TEST(Cli, FlowMrcGateFailRejectsButWritesOutput) {
+  layout::Library lib("cli_mrc_gate");
+  lib.cell("only").add_rect(layout::layers::kPoly,
+                            geom::Rect(0, 0, 180, 1500));
+  const std::string in = ::testing::TempDir() + "/cli_mrc_gate_in.gds";
+  layout::write_gdsii_file(lib, in);
+  const std::string out_path = ::testing::TempDir() + "/cli_mrc_gate_out.gds";
+
+  const std::string deck = ::testing::TempDir() + "/cli_mrc_gate.deck";
+  std::ofstream(deck) << "width 500\n";
+  const auto r = run_cli({"opc", "--in", in, "--out", out_path, "--layer",
+                          "10/0", "--flow", "flat", "--mrc-deck", deck});
+  EXPECT_EQ(r.code, 1) << r.err;
+  EXPECT_NE(r.out.find("MRC001"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("error: MRC signoff"), std::string::npos) << r.out;
+  // The rejected mask is still written for inspection.
+  const layout::Library back = layout::read_gdsii_file(out_path);
+  EXPECT_FALSE(back.flatten("only", layout::Layer{10, 1}).empty());
+
+  std::remove(in.c_str());
+  std::remove(out_path.c_str());
+  std::remove(deck.c_str());
+}
+
+TEST(Cli, MrcFlagsValidated) {
+  // --mrc-action needs --mrc-deck.
+  const auto r = run_cli({"opc", "--in", "x.gds", "--out", "y.gds",
+                          "--layer", "10/0", "--flow", "flat",
+                          "--mrc-action", "warn"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--mrc-action requires --mrc-deck"),
+            std::string::npos);
+  // Unknown action value.
+  const auto r2 = run_cli({"opc", "--in", "x.gds", "--out", "y.gds",
+                           "--layer", "10/0", "--flow", "flat",
+                           "--mrc-deck", "default", "--mrc-action", "x"});
+  EXPECT_EQ(r2.code, 2);
+  EXPECT_NE(r2.err.find("--mrc-action"), std::string::npos);
+  // The gate is a flow feature; the direct path rejects it.
+  const auto r3 = run_cli({"opc", "--in", "x.gds", "--out", "y.gds",
+                           "--layer", "10/0", "--mode", "model",
+                           "--mrc-deck", "default"});
+  EXPECT_EQ(r3.code, 2);
+  EXPECT_NE(r3.err.find("--flow flat|cell"), std::string::npos);
+}
+
 TEST(Cli, LintCleanLayoutReturnsZero) {
   const std::string gds = make_test_gds("cli_lint_clean.gds");
   const auto r = run_cli({"lint", "--in", gds});

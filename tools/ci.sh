@@ -62,6 +62,12 @@ job_sanitize() {
   (cd build-ci-asan && \
    ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
    ctest "${CTEST_ARGS[@]}" --no-tests=error -L metrology)
+  # `mrc` label: the scanline signoff engine (interval maps, union-find,
+  # ring walks) plus the 240-seed differential harness — exactly the
+  # index-heavy code ASan/UBSan exists for.
+  (cd build-ci-asan && \
+   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+   ctest "${CTEST_ARGS[@]}" --no-tests=error -L mrc)
 }
 
 job_tsan() {
@@ -83,6 +89,11 @@ job_tsan() {
   # concurrency machinery — keep them in the TSan matrix explicitly.
   (cd build-ci-tsan && \
    ctest "${CTEST_ARGS[@]}" --no-tests=error -L socs)
+  # `mrc` label: the MrcFlowGate suite drives the parallel signoff phase
+  # at jobs=8 — the per-tile check_polygons calls run on pool workers and
+  # must stay data-race-free against the serial accounting.
+  (cd build-ci-tsan && \
+   ctest "${CTEST_ARGS[@]}" --no-tests=error -L mrc)
 }
 
 job_tidy() {
@@ -90,10 +101,11 @@ job_tidy() {
     log "clang-tidy not installed — skipping (config: .clang-tidy)"
     return 0
   fi
-  log "clang-tidy over src/ and tools/"
+  log "clang-tidy over src/ and tools/ (warnings are errors)"
   configure_build build-ci-tidy -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
   find src tools -name '*.cpp' -print0 |
-    xargs -0 -P "${JOBS}" -n 8 clang-tidy -p build-ci-tidy --quiet
+    xargs -0 -P "${JOBS}" -n 8 clang-tidy -p build-ci-tidy --quiet \
+      --warnings-as-errors='*'
 }
 
 job_lint() {

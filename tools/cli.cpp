@@ -11,6 +11,7 @@
 #include "layout/layout.h"
 #include "lint/lint.h"
 #include "litho/litho.h"
+#include "mrc/mrc.h"
 #include "pattern/pattern.h"
 #include "trace/trace.h"
 #include "util/strings.h"
@@ -166,6 +167,65 @@ int cmd_drc(const Options& opts, std::ostream& out) {
   return report.clean() ? 0 : 1;
 }
 
+/// Build an MRC deck from CLI options: --deck FILE (the literal
+/// "default" = the built-in 180nm mask deck) or one --min-* flag per
+/// check kind. Empty when neither is given.
+mrc::Deck mrc_deck_from_options(const Options& opts, const char* deck_key) {
+  if (opts.has(deck_key)) {
+    const std::string path = opts.require(deck_key);
+    return path == "default" ? mrc::mask_deck_180()
+                             : mrc::read_deck_file(path);
+  }
+  mrc::Deck deck;
+  const auto add = [&](const char* key, mrc::CheckKind kind) {
+    const long long v = opts.get_int(key, 0);
+    if (v > 0) {
+      deck.push_back({kind,
+                      std::string("mrc.") + mrc::to_string(kind) + "." +
+                          std::to_string(v),
+                      static_cast<geom::Coord>(v)});
+    }
+  };
+  add("min-width", mrc::CheckKind::kWidth);
+  add("min-space", mrc::CheckKind::kSpace);
+  add("min-edge", mrc::CheckKind::kEdgeLength);
+  add("min-notch", mrc::CheckKind::kNotch);
+  add("min-jog", mrc::CheckKind::kJog);
+  add("min-corner", mrc::CheckKind::kCorner);
+  add("min-area", mrc::CheckKind::kArea);
+  return deck;
+}
+
+int cmd_mrc(const Options& opts, std::ostream& out) {
+  const layout::Library lib = layout::read_gdsii_file(opts.require("in"));
+  const std::string top = pick_cell(lib, opts);
+  const layout::Layer layer = parse_layer(opts.require("layer"));
+  const auto polys = lib.flatten(top, layer);
+  const mrc::Deck deck = mrc_deck_from_options(opts, "deck");
+  if (deck.empty()) {
+    throw util::InputError(
+        "give --deck FILE (or --deck default) or at least one --min-* "
+        "rule");
+  }
+  const mrc::MrcReport report = mrc::check_polygons(polys, deck);
+
+  util::Table t({"rule", "code", "violations"});
+  for (const auto& check : deck) {
+    t.add_row(check.name, std::string(mrc::lint_code(check.kind)),
+              report.count(check.name));
+  }
+  out << t.to_text("opckit mrc (" + std::to_string(polys.size()) +
+                   " polygons)");
+  for (const auto& v : report.violations) {
+    out << "  " << v.rule << ' ' << mrc::lint_code(v.kind) << " at "
+        << v.marker << ": measured " << v.distance << " between " << v.e1
+        << " and " << v.e2 << '\n';
+  }
+  // Exit like the flow gate: error-severity findings fail; jog
+  // (MRC005) warnings alone are advisory.
+  return mrc::to_lint_report(report).clean() ? 0 : 1;
+}
+
 int cmd_opc(const Options& opts, std::ostream& out) {
   const std::string mode = opts.get("mode", "model");
   const std::string flow = opts.get("flow", "direct");
@@ -178,7 +238,8 @@ int cmd_opc(const Options& opts, std::ostream& out) {
   }
   if (flow == "direct") {
     for (const char* key :
-         {"store", "resume", "stats", "stats-out", "trace"}) {
+         {"store", "resume", "stats", "stats-out", "trace", "mrc-deck",
+          "mrc-action"}) {
       if (opts.has(key)) {
         throw util::InputError(std::string("--") + key +
                                " requires --flow flat|cell");
@@ -191,6 +252,14 @@ int cmd_opc(const Options& opts, std::ostream& out) {
   if (opts.has("stats") && opts.get("stats", "") != "json") {
     throw util::InputError("unknown --stats format (use json): " +
                            opts.get("stats", ""));
+  }
+  const std::string mrc_action = opts.get("mrc-action", "fail");
+  if (mrc_action != "fail" && mrc_action != "warn") {
+    throw util::InputError("unknown --mrc-action (use fail or warn): " +
+                           mrc_action);
+  }
+  if (opts.has("mrc-action") && !opts.has("mrc-deck")) {
+    throw util::InputError("--mrc-action requires --mrc-deck FILE|default");
   }
   const std::string imaging = opts.get("imaging", "abbe");
   if (imaging != "abbe" && imaging != "socs") {
@@ -231,12 +300,28 @@ int cmd_opc(const Options& opts, std::ostream& out) {
     spec.cache = !opts.has("no-cache");
     if (opts.has("store")) spec.store_path = opts.require("store");
     spec.resume = opts.has("resume");
+    if (opts.has("mrc-deck")) {
+      const std::string deck = opts.require("mrc-deck");
+      spec.mrc_deck = deck == "default" ? mrc::mask_deck_180()
+                                        : mrc::read_deck_file(deck);
+      spec.mrc_action = mrc_action == "warn" ? mrc::Action::kWarn
+                                             : mrc::Action::kFail;
+    }
     const bool tracing = opts.has("trace");
     if (tracing) trace::Tracer::instance().start();
     opc::FlowStats stats;
+    bool mrc_failed = false;
+    std::string mrc_failure;
     try {
       stats = flow == "flat" ? opc::run_flat_opc(lib, top, spec)
                              : opc::run_cell_opc(lib, top, spec);
+    } catch (const opc::MrcGateError& e) {
+      // The gate rejects the mask AFTER the output layer is written, so
+      // the normal reporting/output path below still runs — only the
+      // exit code and the violation listing change.
+      mrc_failed = true;
+      mrc_failure = e.what();
+      stats = e.stats();
     } catch (...) {
       // Leave the process-wide tracer off for whoever catches this.
       if (tracing) trace::Tracer::instance().stop();
@@ -275,6 +360,13 @@ int cmd_opc(const Options& opts, std::ostream& out) {
             << (stats.store_tail_recovered ? ", torn tail recovered" : "")
             << '\n';
       }
+      if (stats.mrc_checked) {
+        out << "mrc: " << stats.mrc.violations.size()
+            << " violation(s) across " << stats.tile_mrc_violations.size()
+            << " checked tile(s)"
+            << (spec.mrc_action == mrc::Action::kWarn ? " (warn)" : "")
+            << '\n';
+      }
       out << "wall clock: " << stats.wall_ms << " ms ("
           << (spec.jobs == 0 ? std::string("all")
                              : std::to_string(spec.jobs))
@@ -288,6 +380,14 @@ int cmd_opc(const Options& opts, std::ostream& out) {
     if (!opts.has("stats")) {
       out << "wrote " << opts.require("out") << " (corrected shapes on "
           << out_layer << ")\n";
+    }
+    if (mrc_failed) {
+      if (!opts.has("stats")) {
+        out << lint::render_text(mrc::to_lint_report(stats.mrc),
+                                 "mrc signoff");
+        out << "error: " << mrc_failure << '\n';
+      }
+      return 1;
     }
     return 0;
   }
@@ -471,10 +571,16 @@ int cmd_metrics(const Options& opts, std::ostream& out) {
 }
 
 void usage(std::ostream& err) {
-  err << "usage: opckit <stats|drc|lint|opc|patterns|metrics> --in FILE "
+  err << "usage: opckit <stats|drc|mrc|lint|opc|patterns|metrics> --in FILE "
          "[options]\n"
          "  stats     --in a.gds [--cell NAME]\n"
          "  drc       --in a.gds --layer L/D --min-width N --min-space N\n"
+         "  mrc       --in a.gds --layer L/D [--deck FILE|default]\n"
+         "            [--min-width N] [--min-space N] [--min-edge N]\n"
+         "            [--min-notch N] [--min-jog N] [--min-corner N]\n"
+         "            [--min-area N]\n"
+         "            (scanline mask-rule signoff with edge witnesses;\n"
+         "             exit 1 on error-severity violations)\n"
          "  lint      [--in a.gds] [--deck FILE] [--model] [--grid N]\n"
          "            [--min-feature N] [--format text|csv]\n"
          "            [--codes [--format text|md]]\n"
@@ -490,6 +596,9 @@ void usage(std::ostream& err) {
          "            [--imaging abbe|socs] [--socs-epsilon F]\n"
          "            (socs: SOCS kernel imaging — a few FFTs per image\n"
          "             instead of one per source point, within ε)\n"
+         "            [--mrc-deck FILE|default] [--mrc-action fail|warn]\n"
+         "            (post-OPC mask-rule signoff gate; fail = exit 1\n"
+         "             with the violation listing, output still written)\n"
          "            [--deck FILE]\n"
          "            [--srafs] [--anchor-cd N] [--anchor-pitch N]\n"
          "            (inputs are lint pre-flighted; errors abort, see\n"
@@ -511,6 +620,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     const std::string& cmd = args[0];
     if (cmd == "stats") return cmd_stats(opts, out);
     if (cmd == "drc") return cmd_drc(opts, out);
+    if (cmd == "mrc") return cmd_mrc(opts, out);
     if (cmd == "lint") return cmd_lint(opts, out);
     if (cmd == "opc") return cmd_opc(opts, out);
     if (cmd == "patterns") return cmd_patterns(opts, out);
