@@ -258,6 +258,24 @@ void BM_FlatFlowImaging(benchmark::State& state) {
   state.counters["kernels"] = counter(trace::metric::kLithoSocsKernelsBuilt);
   state.counters["kernel_hits"] =
       counter(trace::metric::kLithoSocsCacheHits);
+  // FFT-engine breakdown: where the solve-phase transforms went.
+  // plan_builds counts first-touch table constructions (amortized to
+  // ~zero by the PlanCache: the hit counter dwarfs it), fft_batched is
+  // the fused sparse inverse+|.|^2 hot path (one per kernel or source
+  // point per simulation), fft_r2c the mask-spectrum forwards, and
+  // rows_pruned the zero frequency rows the sparse batches skipped.
+  state.counters["plan_builds"] = counter(trace::metric::kLithoFftPlanBuilds);
+  state.counters["plan_hits"] = counter(trace::metric::kLithoFftPlanHits);
+  state.counters["plan_build_ms"] =
+      stats.metrics.gauges.count(trace::metric::kLithoFftPlanBuildMs)
+          ? stats.metrics.gauges.at(trace::metric::kLithoFftPlanBuildMs)
+          : 0.0;
+  state.counters["fft_r2c"] = counter(trace::metric::kLithoFftR2cTransforms);
+  state.counters["fft_c2r"] = counter(trace::metric::kLithoFftC2rTransforms);
+  state.counters["fft_batched"] =
+      counter(trace::metric::kLithoFftBatchedTransforms);
+  state.counters["fft2d"] = counter(trace::metric::kLithoFft2dTransforms);
+  state.counters["rows_pruned"] = counter(trace::metric::kLithoFftRowsPruned);
 }
 BENCHMARK(BM_FlatFlowImaging)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();

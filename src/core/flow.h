@@ -169,8 +169,9 @@ struct FlowStats {
   double worst_rms_epe_nm = 0.0;
   /// Everything the observability layer measured during this run: the
   /// per-run delta of the process-wide metrics registry (counters like
-  /// litho.fft2d_transforms, per-phase wall-time gauges, the per-tile
-  /// simulation histogram). See trace/metrics.h for the full name table.
+  /// litho.fft_batched_transforms, per-phase wall-time gauges, the
+  /// per-tile simulation histogram). See trace/metrics.h for the full
+  /// name table.
   trace::MetricsSnapshot metrics;
   /// Wall-clock of the whole flow in milliseconds. Observability only —
   /// like the phase gauges in `metrics`, not deterministic.

@@ -1,5 +1,7 @@
 #include "litho/fft.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numbers>
 
@@ -9,35 +11,104 @@
 namespace opckit::litho {
 
 std::size_t next_pow2(std::size_t n) {
+  // Beyond the top representable power of two the old loop shifted p
+  // into 0 and spun forever.
+  constexpr std::size_t kTop = std::size_t{1}
+                               << (sizeof(std::size_t) * 8 - 1);
+  OPCKIT_CHECK_MSG(n <= kTop, "next_pow2(" << n << ") overflows size_t");
   std::size_t p = 1;
   while (p < n) p <<= 1;
   return p;
 }
 
-namespace {
+double fft_freq(std::size_t k, std::size_t n) {
+  OPCKIT_CHECK_MSG(n > 0 && k < n,
+                   "fft_freq bin " << k << " out of range for n=" << n);
+  const auto nk = static_cast<double>(k);
+  const auto nn = static_cast<double>(n);
+  // k <= (n-1)/2, not k < n/2: identical for every even n, but keeps
+  // the lone bin of n == 1 at DC (the old comparison mapped it to -1).
+  return k <= (n - 1) / 2 ? nk / nn : nk / nn - 1.0;
+}
 
-/// Iterative Cooley-Tukey with bit-reversal permutation.
-void fft_core(Complex* data, std::size_t n, bool inverse) {
-  // Bit reversal.
+std::vector<std::uint32_t> FftPlan::bit_reversal(std::size_t n) {
+  std::vector<std::uint32_t> rev(n);
+  // Same incremental carry walk the old per-call permutation used.
   for (std::size_t i = 1, j = 0; i < n; ++i) {
     std::size_t bit = n >> 1;
     for (; j & bit; bit >>= 1) j ^= bit;
     j ^= bit;
+    rev[i] = static_cast<std::uint32_t>(j);
+  }
+  return rev;
+}
+
+std::vector<Complex> FftPlan::stage_twiddles(std::size_t n, bool inverse) {
+  // One concatenated table of n-1 entries: stage `len` contributes
+  // len/2 twiddles at offset len/2-1. Generated with the exact
+  // multiplicative recurrence (w *= wlen) the old per-butterfly code
+  // ran, so table-driven butterflies reproduce its results bit for
+  // bit.
+  std::vector<Complex> tw(n > 0 ? n - 1 : 0);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    Complex w(1.0, 0.0);
+    Complex* stage = tw.data() + (len / 2 - 1);
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      stage[k] = w;
+      w *= wlen;
+    }
+  }
+  return tw;
+}
+
+FftPlan::FftPlan(std::size_t n, FftKind kind) : n_(n), kind_(kind) {
+  OPCKIT_CHECK_MSG(is_pow2(n), "FFT size " << n << " is not a power of two");
+  OPCKIT_CHECK_MSG(n <= (std::size_t{1} << 31),
+                   "FFT size " << n << " exceeds the planner's index range");
+  rev_ = bit_reversal(n);
+  tw_fwd_ = stage_twiddles(n, /*inverse=*/false);
+  tw_inv_ = stage_twiddles(n, /*inverse=*/true);
+  if (kind == FftKind::kReal && n >= 2) {
+    const std::size_t half = n / 2;
+    rev_half_ = bit_reversal(half);
+    tw_fwd_half_ = stage_twiddles(half, /*inverse=*/false);
+    tw_inv_half_ = stage_twiddles(half, /*inverse=*/true);
+    split_.resize(half + 1);
+    for (std::size_t k = 0; k <= half; ++k) {
+      const double ang =
+          -2.0 * std::numbers::pi * static_cast<double>(k) /
+          static_cast<double>(n);
+      split_[k] = Complex(std::cos(ang), std::sin(ang));
+    }
+  }
+}
+
+namespace {
+
+/// Table-driven Cooley-Tukey core shared by the full-size and
+/// half-size paths. Identical loop structure to the historic scalar
+/// kernel; only the twiddles come from the plan instead of a serial
+/// recurrence, which breaks the w *= wlen dependency chain.
+void planned_fft(Complex* data, std::size_t n,
+                 const std::uint32_t* rev, const Complex* tw) {
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = rev[i];
     if (i < j) std::swap(data[i], data[j]);
   }
-  // Butterflies.
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double ang = (inverse ? 2.0 : -2.0) * std::numbers::pi /
-                       static_cast<double>(len);
-    const Complex wlen(std::cos(ang), std::sin(ang));
+    const Complex* stage = tw + (len / 2 - 1);
+    const std::size_t half = len / 2;
     for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Complex u = data[i + k];
-        const Complex v = data[i + k + len / 2] * w;
-        data[i + k] = u + v;
-        data[i + k + len / 2] = u - v;
-        w *= wlen;
+      Complex* lo = data + i;
+      Complex* hi = lo + half;
+      for (std::size_t k = 0; k < half; ++k) {
+        const Complex u = lo[k];
+        const Complex v = hi[k] * stage[k];
+        lo[k] = u + v;
+        hi[k] = u - v;
       }
     }
   }
@@ -45,10 +116,311 @@ void fft_core(Complex* data, std::size_t n, bool inverse) {
 
 }  // namespace
 
+void FftPlan::transform(Complex* data, FftDirection dir) const {
+  planned_fft(data, n_, rev_.data(),
+              dir == FftDirection::kForward ? tw_fwd_.data()
+                                            : tw_inv_.data());
+}
+
+void FftPlan::transform_half(Complex* data, FftDirection dir) const {
+  planned_fft(data, n_ / 2, rev_half_.data(),
+              dir == FftDirection::kForward ? tw_fwd_half_.data()
+                                            : tw_inv_half_.data());
+}
+
+void FftPlan::forward_real(const double* in, Complex* out) const {
+  OPCKIT_CHECK_MSG(kind_ == FftKind::kReal,
+                   "forward_real needs a kReal plan (size " << n_ << ")");
+  if (n_ == 1) {
+    out[0] = Complex(in[0], 0.0);
+    return;
+  }
+  const std::size_t half = n_ / 2;
+  // Pack even/odd samples into one half-size complex transform:
+  // z[j] = x[2j] + i*x[2j+1], Z = FFT_{n/2}(z). With Fe/Fo the FFTs of
+  // the even/odd subsequences (both real, hence Hermitian):
+  //   Fe[k] = (Z[k] + conj(Z[n/2-k])) / 2
+  //   Fo[k] = (Z[k] - conj(Z[n/2-k])) / (2i)
+  //   X[k]  = Fe[k] + e^{-2*pi*i*k/n} * Fo[k],  k in [0, n/2].
+  std::vector<Complex> z(half);
+  for (std::size_t j = 0; j < half; ++j) {
+    z[j] = Complex(in[2 * j], in[2 * j + 1]);
+  }
+  transform_half(z.data(), FftDirection::kForward);
+  for (std::size_t k = 0; k <= half; ++k) {
+    const Complex zk = z[k % half];
+    const Complex zm = std::conj(z[(half - k) % half]);
+    const Complex fe = 0.5 * (zk + zm);
+    const Complex fo = (zk - zm) * Complex(0.0, -0.5);
+    out[k] = fe + split_[k] * fo;
+  }
+}
+
+void FftPlan::inverse_real(const Complex* in, double* out) const {
+  OPCKIT_CHECK_MSG(kind_ == FftKind::kReal,
+                   "inverse_real needs a kReal plan (size " << n_ << ")");
+  if (n_ == 1) {
+    out[0] = in[0].real();
+    return;
+  }
+  const std::size_t half = n_ / 2;
+  // Invert the split: recover Z[k] (scaled by 2 so the unnormalized
+  // half-size inverse yields n*x overall — callers divide by n, the
+  // same convention as the complex path).
+  //   2*Fe[k]          = X[k] + conj(X[n/2-k])
+  //   2*e^{-..}*Fo[k]  = X[k] - conj(X[n/2-k])
+  //   Z[k]             = Fe[k] + i*Fo[k]  (doubled here)
+  std::vector<Complex> z(half);
+  for (std::size_t k = 0; k < half; ++k) {
+    const Complex xk = in[k];
+    const Complex xm = std::conj(in[half - k]);
+    const Complex fe2 = xk + xm;
+    const Complex fo2 = std::conj(split_[k]) * (xk - xm);
+    z[k] = fe2 + Complex(0.0, 1.0) * fo2;
+  }
+  transform_half(z.data(), FftDirection::kInverse);
+  for (std::size_t j = 0; j < half; ++j) {
+    out[2 * j] = z[j].real();
+    out[2 * j + 1] = z[j].imag();
+  }
+}
+
+PlanCache& PlanCache::instance() {
+  static PlanCache cache;
+  return cache;
+}
+
+std::shared_ptr<const FftPlan> PlanCache::get(std::size_t n, FftKind kind) {
+  const Key key{n, static_cast<int>(kind)};
+  // Build under the lock — the KernelCache discipline: the first touch
+  // of a key blocks peers for the one-time table build (microseconds)
+  // instead of letting them duplicate it; every later touch is a map
+  // lookup.
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    ++stats_.hits;
+    trace::metrics().counter(trace::metric::kLithoFftPlanHits).add();
+    return it->second;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  auto plan = std::make_shared<const FftPlan>(n, kind);
+  const double ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  ++stats_.builds;
+  trace::metrics().counter(trace::metric::kLithoFftPlanBuilds).add();
+  trace::metrics().gauge(trace::metric::kLithoFftPlanBuildMs).add(ms);
+  plans_.emplace(key, plan);
+  return plan;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plans_.size();
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plans_.clear();
+  stats_ = Stats{};
+}
+
+Fft2d::Fft2d(std::size_t nx, std::size_t ny)
+    : nx_(nx),
+      ny_(ny),
+      // Rows get a kReal plan so one cached object serves both the
+      // complex and the r2c row passes; columns only ever transform
+      // complex data.
+      row_(PlanCache::instance().get(nx, FftKind::kReal)),
+      col_(PlanCache::instance().get(ny, FftKind::kComplex)) {}
+
+namespace {
+
+/// Columns of a row-major array, transformed in cache-blocked groups:
+/// gather kBlock adjacent columns into contiguous scratch (each source
+/// cache line feeds kBlock columns instead of one), transform, scatter
+/// back. Arithmetic per column is identical to a one-at-a-time strided
+/// pass — blocking changes the memory walk, not the results.
+constexpr std::size_t kColBlock = 8;
+
+}  // namespace
+
+void Fft2d::column_pass(Complex* data, std::size_t cols,
+                        FftDirection dir) const {
+  std::vector<Complex> buf(kColBlock * ny_);
+  for (std::size_t x0 = 0; x0 < cols; x0 += kColBlock) {
+    const std::size_t b = std::min(kColBlock, cols - x0);
+    for (std::size_t y = 0; y < ny_; ++y) {
+      const Complex* row = data + y * cols + x0;
+      for (std::size_t j = 0; j < b; ++j) buf[j * ny_ + y] = row[j];
+    }
+    for (std::size_t j = 0; j < b; ++j) {
+      col_->transform(buf.data() + j * ny_, dir);
+    }
+    for (std::size_t y = 0; y < ny_; ++y) {
+      Complex* row = data + y * cols + x0;
+      for (std::size_t j = 0; j < b; ++j) row[j] = buf[j * ny_ + y];
+    }
+  }
+}
+
+void Fft2d::forward(std::vector<Complex>& data) const {
+  OPCKIT_CHECK(data.size() == nx_ * ny_);
+  trace::metrics().counter(trace::metric::kLithoFft2dTransforms).add();
+  for (std::size_t y = 0; y < ny_; ++y) {
+    row_->transform(data.data() + y * nx_, FftDirection::kForward);
+  }
+  column_pass(data.data(), nx_, FftDirection::kForward);
+}
+
+void Fft2d::inverse(std::vector<Complex>& data) const {
+  OPCKIT_CHECK(data.size() == nx_ * ny_);
+  trace::metrics().counter(trace::metric::kLithoFft2dTransforms).add();
+  for (std::size_t y = 0; y < ny_; ++y) {
+    row_->transform(data.data() + y * nx_, FftDirection::kInverse);
+  }
+  column_pass(data.data(), nx_, FftDirection::kInverse);
+  const double inv = 1.0 / static_cast<double>(nx_ * ny_);
+  for (auto& v : data) v *= inv;
+}
+
+void Fft2d::forward_real(std::span<const double> in,
+                         std::vector<Complex>& out) const {
+  OPCKIT_CHECK(in.size() == nx_ * ny_);
+  trace::metrics().counter(trace::metric::kLithoFftR2cTransforms).add();
+  out.resize(nx_ * ny_);
+  const std::size_t hx = nx_ / 2 + 1;
+  std::vector<Complex> half(hx * ny_);
+  for (std::size_t y = 0; y < ny_; ++y) {
+    row_->forward_real(in.data() + y * nx_, half.data() + y * hx);
+  }
+  column_pass(half.data(), hx, FftDirection::kForward);
+  // Scatter the computed half into full layout and fill the rest from
+  // the 2-D Hermitian symmetry F[nx-kx, ny-ky] = conj(F[kx, ky]).
+  for (std::size_t y = 0; y < ny_; ++y) {
+    Complex* dst = out.data() + y * nx_;
+    const Complex* src = half.data() + y * hx;
+    for (std::size_t kx = 0; kx < hx; ++kx) dst[kx] = src[kx];
+  }
+  for (std::size_t y = 0; y < ny_; ++y) {
+    Complex* dst = out.data() + y * nx_;
+    const Complex* mirror = half.data() + ((ny_ - y) % ny_) * hx;
+    for (std::size_t kx = hx; kx < nx_; ++kx) {
+      dst[kx] = std::conj(mirror[nx_ - kx]);
+    }
+  }
+}
+
+void Fft2d::inverse_real(std::span<const Complex> in,
+                         std::vector<double>& out) const {
+  OPCKIT_CHECK(in.size() == nx_ * ny_);
+  trace::metrics().counter(trace::metric::kLithoFftC2rTransforms).add();
+  out.resize(nx_ * ny_);
+  const std::size_t hx = nx_ / 2 + 1;
+  std::vector<Complex> half(hx * ny_);
+  for (std::size_t y = 0; y < ny_; ++y) {
+    const Complex* src = in.data() + y * nx_;
+    Complex* dst = half.data() + y * hx;
+    for (std::size_t kx = 0; kx < hx; ++kx) dst[kx] = src[kx];
+  }
+  column_pass(half.data(), hx, FftDirection::kInverse);
+  for (std::size_t y = 0; y < ny_; ++y) {
+    row_->inverse_real(half.data() + y * hx, out.data() + y * nx_);
+  }
+  const double inv = 1.0 / static_cast<double>(nx_ * ny_);
+  for (auto& v : out) v *= inv;
+}
+
+SparseInverseBatch::SparseInverseBatch(
+    const Fft2d& plan, std::span<const std::uint32_t> support)
+    : plan_(plan), support_(support.begin(), support.end()) {
+  const std::size_t nx = plan_.nx();
+  const std::size_t n = nx * plan_.ny();
+  constexpr std::uint32_t kNone = 0xffffffffu;
+  row_slot_.assign(plan_.ny(), kNone);
+  compact_.reserve(support_.size());
+  for (std::size_t j = 0; j < support_.size(); ++j) {
+    const std::uint32_t idx = support_[j];
+    OPCKIT_CHECK_MSG(idx < n, "support index " << idx << " out of frame");
+    OPCKIT_CHECK_MSG(j == 0 || support_[j - 1] < idx,
+                     "support indices must be strictly ascending");
+    const std::uint32_t ky = idx / static_cast<std::uint32_t>(nx);
+    if (row_slot_[ky] == kNone) {
+      row_slot_[ky] = static_cast<std::uint32_t>(rows_.size());
+      rows_.push_back(ky);
+    }
+    compact_.push_back(row_slot_[ky] * static_cast<std::uint32_t>(nx) +
+                       idx % static_cast<std::uint32_t>(nx));
+  }
+}
+
+void SparseInverseBatch::inverse_mag2(const Complex* spectrum,
+                                      std::span<const Complex> factors,
+                                      std::vector<double>& out) const {
+  OPCKIT_CHECK(factors.size() == support_.size());
+  const std::size_t nx = plan_.nx();
+  const std::size_t ny = plan_.ny();
+  out.resize(nx * ny);
+  trace::metrics().counter(trace::metric::kLithoFftBatchedTransforms).add();
+  trace::metrics()
+      .counter(trace::metric::kLithoFftRowsPruned)
+      .add(rows_pruned());
+
+  // Pruned row pass: only rows with support bins exist, in a compact
+  // |rows|*nx buffer that stays cache resident. Rows without support
+  // transform to exactly zero, so skipping them is bit-exact.
+  const std::size_t nr = rows_.size();
+  std::vector<Complex> field(nr * nx, Complex{0.0, 0.0});
+  for (std::size_t j = 0; j < support_.size(); ++j) {
+    field[compact_[j]] = spectrum[support_[j]] * factors[j];
+  }
+  const FftPlan& row_plan = plan_.row_plan();
+  for (std::size_t s = 0; s < nr; ++s) {
+    row_plan.transform(field.data() + s * nx, FftDirection::kInverse);
+  }
+
+  // Blocked column pass with fused epilogue: gather reads only the
+  // touched rows (absent rows are exactly zero), and each transformed
+  // column writes |v/(nx*ny)|² straight into the intensity buffer —
+  // the complex image is never stored.
+  const FftPlan& col_plan = plan_.col_plan();
+  const double inv = 1.0 / static_cast<double>(nx * ny);
+  std::vector<Complex> buf(kColBlock * ny);
+  for (std::size_t x0 = 0; x0 < nx; x0 += kColBlock) {
+    const std::size_t b = std::min(kColBlock, nx - x0);
+    std::fill(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(b * ny),
+              Complex{0.0, 0.0});
+    for (std::size_t s = 0; s < nr; ++s) {
+      const std::size_t y = rows_[s];
+      const Complex* row = field.data() + s * nx + x0;
+      for (std::size_t j = 0; j < b; ++j) buf[j * ny + y] = row[j];
+    }
+    for (std::size_t j = 0; j < b; ++j) {
+      col_plan.transform(buf.data() + j * ny, FftDirection::kInverse);
+    }
+    for (std::size_t y = 0; y < ny; ++y) {
+      double* orow = out.data() + y * nx + x0;
+      const Complex* brow = buf.data() + y;
+      for (std::size_t j = 0; j < b; ++j) {
+        orow[j] = std::norm(brow[j * ny] * inv);
+      }
+    }
+  }
+}
+
 void fft_1d(std::vector<Complex>& data, bool inverse) {
   const std::size_t n = data.size();
   OPCKIT_CHECK_MSG(is_pow2(n), "FFT size " << n << " is not a power of two");
-  fft_core(data.data(), n, inverse);
+  const auto plan = PlanCache::instance().get(n, FftKind::kComplex);
+  plan->transform(data.data(),
+                  inverse ? FftDirection::kInverse : FftDirection::kForward);
   if (inverse) {
     const double inv = 1.0 / static_cast<double>(n);
     for (auto& v : data) v *= inv;
@@ -60,28 +432,12 @@ void fft_2d(std::vector<Complex>& data, std::size_t nx, std::size_t ny,
   OPCKIT_CHECK(data.size() == nx * ny);
   OPCKIT_CHECK_MSG(is_pow2(nx) && is_pow2(ny),
                    "FFT dims " << nx << 'x' << ny << " not powers of two");
-  trace::metrics().counter(trace::metric::kLithoFft2dTransforms).add();
-  // Rows (contiguous).
-  for (std::size_t y = 0; y < ny; ++y) {
-    fft_core(data.data() + y * nx, nx, inverse);
-  }
-  // Columns via transpose-free strided gather.
-  std::vector<Complex> col(ny);
-  for (std::size_t x = 0; x < nx; ++x) {
-    for (std::size_t y = 0; y < ny; ++y) col[y] = data[y * nx + x];
-    fft_core(col.data(), ny, inverse);
-    for (std::size_t y = 0; y < ny; ++y) data[y * nx + x] = col[y];
-  }
+  const Fft2d plan(nx, ny);
   if (inverse) {
-    const double inv = 1.0 / static_cast<double>(nx * ny);
-    for (auto& v : data) v *= inv;
+    plan.inverse(data);
+  } else {
+    plan.forward(data);
   }
-}
-
-double fft_freq(std::size_t k, std::size_t n) {
-  const auto nk = static_cast<double>(k);
-  const auto nn = static_cast<double>(n);
-  return k < n / 2 ? nk / nn : nk / nn - 1.0;
 }
 
 }  // namespace opckit::litho

@@ -137,7 +137,10 @@ void weighted_intensity_sum(
 }  // namespace detail
 
 AbbeImager::AbbeImager(const OpticalSystem& sys, const Frame& frame)
-    : sys_(sys), frame_(frame), source_(sample_source(sys)) {
+    : sys_(sys),
+      frame_(frame),
+      fft2_(frame.nx, frame.ny),
+      source_(sample_source(sys)) {
   OPCKIT_CHECK_MSG(is_pow2(frame.nx) && is_pow2(frame.ny),
                    "frame dims must be powers of two, got "
                        << frame.nx << 'x' << frame.ny);
@@ -158,14 +161,39 @@ Image AbbeImager::aerial_image(const Image& mask, double defocus_nm,
   const std::size_t n = nx * ny;
 
   // Mask spectrum (computed once, shared read-only by all source points).
-  // Coverage c -> complex transmission c + (1 - c) * t_bg.
+  // Coverage c -> complex transmission c + (1 - c) * t_bg; the
+  // transmission is real for both mask technologies, so the spectrum
+  // comes from the planned r2c forward.
   const double t_bg = mask_model.background_amplitude();
-  std::vector<Complex> spectrum(n);
+  std::vector<double> trans(n);
   for (std::size_t i = 0; i < n; ++i) {
     const double c = mask.values()[i];
-    spectrum[i] = c + (1.0 - c) * t_bg;
+    trans[i] = c + (1.0 - c) * t_bg;
   }
-  fft_2d(spectrum, nx, ny, /*inverse=*/false);
+  std::vector<Complex> spectrum;
+  fft2_.forward_real(trans, spectrum);
+
+  // Per-source shifted-pupil supports and transmissions. The support
+  // (|f + f_s| inside the NA cutoff) depends only on geometry, not the
+  // mask, and collecting it up front lets each coherent image run as a
+  // SparseInverseBatch: rows with no pupil bins are skipped exactly,
+  // and |·|² plus the inverse normalization are fused into the column
+  // epilogue.
+  std::vector<std::vector<std::uint32_t>> supports(source_.size());
+  std::vector<std::vector<Complex>> pupils(source_.size());
+  for (std::size_t si = 0; si < source_.size(); ++si) {
+    const SourcePoint& sp = source_[si];
+    for (std::size_t ky = 0; ky < ny; ++ky) {
+      const double fy = freq_y_[ky] + sp.fy;
+      for (std::size_t kx = 0; kx < nx; ++kx) {
+        const double fx = freq_x_[kx] + sp.fx;
+        const Complex pupil = pupil_transmission(sys_, fx, fy, defocus_nm);
+        if (pupil == Complex{0.0, 0.0}) continue;  // outside pupil
+        supports[si].push_back(static_cast<std::uint32_t>(ky * nx + kx));
+        pupils[si].push_back(pupil);
+      }
+    }
+  }
 
   // One coherent intensity per source point, reduced in fixed order by
   // the chunked helper: deterministic regardless of thread count, and
@@ -174,21 +202,8 @@ Image AbbeImager::aerial_image(const Image& mask, double defocus_nm,
   detail::weighted_intensity_sum(
       source_.size(), n,
       [&](std::size_t si, std::vector<double>& out) {
-        const SourcePoint& sp = source_[si];
-        std::vector<Complex> field(n, Complex{0.0, 0.0});
-        for (std::size_t ky = 0; ky < ny; ++ky) {
-          const double fy = freq_y_[ky] + sp.fy;
-          for (std::size_t kx = 0; kx < nx; ++kx) {
-            const double fx = freq_x_[kx] + sp.fx;
-            const Complex pupil =
-                pupil_transmission(sys_, fx, fy, defocus_nm);
-            if (pupil == Complex{0.0, 0.0}) continue;  // outside pupil
-            const std::size_t idx = ky * nx + kx;
-            field[idx] = spectrum[idx] * pupil;
-          }
-        }
-        fft_2d(field, nx, ny, /*inverse=*/true);
-        for (std::size_t i = 0; i < n; ++i) out[i] = std::norm(field[i]);
+        const SparseInverseBatch batch(fft2_, supports[si]);
+        batch.inverse_mag2(spectrum.data(), pupils[si], out);
       },
       [&](std::size_t si) { return source_[si].weight; },
       intensity.values());

@@ -148,13 +148,17 @@ class AbbeImager {
   /// frame: 1 = feature, 0 = background) at \p defocus_nm, for the given
   /// mask technology. Coverage c maps to the complex transmission
   /// c + (1-c) * background_amplitude. Multi-threaded over source points;
-  /// bit-deterministic (fixed summation order).
+  /// bit-deterministic (fixed summation order). The mask spectrum goes
+  /// through the planned r2c forward; each source point's coherent
+  /// image runs as a sparse fused inverse over its shifted-pupil
+  /// support (rows without pupil bins are skipped exactly).
   Image aerial_image(const Image& mask, double defocus_nm = 0.0,
                      const MaskModel& mask_model = {}) const;
 
  private:
   OpticalSystem sys_;
   Frame frame_;
+  Fft2d fft2_;  ///< planned transforms for this frame shape
   std::vector<SourcePoint> source_;
   std::vector<double> freq_x_;  ///< per-column spatial frequency (1/nm)
   std::vector<double> freq_y_;  ///< per-row spatial frequency (1/nm)

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <numbers>
+#include <span>
 
 #include "litho/fft.h"
 #include "util/check.h"
@@ -15,24 +16,28 @@ Image gaussian_blur(const Image& img, double sigma_nm) {
   OPCKIT_CHECK(is_pow2(f.nx) && is_pow2(f.ny));
   const std::size_t n = f.nx * f.ny;
 
-  std::vector<Complex> spec(n);
-  for (std::size_t i = 0; i < n; ++i) spec[i] = img.values()[i];
-  fft_2d(spec, f.nx, f.ny, /*inverse=*/false);
+  // Real image, real-symmetric transfer: go through the planned
+  // r2c/c2r pair. Only the kx <= nx/2 half-spectrum is independent
+  // (inverse_real never reads the mirror half), so the transfer
+  // multiply touches half the bins and no imaginary parts are carried.
+  const Fft2d fft2(f.nx, f.ny);
+  std::vector<Complex> spec;
+  fft2.forward_real(std::span<const double>(img.values()), spec);
 
   // Gaussian transfer function exp(-2 pi^2 sigma^2 |f|^2).
   const double c = -2.0 * std::numbers::pi * std::numbers::pi * sigma_nm *
                    sigma_nm;
+  const std::size_t hx = f.nx / 2 + 1;
   for (std::size_t ky = 0; ky < f.ny; ++ky) {
     const double fy = fft_freq(ky, f.ny) / f.pixel_nm;
-    for (std::size_t kx = 0; kx < f.nx; ++kx) {
+    for (std::size_t kx = 0; kx < hx; ++kx) {
       const double fx = fft_freq(kx, f.nx) / f.pixel_nm;
       spec[ky * f.nx + kx] *= std::exp(c * (fx * fx + fy * fy));
     }
   }
-  fft_2d(spec, f.nx, f.ny, /*inverse=*/true);
 
   Image out(f);
-  for (std::size_t i = 0; i < n; ++i) out.values()[i] = spec[i].real();
+  fft2.inverse_real(spec, out.values());
   return out;
 }
 

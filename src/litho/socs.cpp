@@ -202,6 +202,7 @@ SocsKernelSet build_socs_kernels(const OpticalSystem& sys, const Frame& frame,
   SocsKernelSet set;
   set.source_points = S;
   set.energy_captured = captured / total_energy;
+  set.support = std::move(support);
   set.kernels.reserve(kept.size());
   for (std::size_t k : kept) {
     // ψ_k(f) = Σ_s v[s][k]·a_s(f); ‖ψ_k‖² = λ_k, so the stored kernel
@@ -216,9 +217,8 @@ SocsKernelSet build_socs_kernels(const OpticalSystem& sys, const Frame& frame,
     SocsKernel ker;
     ker.weight = g[k][k].real();
     const double inv_norm = 1.0 / std::sqrt(ker.weight);
-    ker.index = support;
-    ker.value.reserve(support.size());
-    for (std::uint32_t idx : support) {
+    ker.value.reserve(set.support.size());
+    for (std::uint32_t idx : set.support) {
       ker.value.push_back(inv_norm * scratch[idx]);
       scratch[idx] = Complex{0.0, 0.0};
     }
@@ -295,7 +295,7 @@ void KernelCache::clear() {
 
 SocsImager::SocsImager(const OpticalSystem& sys, const Frame& frame,
                        const SocsOptions& opts)
-    : sys_(sys), frame_(frame), opts_(opts) {
+    : sys_(sys), frame_(frame), opts_(opts), fft2_(frame.nx, frame.ny) {
   OPCKIT_CHECK_MSG(is_pow2(frame.nx) && is_pow2(frame.ny),
                    "frame dims must be powers of two, got "
                        << frame.nx << 'x' << frame.ny);
@@ -305,33 +305,32 @@ SocsImager::SocsImager(const OpticalSystem& sys, const Frame& frame,
 Image SocsImager::aerial_image(const Image& mask, double defocus_nm,
                                const MaskModel& mask_model) const {
   OPCKIT_CHECK(mask.frame() == frame_);
-  const std::size_t nx = frame_.nx, ny = frame_.ny;
-  const std::size_t n = nx * ny;
+  const std::size_t n = frame_.nx * frame_.ny;
 
   // Mask spectrum — identical front end to AbbeImager::aerial_image.
+  // The transmission is real, so the forward goes through the r2c path
+  // (half the transform, Hermitian mirror fills the full layout).
   const double t_bg = mask_model.background_amplitude();
-  std::vector<Complex> spectrum(n);
+  std::vector<double> trans(n);
   for (std::size_t i = 0; i < n; ++i) {
     const double c = mask.values()[i];
-    spectrum[i] = c + (1.0 - c) * t_bg;
+    trans[i] = c + (1.0 - c) * t_bg;
   }
-  fft_2d(spectrum, nx, ny, /*inverse=*/false);
+  std::vector<Complex> spectrum;
+  fft2_.forward_real(trans, spectrum);
 
   const std::shared_ptr<const SocsKernelSet> set =
       KernelCache::instance().get(sys_, frame_, defocus_nm, mask_model, opts_);
 
+  // All kernels share the set's support, so the whole Σ λ_k·|IFFT|²
+  // is one batch: one plan, one pruning structure, |kernels| fused
+  // sparse inverse transforms.
+  const SparseInverseBatch batch(fft2_, set->support);
   Image intensity(frame_, 0.0);
   detail::weighted_intensity_sum(
       set->kernels.size(), n,
       [&](std::size_t k, std::vector<double>& out) {
-        const SocsKernel& ker = set->kernels[k];
-        std::vector<Complex> field(n, Complex{0.0, 0.0});
-        for (std::size_t j = 0; j < ker.index.size(); ++j) {
-          const std::uint32_t idx = ker.index[j];
-          field[idx] = spectrum[idx] * ker.value[j];
-        }
-        fft_2d(field, nx, ny, /*inverse=*/true);
-        for (std::size_t i = 0; i < n; ++i) out[i] = std::norm(field[i]);
+        batch.inverse_mag2(spectrum.data(), set->kernels[k].value, out);
       },
       [&](std::size_t k) { return set->kernels[k].weight; },
       intensity.values());

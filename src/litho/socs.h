@@ -72,18 +72,22 @@ struct SocsOptions {
   double epsilon = 1e-4;
 };
 
-/// One coherent kernel: a sparse frequency-domain filter (only pupil-
-/// support bins are stored) plus its eigenvalue weight.
+/// One coherent kernel: eigenvalue weight plus the kernel values over
+/// the set's shared sparse support (SocsKernelSet::support).
 struct SocsKernel {
-  double weight = 0.0;                ///< eigenvalue λ_k
-  std::vector<std::uint32_t> index;   ///< flat frame indices (ky*nx+kx)
-  std::vector<Complex> value;         ///< normalized kernel φ_k at index
+  double weight = 0.0;         ///< eigenvalue λ_k
+  std::vector<Complex> value;  ///< normalized φ_k, aligned with support
 };
 
 /// A full kernel set for one (optics, frame geometry, defocus, ε) key.
+/// All kernels share one support — the union of the shifted pupil
+/// supports — which is exactly what lets the imaging loop run as one
+/// SparseInverseBatch: one plan, one pruning structure, |kernels|
+/// same-size transforms.
 struct SocsKernelSet {
   std::vector<SocsKernel> kernels;
-  double energy_captured = 0.0;  ///< Σ kept λ / trace(G), in [0, 1]
+  std::vector<std::uint32_t> support;  ///< flat frame indices (ky*nx+kx)
+  double energy_captured = 0.0;   ///< Σ kept λ / trace(G), in [0, 1]
   std::size_t source_points = 0;  ///< |S| the set was compressed from
 };
 
@@ -160,7 +164,9 @@ class SocsImager {
   /// Aerial image of \p mask (coverage image on the same frame) — same
   /// contract as AbbeImager::aerial_image, within ε in intensity.
   /// Multi-threaded over kernels; bit-deterministic (fixed reduction
-  /// order).
+  /// order). The mask spectrum goes through the planned r2c forward
+  /// and the per-kernel IFFTs run as one SparseInverseBatch over the
+  /// set's shared support.
   Image aerial_image(const Image& mask, double defocus_nm = 0.0,
                      const MaskModel& mask_model = {}) const;
 
@@ -168,6 +174,7 @@ class SocsImager {
   OpticalSystem sys_;
   Frame frame_;
   SocsOptions opts_;
+  Fft2d fft2_;  ///< planned transforms for this frame shape
 };
 
 }  // namespace opckit::litho

@@ -48,7 +48,21 @@ constexpr std::array kMetricTable = {
     MetricInfo{metric::kLithoAerialImages, MetricKind::kCounter,
                "aerial images computed (Abbe or SOCS imaging engine)"},
     MetricInfo{metric::kLithoFft2dTransforms, MetricKind::kCounter,
-               "2D FFT invocations (imaging + resist diffusion)"},
+               "dense complex 2D transforms (kernel synthesis, shims)"},
+    MetricInfo{metric::kLithoFftPlanBuilds, MetricKind::kCounter,
+               "FFT plans built by the process PlanCache (first touch)"},
+    MetricInfo{metric::kLithoFftPlanHits, MetricKind::kCounter,
+               "plan requests served from the process PlanCache"},
+    MetricInfo{metric::kLithoFftPlanBuildMs, MetricKind::kGauge,
+               "wall-clock spent building FFT plans (tables + permutations)"},
+    MetricInfo{metric::kLithoFftR2cTransforms, MetricKind::kCounter,
+               "real-to-complex 2D forward transforms (mask spectra, blur)"},
+    MetricInfo{metric::kLithoFftC2rTransforms, MetricKind::kCounter,
+               "complex-to-real 2D inverse transforms (resist diffusion)"},
+    MetricInfo{metric::kLithoFftBatchedTransforms, MetricKind::kCounter,
+               "fused sparse inverse + magnitude^2 transforms (imaging loop)"},
+    MetricInfo{metric::kLithoFftRowsPruned, MetricKind::kCounter,
+               "zero frequency rows skipped by batched sparse inverses"},
     MetricInfo{metric::kLithoRasterCells, MetricKind::kCounter,
                "pixel cells written by the mask rasterizer"},
     MetricInfo{metric::kLithoSocsKernelSetsBuilt, MetricKind::kCounter,

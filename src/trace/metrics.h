@@ -80,6 +80,16 @@ inline constexpr const char* kStoreRecoveredTailBytes =
     "store.recovered_tail_bytes";
 inline constexpr const char* kLithoAerialImages = "litho.aerial_images";
 inline constexpr const char* kLithoFft2dTransforms = "litho.fft2d_transforms";
+inline constexpr const char* kLithoFftPlanBuilds = "litho.fft_plan_builds";
+inline constexpr const char* kLithoFftPlanHits = "litho.fft_plan_hits";
+inline constexpr const char* kLithoFftPlanBuildMs = "litho.fft_plan_build_ms";
+inline constexpr const char* kLithoFftR2cTransforms =
+    "litho.fft_r2c_transforms";
+inline constexpr const char* kLithoFftC2rTransforms =
+    "litho.fft_c2r_transforms";
+inline constexpr const char* kLithoFftBatchedTransforms =
+    "litho.fft_batched_transforms";
+inline constexpr const char* kLithoFftRowsPruned = "litho.fft_rows_pruned";
 inline constexpr const char* kLithoRasterCells = "litho.raster_cells";
 inline constexpr const char* kLithoSocsKernelSetsBuilt =
     "litho.socs_kernel_sets_built";

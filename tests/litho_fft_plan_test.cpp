@@ -1,0 +1,352 @@
+/// Property suite for the planned FFT engine: bit-exact parity of the
+/// planned complex path against the historic recurrence kernel, r2c/c2r
+/// round trips and Hermitian invariants over random sizes and seeds,
+/// SparseInverseBatch parity against the dense inverse, and PlanCache
+/// reuse accounting under concurrent requests (the TSan target for the
+/// jobs=8 flow's shared-plan access pattern).
+#include <cmath>
+#include <numbers>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "litho/fft.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace opckit::litho {
+namespace {
+
+/// Verbatim copy of the pre-plan scalar kernel (serial w *= wlen
+/// recurrence). The planned complex path must reproduce it bit for bit
+/// — that is the guarantee that lets the imaging engines switch to
+/// plans without moving flow output.
+void legacy_fft(std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * std::numbers::pi /
+                       static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (auto& v : data) v *= inv;
+  }
+}
+
+std::vector<Complex> random_complex(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Complex> v(n);
+  for (auto& c : v) c = Complex{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return v;
+}
+
+std::vector<double> random_real(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(-1, 1);
+  return v;
+}
+
+TEST(FftPlan, ComplexParityWithLegacyIsBitExact) {
+  for (std::size_t n : {1u, 2u, 4u, 8u, 32u, 128u, 512u}) {
+    for (std::uint64_t seed : {3u, 17u, 99u}) {
+      const FftPlan plan(n, FftKind::kComplex);
+      for (const bool inverse : {false, true}) {
+        std::vector<Complex> planned = random_complex(n, seed);
+        std::vector<Complex> legacy = planned;
+        plan.transform(planned.data(), inverse ? FftDirection::kInverse
+                                               : FftDirection::kForward);
+        legacy_fft(legacy, inverse);
+        if (inverse) {
+          // FftPlan primitives are unnormalized; apply the same final
+          // scaling the legacy kernel folds in.
+          const double inv = 1.0 / static_cast<double>(n);
+          for (auto& c : planned) c *= inv;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(planned[i].real(), legacy[i].real())
+              << "n=" << n << " seed=" << seed << " bin " << i;
+          EXPECT_EQ(planned[i].imag(), legacy[i].imag())
+              << "n=" << n << " seed=" << seed << " bin " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(FftPlan, RealForwardMatchesComplexForward) {
+  for (std::size_t n : {1u, 2u, 4u, 16u, 64u, 256u}) {
+    for (std::uint64_t seed : {7u, 21u}) {
+      const std::vector<double> x = random_real(n, seed);
+      std::vector<Complex> ref(n);
+      for (std::size_t i = 0; i < n; ++i) ref[i] = x[i];
+      const FftPlan cplan(n, FftKind::kComplex);
+      cplan.transform(ref.data(), FftDirection::kForward);
+
+      const FftPlan rplan(n, FftKind::kReal);
+      std::vector<Complex> half(n / 2 + 1);
+      rplan.forward_real(x.data(), half.data());
+      for (std::size_t k = 0; k <= n / 2; ++k) {
+        EXPECT_NEAR(half[k].real(), ref[k].real(), 1e-12)
+            << "n=" << n << " seed=" << seed << " bin " << k;
+        EXPECT_NEAR(half[k].imag(), ref[k].imag(), 1e-12)
+            << "n=" << n << " seed=" << seed << " bin " << k;
+      }
+    }
+  }
+}
+
+TEST(FftPlan, RealRoundTripRecoversInput) {
+  for (std::size_t n : {1u, 2u, 8u, 64u, 1024u}) {
+    for (std::uint64_t seed : {1u, 13u, 42u}) {
+      const std::vector<double> x = random_real(n, seed);
+      const FftPlan plan(n, FftKind::kReal);
+      std::vector<Complex> half(n / 2 + 1);
+      std::vector<double> back(n);
+      plan.forward_real(x.data(), half.data());
+      plan.inverse_real(half.data(), back.data());
+      const double inv = 1.0 / static_cast<double>(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(back[i] * inv, x[i], 1e-12)
+            << "n=" << n << " seed=" << seed << " sample " << i;
+      }
+    }
+  }
+}
+
+TEST(FftPlan, RealPathRequiresRealPlan) {
+  const FftPlan plan(8, FftKind::kComplex);
+  std::vector<double> x(8, 1.0);
+  std::vector<Complex> half(5);
+  std::vector<double> back(8);
+  EXPECT_THROW(plan.forward_real(x.data(), half.data()), util::CheckError);
+  EXPECT_THROW(plan.inverse_real(half.data(), back.data()), util::CheckError);
+}
+
+TEST(FftPlan, RejectsNonPow2) {
+  EXPECT_THROW(FftPlan(0, FftKind::kComplex), util::CheckError);
+  EXPECT_THROW(FftPlan(12, FftKind::kComplex), util::CheckError);
+  EXPECT_THROW(FftPlan(12, FftKind::kReal), util::CheckError);
+}
+
+TEST(FftPlan, DegenerateSizeOne) {
+  const FftPlan plan(1, FftKind::kReal);
+  Complex c{3.5, -1.0};
+  plan.transform(&c, FftDirection::kForward);
+  EXPECT_EQ(c, (Complex{3.5, -1.0}));  // length-1 transform is identity
+  const double x = 2.25;
+  Complex spec;
+  plan.forward_real(&x, &spec);
+  EXPECT_EQ(spec, (Complex{2.25, 0.0}));
+  double back = 0.0;
+  plan.inverse_real(&spec, &back);
+  EXPECT_EQ(back, 2.25);
+}
+
+TEST(FftHelpers, NextPow2OverflowIsCheckedNotInfinite) {
+  constexpr std::size_t kTop = std::size_t{1} << 63;
+  EXPECT_EQ(next_pow2(kTop), kTop);
+  EXPECT_EQ(next_pow2(kTop - 1), kTop);
+  // The old loop shifted its accumulator into 0 and spun forever here.
+  EXPECT_THROW(next_pow2(kTop + 1), util::CheckError);
+}
+
+TEST(FftHelpers, FreqRejectsOutOfRangeBin) {
+  EXPECT_THROW(fft_freq(0, 0), util::CheckError);
+  EXPECT_THROW(fft_freq(8, 8), util::CheckError);
+  EXPECT_DOUBLE_EQ(fft_freq(0, 1), 0.0);
+}
+
+TEST(Fft2dPlan, ComplexRoundTripAndLegacyParity) {
+  const std::size_t nx = 32, ny = 16;
+  const Fft2d plan(nx, ny);
+  std::vector<Complex> planned = random_complex(nx * ny, 77);
+  std::vector<Complex> ref = planned;
+  plan.forward(planned);
+  // Legacy 2-D: rows then strided columns, same kernels.
+  for (std::size_t y = 0; y < ny; ++y) {
+    std::vector<Complex> row(ref.begin() + static_cast<std::ptrdiff_t>(y * nx),
+                             ref.begin() +
+                                 static_cast<std::ptrdiff_t>((y + 1) * nx));
+    legacy_fft(row, false);
+    std::copy(row.begin(), row.end(),
+              ref.begin() + static_cast<std::ptrdiff_t>(y * nx));
+  }
+  for (std::size_t x = 0; x < nx; ++x) {
+    std::vector<Complex> col(ny);
+    for (std::size_t y = 0; y < ny; ++y) col[y] = ref[y * nx + x];
+    legacy_fft(col, false);
+    for (std::size_t y = 0; y < ny; ++y) ref[y * nx + x] = col[y];
+  }
+  for (std::size_t i = 0; i < planned.size(); ++i) {
+    EXPECT_EQ(planned[i], ref[i]) << "bin " << i;
+  }
+  plan.inverse(planned);
+  const std::vector<Complex> orig = random_complex(nx * ny, 77);
+  for (std::size_t i = 0; i < planned.size(); ++i) {
+    EXPECT_NEAR(planned[i].real(), orig[i].real(), 1e-10);
+    EXPECT_NEAR(planned[i].imag(), orig[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft2dPlan, RealForwardIsHermitianAndMatchesComplex) {
+  for (const auto [nx, ny] :
+       {std::pair<std::size_t, std::size_t>{16, 16}, {32, 8}, {4, 64}}) {
+    const std::vector<double> img = random_real(nx * ny, 31);
+    const Fft2d plan(nx, ny);
+    std::vector<Complex> spec;
+    plan.forward_real(img, spec);
+
+    std::vector<Complex> ref(nx * ny);
+    for (std::size_t i = 0; i < ref.size(); ++i) ref[i] = img[i];
+    plan.forward(ref);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_NEAR(spec[i].real(), ref[i].real(), 1e-11) << "bin " << i;
+      EXPECT_NEAR(spec[i].imag(), ref[i].imag(), 1e-11) << "bin " << i;
+    }
+    // Hermitian invariant over the FULL layout, mirror bins included:
+    // F[-kx, -ky] = conj(F[kx, ky]) with wrap-around indexing.
+    for (std::size_t ky = 0; ky < ny; ++ky) {
+      for (std::size_t kx = 0; kx < nx; ++kx) {
+        const Complex f = spec[ky * nx + kx];
+        const Complex m =
+            spec[((ny - ky) % ny) * nx + (nx - kx) % nx];
+        EXPECT_NEAR(m.real(), f.real(), 1e-11);
+        EXPECT_NEAR(m.imag(), -f.imag(), 1e-11);
+      }
+    }
+  }
+}
+
+TEST(Fft2dPlan, RealRoundTripIgnoresStaleMirrorHalf) {
+  const std::size_t nx = 32, ny = 32;
+  const std::vector<double> img = random_real(nx * ny, 55);
+  const Fft2d plan(nx, ny);
+  std::vector<Complex> spec;
+  plan.forward_real(img, spec);
+  // inverse_real documents that only the kx <= nx/2 half is read:
+  // clobber the mirror half to prove it.
+  for (std::size_t ky = 0; ky < ny; ++ky) {
+    for (std::size_t kx = nx / 2 + 1; kx < nx; ++kx) {
+      spec[ky * nx + kx] = Complex{1e9, -1e9};
+    }
+  }
+  std::vector<double> back;
+  plan.inverse_real(spec, back);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    EXPECT_NEAR(back[i], img[i], 1e-12) << "sample " << i;
+  }
+}
+
+TEST(SparseBatch, MatchesDenseInverseBitExact) {
+  const std::size_t nx = 32, ny = 32;
+  const Fft2d plan(nx, ny);
+  const std::vector<Complex> spectrum = random_complex(nx * ny, 123);
+
+  // A pupil-like support: a disk of bins around DC (wrap-around), the
+  // exact shape the imaging engines bind.
+  std::vector<std::uint32_t> support;
+  for (std::size_t ky = 0; ky < ny; ++ky) {
+    const double fy = fft_freq(ky, ny);
+    for (std::size_t kx = 0; kx < nx; ++kx) {
+      const double fx = fft_freq(kx, nx);
+      if (fx * fx + fy * fy <= 0.1) {
+        support.push_back(static_cast<std::uint32_t>(ky * nx + kx));
+      }
+    }
+  }
+  ASSERT_FALSE(support.empty());
+  util::Rng rng(9);
+  std::vector<Complex> factors(support.size());
+  for (auto& f : factors) f = Complex{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+
+  const SparseInverseBatch batch(plan, support);
+  EXPECT_EQ(batch.support_rows() + batch.rows_pruned(), ny);
+  EXPECT_GT(batch.rows_pruned(), 0u);  // the disk must not touch all rows
+  std::vector<double> pruned;
+  batch.inverse_mag2(spectrum.data(), factors, pruned);
+
+  // Dense reference: scatter into a full field, legacy normalized
+  // inverse, then |.|^2 — the pre-plan engine's exact sequence.
+  std::vector<Complex> field(nx * ny, Complex{0.0, 0.0});
+  for (std::size_t j = 0; j < support.size(); ++j) {
+    field[support[j]] = spectrum[support[j]] * factors[j];
+  }
+  fft_2d(field, nx, ny, /*inverse=*/true);
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    EXPECT_EQ(pruned[i], std::norm(field[i])) << "pixel " << i;
+  }
+}
+
+TEST(SparseBatch, ValidatesSupportIndices) {
+  const Fft2d plan(8, 8);
+  const std::vector<std::uint32_t> out_of_range = {3, 64};
+  EXPECT_THROW(SparseInverseBatch(plan, out_of_range), util::CheckError);
+  const std::vector<std::uint32_t> not_ascending = {5, 5};
+  EXPECT_THROW(SparseInverseBatch(plan, not_ascending), util::CheckError);
+  const std::vector<std::uint32_t> descending = {9, 2};
+  EXPECT_THROW(SparseInverseBatch(plan, descending), util::CheckError);
+}
+
+TEST(PlanCacheTest, BuildsOncePerKeyAndCountsHits) {
+  PlanCache& cache = PlanCache::instance();
+  cache.clear();
+  const auto a = cache.get(64, FftKind::kComplex);
+  const auto b = cache.get(64, FftKind::kComplex);
+  EXPECT_EQ(a.get(), b.get());  // same immutable plan object
+  const auto c = cache.get(64, FftKind::kReal);  // distinct key
+  EXPECT_NE(a.get(), c.get());
+  const PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.builds, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PlanCacheTest, ConcurrentRequestsShareOneBuild) {
+  // The jobs=8 flow pattern: many workers requesting the same frame
+  // shape at once. Exactly one build may happen; everyone must get the
+  // same plan and correct transforms. (TSan gate: tools/ci.sh runs
+  // this suite under -L fft in the tsan job.)
+  PlanCache& cache = PlanCache::instance();
+  cache.clear();
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIters = 16;
+  std::vector<std::thread> threads;
+  std::vector<const FftPlan*> seen(kThreads, nullptr);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &seen, t] {
+      for (std::size_t i = 0; i < kIters; ++i) {
+        const auto plan = cache.get(256, FftKind::kReal);
+        seen[t] = plan.get();
+        std::vector<Complex> v(256, Complex{1.0, 0.0});
+        plan->transform(v.data(), FftDirection::kForward);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (std::size_t t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  const PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.builds, 1u);
+  EXPECT_EQ(s.hits, kThreads * kIters - 1);
+}
+
+}  // namespace
+}  // namespace opckit::litho

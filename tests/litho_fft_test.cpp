@@ -26,6 +26,21 @@ TEST(Fft, RejectsNonPow2) {
   EXPECT_THROW(fft_1d(v, false), util::CheckError);
 }
 
+TEST(Fft, SizeOneIsIdentity) {
+  std::vector<Complex> v{Complex{1.5, -2.5}};
+  fft_1d(v, false);
+  EXPECT_EQ(v[0], (Complex{1.5, -2.5}));
+  fft_1d(v, true);
+  EXPECT_EQ(v[0], (Complex{1.5, -2.5}));
+}
+
+TEST(Fft, TwoDimensionalRejectsSizeMismatch) {
+  std::vector<Complex> v(8);  // 8 elements cannot be a 4x4 frame
+  EXPECT_THROW(fft_2d(v, 4, 4, false), util::CheckError);
+  std::vector<Complex> w(12);  // right count, non-pow2 dims
+  EXPECT_THROW(fft_2d(w, 3, 4, false), util::CheckError);
+}
+
 TEST(Fft, ImpulseHasFlatSpectrum) {
   std::vector<Complex> v(16, Complex{0, 0});
   v[0] = 1.0;

@@ -161,8 +161,13 @@ TEST(TraceFlow, FlowStatsEmbedTheRunsMetricsDelta) {
             stats.cache_hits);
   EXPECT_EQ(c.at(trace::metric::kCacheMisses), stats.cache_misses);
   // The litho instruments fired: every fresh solve images its tile.
+  // The planned engine runs the mask spectrum through the r2c forward
+  // and the imaging inverses as fused sparse batches — the dense
+  // complex counter (litho.fft2d_transforms) stays 0 in a flow.
   EXPECT_GT(c.at(trace::metric::kLithoAerialImages), 0u);
-  EXPECT_GT(c.at(trace::metric::kLithoFft2dTransforms), 0u);
+  EXPECT_GT(c.at(trace::metric::kLithoFftR2cTransforms), 0u);
+  EXPECT_GT(c.at(trace::metric::kLithoFftBatchedTransforms), 0u);
+  EXPECT_GT(c.at(trace::metric::kLithoFftPlanHits), 0u);
   EXPECT_GT(c.at(trace::metric::kLithoRasterCells), 0u);
   // Phase wall-times were measured (gather/solve did real work).
   EXPECT_GT(stats.metrics.gauges.at(trace::metric::kFlowPhaseSolveMs), 0.0);

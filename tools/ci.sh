@@ -68,6 +68,13 @@ job_sanitize() {
   (cd build-ci-asan && \
    ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
    ctest "${CTEST_ARGS[@]}" --no-tests=error -L mrc)
+  # `fft` label: the planned-FFT engine's parity suite (bit-exact legacy
+  # parity, r2c/c2r round trips, sparse-batch pruning) is pointer-table
+  # indexing end to end — bit-reversal permutations, compact-row
+  # scatter, blocked column gathers — the sanitizer's home turf.
+  (cd build-ci-asan && \
+   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+   ctest "${CTEST_ARGS[@]}" --no-tests=error -L fft)
 }
 
 job_tsan() {
@@ -94,6 +101,12 @@ job_tsan() {
   # must stay data-race-free against the serial accounting.
   (cd build-ci-tsan && \
    ctest "${CTEST_ARGS[@]}" --no-tests=error -L mrc)
+  # `fft` label: the process-wide PlanCache (mutex under concurrent flow
+  # workers requesting the same frame shape) and shared immutable plans
+  # driven from pool threads — the PlanCacheTest.ConcurrentRequests*
+  # case exists specifically for this job.
+  (cd build-ci-tsan && \
+   ctest "${CTEST_ARGS[@]}" --no-tests=error -L fft)
 }
 
 job_tidy() {
@@ -136,7 +149,23 @@ job_lint() {
     echo "    build/tools/opckit metrics --format md > docs/METRICS.md" >&2
     exit 1
   fi
-  echo "ci: lint clean (docs/LINT_CODES.md and docs/METRICS.md in sync)"
+  # docs/PERF.md's benchmark inventory must list every experiment target
+  # registered in bench/bench.cmake — a new bench added without a row in
+  # the playbook (or a rename that orphans one) fails here.
+  local drift=0 target
+  for target in $(sed -n 's/^opckit_add_experiment(\([a-z0-9_]*\))$/\1/p' \
+                    bench/bench.cmake); do
+    if ! grep -q "\`${target}\`" docs/PERF.md; then
+      echo "ci: bench target '${target}' missing from docs/PERF.md" >&2
+      drift=1
+    fi
+  done
+  if [[ "${drift}" -ne 0 ]]; then
+    echo "ci: docs/PERF.md benchmark inventory is stale — add the" >&2
+    echo "    missing targets to the 'Benchmark inventory' table" >&2
+    exit 1
+  fi
+  echo "ci: lint clean (docs/LINT_CODES.md, docs/METRICS.md, docs/PERF.md in sync)"
 }
 
 main() {
