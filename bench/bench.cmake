@@ -44,3 +44,8 @@ target_link_libraries(t3_runtime_scaling PRIVATE benchmark::benchmark)
 # T10 times the scanline MRC engine against the morphology checker.
 opckit_add_experiment(t10_mrc)
 target_link_libraries(t10_mrc PRIVATE opckit_mrc)
+
+# T9 boots an in-process opcd daemon and measures throughput, latency
+# quantiles, and cross-job cache reuse over a mixed job stream.
+opckit_add_experiment(t9_service)
+target_link_libraries(t9_service PRIVATE opckit_service opckit_trace)

@@ -1,0 +1,211 @@
+/// T9 — opcd daemon throughput and the hot cross-job cache effect.
+///
+/// The service premise: OPC jobs arriving at a long-running daemon share
+/// kernel sets, FFT plans, and a pattern-correction library, so a job
+/// mix replayed against a warm daemon should cost almost nothing. This
+/// experiment boots an in-process opcd on a unix socket, drives a mixed
+/// job stream (three distinct chips, several submissions each) from four
+/// concurrent client threads, and repeats the identical mix a second
+/// time. Reported per round: sustained req/s, p50/p99 job latency (from
+/// the daemon's own svc.job_latency_ms histogram — the same
+/// histogram_quantile interpolation documented in util/stats.h), and the
+/// correction-cache hit ratio.
+///
+/// Output: the usual text table, plus BENCH_t9.json (path overridable as
+/// argv[1]). Acceptance, enforced as exit status:
+///  * round 2's cache-hit ratio must be measurably higher than round 1's
+///    (the hot-library claim), and
+///  * the daemon's output for a representative job must be byte-identical
+///    to the same flow run directly in this process (the correctness
+///    claim that makes the speed claim meaningful).
+///
+/// The flow spec is deliberately light (coarse source grid, two OPC
+/// iterations): T9 measures service behavior — admission, concurrency,
+/// cache reuse — not imaging cost, which T3 already characterizes.
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/flow.h"
+#include "exp_common.h"
+#include "layout/gdsii.h"
+#include "layout/generators.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "service/socket.h"
+#include "trace/metrics.h"
+
+namespace {
+
+using namespace opckit;
+using Clock = std::chrono::steady_clock;
+
+opc::FlowSpec service_flow() {
+  opc::FlowSpec spec;
+  spec.sim.optics.source.grid = 5;
+  litho::calibrate_threshold(spec.sim, 180, 360);
+  spec.opc.max_iterations = 2;
+  spec.input_layer = layout::layers::kPoly;
+  spec.output_layer = layout::layers::kPolyOpc;
+  return spec;
+}
+
+/// Chip variant \p k: a repeated leaf whose bar geometry differs per
+/// variant, so each chip contributes its own pattern classes to the
+/// shared library while all placements within a chip replay.
+std::string write_chip(const std::string& dir, int k) {
+  layout::Library lib("chip");
+  layout::Cell& leaf = lib.cell("leaf");
+  const geom::Coord w = 180 + 60 * static_cast<geom::Coord>(k);
+  leaf.add_rect(layout::layers::kPoly, geom::Rect(0, 0, w, 1200));
+  leaf.add_rect(layout::layers::kPoly,
+                geom::Rect(w + 360, 0, 2 * w + 360, 1200));
+  layout::make_chip(lib, "top", "leaf", 2, 2, {4000, 4000});
+  const std::string path = dir + "/chip" + std::to_string(k) + ".gds";
+  layout::write_gdsii_file(lib, path);
+  return path;
+}
+
+struct RoundStats {
+  double wall_ms = 0.0;
+  double req_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double hit_ratio = 0.0;
+  std::uint64_t completed = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_t9.json";
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "opckit_t9").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  constexpr int kChips = 3;
+  constexpr int kSubmitsPerChip = 4;
+  constexpr int kClients = 4;
+  constexpr int kJobs = kChips * kSubmitsPerChip;
+
+  std::vector<std::string> inputs;
+  for (int k = 0; k < kChips; ++k) inputs.push_back(write_chip(dir, k));
+  const opc::FlowSpec spec = service_flow();
+
+  svc::ServerOptions opts;
+  opts.unix_path = dir + "/t9.sock";
+  opts.workers = kClients;
+  svc::Server server(std::move(opts));
+  server.start();
+
+  const auto run_round = [&](int round) {
+    RoundStats rs;
+    const trace::MetricsSnapshot before = trace::metrics().snapshot();
+    const auto t0 = Clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        // Jobs round-robin over the chip variants, striped per client.
+        for (int j = c; j < kJobs; j += kClients) {
+          svc::Client client(svc::connect_unix(dir + "/t9.sock"));
+          svc::SubmitMsg msg;
+          msg.flow = 0;
+          msg.in_path = inputs[static_cast<std::size_t>(j % kChips)];
+          msg.out_path = dir + "/out_r" + std::to_string(round) + "_j" +
+                         std::to_string(j) + ".gds";
+          msg.spec = spec;
+          const svc::Client::Outcome out = client.run_job(msg);
+          if (!out.accepted || !out.result.ok) {
+            std::cerr << "t9: job " << j << " failed: "
+                      << (out.accepted ? out.result.payload
+                                       : out.rejected.message)
+                      << '\n';
+            std::exit(1);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const auto t1 = Clock::now();
+    const trace::MetricsSnapshot after = trace::metrics().snapshot();
+    const trace::MetricsSnapshot d = trace::MetricsSnapshot::delta(before, after);
+
+    rs.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    rs.completed = d.counters.at(trace::metric::kSvcJobsCompleted);
+    rs.req_per_s =
+        static_cast<double>(rs.completed) / (rs.wall_ms / 1000.0);
+    const trace::HistogramSnapshot& lat =
+        d.histograms.at(trace::metric::kSvcJobLatencyMs);
+    rs.p50_ms = lat.quantile(0.5);
+    rs.p99_ms = lat.quantile(0.99);
+    const auto hits =
+        static_cast<double>(d.counters.at(trace::metric::kSvcCacheHits));
+    const auto lookups =
+        static_cast<double>(d.counters.at(trace::metric::kSvcCacheLookups));
+    rs.hit_ratio = lookups > 0.0 ? hits / lookups : 0.0;
+    return rs;
+  };
+
+  const RoundStats r1 = run_round(1);
+  const RoundStats r2 = run_round(2);
+  server.stop();
+
+  // Correctness anchor: the daemon's round-2 output for chip 0 must be
+  // byte-identical to the same flow run directly in this process.
+  layout::Library direct = layout::read_gdsii_file(inputs[0]);
+  opc::run_flat_opc(direct, "top", service_flow());
+  const std::string direct_path = dir + "/direct0.gds";
+  layout::write_gdsii_file(direct, direct_path);
+  const auto slurp = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  const bool byte_identical =
+      slurp(direct_path) == slurp(dir + "/out_r2_j0.gds");
+
+  util::Table table({"round", "jobs", "wall_ms", "req_per_s", "p50_ms",
+                     "p99_ms", "cache_hit_ratio"});
+  std::ostringstream json;
+  json << "{\"experiment\":\"t9_service\",\"clients\":" << kClients
+       << ",\"rounds\":[";
+  bool first = true;
+  for (const auto* rs : {&r1, &r2}) {
+    const int round = rs == &r1 ? 1 : 2;
+    table.add_row(round, static_cast<long long>(rs->completed), rs->wall_ms,
+                  rs->req_per_s, rs->p50_ms, rs->p99_ms, rs->hit_ratio);
+    json << (first ? "" : ",") << "{\"round\":" << round
+         << ",\"jobs\":" << rs->completed
+         << ",\"wall_ms\":" << util::format_double(rs->wall_ms)
+         << ",\"req_per_s\":" << util::format_double(rs->req_per_s)
+         << ",\"p50_ms\":" << util::format_double(rs->p50_ms)
+         << ",\"p99_ms\":" << util::format_double(rs->p99_ms)
+         << ",\"cache_hit_ratio\":" << util::format_double(rs->hit_ratio)
+         << "}";
+    first = false;
+  }
+  json << "],\"byte_identical\":" << (byte_identical ? "true" : "false")
+       << "}\n";
+
+  opckit::exp::emit("T9",
+                    "opcd daemon throughput and hot cross-job cache reuse",
+                    table);
+  std::ofstream(json_path) << json.str();
+  std::cout << "wrote " << json_path << '\n';
+
+  if (!byte_identical) {
+    std::cerr << "t9: daemon output differs from the direct run\n";
+    return 1;
+  }
+  if (r2.hit_ratio <= r1.hit_ratio) {
+    std::cerr << "t9: warm round hit ratio " << r2.hit_ratio
+              << " not above cold round " << r1.hit_ratio << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -193,26 +193,42 @@ class StoreSession {
  public:
   StoreSession(const FlowSpec& spec, std::string_view flow_kind,
                CorrectionCache& cache, FlowStats& stats)
-      : fail_after_(spec.fail_after_tiles) {
-    if (spec.store_path.empty()) return;
-    if (!spec.cache) {
-      throw util::InputError(
-          "correction store: store_path requires the correction cache "
-          "(FlowSpec::cache) — the store persists cache entries");
-    }
-    const std::uint64_t fp = flow_fingerprint(spec, flow_kind);
-    if (spec.resume && std::filesystem::exists(spec.store_path)) {
-      store::LoadResult loaded = store::ResultStore::load(
-          spec.store_path, fp);  // throws InputError with the STO line
-      for (const store::TileRecord& rec : loaded.records) {
+      : fail_after_(spec.fail_after_tiles), sink_(spec.record_sink) {
+    // In-memory preload (the daemon's shared library) imports first, so
+    // its entries win representative selection over file records — both
+    // replay translation-exactly, so the choice cannot change output.
+    if (spec.preload) {
+      if (!spec.cache) {
+        throw util::InputError(
+            "correction store: FlowSpec::preload requires the correction "
+            "cache (FlowSpec::cache) — preloads are cache entries");
+      }
+      for (const store::TileRecord& rec : *spec.preload) {
         cache.import_entry(rec);
       }
-      stats.store_entries_loaded = loaded.records.size();
-      stats.store_tail_recovered = loaded.tail_recovered;
-      store_.emplace(store::ResultStore::append_to(spec.store_path,
-                                                   loaded.valid_bytes));
-    } else {
-      store_.emplace(store::ResultStore::create(spec.store_path, fp));
+      stats.store_entries_loaded += spec.preload->size();
+    }
+    if (!spec.store_path.empty()) {
+      if (!spec.cache) {
+        throw util::InputError(
+            "correction store: store_path requires the correction cache "
+            "(FlowSpec::cache) — the store persists cache entries");
+      }
+      const std::uint64_t fp = flow_fingerprint(spec, flow_kind);
+      if (spec.resume && std::filesystem::exists(spec.store_path)) {
+        store::LoadResult loaded = store::ResultStore::load(
+            spec.store_path, fp);  // throws InputError with the STO line
+        for (const store::TileRecord& rec : loaded.records) {
+          cache.import_entry(rec);
+        }
+        stats.store_entries_loaded += loaded.records.size();
+        stats.store_tail_recovered = loaded.tail_recovered;
+        store_.emplace(store::ResultStore::append_to(
+            spec.store_path, loaded.valid_bytes, spec.store_sync));
+      } else {
+        store_.emplace(
+            store::ResultStore::create(spec.store_path, fp, spec.store_sync));
+      }
     }
     preloaded_ = cache.size();
   }
@@ -222,16 +238,21 @@ class StoreSession {
   std::size_t preloaded() const { return preloaded_; }
 
   /// Serial merge phase, once per merged tile: persist a fresh solve,
-  /// account a store replay, and fire the fault injection.
+  /// hand it to the record sink, account a store replay, and fire the
+  /// fault injection.
   void on_tile_merged(const CorrectionCache& cache, bool replay,
                       std::size_t entry, FlowStats& stats) {
-    if (store_) {
-      if (replay) {
-        if (entry < preloaded_) ++stats.store_hits;
-      } else {
-        store_->append(cache.export_entry(entry));
+    if (replay) {
+      // Entries below preloaded_ came from the store file or the
+      // in-memory preload — either way, reuse from a previous run.
+      if (entry < preloaded_) ++stats.store_hits;
+    } else if (store_ || sink_) {
+      store::TileRecord rec = cache.export_entry(entry);
+      if (store_) {
+        store_->append(rec);
         ++stats.store_entries_appended;
       }
+      if (sink_) sink_(rec);
     }
     ++merged_;
     if (fail_after_ >= 0 && merged_ >= static_cast<std::size_t>(fail_after_)) {
@@ -245,6 +266,36 @@ class StoreSession {
   std::size_t preloaded_ = 0;
   std::size_t merged_ = 0;
   int fail_after_;
+  const std::function<void(const store::TileRecord&)>& sink_;
+};
+
+/// Driver-thread dispatch for the FlowSpec::cancel / FlowSpec::progress
+/// hooks. Every call happens on the flow's serial driver thread, between
+/// phases or between merged tiles, so handlers never race the flow.
+class JobHooks {
+ public:
+  explicit JobHooks(const FlowSpec& spec) : spec_(spec) {}
+
+  /// Phase boundary: poll cancellation, then announce the phase.
+  void phase(std::string_view name, int pass, std::size_t total) {
+    check_cancel();
+    if (spec_.progress) spec_.progress({name, pass, 0, total});
+  }
+
+  /// One merged tile (progress only; the merge loop polls cancel at the
+  /// top of each iteration so a cancelled run never half-merges a tile).
+  void tile_merged(int pass, std::size_t done, std::size_t total) {
+    if (spec_.progress) spec_.progress({"merge", pass, done, total});
+  }
+
+  void check_cancel() const {
+    if (spec_.cancel && spec_.cancel->load(std::memory_order_relaxed)) {
+      throw FlowAborted("flow cancelled by FlowSpec::cancel");
+    }
+  }
+
+ private:
+  const FlowSpec& spec_;
 };
 
 /// FlowSpec::mrc_deck split for the tiled signoff gate. Every
@@ -520,10 +571,12 @@ FlowStats run_cell_opc(Library& lib, const std::string& top,
   CorrectionCache cache({spec.cache_symmetry});
   StoreSession store(spec, "cell", cache, stats);
   TileExecutor exec(spec.jobs);
+  JobHooks hooks(spec);
   std::vector<TileWork> tiles(work.size());
 
   // Phase A — gather (parallel, read-only on the library).
   {
+    hooks.phase("gather", 0, work.size());
     PhaseScope phase("flow.gather", trace::metric::kFlowPhaseGatherMs);
     exec.run(work.size(), [&](std::size_t i) {
       trace::Span span("flow.gather.tile", static_cast<std::int64_t>(i));
@@ -540,6 +593,7 @@ FlowStats run_cell_opc(Library& lib, const std::string& top,
 
   // Phase B — resolve (serial, in order).
   {
+    hooks.phase("resolve", 0, work.size());
     PhaseScope phase("flow.resolve", trace::metric::kFlowPhaseResolveMs);
     if (spec.cache) resolve_tiles(cache, tiles);
   }
@@ -547,6 +601,7 @@ FlowStats run_cell_opc(Library& lib, const std::string& top,
   // Phase C — solve (parallel; run_model_opc is a pure function of the
   // per-tile inputs).
   {
+    hooks.phase("solve", 0, work.size());
     PhaseScope phase("flow.solve", trace::metric::kFlowPhaseSolveMs);
     exec.run(work.size(), [&](std::size_t i) {
       TileWork& t = tiles[i];
@@ -559,8 +614,10 @@ FlowStats run_cell_opc(Library& lib, const std::string& top,
 
   // Phase D — merge (serial, in order): account, store/replay, write.
   {
+    hooks.phase("merge", 0, work.size());
     PhaseScope phase("flow.merge", trace::metric::kFlowPhaseMergeMs);
     for (std::size_t i = 0; i < work.size(); ++i) {
+      hooks.check_cancel();
       TileWork& t = tiles[i];
       std::vector<Polygon> corrected;
       if (t.replay) {
@@ -578,6 +635,7 @@ FlowStats run_cell_opc(Library& lib, const std::string& top,
         ++stats.corrected_polygons;
       }
       store.on_tile_merged(cache, t.replay, t.res.entry, stats);
+      hooks.tile_merged(0, i + 1, work.size());
     }
   }
 
@@ -586,6 +644,7 @@ FlowStats run_cell_opc(Library& lib, const std::string& top,
   // way: one gate tile per cell, full deck (a cell is its own
   // connectivity universe here, so the area check tiles too).
   if (!spec.mrc_deck.empty()) {
+    hooks.phase("mrc", 0, work.size());
     PhaseScope phase("flow.mrc", trace::metric::kFlowPhaseMrcMs);
     std::vector<mrc::MrcReport> reports(work.size());
     exec.run(work.size(), [&](std::size_t i) {
@@ -683,6 +742,7 @@ FlowStats run_flat_opc(Library& lib, const std::string& top,
   CorrectionCache cache({spec.cache_symmetry});
   StoreSession store(spec, "flat", cache, stats);
   TileExecutor exec(spec.jobs);
+  JobHooks hooks(spec);
 
   const int passes = std::max(1, spec.flat_context_passes);
   for (int pass = 0; pass < passes; ++pass) {
@@ -704,6 +764,7 @@ FlowStats run_flat_opc(Library& lib, const std::string& top,
     // Phase A — gather (parallel): own DRAWN shapes (design intent never
     // goes stale) plus the latest corrected neighbours as context.
     {
+      hooks.phase("gather", pass, jobs.size());
       PhaseScope phase("flow.gather", trace::metric::kFlowPhaseGatherMs);
       exec.run(jobs.size(), [&](std::size_t i) {
         trace::Span span("flow.gather.tile", static_cast<std::int64_t>(i));
@@ -730,12 +791,14 @@ FlowStats run_flat_opc(Library& lib, const std::string& top,
 
     // Phase B — resolve (serial, placement order).
     {
+      hooks.phase("resolve", pass, jobs.size());
       PhaseScope phase("flow.resolve", trace::metric::kFlowPhaseResolveMs);
       if (spec.cache) resolve_tiles(cache, tiles);
     }
 
     // Phase C — solve (parallel).
     {
+      hooks.phase("solve", pass, jobs.size());
       PhaseScope phase("flow.solve", trace::metric::kFlowPhaseSolveMs);
       exec.run(jobs.size(), [&](std::size_t i) {
         TileWork& t = tiles[i];
@@ -751,14 +814,17 @@ FlowStats run_flat_opc(Library& lib, const std::string& top,
     // out entries in the same order), so every store lands before the
     // fetch that needs it.
     {
+      hooks.phase("merge", pass, jobs.size());
       PhaseScope phase("flow.merge", trace::metric::kFlowPhaseMergeMs);
       for (std::size_t i = 0; i < jobs.size(); ++i) {
+        hooks.check_cancel();
         Job& job = jobs[i];
         TileWork& t = tiles[i];
         if (t.replay) {
           job.corrected = cache.fetch(t.res.entry, t.key);
           stats.tile_simulations.push_back(0);
           store.on_tile_merged(cache, true, t.res.entry, stats);
+          hooks.tile_merged(pass, i + 1, jobs.size());
           continue;
         }
         account_fresh_solve(t.result, stats);
@@ -770,6 +836,7 @@ FlowStats run_flat_opc(Library& lib, const std::string& top,
         }
         if (spec.cache) cache.store(t.res.entry, t.key, job.corrected);
         store.on_tile_merged(cache, false, t.res.entry, stats);
+        hooks.tile_merged(pass, i + 1, jobs.size());
       }
     }
   }
@@ -787,6 +854,7 @@ FlowStats run_flat_opc(Library& lib, const std::string& top,
   // placement (the corrected extents, not the drawn windows: corrected
   // edges can move outward and the kept zones must cover every marker).
   if (!spec.mrc_deck.empty()) {
+    hooks.phase("mrc", passes - 1, jobs.size());
     std::vector<Polygon> final_pool;
     std::vector<Rect> windows;
     windows.reserve(jobs.size());

@@ -48,7 +48,10 @@
 /// both with output byte-identical to a from-scratch run.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -57,9 +60,21 @@
 #include "core/model.h"
 #include "layout/library.h"
 #include "mrc/mrc.h"
+#include "store/result_store.h"
 #include "trace/metrics.h"
 
 namespace opckit::opc {
+
+/// One progress event from a flow run (see FlowSpec::progress): which
+/// phase just started or advanced, which flat context pass it belongs
+/// to, and the merged-tile watermark. Events fire on the flow's serial
+/// driver thread only, so a handler needs no locking against the flow.
+struct FlowProgress {
+  std::string_view phase;  ///< "gather"|"resolve"|"solve"|"merge"|"mrc"
+  int pass = 0;            ///< flat context pass (0-based); cell flow: 0
+  std::size_t tiles_done = 0;   ///< merged tiles so far in this pass
+  std::size_t tiles_total = 0;  ///< tiles in this pass
+};
 
 /// Flow configuration.
 struct FlowSpec {
@@ -128,6 +143,39 @@ struct FlowSpec {
   /// inspected. kWarn: the report is kept in FlowStats only. Jog
   /// findings (MRC005) are warning-severity and never block.
   mrc::Action mrc_action = mrc::Action::kFail;
+
+  // ---- Service hooks (src/service/) ------------------------------------
+  // Reuse plumbing and observability only: none of these can change the
+  // output geometry, so none reach flow_fingerprint().
+
+  /// Records imported into this run's correction cache before any tile
+  /// resolves — the daemon's shared in-memory pattern library. Same
+  /// translation-exact replay semantics as a store resume, so the output
+  /// is byte-identical with or without a preload; replays from preloaded
+  /// entries count in FlowStats::store_hits and the import count lands in
+  /// store_entries_loaded. The pointee must stay alive and unmodified for
+  /// the whole run. Requires `cache`.
+  const std::vector<store::TileRecord>* preload = nullptr;
+  /// Called from the serial merge phase with the canonical-frame record
+  /// of every freshly solved pattern class — exactly the bytes a store
+  /// would append — so the daemon can feed solves back into its shared
+  /// library. Never invoked concurrently (serial phase only).
+  std::function<void(const store::TileRecord&)> record_sink;
+  /// Cooperative cancellation: polled at every phase boundary and between
+  /// merged tiles, on the driver thread; when it reads true the flow
+  /// throws FlowAborted. Tiles already merged are durable under
+  /// store_path (the fail_after_tiles contract), so a cancelled run
+  /// resumes like a crashed one. Null (default) = never cancelled. An
+  /// in-flight parallel phase finishes before the next poll — drain
+  /// granularity is one phase, not one simulation.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Progress events from the driver thread: one at each phase start and
+  /// one per merged tile (see FlowProgress). Observability only.
+  std::function<void(const FlowProgress&)> progress;
+  /// fsync the store file after every appended record (see
+  /// store::ResultStore sync_on_append) — the daemon's durability mode.
+  /// Off by default: batch flows live with the torn-tail contract.
+  bool store_sync = false;
 };
 
 /// Thrown by FlowSpec::fail_after_tiles fault injection — a stand-in for
@@ -215,7 +263,9 @@ class MrcGateError : public std::runtime_error {
 /// store is refused (STO001) instead of silently replayed. Job count,
 /// preflight, stats, store knobs, and the MRC signoff deck/action are
 /// deliberately excluded — they cannot change output geometry (signoff
-/// only accepts or rejects the mask it reads).
+/// only accepts or rejects the mask it reads). The service hooks
+/// (preload/record_sink/cancel/progress/store_sync) are excluded for the
+/// same reason.
 std::uint64_t flow_fingerprint(const FlowSpec& spec,
                                std::string_view flow_kind);
 

@@ -1,0 +1,281 @@
+#include "core/flow_codec.h"
+
+#include <bit>
+#include <string>
+
+#include "util/check.h"
+
+namespace opckit::opc {
+namespace {
+
+constexpr std::uint16_t kCodecVersion = 1;
+/// A deck entry name is a short rule label; anything huge is corruption.
+constexpr std::uint32_t kMaxNameBytes = 4096;
+constexpr std::uint32_t kMaxDeckChecks = 100000;
+
+// ---- little-endian primitives (the store's byte discipline) -----------
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFFu));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFFu));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+}
+
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_d(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw util::InputError("flow spec codec: " + what);
+}
+
+/// Bounds-checked cursor; every accessor throws instead of reading past
+/// the end, so a corrupt length can never drive an out-of-range access.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+
+  std::uint8_t u8() {
+    need(1, "byte");
+    return data_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    need(2, "u16");
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i)
+      v = static_cast<std::uint16_t>(
+          v | static_cast<std::uint16_t>(data_[pos_ + static_cast<std::size_t>(
+                                                         i)])
+                  << (8 * i));
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    need(4, "u32");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(
+               data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8, "u64");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(
+               data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double d() { return std::bit_cast<double>(u64()); }
+
+  int i32() {
+    const std::int64_t v = i64();
+    if (v < INT32_MIN || v > INT32_MAX) malformed("int field out of range");
+    return static_cast<int>(v);
+  }
+
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (n > kMaxNameBytes) malformed("string length exceeds the limit");
+    need(n, "string body");
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  /// Range-checked enum decode: values in [0, count) only.
+  template <typename E>
+  E enum8(std::uint8_t count, const char* what) {
+    const std::uint8_t v = u8();
+    if (v >= count) malformed(std::string("bad ") + what + " enum value");
+    return static_cast<E>(v);
+  }
+
+  bool boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) malformed("bad boolean value");
+    return v == 1;
+  }
+
+ private:
+  void need(std::size_t n, const char* what) {
+    if (remaining() < n)
+      malformed(std::string("truncated buffer reading ") + what);
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_flow_spec(const FlowSpec& spec) {
+  std::vector<std::uint8_t> out;
+  put_u16(out, kCodecVersion);
+
+  const ModelOpcSpec& o = spec.opc;
+  put_i64(out, o.fragmentation.target_length);
+  put_i64(out, o.fragmentation.corner_length);
+  put_i64(out, o.fragmentation.min_length);
+  put_i64(out, o.fragmentation.line_end_max);
+  put_i64(out, o.max_iterations);
+  put_d(out, o.gain);
+  put_i64(out, o.max_move_per_iter);
+  put_i64(out, o.max_total_offset);
+  put_d(out, o.epe_tolerance_nm);
+  put_d(out, o.probe_range_nm);
+  put_i64(out, o.grid_nm);
+  put_i64(out, o.min_mask_space_nm);
+  put_i64(out, o.min_tip_gap_nm);
+  put_d(out, o.corner_gain_scale);
+  put_i64(out, o.corner_max_offset);
+
+  const litho::SimSpec& s = spec.sim;
+  put_d(out, s.optics.wavelength_nm);
+  put_d(out, s.optics.na);
+  out.push_back(static_cast<std::uint8_t>(s.optics.source.shape));
+  put_d(out, s.optics.source.sigma_outer);
+  put_d(out, s.optics.source.sigma_inner);
+  put_d(out, s.optics.source.pole_center);
+  put_d(out, s.optics.source.pole_radius);
+  put_i64(out, s.optics.source.grid);
+  put_d(out, s.optics.aberrations.coma_x_nm);
+  put_d(out, s.optics.aberrations.coma_y_nm);
+  put_d(out, s.optics.aberrations.astig_nm);
+  out.push_back(static_cast<std::uint8_t>(s.mask.type));
+  put_d(out, s.mask.background_transmission);
+  put_d(out, s.resist.threshold);
+  put_d(out, s.resist.diffusion_nm);
+  put_d(out, s.pixel_nm);
+  put_i64(out, s.guard_nm);
+  out.push_back(static_cast<std::uint8_t>(s.imaging));
+  put_d(out, s.socs_epsilon);
+
+  put_i64(out, spec.halo_nm);
+  put_u16(out, spec.input_layer.layer);
+  put_u16(out, spec.input_layer.datatype);
+  put_u16(out, spec.output_layer.layer);
+  put_u16(out, spec.output_layer.datatype);
+  put_i64(out, spec.flat_context_passes);
+  out.push_back(spec.preflight ? 1 : 0);
+  put_i64(out, spec.jobs);
+  out.push_back(spec.cache ? 1 : 0);
+  out.push_back(spec.cache_symmetry ? 1 : 0);
+
+  put_u32(out, static_cast<std::uint32_t>(spec.mrc_deck.size()));
+  for (const mrc::Check& c : spec.mrc_deck) {
+    out.push_back(static_cast<std::uint8_t>(c.kind));
+    put_i64(out, c.value);
+    put_u32(out, static_cast<std::uint32_t>(c.name.size()));
+    out.insert(out.end(), c.name.begin(), c.name.end());
+  }
+  out.push_back(static_cast<std::uint8_t>(spec.mrc_action));
+  return out;
+}
+
+FlowSpec decode_flow_spec(const std::uint8_t* data, std::size_t size) {
+  Reader r(data, size);
+  const std::uint16_t version = r.u16();
+  if (version != kCodecVersion)
+    malformed("spec version " + std::to_string(version) +
+              "; this build reads version " + std::to_string(kCodecVersion));
+
+  FlowSpec spec;
+  ModelOpcSpec& o = spec.opc;
+  o.fragmentation.target_length = r.i64();
+  o.fragmentation.corner_length = r.i64();
+  o.fragmentation.min_length = r.i64();
+  o.fragmentation.line_end_max = r.i64();
+  o.max_iterations = r.i32();
+  o.gain = r.d();
+  o.max_move_per_iter = r.i64();
+  o.max_total_offset = r.i64();
+  o.epe_tolerance_nm = r.d();
+  o.probe_range_nm = r.d();
+  o.grid_nm = r.i64();
+  o.min_mask_space_nm = r.i64();
+  o.min_tip_gap_nm = r.i64();
+  o.corner_gain_scale = r.d();
+  o.corner_max_offset = r.i64();
+
+  litho::SimSpec& s = spec.sim;
+  s.optics.wavelength_nm = r.d();
+  s.optics.na = r.d();
+  s.optics.source.shape = r.enum8<litho::SourceShape>(4, "source shape");
+  s.optics.source.sigma_outer = r.d();
+  s.optics.source.sigma_inner = r.d();
+  s.optics.source.pole_center = r.d();
+  s.optics.source.pole_radius = r.d();
+  s.optics.source.grid = r.i32();
+  s.optics.aberrations.coma_x_nm = r.d();
+  s.optics.aberrations.coma_y_nm = r.d();
+  s.optics.aberrations.astig_nm = r.d();
+  s.mask.type = r.enum8<litho::MaskType>(2, "mask type");
+  s.mask.background_transmission = r.d();
+  s.resist.threshold = r.d();
+  s.resist.diffusion_nm = r.d();
+  s.pixel_nm = r.d();
+  s.guard_nm = r.i64();
+  s.imaging = r.enum8<litho::ImagingMode>(2, "imaging mode");
+  s.socs_epsilon = r.d();
+
+  spec.halo_nm = r.i64();
+  spec.input_layer.layer = r.u16();
+  spec.input_layer.datatype = r.u16();
+  spec.output_layer.layer = r.u16();
+  spec.output_layer.datatype = r.u16();
+  spec.flat_context_passes = r.i32();
+  spec.preflight = r.boolean();
+  spec.jobs = r.i32();
+  spec.cache = r.boolean();
+  spec.cache_symmetry = r.boolean();
+
+  const std::uint32_t n_checks = r.u32();
+  if (n_checks > kMaxDeckChecks) malformed("MRC deck count exceeds the limit");
+  // Each check costs at least kind + value + name length = 13 bytes;
+  // pre-check so a corrupt count cannot allocate unboundedly.
+  if (r.remaining() < static_cast<std::uint64_t>(n_checks) * 13)
+    malformed("truncated MRC deck");
+  spec.mrc_deck.reserve(n_checks);
+  for (std::uint32_t i = 0; i < n_checks; ++i) {
+    mrc::Check c;
+    c.kind = r.enum8<mrc::CheckKind>(7, "MRC check kind");
+    c.value = r.i64();
+    c.name = r.str();
+    spec.mrc_deck.push_back(std::move(c));
+  }
+  spec.mrc_action = r.enum8<mrc::Action>(2, "MRC action");
+
+  if (r.remaining() != 0)
+    malformed(std::to_string(r.remaining()) +
+              " trailing bytes after a well-formed spec");
+  return spec;
+}
+
+}  // namespace opckit::opc

@@ -1,0 +1,78 @@
+#include "service/client.h"
+
+#include "util/check.h"
+
+namespace opckit::svc {
+
+Frame Client::next_frame() {
+  std::optional<Frame> frame = read_frame(*stream_);
+  if (!frame) {
+    throw util::InputError(
+        "service client: daemon closed the connection mid-conversation");
+  }
+  if (frame->type == MsgType::kError) {
+    const ErrorMsg err = decode_error(frame->payload);
+    throw util::InputError("service client: daemon reported error " +
+                           std::to_string(err.code) + ": " + err.message);
+  }
+  return std::move(*frame);
+}
+
+Client::Outcome Client::run_job(
+    const SubmitMsg& submit,
+    const std::function<void(const ProgressMsg&)>& on_progress) {
+  write_frame(*stream_, MsgType::kSubmit, encode_submit(submit));
+
+  Outcome out;
+  for (;;) {
+    const Frame frame = next_frame();
+    switch (frame.type) {
+      case MsgType::kAccepted:
+        out.accepted = true;
+        out.ack = decode_accepted(frame.payload);
+        break;
+      case MsgType::kRejected:
+        out.accepted = false;
+        out.rejected = decode_rejected(frame.payload);
+        return out;
+      case MsgType::kProgress: {
+        ProgressMsg p = decode_progress(frame.payload);
+        if (on_progress) on_progress(p);
+        out.progress.push_back(std::move(p));
+        break;
+      }
+      case MsgType::kResult:
+        out.result = decode_result(frame.payload);
+        return out;
+      default:
+        throw ProtocolError(WireFault::kBadType,
+                            "unexpected frame type " +
+                                std::to_string(static_cast<unsigned>(
+                                    frame.type)) +
+                                " while awaiting job result");
+    }
+  }
+}
+
+void Client::ping() {
+  const std::vector<std::uint8_t> payload = {'o', 'p', 'c'};
+  write_frame(*stream_, MsgType::kPing, payload);
+  const Frame frame = next_frame();
+  if (frame.type != MsgType::kPong || frame.payload != payload) {
+    throw ProtocolError(WireFault::kBadType,
+                        "ping was not answered with a matching pong");
+  }
+}
+
+void Client::shutdown_server(ShutdownMode mode) {
+  ShutdownMsg msg;
+  msg.mode = mode;
+  write_frame(*stream_, MsgType::kShutdown, encode_shutdown(msg));
+  const Frame frame = next_frame();
+  if (frame.type != MsgType::kShutdownAck) {
+    throw ProtocolError(WireFault::kBadType,
+                        "shutdown was not acknowledged");
+  }
+}
+
+}  // namespace opckit::svc

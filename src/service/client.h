@@ -1,0 +1,54 @@
+/// \file client.h
+/// Blocking client for the opcd protocol: one conversation at a time
+/// over one connection. `opckit submit` / `opckit shutdown` and the
+/// service tests/bench drive the daemon exclusively through this class,
+/// so the wire conversation has exactly one client-side implementation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "service/protocol.h"
+
+namespace opckit::svc {
+
+class Client {
+ public:
+  /// Takes ownership of a connected stream (see connect_unix/connect_tcp).
+  explicit Client(std::unique_ptr<Stream> stream)
+      : stream_(std::move(stream)) {}
+
+  /// Everything the daemon said about one submitted job.
+  struct Outcome {
+    bool accepted = false;  ///< false: see `rejected`
+    AcceptedMsg ack;
+    RejectedMsg rejected;
+    ResultMsg result;  ///< meaningful only when accepted
+    std::vector<ProgressMsg> progress;
+  };
+
+  /// Submit one job and block until its terminal frame (kRejected or
+  /// kResult). Progress frames are collected into the Outcome and, when
+  /// given, forwarded to \p on_progress as they arrive. Throws
+  /// ProtocolError on malformed daemon frames and util::InputError when
+  /// the daemon reports kError or the connection drops mid-job.
+  Outcome run_job(const SubmitMsg& submit,
+                  const std::function<void(const ProgressMsg&)>& on_progress =
+                      nullptr);
+
+  /// Round-trip a kPing (liveness probe).
+  void ping();
+
+  /// Request daemon shutdown; returns once kShutdownAck arrives.
+  void shutdown_server(ShutdownMode mode);
+
+ private:
+  /// Read the next frame; throws on EOF (the daemon hung up mid
+  /// conversation) and surfaces kError frames as util::InputError.
+  Frame next_frame();
+
+  std::unique_ptr<Stream> stream_;
+};
+
+}  // namespace opckit::svc

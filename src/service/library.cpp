@@ -1,0 +1,88 @@
+#include "service/library.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "pattern/canonical.h"
+#include "util/check.h"
+
+namespace opckit::svc {
+namespace {
+
+std::string fingerprint_name(std::uint64_t fingerprint) {
+  // Fixed-width lowercase hex: stable names, trivially greppable against
+  // `opckit opc --stats` fingerprint output.
+  static const char* kHex = "0123456789abcdef";
+  std::string name(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    name[static_cast<std::size_t>(i)] = kHex[fingerprint & 0xF];
+    fingerprint >>= 4;
+  }
+  return name + ".ocs";
+}
+
+}  // namespace
+
+std::string CorrectionLibrary::path_for(std::uint64_t fingerprint) const {
+  if (opts_.dir.empty()) return {};
+  return (std::filesystem::path(opts_.dir) / fingerprint_name(fingerprint))
+      .string();
+}
+
+CorrectionLibrary::Shelf& CorrectionLibrary::shelf_locked(
+    std::uint64_t fingerprint) {
+  auto it = shelves_.find(fingerprint);
+  if (it != shelves_.end()) return it->second;
+
+  Shelf& shelf = shelves_[fingerprint];
+  if (opts_.dir.empty()) return shelf;
+
+  std::filesystem::create_directories(opts_.dir);
+  const std::string path = path_for(fingerprint);
+  if (std::filesystem::exists(path)) {
+    // Daemon restart / crash resume: adopt whatever the predecessor
+    // persisted (torn tails recover per the store contract) and keep
+    // appending after the last valid record.
+    store::LoadResult loaded = store::ResultStore::load(path, fingerprint);
+    shelf.records = std::move(loaded.records);
+    for (std::size_t i = 0; i < shelf.records.size(); ++i) {
+      shelf.by_hash[pat::hash_rects(shelf.records[i].window_rects)]
+          .push_back(i);
+    }
+    shelf.store = store::ResultStore::append_to(path, loaded.valid_bytes,
+                                                opts_.sync_on_append);
+  } else {
+    shelf.store =
+        store::ResultStore::create(path, fingerprint, opts_.sync_on_append);
+  }
+  return shelf;
+}
+
+std::vector<store::TileRecord> CorrectionLibrary::snapshot(
+    std::uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shelf_locked(fingerprint).records;
+}
+
+void CorrectionLibrary::add(std::uint64_t fingerprint,
+                            const store::TileRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Shelf& shelf = shelf_locked(fingerprint);
+  const std::uint64_t h = pat::hash_rects(record.window_rects);
+  auto it = shelf.by_hash.find(h);
+  if (it != shelf.by_hash.end()) {
+    for (std::size_t idx : it->second) {
+      if (shelf.records[idx] == record) return;  // already shelved
+    }
+  }
+  shelf.by_hash[h].push_back(shelf.records.size());
+  shelf.records.push_back(record);
+  if (shelf.store) shelf.store->append(record);
+}
+
+std::size_t CorrectionLibrary::size(std::uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shelf_locked(fingerprint).records.size();
+}
+
+}  // namespace opckit::svc

@@ -1,0 +1,163 @@
+#include "service/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace opckit::svc {
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw util::InputError("service socket: " + what + ": " +
+                         std::strerror(errno));
+}
+
+int checked_socket(int domain) {
+  const int fd = ::socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) sys_fail("socket() failed");
+  return fd;
+}
+
+}  // namespace
+
+FdStream::~FdStream() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FdStream::shutdown_both() { ::shutdown(fd_, SHUT_RDWR); }
+
+std::size_t FdStream::read_some(void* buf, std::size_t n) {
+  for (;;) {
+    const ssize_t r = ::recv(fd_, buf, n, 0);
+    if (r >= 0) return static_cast<std::size_t>(r);
+    if (errno == EINTR) continue;
+    sys_fail("recv() failed");
+  }
+}
+
+std::size_t FdStream::write_some(const void* buf, std::size_t n) {
+  for (;;) {
+    // MSG_NOSIGNAL: a peer that closed mid-frame must surface as an
+    // error on THIS call, not a process-wide SIGPIPE.
+    const ssize_t r = ::send(fd_, buf, n, MSG_NOSIGNAL);
+    if (r > 0) return static_cast<std::size_t>(r);
+    if (r < 0 && errno == EINTR) continue;
+    sys_fail("send() failed");
+  }
+}
+
+int listen_unix(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw util::InputError("service socket: unix path '" + path +
+                           "' exceeds sockaddr_un capacity");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  ::unlink(path.c_str());  // stale socket from a previous daemon
+  const int fd = checked_socket(AF_UNIX);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    sys_fail("bind('" + path + "') failed");
+  }
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    sys_fail("listen('" + path + "') failed");
+  }
+  return fd;
+}
+
+int listen_tcp(std::uint16_t port, std::uint16_t* bound_port, int backlog) {
+  const int fd = checked_socket(AF_INET);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    sys_fail("bind(127.0.0.1:" + std::to_string(port) + ") failed");
+  }
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    sys_fail("listen(127.0.0.1:" + std::to_string(port) + ") failed");
+  }
+  if (bound_port) {
+    sockaddr_in got{};
+    socklen_t len = sizeof got;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&got), &len) != 0) {
+      ::close(fd);
+      sys_fail("getsockname() failed");
+    }
+    *bound_port = ntohs(got.sin_port);
+  }
+  return fd;
+}
+
+std::unique_ptr<FdStream> connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw util::InputError("service socket: unix path '" + path +
+                           "' exceeds sockaddr_un capacity");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = checked_socket(AF_UNIX);
+  int rc = 0;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    ::close(fd);
+    sys_fail("connect('" + path + "') failed — is opcd running?");
+  }
+  return std::make_unique<FdStream>(fd);
+}
+
+std::unique_ptr<FdStream> connect_tcp(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  const int fd = checked_socket(AF_INET);
+  int rc = 0;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    ::close(fd);
+    sys_fail("connect(127.0.0.1:" + std::to_string(port) +
+             ") failed — is opcd running?");
+  }
+  return std::make_unique<FdStream>(fd);
+}
+
+int accept_with_timeout(int listen_fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = listen_fd;
+  pfd.events = POLLIN;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) return -1;  // let the caller re-check its flags
+      sys_fail("poll() failed");
+    }
+    if (rc == 0) return -1;  // timeout
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    sys_fail("accept() failed");
+  }
+}
+
+}  // namespace opckit::svc

@@ -1,0 +1,65 @@
+/// \file socket.h
+/// POSIX socket plumbing for opcd: unix-domain and loopback-TCP
+/// listeners, blocking client connects, and the FdStream adapter that
+/// carries the wire protocol over a connected socket.
+///
+/// Everything here is EINTR-safe and SIGPIPE-free (writes go through
+/// send(MSG_NOSIGNAL) — a daemon must survive any client vanishing
+/// mid-frame). Accept waits are poll()-bounded so the accept loop can
+/// observe the server's stop flag, and FdStream::shutdown_both() lets
+/// another thread wake a handler blocked in read_some (the read returns
+/// 0, which the frame layer reports as a clean close).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/protocol.h"
+
+namespace opckit::svc {
+
+/// A connected socket as a protocol Stream. Owns the descriptor.
+class FdStream final : public Stream {
+ public:
+  explicit FdStream(int fd) : fd_(fd) {}
+  ~FdStream() override;
+
+  FdStream(const FdStream&) = delete;
+  FdStream& operator=(const FdStream&) = delete;
+
+  int fd() const { return fd_; }
+
+  /// ::shutdown() both directions without closing. Safe to call from a
+  /// thread other than the reader: a blocked recv returns 0 (EOF) and
+  /// the handler unwinds normally. The descriptor stays valid until the
+  /// destructor, so there is no close/reuse race.
+  void shutdown_both();
+
+  std::size_t read_some(void* buf, std::size_t n) override;
+  std::size_t write_some(const void* buf, std::size_t n) override;
+
+ private:
+  int fd_;
+};
+
+/// Bind + listen on a unix-domain socket at \p path, unlinking any stale
+/// socket file first. Returns the listening fd (CLOEXEC).
+int listen_unix(const std::string& path, int backlog = 64);
+
+/// Bind + listen on loopback TCP \p port (0 = ephemeral); the bound port
+/// is written to \p bound_port. Returns the listening fd (CLOEXEC).
+int listen_tcp(std::uint16_t port, std::uint16_t* bound_port,
+               int backlog = 64);
+
+/// Blocking connect to a unix-domain / loopback-TCP daemon endpoint.
+/// Throws util::InputError when nothing is listening.
+std::unique_ptr<FdStream> connect_unix(const std::string& path);
+std::unique_ptr<FdStream> connect_tcp(std::uint16_t port);
+
+/// poll()-bounded accept: returns a connected fd, or -1 when \p
+/// timeout_ms elapsed with no pending connection. Throws
+/// util::InputError on a hard listener error.
+int accept_with_timeout(int listen_fd, int timeout_ms);
+
+}  // namespace opckit::svc

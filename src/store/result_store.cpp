@@ -1,9 +1,14 @@
 #include "store/result_store.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <array>
+#include <cerrno>
 #include <cstring>
 #include <filesystem>
 #include <sstream>
+#include <utility>
 
 #include "trace/metrics.h"
 #include "util/check.h"
@@ -163,12 +168,31 @@ bool parse_payload(const std::uint8_t* data, std::size_t size,
   return r.remaining() == 0;
 }
 
-std::ofstream open_for_append(const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::app);
-  if (!out)
+// ---- POSIX writer plumbing (EINTR-safe) -------------------------------
+
+int open_writer_fd(const std::string& path, int flags) {
+  int fd = -1;
+  do {
+    fd = ::open(path.c_str(), flags, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0)
     throw util::InputError("correction store: cannot open '" + path +
-                           "' for writing");
-  return out;
+                           "' for writing: " + std::strerror(errno));
+  return fd;
+}
+
+void write_all_fd(int fd, const std::uint8_t* data, std::size_t size,
+                  const std::string& path) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw util::InputError("correction store: write failed on '" + path +
+                             "': " + std::strerror(errno));
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
 }
 
 }  // namespace
@@ -214,8 +238,32 @@ std::vector<std::uint8_t> encode_record(const TileRecord& record) {
 
 }  // namespace store_detail
 
+ResultStore::ResultStore(ResultStore&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(std::exchange(other.fd_, -1)),
+      sync_on_append_(other.sync_on_append_),
+      appended_(other.appended_),
+      synced_(other.synced_) {}
+
+ResultStore& ResultStore::operator=(ResultStore&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    fd_ = std::exchange(other.fd_, -1);
+    sync_on_append_ = other.sync_on_append_;
+    appended_ = other.appended_;
+    synced_ = other.synced_;
+  }
+  return *this;
+}
+
+ResultStore::~ResultStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
 ResultStore ResultStore::create(const std::string& path,
-                                std::uint64_t fingerprint) {
+                                std::uint64_t fingerprint,
+                                bool sync_on_append) {
   std::vector<std::uint8_t> header;
   header.insert(header.end(), kMagic.begin(), kMagic.end());
   put_u32(header, kVersion);
@@ -223,20 +271,20 @@ ResultStore ResultStore::create(const std::string& path,
   put_u32(header, store_detail::crc32(header.data(), header.size()));
   OPCKIT_DCHECK(header.size() == kHeaderSize);
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out)
-    throw util::InputError("correction store: cannot create '" + path + "'");
-  out.write(reinterpret_cast<const char*>(header.data()),
-            static_cast<std::streamsize>(header.size()));
-  out.flush();
-  if (!out)
-    throw util::InputError("correction store: write failed on '" + path +
-                           "'");
-  return ResultStore(path, std::move(out));
+  ResultStore store(path,
+                    open_writer_fd(path, O_WRONLY | O_CREAT | O_TRUNC |
+                                             O_CLOEXEC),
+                    sync_on_append);
+  // The header is not fsynced here even in sync mode: fsync flushes the
+  // whole file, so the first record's sync covers it, and an empty store
+  // that vanishes in a crash costs nothing to recreate.
+  write_all_fd(store.fd_, header.data(), header.size(), path);
+  return store;
 }
 
 ResultStore ResultStore::append_to(const std::string& path,
-                                   std::uint64_t valid_bytes) {
+                                   std::uint64_t valid_bytes,
+                                   bool sync_on_append) {
   // Drop any recovered torn tail before appending: new records must land
   // directly after the last whole one.
   std::error_code ec;
@@ -244,7 +292,9 @@ ResultStore ResultStore::append_to(const std::string& path,
   if (ec)
     throw util::InputError("correction store: cannot truncate '" + path +
                            "' to its valid prefix: " + ec.message());
-  return ResultStore(path, open_for_append(path));
+  return ResultStore(
+      path, open_writer_fd(path, O_WRONLY | O_APPEND | O_CLOEXEC),
+      sync_on_append);
 }
 
 LoadResult ResultStore::load(const std::string& path,
@@ -350,14 +400,15 @@ void ResultStore::append(const TileRecord& record) {
   put_u32(framed, static_cast<std::uint32_t>(payload.size()));
   framed.insert(framed.end(), payload.begin(), payload.end());
   put_u32(framed, store_detail::crc32(payload.data(), payload.size()));
-  out_.write(reinterpret_cast<const char*>(framed.data()),
-             static_cast<std::streamsize>(framed.size()));
-  // Flush per record: a crash costs at most the record being written,
-  // which the next load recovers as a torn tail.
-  out_.flush();
-  if (!out_)
-    throw util::InputError("correction store: write failed on '" + path_ +
-                           "'");
+  // One unbuffered write per record: a crash costs at most the record
+  // being written, which the next load recovers as a torn tail.
+  write_all_fd(fd_, framed.data(), framed.size(), path_);
+  if (sync_on_append_) {
+    if (::fsync(fd_) != 0)
+      throw util::InputError("correction store: fsync failed on '" + path_ +
+                             "': " + std::strerror(errno));
+    ++synced_;
+  }
   ++appended_;
   trace::metrics().counter(trace::metric::kStoreRecordsAppended).add();
 }

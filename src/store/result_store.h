@@ -94,18 +94,30 @@ struct LoadResult {
 /// Append handle on a correction-store file. Obtain via create() (fresh
 /// file) or append_to() (extend a loaded file); append() writes and
 /// flushes one record. Move-only.
+///
+/// The writer is a raw POSIX descriptor, not an iostream: each record is
+/// one unbuffered write() (a crash can tear at most the record in
+/// flight), and \p sync_on_append upgrades that to write() + fsync().
+/// The upgrade is opt-in and OFF by default — batch flows are served by
+/// the torn-tail contract (a crash re-solves one tile) and per-record
+/// fsync is a large constant cost, but the service daemon's durability
+/// claim ("results already merged survive a daemon crash") needs the
+/// data on the platter, not in the page cache, before the result frame
+/// is acknowledged to the client.
 class ResultStore {
  public:
   /// Create (truncate) \p path and write a version-1 header carrying
   /// \p fingerprint. Throws util::InputError on I/O failure.
   static ResultStore create(const std::string& path,
-                            std::uint64_t fingerprint);
+                            std::uint64_t fingerprint,
+                            bool sync_on_append = false);
 
   /// Open \p path for appending after a successful load(): the file is
   /// first truncated to \p valid_bytes so a recovered torn tail can never
   /// precede fresh records. Throws util::InputError on I/O failure.
   static ResultStore append_to(const std::string& path,
-                               std::uint64_t valid_bytes);
+                               std::uint64_t valid_bytes,
+                               bool sync_on_append = false);
 
   /// Parse and verify \p path against \p expected_fingerprint.
   /// Refusals (malformed header, fingerprint mismatch, corrupt record)
@@ -123,14 +135,27 @@ class ResultStore {
   const std::string& path() const { return path_; }
   /// Records appended through this handle.
   std::size_t appended() const { return appended_; }
+  /// fsync-after-append policy this handle was opened with.
+  bool sync_on_append() const { return sync_on_append_; }
+  /// fsync() calls issued: equals appended() when sync_on_append is on
+  /// (the header rides the first record's sync — fsync flushes the whole
+  /// file), 0 when it is off. Exposed so tests can assert the flag is
+  /// honored without instrumenting the kernel.
+  std::size_t synced() const { return synced_; }
+
+  ResultStore(ResultStore&& other) noexcept;
+  ResultStore& operator=(ResultStore&& other) noexcept;
+  ~ResultStore();
 
  private:
-  ResultStore(std::string path, std::ofstream out)
-      : path_(std::move(path)), out_(std::move(out)) {}
+  ResultStore(std::string path, int fd, bool sync_on_append)
+      : path_(std::move(path)), fd_(fd), sync_on_append_(sync_on_append) {}
 
   std::string path_;
-  std::ofstream out_;
+  int fd_ = -1;
+  bool sync_on_append_ = false;
   std::size_t appended_ = 0;
+  std::size_t synced_ = 0;
 };
 
 namespace store_detail {

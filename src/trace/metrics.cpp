@@ -82,6 +82,29 @@ constexpr std::array kMetricTable = {
                0.0, 64.0, 16},
     MetricInfo{metric::kFlowPhaseMrcMs, MetricKind::kGauge,
                "wall-clock in the parallel MRC signoff phase"},
+    MetricInfo{metric::kSvcJobsSubmitted, MetricKind::kCounter,
+               "job submissions received by the service daemon"},
+    MetricInfo{metric::kSvcJobsAccepted, MetricKind::kCounter,
+               "submissions admitted to the daemon's priority queue"},
+    MetricInfo{metric::kSvcJobsRejected, MetricKind::kCounter,
+               "submissions refused (queue full, draining, or bad job)"},
+    MetricInfo{metric::kSvcJobsCompleted, MetricKind::kCounter,
+               "daemon jobs that finished and returned ok stats"},
+    MetricInfo{metric::kSvcJobsFailed, MetricKind::kCounter,
+               "daemon jobs that finished with an error result"},
+    MetricInfo{metric::kSvcQueueDepth, MetricKind::kGauge,
+               "jobs currently waiting in the daemon's admission queue"},
+    MetricInfo{metric::kSvcJobsInflight, MetricKind::kGauge,
+               "jobs currently executing on the daemon's pool"},
+    MetricInfo{metric::kSvcJobLatencyMs, MetricKind::kHistogram,
+               "per-job wall-clock from admission to result frame",
+               0.0, 20000.0, 200},
+    MetricInfo{metric::kSvcProtocolErrors, MetricKind::kCounter,
+               "malformed frames rejected by the daemon's wire decoder"},
+    MetricInfo{metric::kSvcCacheHits, MetricKind::kCounter,
+               "correction/kernel/plan cache hits summed across daemon jobs"},
+    MetricInfo{metric::kSvcCacheLookups, MetricKind::kCounter,
+               "correction/kernel/plan cache lookups across daemon jobs"},
 };
 
 }  // namespace
@@ -101,6 +124,10 @@ std::uint64_t HistogramSnapshot::total() const {
   std::uint64_t t = underflow + overflow + nan_count;
   for (std::uint64_t b : bins) t += b;
   return t;
+}
+
+double HistogramSnapshot::quantile(double p) const {
+  return util::histogram_quantile(lo, hi, bins, underflow, overflow, p);
 }
 
 HistogramMetric::HistogramMetric(double lo, double hi, std::size_t bins)

@@ -102,6 +102,19 @@ inline constexpr const char* kMrcViolations = "mrc.violations";
 inline constexpr const char* kMrcTilesChecked = "mrc.tiles_checked";
 inline constexpr const char* kMrcTileViolations = "mrc.tile_violations";
 inline constexpr const char* kFlowPhaseMrcMs = "flow.phase.mrc_ms";
+// Service-daemon (opcd) series — see src/service/server.h for when each
+// fires along the admission/run/drain path.
+inline constexpr const char* kSvcJobsSubmitted = "svc.jobs_submitted";
+inline constexpr const char* kSvcJobsAccepted = "svc.jobs_accepted";
+inline constexpr const char* kSvcJobsRejected = "svc.jobs_rejected";
+inline constexpr const char* kSvcJobsCompleted = "svc.jobs_completed";
+inline constexpr const char* kSvcJobsFailed = "svc.jobs_failed";
+inline constexpr const char* kSvcQueueDepth = "svc.queue_depth";
+inline constexpr const char* kSvcJobsInflight = "svc.jobs_inflight";
+inline constexpr const char* kSvcJobLatencyMs = "svc.job_latency_ms";
+inline constexpr const char* kSvcProtocolErrors = "svc.protocol_errors";
+inline constexpr const char* kSvcCacheHits = "svc.cache_hits";
+inline constexpr const char* kSvcCacheLookups = "svc.cache_lookups";
 }  // namespace metric
 
 /// Monotone event counter. add() is a relaxed atomic increment — safe
@@ -140,6 +153,11 @@ struct HistogramSnapshot {
   std::uint64_t nan_count = 0;  ///< NaN samples
 
   std::uint64_t total() const;
+  /// Exact quantile over the slotted counts, delegating to
+  /// util::histogram_quantile (uniform-within-bin interpolation,
+  /// under/overflow clamped to lo/hi, NaN excluded). t9 reports its
+  /// p50/p99 job latency through this, straight off svc.job_latency_ms.
+  double quantile(double p) const;
   friend bool operator==(const HistogramSnapshot&,
                          const HistogramSnapshot&) = default;
 };

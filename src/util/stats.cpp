@@ -86,6 +86,35 @@ int histogram_bin(double lo, double hi, std::size_t bins, double x) {
   return static_cast<int>(std::min(idx, bins - 1));
 }
 
+double histogram_quantile(double lo, double hi,
+                          const std::vector<std::uint64_t>& counts,
+                          std::uint64_t underflow, std::uint64_t overflow,
+                          double p) {
+  OPCKIT_CHECK(p >= 0.0 && p <= 1.0);
+  OPCKIT_CHECK(!counts.empty());
+  std::uint64_t total = underflow + overflow;
+  for (std::uint64_t c : counts) total += c;
+  OPCKIT_CHECK_MSG(total > 0, "quantile of an empty histogram");
+
+  const double rank = p * static_cast<double>(total);
+  // Underflow mass sits at lo: any rank inside it resolves to lo itself.
+  double cum = static_cast<double>(underflow);
+  if (rank <= cum && underflow > 0) return lo;
+
+  const double width = (hi - lo) / static_cast<double>(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const auto c = static_cast<double>(counts[i]);
+    if (c > 0.0 && rank <= cum + c) {
+      const double bin_lo = lo + static_cast<double>(i) * width;
+      return bin_lo + width * (rank - cum) / c;
+    }
+    cum += c;
+  }
+  // Only overflow mass (or p == 1 landing past the last bin) remains;
+  // that mass sits at hi.
+  return hi;
+}
+
 void Histogram::add(double x) {
   const int bin = histogram_bin(lo_, hi_, bins(), x);
   switch (bin) {
@@ -108,6 +137,11 @@ void Histogram::add(double x) {
 double Histogram::bin_center(std::size_t i) const {
   const double w = (hi_ - lo_) / static_cast<double>(bins());
   return lo_ + (static_cast<double>(i) + 0.5) * w;
+}
+
+double Histogram::quantile(double p) const {
+  std::vector<std::uint64_t> counts(counts_.begin(), counts_.end());
+  return histogram_quantile(lo_, hi_, counts, underflow_, overflow_, p);
 }
 
 double kl_divergence(const std::vector<double>& p_counts,

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -67,6 +68,25 @@ inline constexpr int kHistogramNan = -3;        ///< x is NaN
 /// registry's histogram (trace/metrics.h) so both bin identically.
 int histogram_bin(double lo, double hi, std::size_t bins, double x);
 
+/// Quantile \p p (in [0,1]) extracted from slotted histogram counts over
+/// [lo, hi] — the shared implementation behind util::Histogram::quantile
+/// and trace::HistogramSnapshot::quantile, so service latency reports and
+/// in-process reports interpolate identically.
+///
+/// Interpolation model (documented because t9 publishes these numbers):
+/// the non-NaN sample mass forms a piecewise-linear CDF. Each regular
+/// bin's count is spread uniformly across the bin's width; the underflow
+/// slot's mass sits exactly AT lo and the overflow slot's exactly AT hi
+/// (the slots carry counts but no positions, so clamping to the range
+/// edge is the only honest choice). The result is the smallest value
+/// where the CDF reaches rank = p * total_non_nan. NaN samples are
+/// excluded — they have no place on the axis. Requires at least one
+/// non-NaN sample and p in [0,1] (OPCKIT_CHECK enforced).
+double histogram_quantile(double lo, double hi,
+                          const std::vector<std::uint64_t>& counts,
+                          std::uint64_t underflow, std::uint64_t overflow,
+                          double p);
+
 /// Histogram over [lo, hi] with \p bins equal-width bins. Samples outside
 /// the range are counted in explicit underflow/overflow slots and NaN
 /// samples in a nan slot — never silently clamped into the edge bins,
@@ -90,6 +110,10 @@ class Histogram {
   std::size_t total() const { return total_; }
   /// Center of bin \p i.
   double bin_center(std::size_t i) const;
+  /// Exact quantile over the slotted counts — see histogram_quantile for
+  /// the interpolation contract (uniform-within-bin CDF, under/overflow
+  /// clamped to the range edges, NaN samples excluded).
+  double quantile(double p) const;
 
  private:
   double lo_, hi_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <limits>
 
 #include "util/check.h"
 
@@ -40,8 +41,8 @@ void ThreadPool::worker_loop() {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
       if (stop_ && jobs_.empty()) return;
-      job = std::move(jobs_.front());
-      jobs_.pop();
+      job = std::move(jobs_.begin()->second);
+      jobs_.erase(jobs_.begin());
     }
     job();
   }
@@ -85,8 +86,12 @@ void ThreadPool::parallel_for(std::size_t count,
       if (--remaining == 0) done_cv.notify_all();
     };
     {
+      // Chunks outrank every submit() priority (header contract): the
+      // caller is about to block on them.
       std::lock_guard<std::mutex> lock(mutex_);
-      jobs_.push(std::move(job));
+      jobs_.emplace(
+          std::make_pair(std::numeric_limits<long long>::min(), seq_++),
+          std::move(job));
     }
     begin = end;
   }
@@ -96,6 +101,15 @@ void ThreadPool::parallel_for(std::size_t count,
   std::unique_lock<std::mutex> lock(done_mutex);
   done_cv.wait(lock, [&] { return remaining == 0; });
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::submit(std::function<void()> fn, int priority) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.emplace(std::make_pair(-static_cast<long long>(priority), seq_++),
+                  std::move(fn));
+  }
+  cv_.notify_one();
 }
 
 ThreadPool& global_pool() {

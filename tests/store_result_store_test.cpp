@@ -236,5 +236,44 @@ TEST(ResultStore, MissingFileThrows) {
                util::InputError);
 }
 
+TEST(ResultStore, SyncOnAppendOffByDefault) {
+  const std::string path = temp_path("store_nosync.ocs");
+  auto store = ResultStore::create(path, kFp);
+  EXPECT_FALSE(store.sync_on_append());
+  store.append(sample_record(0));
+  store.append(sample_record(7));
+  EXPECT_EQ(store.appended(), 2u);
+  // The default path must never pay for fsync: no syncs were issued.
+  EXPECT_EQ(store.synced(), 0u);
+}
+
+TEST(ResultStore, SyncOnAppendFsyncsEveryRecord) {
+  const std::string path = temp_path("store_sync.ocs");
+  {
+    auto store = ResultStore::create(path, kFp, /*sync_on_append=*/true);
+    EXPECT_TRUE(store.sync_on_append());
+    store.append(sample_record(0));
+    EXPECT_EQ(store.synced(), 1u);
+    store.append(sample_record(7));
+    EXPECT_EQ(store.synced(), 2u);
+    EXPECT_EQ(store.synced(), store.appended());
+  }
+  // Continuation handles honor the flag too, counting only their own
+  // appends.
+  const LoadResult loaded = ResultStore::load(path, kFp);
+  ASSERT_EQ(loaded.records.size(), 2u);
+  {
+    auto store =
+        ResultStore::append_to(path, loaded.valid_bytes, /*sync=*/true);
+    EXPECT_TRUE(store.sync_on_append());
+    EXPECT_EQ(store.synced(), 0u);
+    store.append(sample_record(42));
+    EXPECT_EQ(store.synced(), 1u);
+  }
+  const LoadResult all = ResultStore::load(path, kFp);
+  ASSERT_EQ(all.records.size(), 3u);
+  EXPECT_EQ(all.records[2], sample_record(42));
+}
+
 }  // namespace
 }  // namespace opckit::store

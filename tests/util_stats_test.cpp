@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "util/check.h"
 #include "util/stats.h"
 
 namespace opckit::util {
@@ -229,6 +230,55 @@ TEST(KlDivergence, SmoothingHandlesZeroCounts) {
   std::vector<double> p{10, 0};
   std::vector<double> q{0, 10};
   EXPECT_TRUE(std::isfinite(kl_divergence(p, q)));
+}
+
+TEST(HistogramQuantile, InterpolatesUniformlyWithinBins) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(1.5);  // bin 1
+  h.add(2.5);  // bin 2
+  // rank = p * 2 samples; count spreads uniformly across its bin.
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 1.5);  // rank 0.5, half into bin 1
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);   // rank 1, top of bin 1
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);   // rank 2, top of bin 2
+}
+
+TEST(HistogramQuantile, SingleSampleMedianIsBinMidpoint) {
+  Histogram h(0.0, 10.0, 1);
+  h.add(7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+}
+
+TEST(HistogramQuantile, OutOfRangeMassClampsToBounds) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);  // underflow: counted AT lo
+  h.add(200.0);   // overflow: counted AT hi
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(HistogramQuantile, NanSamplesAreExcludedFromRanks) {
+  Histogram h(0.0, 10.0, 4);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(3.0);  // bin 1: [2.5, 5)
+  // One non-NaN sample: p=0.5 lands halfway through its bin.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.75);
+}
+
+TEST(HistogramQuantile, RefusesBadInputs) {
+  Histogram empty(0.0, 1.0, 4);
+  EXPECT_THROW(empty.quantile(0.5), CheckError);  // no samples
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.5);
+  EXPECT_THROW(h.quantile(-0.1), CheckError);
+  EXPECT_THROW(h.quantile(1.1), CheckError);
+}
+
+TEST(HistogramQuantile, FreeFunctionMatchesKnownCdf) {
+  // 10 counts in [0,10) bin 0, 10 in bin 1: median is the bin seam.
+  const std::vector<std::uint64_t> counts{10, 10};
+  EXPECT_DOUBLE_EQ(histogram_quantile(0.0, 20.0, counts, 0, 0, 0.5), 10.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(0.0, 20.0, counts, 0, 0, 0.25), 5.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(0.0, 20.0, counts, 0, 0, 1.0), 20.0);
 }
 
 }  // namespace

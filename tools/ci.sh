@@ -75,6 +75,14 @@ job_sanitize() {
   (cd build-ci-asan && \
    ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
    ctest "${CTEST_ARGS[@]}" --no-tests=error -L fft)
+  # `service` label: the opcd daemon — wire-protocol fault corpus
+  # (corrupt frames, hostile lengths, truncation at every byte), the
+  # cross-job correction library, and live-socket lifecycle tests.
+  # Byte-parsing plus connection teardown is exactly where ASan/UBSan
+  # earns its keep.
+  (cd build-ci-asan && \
+   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+   ctest "${CTEST_ARGS[@]}" --no-tests=error -L service)
 }
 
 job_tsan() {
@@ -107,6 +115,12 @@ job_tsan() {
   # case exists specifically for this job.
   (cd build-ci-tsan && \
    ctest "${CTEST_ARGS[@]}" --no-tests=error -L fft)
+  # `service` label: the daemon is the most concurrent code in the repo —
+  # connection reader threads, the admission queue, pool workers running
+  # jobs, and shutdown draining all share state under one mutex. The
+  # concurrent-clients and drain/abort tests exist for this job.
+  (cd build-ci-tsan && \
+   ctest "${CTEST_ARGS[@]}" --no-tests=error -L service)
 }
 
 job_tidy() {

@@ -1,5 +1,6 @@
 #include "cli.h"
 
+#include <csignal>
 #include <fstream>
 #include <map>
 #include <ostream>
@@ -13,6 +14,9 @@
 #include "litho/litho.h"
 #include "mrc/mrc.h"
 #include "pattern/pattern.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "service/socket.h"
 #include "trace/trace.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -570,8 +574,181 @@ int cmd_metrics(const Options& opts, std::ostream& out) {
   return 0;
 }
 
+// ---- service daemon commands (serve / submit / shutdown) ---------------
+
+/// SIGTERM/SIGINT flag for `opckit serve`. sig_atomic_t + no locking is
+/// all a signal handler may touch; the serve loop polls it between
+/// bounded waits.
+volatile std::sig_atomic_t g_serve_signal = 0;
+
+void serve_signal_handler(int) { g_serve_signal = 1; }
+
+/// Shared endpoint selection for the service commands: --socket PATH
+/// (unix-domain) or --tcp PORT (loopback).
+std::unique_ptr<svc::FdStream> connect_endpoint(const Options& opts) {
+  if (opts.has("socket")) return svc::connect_unix(opts.require("socket"));
+  if (opts.has("tcp")) {
+    return svc::connect_tcp(
+        static_cast<std::uint16_t>(opts.get_int("tcp", 0)));
+  }
+  throw util::InputError("give --socket PATH or --tcp PORT");
+}
+
+int cmd_serve(const Options& opts, std::ostream& out) {
+  svc::ServerOptions sopts;
+  if (opts.has("socket")) {
+    sopts.unix_path = opts.require("socket");
+  } else if (opts.has("tcp")) {
+    sopts.use_tcp = true;
+    sopts.tcp_port = static_cast<std::uint16_t>(opts.get_int("tcp", 0));
+  } else {
+    throw util::InputError("give --socket PATH or --tcp PORT");
+  }
+  sopts.workers = static_cast<int>(opts.get_int("jobs", 0));
+  sopts.max_queue =
+      static_cast<std::size_t>(opts.get_int("max-queue", 64));
+  sopts.max_inflight =
+      static_cast<std::size_t>(opts.get_int("max-inflight", 0));
+  sopts.library.dir = opts.get("library", "");
+
+  svc::Server server(std::move(sopts));
+  server.start();
+  if (opts.has("tcp")) {
+    out << "opcd listening on 127.0.0.1:" << server.tcp_port() << '\n';
+  } else {
+    out << "opcd listening on " << opts.require("socket") << '\n';
+  }
+  out.flush();
+
+  g_serve_signal = 0;
+  std::signal(SIGTERM, serve_signal_handler);
+  std::signal(SIGINT, serve_signal_handler);
+  // The daemon loop: wake every 200 ms to poll the signal flag; a
+  // protocol kShutdown wakes the wait directly. Either way the daemon
+  // drains — in-flight jobs finish, queued jobs get typed rejections.
+  for (;;) {
+    if (g_serve_signal) {
+      server.request_shutdown(svc::ShutdownMode::kDrain);
+      break;
+    }
+    if (server.wait_shutdown_requested(200)) break;
+  }
+  server.stop();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+
+  const auto snapshot = trace::metrics().snapshot();
+  out << "opcd drained: " << snapshot.counters.at("svc.jobs_completed")
+      << " completed, " << snapshot.counters.at("svc.jobs_failed")
+      << " failed, " << snapshot.counters.at("svc.jobs_rejected")
+      << " rejected\n";
+  return 0;
+}
+
+int cmd_submit(const Options& opts, std::ostream& out) {
+  for (const char* key : {"store", "resume"}) {
+    if (opts.has(key)) {
+      throw util::InputError(
+          std::string("--") + key +
+          " is not a submit option: the daemon owns durability through "
+          "its --library directory");
+    }
+  }
+  const std::string flow = opts.get("flow", "flat");
+  if (flow != "flat" && flow != "cell") {
+    throw util::InputError("unknown --flow (use flat or cell): " + flow);
+  }
+  if (opts.has("stats") && opts.get("stats", "") != "json") {
+    throw util::InputError("unknown --stats format (use json): " +
+                           opts.get("stats", ""));
+  }
+  const std::string imaging = opts.get("imaging", "abbe");
+  if (imaging != "abbe" && imaging != "socs") {
+    throw util::InputError("unknown --imaging (use abbe or socs): " +
+                           imaging);
+  }
+  const std::string mrc_action = opts.get("mrc-action", "fail");
+  if (mrc_action != "fail" && mrc_action != "warn") {
+    throw util::InputError("unknown --mrc-action (use fail or warn): " +
+                           mrc_action);
+  }
+
+  // Build the job exactly as cmd_opc --flow flat|cell would, so a daemon
+  // run and a single-process run of the same options share one spec —
+  // and therefore one fingerprint and byte-identical output.
+  svc::SubmitMsg msg;
+  msg.priority = static_cast<std::int32_t>(opts.get_int("priority", 0));
+  msg.flow = flow == "cell" ? 1 : 0;
+  msg.in_path = opts.require("in");
+  msg.out_path = opts.require("out");
+  if (opts.has("cell")) msg.top = opts.require("cell");
+
+  opc::FlowSpec& spec = msg.spec;
+  spec.sim.imaging = imaging == "socs" ? litho::ImagingMode::kSocs
+                                       : litho::ImagingMode::kAbbe;
+  spec.sim.socs_epsilon =
+      opts.get_double("socs-epsilon", spec.sim.socs_epsilon);
+  litho::calibrate_threshold(
+      spec.sim, static_cast<geom::Coord>(opts.get_int("anchor-cd", 180)),
+      static_cast<geom::Coord>(opts.get_int("anchor-pitch", 360)));
+  const layout::Layer in_layer = parse_layer(opts.require("layer"));
+  spec.input_layer = in_layer;
+  spec.output_layer = layout::Layer{
+      in_layer.layer, static_cast<std::uint16_t>(in_layer.datatype + 1)};
+  spec.jobs = static_cast<int>(opts.get_int("jobs", 1));
+  spec.cache = !opts.has("no-cache");
+  if (opts.has("mrc-deck")) {
+    const std::string deck = opts.require("mrc-deck");
+    spec.mrc_deck = deck == "default" ? mrc::mask_deck_180()
+                                      : mrc::read_deck_file(deck);
+    spec.mrc_action =
+        mrc_action == "warn" ? mrc::Action::kWarn : mrc::Action::kFail;
+  }
+
+  svc::Client client(connect_endpoint(opts));
+  const bool show_progress = opts.has("progress");
+  const svc::Client::Outcome outcome =
+      client.run_job(msg, [&](const svc::ProgressMsg& p) {
+        if (!show_progress) return;
+        out << "job " << p.job_id << ": " << p.phase << " pass " << p.pass
+            << " (" << p.tiles_done << '/' << p.tiles_total << ")\n";
+        out.flush();
+      });
+
+  if (!outcome.accepted) {
+    out << "rejected (" << svc::to_string(outcome.rejected.reason)
+        << "): " << outcome.rejected.message << '\n';
+    return 1;
+  }
+  if (!outcome.result.ok) {
+    out << "job " << outcome.ack.job_id
+        << " failed: " << outcome.result.payload << '\n';
+    return 1;
+  }
+  if (opts.has("stats")) {
+    out << outcome.result.payload << '\n';
+  } else {
+    out << "job " << outcome.ack.job_id << " done; daemon wrote "
+        << msg.out_path << '\n';
+  }
+  return 0;
+}
+
+int cmd_shutdown(const Options& opts, std::ostream& out) {
+  svc::Client client(connect_endpoint(opts));
+  const svc::ShutdownMode mode = opts.has("abort")
+                                     ? svc::ShutdownMode::kAbort
+                                     : svc::ShutdownMode::kDrain;
+  client.shutdown_server(mode);
+  out << "opcd acknowledged "
+      << (mode == svc::ShutdownMode::kAbort ? "abort" : "drain")
+      << " shutdown\n";
+  return 0;
+}
+
 void usage(std::ostream& err) {
-  err << "usage: opckit <stats|drc|mrc|lint|opc|patterns|metrics> --in FILE "
+  err << "usage: opckit "
+         "<stats|drc|mrc|lint|opc|patterns|metrics|serve|submit|shutdown> "
          "[options]\n"
          "  stats     --in a.gds [--cell NAME]\n"
          "  drc       --in a.gds --layer L/D --min-width N --min-space N\n"
@@ -604,7 +781,24 @@ void usage(std::ostream& err) {
          "            (inputs are lint pre-flighted; errors abort, see\n"
          "             `opckit lint --codes`)\n"
          "  patterns  --in a.gds --layer L/D [--radius N] [--top K]\n"
-         "  metrics   [--format text|md] (the compiled metric registry)\n";
+         "  metrics   [--format text|md] (the compiled metric registry)\n"
+         "  serve     --socket PATH | --tcp PORT [--jobs N] [--max-queue N]\n"
+         "            [--max-inflight N] [--library DIR]\n"
+         "            (opcd: long-running OPC daemon; keeps kernel/plan/\n"
+         "             correction caches hot across jobs, drains on\n"
+         "             SIGTERM. --library makes solved patterns durable\n"
+         "             and crash-resumable)\n"
+         "  submit    --socket PATH | --tcp PORT --in a.gds --out b.gds\n"
+         "            --layer L/D [--flow flat|cell] [--priority N]\n"
+         "            [--jobs N] [--no-cache] [--imaging abbe|socs]\n"
+         "            [--socs-epsilon F] [--mrc-deck FILE|default]\n"
+         "            [--mrc-action fail|warn] [--anchor-cd N]\n"
+         "            [--anchor-pitch N] [--stats json] [--progress]\n"
+         "            (paths are daemon-local; output is byte-identical\n"
+         "             to the same `opckit opc` run)\n"
+         "  shutdown  --socket PATH | --tcp PORT [--abort]\n"
+         "            (drain: in-flight jobs finish, queued jobs are\n"
+         "             rejected; --abort cancels at phase boundaries)\n";
 }
 
 }  // namespace
@@ -625,6 +819,9 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (cmd == "opc") return cmd_opc(opts, out);
     if (cmd == "patterns") return cmd_patterns(opts, out);
     if (cmd == "metrics") return cmd_metrics(opts, out);
+    if (cmd == "serve") return cmd_serve(opts, out);
+    if (cmd == "submit") return cmd_submit(opts, out);
+    if (cmd == "shutdown") return cmd_shutdown(opts, out);
     err << "unknown command: " << cmd << '\n';
     usage(err);
     return 2;
