@@ -49,3 +49,8 @@ target_link_libraries(t10_mrc PRIVATE opckit_mrc)
 # quantiles, and cross-job cache reuse over a mixed job stream.
 opckit_add_experiment(t9_service)
 target_link_libraries(t9_service PRIVATE opckit_service opckit_trace)
+
+# T11 drives cold/warm/replay rounds of a seeded repeated-pattern corpus
+# through the persistent pattern library and measures the solve rate and
+# the warm-start iteration cut.
+opckit_add_experiment(t11_library)

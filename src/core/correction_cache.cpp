@@ -25,12 +25,16 @@ const char* to_string(CacheOutcome outcome) {
   return "?";
 }
 
+Transform CorrectionCache::canonical_transform(const Key& key) {
+  return Transform(key.orientation, {0, 0}) * Transform(-key.anchor);
+}
+
 namespace {
 
 /// Layout frame -> canonical frame: translate the anchor to the origin,
 /// then apply the canonicalization witness orientation.
 Transform to_canonical(const CorrectionCache::Key& key) {
-  return Transform(key.orientation, {0, 0}) * Transform(-key.anchor);
+  return CorrectionCache::canonical_transform(key);
 }
 
 }  // namespace

@@ -143,6 +143,12 @@ class CorrectionCache {
   /// (collision, ownership, frame, witness mismatch) stays conflict-safe.
   std::size_t import_entry(const store::TileRecord& record);
 
+  /// The rigid map from \p key's layout frame into its canonical frame
+  /// (translate the anchor to the origin, then apply the witness
+  /// orientation). Its inverse maps canonical-frame data — stored
+  /// solutions, pattern-library warm seeds — back into the layout.
+  static geom::Transform canonical_transform(const Key& key);
+
  private:
   struct Entry {
     std::vector<geom::Rect> window_rects;  ///< canonical window geometry

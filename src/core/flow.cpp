@@ -12,6 +12,8 @@
 
 #include "core/correction_cache.h"
 #include "lint/lint.h"
+#include "pattern/feature.h"
+#include "pattern/library.h"
 #include "store/result_store.h"
 #include "trace/trace.h"
 #include "util/check.h"
@@ -102,15 +104,132 @@ struct TileWork {
   CorrectionCache::Resolution res;  ///< valid when the cache is on
   bool replay = false;              ///< resolved to a cache replay
   ModelOpcResult result;            ///< valid when !replay
+  /// Pattern-library near match: solve fresh but warm-start from these
+  /// layout-frame seeds (set in the serial resolve phase, read-only in
+  /// the parallel solve phase).
+  bool warm = false;
+  std::vector<pat::WarmSeed> seeds;
+};
+
+/// The pattern-library side of a flow run: import entries for exact
+/// replay, retrieve near matches for warm starts, and accumulate fresh
+/// solves (with their seeds) back into the library. Used exclusively
+/// from the flow's serial phases, like StoreSession.
+class LibrarySession {
+ public:
+  LibrarySession(const FlowSpec& spec, std::string_view flow_kind,
+                 CorrectionCache& cache, FlowStats& stats)
+      : budget_(spec.library_budget),
+        shared_(spec.library),
+        sink_(spec.library_sink) {
+    if (spec.library_path.empty() && shared_ == nullptr && !sink_) return;
+    if (!spec.cache) {
+      throw util::InputError(
+          "pattern library: FlowSpec::library_path/library/library_sink "
+          "require the correction cache (FlowSpec::cache) — library "
+          "entries are cache entries");
+    }
+    if (!spec.library_path.empty()) {
+      lib_.emplace(pat::PatternLibrary::open(
+          spec.library_path, flow_fingerprint(spec, flow_kind),
+          spec.store_sync));
+      import_lo_ = cache.size();
+      for (std::size_t i = 0; i < lib_->size(); ++i) {
+        cache.import_entry(lib_->record(i).tile);
+      }
+      import_hi_ = cache.size();
+      stats.library_entries_loaded += lib_->load_info().records_loaded;
+      stats.library_tail_recovered = lib_->load_info().tail_recovered;
+      trace::metrics()
+          .counter(trace::metric::kPatLibraryRecordsLoaded)
+          .add(lib_->load_info().records_loaded);
+    }
+  }
+
+  /// Serial resolve phase, once per tile after the cache lookup: account
+  /// library replays and attach warm-start seeds to cache misses that
+  /// have a near match under the budget.
+  void on_resolved(TileWork& t, FlowStats& stats) const {
+    if (t.replay) {
+      if (t.res.entry >= import_lo_ && t.res.entry < import_hi_) {
+        ++stats.library_exact_hits;
+        trace::metrics()
+            .counter(trace::metric::kPatLibraryExactHits)
+            .add();
+      }
+      return;
+    }
+    if (budget_ <= 0.0) return;
+    const pat::PatternLibrary* src = lib_ ? &*lib_ : shared_;
+    if (src == nullptr || src->size() == 0) return;
+    const pat::PatternFeature query = pat::feature_of(t.key.window.rects);
+    const std::optional<pat::NearMatch> near = src->nearest(query, budget_);
+    if (!near) return;
+    // The retrieved seeds live in the matched entry's canonical frame;
+    // similar patterns canonicalize into nearly aligned frames, so
+    // mapping them through THIS tile's canonical transform puts each
+    // seed close to the corresponding fragment site. Approximation is
+    // fine — seeds are starting points, the convergence test still runs.
+    const Transform from_canonical =
+        CorrectionCache::canonical_transform(t.key).inverted();
+    t.warm = true;
+    t.seeds.reserve(src->record(near->index).seeds.size());
+    for (const pat::WarmSeed& s : src->record(near->index).seeds) {
+      t.seeds.push_back({from_canonical(s.site), s.offset});
+    }
+    ++stats.library_near_hits;
+    trace::metrics().counter(trace::metric::kPatLibraryNearHits).add();
+  }
+
+  /// Serial merge phase, once per freshly solved tile (after
+  /// cache.store()): persist the solve with its warm-start seeds.
+  void on_fresh_solve(const CorrectionCache& cache, const TileWork& t,
+                      FlowStats& stats) {
+    if (t.warm) {
+      stats.library_warm_iterations += t.result.history.size();
+      trace::metrics()
+          .counter(trace::metric::kPatLibraryWarmIterations)
+          .add(t.result.history.size());
+    }
+    if (!lib_ && !sink_) return;
+    pat::LibraryRecord rec;
+    rec.tile = cache.export_entry(t.res.entry);
+    const Transform to_canonical =
+        CorrectionCache::canonical_transform(t.key);
+    rec.seeds.reserve(t.result.seeds.size());
+    for (const pat::WarmSeed& s : t.result.seeds) {
+      rec.seeds.push_back({to_canonical(s.site), s.offset});
+    }
+    if (lib_ && lib_->insert(rec)) {
+      ++stats.library_entries_appended;
+      trace::metrics()
+          .counter(trace::metric::kPatLibraryRecordsAppended)
+          .add();
+    }
+    if (sink_) sink_(rec);
+  }
+
+ private:
+  double budget_;
+  const pat::PatternLibrary* shared_;
+  const std::function<void(const pat::LibraryRecord&)>& sink_;
+  std::optional<pat::PatternLibrary> lib_;
+  /// Cache entries in [import_lo_, import_hi_) came from the library
+  /// file — replays against them are library_exact_hits.
+  std::size_t import_lo_ = 0;
+  std::size_t import_hi_ = 0;
 };
 
 /// Serial resolve phase: placement-ordered lookups make the choice of
-/// representative per pattern class a pure function of the layout.
-void resolve_tiles(CorrectionCache& cache, std::vector<TileWork>& tiles) {
+/// representative per pattern class a pure function of the layout, and
+/// the library's near-match retrievals inherit the same determinism.
+void resolve_tiles(CorrectionCache& cache, const LibrarySession& library,
+                   std::vector<TileWork>& tiles, FlowStats& stats) {
   for (TileWork& t : tiles) {
     t.res = cache.resolve(t.key);
     t.replay = t.res.outcome == CacheOutcome::kHit ||
                t.res.outcome == CacheOutcome::kSymmetryHit;
+    library.on_resolved(t, stats);
   }
 }
 
@@ -496,6 +615,13 @@ std::uint64_t flow_fingerprint(const FlowSpec& spec,
   // default ε hashes differently from pre-SOCS builds by design).
   mix_i(static_cast<std::int64_t>(s.imaging));
   mix_d(s.socs_epsilon);
+  // Pattern-library warm starts move the solver's initial offsets, hence
+  // the corrected mask (within tolerance): the library identity and the
+  // near-match budget are output-affecting (appended fields; stores from
+  // pre-library builds hash differently by design).
+  mix_u64(spec.library_path.size());
+  for (char c : spec.library_path) mix_u64(static_cast<std::uint8_t>(c));
+  mix_d(spec.library_budget);
   return h;
 }
 
@@ -520,6 +646,13 @@ std::string render_stats_json(const FlowStats& stats) {
      << ",\"entries_appended\":" << stats.store_entries_appended
      << ",\"tail_recovered\":"
      << (stats.store_tail_recovered ? "true" : "false") << "}"
+     << ",\"library\":{\"exact_hits\":" << stats.library_exact_hits
+     << ",\"near_hits\":" << stats.library_near_hits
+     << ",\"entries_loaded\":" << stats.library_entries_loaded
+     << ",\"entries_appended\":" << stats.library_entries_appended
+     << ",\"warm_iterations\":" << stats.library_warm_iterations
+     << ",\"tail_recovered\":"
+     << (stats.library_tail_recovered ? "true" : "false") << "}"
      << ",\"tile_simulations\":[";
   for (std::size_t i = 0; i < stats.tile_simulations.size(); ++i) {
     os << (i ? "," : "") << stats.tile_simulations[i];
@@ -570,6 +703,9 @@ FlowStats run_cell_opc(Library& lib, const std::string& top,
 
   CorrectionCache cache({spec.cache_symmetry});
   StoreSession store(spec, "cell", cache, stats);
+  // After StoreSession: store/preload entries precede library imports in
+  // every resolve bucket, so store_hits keep their pre-library meaning.
+  LibrarySession library(spec, "cell", cache, stats);
   TileExecutor exec(spec.jobs);
   JobHooks hooks(spec);
   std::vector<TileWork> tiles(work.size());
@@ -595,11 +731,11 @@ FlowStats run_cell_opc(Library& lib, const std::string& top,
   {
     hooks.phase("resolve", 0, work.size());
     PhaseScope phase("flow.resolve", trace::metric::kFlowPhaseResolveMs);
-    if (spec.cache) resolve_tiles(cache, tiles);
+    if (spec.cache) resolve_tiles(cache, library, tiles, stats);
   }
 
   // Phase C — solve (parallel; run_model_opc is a pure function of the
-  // per-tile inputs).
+  // per-tile inputs, warm seeds included — they were fixed serially).
   {
     hooks.phase("solve", 0, work.size());
     PhaseScope phase("flow.solve", trace::metric::kFlowPhaseSolveMs);
@@ -607,8 +743,11 @@ FlowStats run_cell_opc(Library& lib, const std::string& top,
       TileWork& t = tiles[i];
       if (t.replay) return;
       trace::Span span("flow.solve.tile", static_cast<std::int64_t>(i));
+      WarmStart warm;
+      if (t.warm) warm.seeds = t.seeds;
       t.result = run_model_opc(t.targets, spec.sim,
-                               lib.at(work[i]).local_bbox(), spec.opc);
+                               lib.at(work[i]).local_bbox(), spec.opc,
+                               t.warm ? &warm : nullptr);
     });
   }
 
@@ -626,7 +765,10 @@ FlowStats run_cell_opc(Library& lib, const std::string& top,
       } else {
         corrected = std::move(t.result.corrected);
         account_fresh_solve(t.result, stats);
-        if (spec.cache) cache.store(t.res.entry, t.key, corrected);
+        if (spec.cache) {
+          cache.store(t.res.entry, t.key, corrected);
+          library.on_fresh_solve(cache, t, stats);
+        }
       }
       Cell& cell = lib.cell(work[i]);
       cell.clear_layer(spec.output_layer);
@@ -741,6 +883,9 @@ FlowStats run_flat_opc(Library& lib, const std::string& top,
 
   CorrectionCache cache({spec.cache_symmetry});
   StoreSession store(spec, "flat", cache, stats);
+  // After StoreSession: store/preload entries precede library imports in
+  // every resolve bucket, so store_hits keep their pre-library meaning.
+  LibrarySession library(spec, "flat", cache, stats);
   TileExecutor exec(spec.jobs);
   JobHooks hooks(spec);
 
@@ -793,7 +938,7 @@ FlowStats run_flat_opc(Library& lib, const std::string& top,
     {
       hooks.phase("resolve", pass, jobs.size());
       PhaseScope phase("flow.resolve", trace::metric::kFlowPhaseResolveMs);
-      if (spec.cache) resolve_tiles(cache, tiles);
+      if (spec.cache) resolve_tiles(cache, library, tiles, stats);
     }
 
     // Phase C — solve (parallel).
@@ -804,8 +949,10 @@ FlowStats run_flat_opc(Library& lib, const std::string& top,
         TileWork& t = tiles[i];
         if (t.replay) return;
         trace::Span span("flow.solve.tile", static_cast<std::int64_t>(i));
-        t.result =
-            run_model_opc(t.targets, eff.sim, jobs[i].window, spec.opc);
+        WarmStart warm;
+        if (t.warm) warm.seeds = t.seeds;
+        t.result = run_model_opc(t.targets, eff.sim, jobs[i].window,
+                                 spec.opc, t.warm ? &warm : nullptr);
       });
     }
 
@@ -834,7 +981,10 @@ FlowStats run_flat_opc(Library& lib, const std::string& top,
             job.corrected.push_back(p);
           }
         }
-        if (spec.cache) cache.store(t.res.entry, t.key, job.corrected);
+        if (spec.cache) {
+          cache.store(t.res.entry, t.key, job.corrected);
+          library.on_fresh_solve(cache, t, stats);
+        }
         store.on_tile_merged(cache, false, t.res.entry, stats);
         hooks.tile_merged(pass, i + 1, jobs.size());
       }

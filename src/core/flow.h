@@ -140,9 +140,26 @@ struct FlowSpec {
   mrc::Deck mrc_deck;
   /// kFail (default): error-severity violations throw MrcGateError —
   /// after the output layer is written, so the rejected mask can be
-  /// inspected. kWarn: the report is kept in FlowStats only. Jog
-  /// findings (MRC005) are warning-severity and never block.
+  /// inspected. Jog findings (MRC005) are warning-severity and never
+  /// block. kWarn: the report is kept in FlowStats only.
   mrc::Action mrc_action = mrc::Action::kFail;
+  /// Path of the persistent pattern library (see pattern/library.h).
+  /// Empty (default) = no library. When set, the library's entries are
+  /// imported for exact replay before correcting (like a store resume),
+  /// every freshly solved class is appended — with its warm-start seeds —
+  /// from the serial merge phase, and, when `library_budget` > 0, tiles
+  /// that miss the cache retrieve the nearest solved pattern to warm-start
+  /// from. The file must carry the current flow_fingerprint(); a mismatch
+  /// aborts. Requires `cache`. Fingerprint-mixed: warm starts move the
+  /// solver's trajectory, so the library identity is an output-affecting
+  /// knob.
+  std::string library_path;
+  /// Feature-space distance budget for near-match retrieval (see
+  /// pat::feature_distance). 0 (default) disables near matching: the
+  /// library then provides exact replay and accumulation only. Warm
+  /// starts change the solved mask within the EPE tolerance (the
+  /// convergence test is unchanged), so the budget is fingerprint-mixed.
+  double library_budget = 0.0;
 
   // ---- Service hooks (src/service/) ------------------------------------
   // Reuse plumbing and observability only: none of these can change the
@@ -176,6 +193,21 @@ struct FlowSpec {
   /// store::ResultStore sync_on_append) — the daemon's durability mode.
   /// Off by default: batch flows live with the torn-tail contract.
   bool store_sync = false;
+  /// The daemon's shared pattern library (an immutable clone_memory()
+  /// snapshot), used for near-match retrieval only — exact replay of
+  /// shared entries travels through `preload`, keeping store_hits
+  /// semantics unchanged. Ignored when library_budget is 0. The pointee
+  /// must stay alive and unmodified for the whole run. Note the retrieved
+  /// *content* shapes warm starts, hence the output (within tolerance):
+  /// unlike the other hooks this one is reuse of solver state, not pure
+  /// observability — the enabling knob (library_budget) is what reaches
+  /// the fingerprint.
+  const pat::PatternLibrary* library = nullptr;
+  /// Called from the serial merge phase with the canonical-frame library
+  /// record (exact-replay tile + warm-start seeds) of every freshly
+  /// solved pattern class, so the daemon can feed solves back into its
+  /// shared library. Never invoked concurrently (serial phase only).
+  std::function<void(const pat::LibraryRecord&)> library_sink;
 };
 
 /// Thrown by FlowSpec::fail_after_tiles fault injection — a stand-in for
@@ -204,6 +236,21 @@ struct FlowStats {
   /// True when the loaded store ended in a torn record that was dropped
   /// and truncated (STO002) — the crash-recovery path, not an error.
   bool store_tail_recovered = false;
+  /// Tiles replayed from entries imported from the pattern library file
+  /// (a subset of cache_hits, disjoint from store_hits: store and preload
+  /// imports take precedence in representative selection).
+  std::size_t library_exact_hits = 0;
+  /// Tiles solved fresh but warm-started from a near-match retrieval
+  /// (library_budget > 0 and a solved pattern within the budget).
+  std::size_t library_near_hits = 0;
+  std::size_t library_entries_loaded = 0;    ///< records loaded from the file
+  std::size_t library_entries_appended = 0;  ///< fresh solves inserted
+  /// Imaging iterations spent on warm-started tiles (a subset of
+  /// `simulations`) — the numerator of the warm-start savings metric.
+  std::size_t library_warm_iterations = 0;
+  /// True when the loaded library ended in a torn record that was dropped
+  /// and truncated — crash recovery, not an error.
+  bool library_tail_recovered = false;
   /// Imaging iterations per work unit, in deterministic placement order
   /// (flat flow: placements × passes; cell flow: reachable cells with
   /// shapes, sorted by name). Cache-replayed tiles record 0.
@@ -264,8 +311,10 @@ class MrcGateError : public std::runtime_error {
 /// preflight, stats, store knobs, and the MRC signoff deck/action are
 /// deliberately excluded — they cannot change output geometry (signoff
 /// only accepts or rejects the mask it reads). The service hooks
-/// (preload/record_sink/cancel/progress/store_sync) are excluded for the
-/// same reason.
+/// (preload/record_sink/cancel/progress/store_sync/library/library_sink)
+/// are excluded for the same reason. The pattern-library knobs
+/// (library_path, library_budget) ARE mixed: near-match warm starts move
+/// the solver's trajectory, so the corrected mask depends on them.
 std::uint64_t flow_fingerprint(const FlowSpec& spec,
                                std::string_view flow_kind);
 

@@ -8,7 +8,10 @@
 namespace opckit::opc {
 namespace {
 
-constexpr std::uint16_t kCodecVersion = 1;
+// Version 2 appends the pattern-library knobs (library_path,
+// library_budget) after the MRC action — both reach flow_fingerprint(),
+// so a spec that crosses the wire must round-trip them.
+constexpr std::uint16_t kCodecVersion = 2;
 /// A deck entry name is a short rule label; anything huge is corruption.
 constexpr std::uint32_t kMaxNameBytes = 4096;
 constexpr std::uint32_t kMaxDeckChecks = 100000;
@@ -196,6 +199,10 @@ std::vector<std::uint8_t> encode_flow_spec(const FlowSpec& spec) {
     out.insert(out.end(), c.name.begin(), c.name.end());
   }
   out.push_back(static_cast<std::uint8_t>(spec.mrc_action));
+
+  put_u32(out, static_cast<std::uint32_t>(spec.library_path.size()));
+  out.insert(out.end(), spec.library_path.begin(), spec.library_path.end());
+  put_d(out, spec.library_budget);
   return out;
 }
 
@@ -271,6 +278,11 @@ FlowSpec decode_flow_spec(const std::uint8_t* data, std::size_t size) {
     spec.mrc_deck.push_back(std::move(c));
   }
   spec.mrc_action = r.enum8<mrc::Action>(2, "MRC action");
+
+  spec.library_path = r.str();
+  spec.library_budget = r.d();
+  if (!(spec.library_budget >= 0.0))
+    malformed("negative or NaN library budget");
 
   if (r.remaining() != 0)
     malformed(std::to_string(r.remaining()) +

@@ -45,7 +45,8 @@ std::vector<double> measure_fragment_epe(
 
 ModelOpcResult run_model_opc(const std::vector<Polygon>& targets,
                              const litho::SimSpec& spec_sim,
-                             const Rect& window, const ModelOpcSpec& spec) {
+                             const Rect& window, const ModelOpcSpec& spec,
+                             const WarmStart* warm) {
   OPCKIT_CHECK(spec.max_iterations >= 1);
   OPCKIT_CHECK(spec.gain > 0.0);
   OPCKIT_CHECK(spec.grid_nm >= 1);
@@ -76,6 +77,45 @@ ModelOpcResult run_model_opc(const std::vector<Polygon>& targets,
     const Coord cap = (space - floor_nm) / 2;
     outward_cap[i] =
         std::clamp<Coord>(cap / spec.grid_nm * spec.grid_nm, 0, total_clamp);
+  }
+
+  // Warm start: adopt the nearest seed offset within the match radius as
+  // each in-window fragment's initial position. Seeds are hints, never
+  // authority — every adopted offset is snapped and clamped exactly as a
+  // converging loop would clamp it, and the iteration loop below still
+  // measures and corrects from there.
+  if (warm != nullptr && !warm->seeds.empty()) {
+    const double r = static_cast<double>(warm->match_radius_nm);
+    const double r_sq = r * r;
+    for (std::size_t i = 0; i < result.fragments.size(); ++i) {
+      Fragment& f = result.fragments[i];
+      const Point site = eval_point(polys[f.polygon], f);
+      if (!window.contains(site)) continue;
+      const pat::WarmSeed* best = nullptr;
+      double best_sq = r_sq;
+      for (const pat::WarmSeed& s : warm->seeds) {
+        const auto dx = static_cast<double>(s.site.x - site.x);
+        const auto dy = static_cast<double>(s.site.y - site.y);
+        const double d_sq = dx * dx + dy * dy;
+        // Strict < keeps the tie-break deterministic: first seed wins.
+        if (d_sq < best_sq || (best == nullptr && d_sq <= best_sq)) {
+          best = &s;
+          best_sq = d_sq;
+        }
+      }
+      if (best == nullptr) continue;
+      const bool corner = f.kind == FragmentKind::kCorner;
+      const Coord lo_clamp =
+          corner ? -std::min(total_clamp, spec.corner_max_offset)
+                 : -total_clamp;
+      const Coord hi_clamp =
+          corner ? std::min(outward_cap[i], spec.corner_max_offset)
+                 : outward_cap[i];
+      f.offset = std::clamp<Coord>(
+          snap(static_cast<double>(best->offset), spec.grid_nm), lo_clamp,
+          hi_clamp);
+      ++result.warm_seeded;
+    }
   }
 
   const litho::Simulator sim(spec_sim, window);
@@ -169,6 +209,14 @@ ModelOpcResult run_model_opc(const std::vector<Polygon>& targets,
   }
 
   result.corrected = apply_offsets(polys, result.fragments);
+  // Export the solved (site, offset) pairs of every in-window fragment:
+  // the warm-start seeds for future near-match retrievals of this tile.
+  // Sites are on the ORIGINAL drawn edges, so they are stable whether a
+  // future solve starts cold or warm.
+  for (const Fragment& f : result.fragments) {
+    if (f.locked) continue;
+    result.seeds.push_back({eval_point(polys[f.polygon], f), f.offset});
+  }
   return result;
 }
 

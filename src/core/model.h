@@ -9,10 +9,12 @@
 /// and its gain sensitivity is ablation A2.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "core/fragment.h"
 #include "litho/simulator.h"
+#include "pattern/library.h"
 
 namespace opckit::opc {
 
@@ -58,12 +60,29 @@ struct OpcIteration {
   std::size_t lost_edges = 0;  ///< fragments whose contour was not found
 };
 
+/// A warm start for the correction loop: per-fragment seed offsets from a
+/// previously solved similar pattern (the pattern library's near-match
+/// retrieval). Each fragment whose metrology site lies within
+/// \p match_radius_nm of a seed site starts the loop at the seed's offset
+/// (clamped to the fragment's own caps) instead of zero. The loop still
+/// runs to the usual convergence test, so the EPE guarantee is unchanged
+/// — a good seed only removes iterations.
+struct WarmStart {
+  std::vector<pat::WarmSeed> seeds;  ///< layout-frame sites + offsets
+  geom::Coord match_radius_nm = 120; ///< max site distance to adopt a seed
+};
+
 /// Model-OPC output.
 struct ModelOpcResult {
   std::vector<geom::Polygon> corrected;  ///< final mask polygons
   std::vector<Fragment> fragments;       ///< final fragment offsets
   std::vector<OpcIteration> history;     ///< one record per iteration
   bool converged = false;
+  /// Final (site, offset) of every in-window fragment — the warm-start
+  /// seeds a future similar tile can be solved from.
+  std::vector<pat::WarmSeed> seeds;
+  /// Fragments whose initial offset came from a warm-start seed.
+  std::size_t warm_seeded = 0;
 
   /// Final-iteration statistics (zeros if the loop never ran).
   const OpcIteration& final_iteration() const { return history.back(); }
@@ -72,11 +91,13 @@ struct ModelOpcResult {
 /// Run model-based OPC on a target polygon set within \p window (targets
 /// outside the window still contribute optical context). \p spec_sim must
 /// be calibrated (see litho::calibrate_threshold). Targets are normalized
-/// internally. Deterministic.
+/// internally. Deterministic. \p warm optionally seeds initial fragment
+/// offsets from a retrieved similar solution (see WarmStart).
 ModelOpcResult run_model_opc(const std::vector<geom::Polygon>& targets,
                              const litho::SimSpec& spec_sim,
                              const geom::Rect& window,
-                             const ModelOpcSpec& spec);
+                             const ModelOpcSpec& spec,
+                             const WarmStart* warm = nullptr);
 
 /// Measure the EPE of every fragment of \p targets for mask \p mask (no
 /// correction applied — metrology only). Used by ORC and the experiments

@@ -24,6 +24,14 @@ void PatternCatalog::add(const std::vector<PatternWindow>& windows) {
 }
 
 void PatternCatalog::merge(const PatternCatalog& other) {
+  if (window_spec_ && other.window_spec_ &&
+      !(*window_spec_ == *other.window_spec_)) {
+    throw util::InputError(
+        "pattern catalog: cannot merge catalogs built under different "
+        "window specs (radius/anchor mismatch makes their classes "
+        "incomparable)");
+  }
+  if (!window_spec_) window_spec_ = other.window_spec_;
   for (const auto& [hash, cls] : other.classes_) {
     auto [it, inserted] = classes_.try_emplace(hash, cls);
     if (!inserted) it->second.count += cls.count;
@@ -70,6 +78,7 @@ std::size_t PatternCatalog::classes_for_coverage(double fraction) const {
 
 PatternCatalog PatternCatalog::intersected(const PatternCatalog& other) const {
   PatternCatalog out;
+  out.window_spec_ = window_spec_;
   for (const auto& [hash, cls] : classes_) {
     if (other.contains(hash)) {
       out.classes_.emplace(hash, cls);
@@ -81,6 +90,7 @@ PatternCatalog PatternCatalog::intersected(const PatternCatalog& other) const {
 
 PatternCatalog PatternCatalog::subtracted(const PatternCatalog& other) const {
   PatternCatalog out;
+  out.window_spec_ = window_spec_;
   for (const auto& [hash, cls] : classes_) {
     if (!other.contains(hash)) {
       out.classes_.emplace(hash, cls);
@@ -93,6 +103,7 @@ PatternCatalog PatternCatalog::subtracted(const PatternCatalog& other) const {
 PatternCatalog build_catalog(const std::vector<geom::Polygon>& polys,
                              const WindowSpec& spec) {
   PatternCatalog cat;
+  cat.set_window_spec(spec);
   cat.add(extract_windows(polys, spec));
   return cat;
 }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,8 +35,19 @@ class PatternCatalog {
   void add(const PatternWindow& window);
   /// Insert many windows.
   void add(const std::vector<PatternWindow>& windows);
-  /// Merge another catalog's counts into this one.
+  /// Merge another catalog's counts into this one. Throws
+  /// util::InputError when both catalogs carry a window spec and the
+  /// specs differ — their classes would never have compared equal.
   void merge(const PatternCatalog& other);
+
+  /// The extraction policy this catalog's windows were built under.
+  /// build_catalog() and the v2 PDB format record it; catalogs assembled
+  /// window-by-window may leave it unset (nullopt), which disables
+  /// compatibility validation for backward compatibility.
+  const std::optional<WindowSpec>& window_spec() const {
+    return window_spec_;
+  }
+  void set_window_spec(const WindowSpec& spec) { window_spec_ = spec; }
 
   /// Number of distinct classes.
   std::size_t classes() const { return classes_.size(); }
@@ -64,6 +76,7 @@ class PatternCatalog {
  private:
   std::map<std::uint64_t, PatternClass> classes_;
   std::size_t total_ = 0;
+  std::optional<WindowSpec> window_spec_;
 };
 
 /// Build a catalog straight from geometry.
@@ -74,6 +87,14 @@ PatternCatalog build_catalog(const std::vector<geom::Polygon>& polys,
 /// distributions of two catalogs, over the union of their classes with
 /// Laplace smoothing — the design-style distance of the topological
 /// pattern literature.
+///
+/// Edge cases are pinned down: two empty catalogs have divergence 0 (no
+/// classes, no disagreement), and because every class in the union gets
+/// Laplace smoothing on both sides, classes present in `a` but absent in
+/// `b` (q = 0 counts) contribute a large-but-finite penalty rather than
+/// the +infinity of the unsmoothed definition — fully disjoint catalogs
+/// therefore compare finite. See util::kl_divergence for the unsmoothed
+/// semantics.
 double catalog_kl_divergence(const PatternCatalog& a,
                              const PatternCatalog& b);
 

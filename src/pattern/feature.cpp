@@ -1,0 +1,95 @@
+#include "pattern/feature.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opckit::pat {
+
+namespace {
+
+/// Scale a log1p term into roughly [0, 1] for nm-sized coordinates so no
+/// single scalar dominates the occupancy cells.
+double log_scaled(double x, double divisor) {
+  return std::log1p(std::max(0.0, x)) / divisor;
+}
+
+}  // namespace
+
+PatternFeature feature_of(const std::vector<geom::Rect>& canonical_rects) {
+  PatternFeature f;
+  if (canonical_rects.empty()) return f;
+
+  geom::Rect bbox = canonical_rects.front();
+  for (const geom::Rect& r : canonical_rects) {
+    bbox.lo.x = std::min(bbox.lo.x, r.lo.x);
+    bbox.lo.y = std::min(bbox.lo.y, r.lo.y);
+    bbox.hi.x = std::max(bbox.hi.x, r.hi.x);
+    bbox.hi.y = std::max(bbox.hi.y, r.hi.y);
+  }
+  const double w = static_cast<double>(bbox.hi.x - bbox.lo.x);
+  const double h = static_cast<double>(bbox.hi.y - bbox.lo.y);
+  if (w <= 0.0 || h <= 0.0) return f;
+
+  // Occupancy: fraction of each grid cell covered by pattern geometry.
+  // Canonical rects are non-overlapping (they come from a Region rect
+  // decomposition), so summing per-rect intersection areas is exact.
+  const double cw = w / static_cast<double>(kFeatureGrid);
+  const double ch = h / static_cast<double>(kFeatureGrid);
+  double filled = 0.0;
+  for (const geom::Rect& r : canonical_rects) {
+    const double rx0 = static_cast<double>(r.lo.x - bbox.lo.x);
+    const double ry0 = static_cast<double>(r.lo.y - bbox.lo.y);
+    const double rx1 = static_cast<double>(r.hi.x - bbox.lo.x);
+    const double ry1 = static_cast<double>(r.hi.y - bbox.lo.y);
+    filled += (rx1 - rx0) * (ry1 - ry0);
+    const auto gx0 = static_cast<std::size_t>(
+        std::clamp(std::floor(rx0 / cw), 0.0,
+                   static_cast<double>(kFeatureGrid - 1)));
+    const auto gy0 = static_cast<std::size_t>(
+        std::clamp(std::floor(ry0 / ch), 0.0,
+                   static_cast<double>(kFeatureGrid - 1)));
+    const auto gx1 = static_cast<std::size_t>(
+        std::clamp(std::ceil(rx1 / cw) - 1.0, 0.0,
+                   static_cast<double>(kFeatureGrid - 1)));
+    const auto gy1 = static_cast<std::size_t>(
+        std::clamp(std::ceil(ry1 / ch) - 1.0, 0.0,
+                   static_cast<double>(kFeatureGrid - 1)));
+    for (std::size_t gy = gy0; gy <= gy1; ++gy) {
+      const double cy0 = ch * static_cast<double>(gy);
+      const double cy1 = cy0 + ch;
+      const double oy = std::min(ry1, cy1) - std::max(ry0, cy0);
+      if (oy <= 0.0) continue;
+      for (std::size_t gx = gx0; gx <= gx1; ++gx) {
+        const double cx0 = cw * static_cast<double>(gx);
+        const double cx1 = cx0 + cw;
+        const double ox = std::min(rx1, cx1) - std::max(rx0, cx0);
+        if (ox <= 0.0) continue;
+        f.v[gy * kFeatureGrid + gx] += (ox * oy) / (cw * ch);
+      }
+    }
+  }
+
+  // Shape scalars live after the grid cells. log1p keeps nm-scale extents
+  // comparable to the [0, 1] occupancy fractions.
+  const std::size_t s = kFeatureGrid * kFeatureGrid;
+  f.v[s + 0] = log_scaled(w, 8.0);
+  f.v[s + 1] = log_scaled(h, 8.0);
+  f.v[s + 2] = log_scaled(static_cast<double>(canonical_rects.size()), 4.0);
+  f.v[s + 3] = filled / (w * h);
+
+  double sq = 0.0;
+  for (double x : f.v) sq += x * x;
+  f.norm = std::sqrt(sq);
+  return f;
+}
+
+double feature_distance(const PatternFeature& a, const PatternFeature& b) {
+  double sq = 0.0;
+  for (std::size_t i = 0; i < kFeatureDims; ++i) {
+    const double d = a.v[i] - b.v[i];
+    sq += d * d;
+  }
+  return std::sqrt(sq);
+}
+
+}  // namespace opckit::pat

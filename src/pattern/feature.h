@@ -1,0 +1,47 @@
+/// \file feature.h
+/// Compact feature vectors over canonical pattern geometry.
+///
+/// The pattern library (library.h) retrieves *near* matches: a tile whose
+/// halo neighborhood is not byte-identical to any solved pattern but close
+/// enough that the solved correction is a good warm start. "Close" is
+/// measured in a small fixed-dimension feature space computed from the
+/// D4-canonical rect decomposition — an occupancy grid over the pattern
+/// bounding box plus a few global shape scalars. Because the input is the
+/// canonical form, the vector is invariant under translation and all eight
+/// D4 orientations by construction; small edge jitter moves occupancy
+/// fractions by O(jitter / window), so geometric similarity maps to small
+/// L2 distance.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "geometry/geometry.h"
+
+namespace opckit::pat {
+
+/// Occupancy-grid resolution (kFeatureGrid × kFeatureGrid cells).
+inline constexpr std::size_t kFeatureGrid = 6;
+/// Total dimensions: grid cells + 4 shape scalars (log-scaled bbox width
+/// and height, log-scaled rect count, overall fill fraction).
+inline constexpr std::size_t kFeatureDims = kFeatureGrid * kFeatureGrid + 4;
+
+/// A point in feature space with its cached L2 norm (used by the index's
+/// triangle-inequality pruning).
+struct PatternFeature {
+  std::array<double, kFeatureDims> v{};
+  double norm = 0.0;
+
+  friend bool operator==(const PatternFeature&,
+                         const PatternFeature&) = default;
+};
+
+/// Compute the feature vector of a canonical rect decomposition
+/// (CanonicalPattern::rects). The empty pattern maps to the zero vector.
+PatternFeature feature_of(const std::vector<geom::Rect>& canonical_rects);
+
+/// Euclidean distance between two feature vectors.
+double feature_distance(const PatternFeature& a, const PatternFeature& b);
+
+}  // namespace opckit::pat

@@ -4,25 +4,45 @@
 
 namespace opckit::pat {
 
-PatternMatcher::PatternMatcher(geom::Coord radius) : radius_(radius) {
+PatternMatcher::PatternMatcher(geom::Coord radius) {
   OPCKIT_CHECK(radius > 0);
+  spec_.radius = radius;
+  spec_.anchors = AnchorKind::kCorners;
 }
 
-void PatternMatcher::add_rule(MatchRule rule) {
+PatternMatcher::PatternMatcher(const WindowSpec& spec) : spec_(spec) {
+  OPCKIT_CHECK(spec.radius > 0);
+}
+
+bool PatternMatcher::add_rule(MatchRule rule) {
   OPCKIT_CHECK_MSG(!rule.name.empty(), "match rule needs a name");
-  by_hash_.emplace(rule.pattern.hash, std::move(rule.name));
+  // insert_or_assign, not emplace: emplace is a no-op on a duplicate key,
+  // which used to silently drop the new rule. Last wins, and the caller
+  // is told which case happened.
+  const auto [it, inserted] =
+      by_hash_.insert_or_assign(rule.pattern.hash, std::move(rule.name));
+  return inserted;
 }
 
-void PatternMatcher::add_rule(const std::string& name,
+bool PatternMatcher::add_rule(const std::string& name,
                               const geom::Region& local_geometry) {
   MatchRule rule;
   rule.name = name;
   rule.pattern = canonicalize(local_geometry);
-  add_rule(std::move(rule));
+  return add_rule(std::move(rule));
 }
 
 void PatternMatcher::add_catalog(const PatternCatalog& catalog,
                                  const std::string& name_prefix) {
+  if (catalog.window_spec() && !(*catalog.window_spec() == spec_)) {
+    throw util::InputError(
+        "pattern matcher: catalog was built under a different window spec "
+        "than this deck scans with (radius " +
+        std::to_string(catalog.window_spec()->radius) + " vs " +
+        std::to_string(spec_.radius) +
+        "); its patterns could never match — rebuild the catalog or the "
+        "matcher under one spec");
+  }
   for (const auto& [hash, cls] : catalog.by_hash()) {
     MatchRule rule;
     rule.name = name_prefix + "." + std::to_string(hash);
@@ -33,11 +53,8 @@ void PatternMatcher::add_catalog(const PatternCatalog& catalog,
 
 std::vector<MatchHit> PatternMatcher::scan(
     const std::vector<geom::Polygon>& polys) const {
-  WindowSpec spec;
-  spec.radius = radius_;
-  spec.anchors = AnchorKind::kCorners;
   std::vector<MatchHit> hits;
-  for (const PatternWindow& w : extract_windows(polys, spec)) {
+  for (const PatternWindow& w : extract_windows(polys, spec_)) {
     const CanonicalPattern canon = canonicalize(w.geometry);
     const auto it = by_hash_.find(canon.hash);
     if (it != by_hash_.end()) {

@@ -29,31 +29,43 @@ struct MatchHit {
   geom::Point anchor;  ///< layout coordinates of the matching window
 };
 
-/// A compiled pattern-match deck bound to one window radius.
+/// A compiled pattern-match deck bound to one window extraction spec.
 class PatternMatcher {
  public:
-  /// Create an empty deck matching windows of \p radius.
+  /// Create an empty deck matching corner-anchored windows of \p radius.
   explicit PatternMatcher(geom::Coord radius);
+  /// Create an empty deck scanning under an explicit extraction spec —
+  /// required when the deck's patterns were cataloged under anything
+  /// other than corner anchors at the default policy.
+  explicit PatternMatcher(const WindowSpec& spec);
 
-  /// Add a rule from an already-canonicalized pattern.
-  void add_rule(MatchRule rule);
+  /// Add a rule from an already-canonicalized pattern. A rule whose
+  /// canonical hash is already in the deck REPLACES the old rule
+  /// (last wins); returns true when the rule was new, false when it
+  /// replaced an existing one — never a silent drop.
+  bool add_rule(MatchRule rule);
   /// Convenience: canonicalize a window-local geometry and add it.
-  void add_rule(const std::string& name, const geom::Region& local_geometry);
+  bool add_rule(const std::string& name, const geom::Region& local_geometry);
   /// Import every class of a catalog as a rule (names generated from the
   /// class hash) — e.g. "everything seen failing on the previous chip".
+  /// Throws util::InputError when the catalog carries a window spec that
+  /// differs from the deck's: its patterns were clipped under a different
+  /// radius/anchor policy and could never match a scan, so importing them
+  /// would silently guarantee zero hits.
   void add_catalog(const PatternCatalog& catalog,
                    const std::string& name_prefix);
 
   /// Number of rules.
   std::size_t size() const { return by_hash_.size(); }
-  geom::Coord radius() const { return radius_; }
+  geom::Coord radius() const { return spec_.radius; }
+  const WindowSpec& window_spec() const { return spec_; }
 
-  /// Scan a layout (corner-anchored windows at the deck radius) and
-  /// return every hit, in deterministic order.
+  /// Scan a layout (windows extracted under the deck's spec) and return
+  /// every hit, in deterministic order.
   std::vector<MatchHit> scan(const std::vector<geom::Polygon>& polys) const;
 
  private:
-  geom::Coord radius_;
+  WindowSpec spec_;
   std::unordered_map<std::uint64_t, std::string> by_hash_;
 };
 

@@ -11,11 +11,26 @@
 namespace opckit::pat {
 
 namespace {
-constexpr const char* kMagic = "opckit-pdb 1";
+// Version 2 adds an optional "window ..." line directly after the magic,
+// persisting the WindowSpec the catalog was extracted under so consumers
+// (matcher decks, merges) can validate compatibility instead of silently
+// comparing incomparable windows. Version-1 files (no spec) still read.
+constexpr const char* kMagicV2 = "opckit-pdb 2";
+constexpr const char* kMagicV1 = "opckit-pdb 1";
+
+const char* anchor_name(AnchorKind k) {
+  return k == AnchorKind::kCorners ? "corners" : "grid";
 }
+}  // namespace
 
 void write_pdb(const PatternCatalog& catalog, std::ostream& os) {
-  os << kMagic << '\n';
+  os << kMagicV2 << '\n';
+  if (catalog.window_spec()) {
+    const WindowSpec& s = *catalog.window_spec();
+    os << "window radius " << s.radius << " anchors "
+       << anchor_name(s.anchors) << " grid " << s.grid_step << " skip "
+       << (s.skip_empty ? 1 : 0) << '\n';
+  }
   os << "classes " << catalog.classes() << " total " << catalog.total()
      << '\n';
   for (const auto& [hash, cls] : catalog.by_hash()) {
@@ -38,13 +53,39 @@ void write_pdb_file(const PatternCatalog& catalog, const std::string& path) {
 
 PatternCatalog read_pdb(std::istream& is) {
   std::string line;
-  if (!std::getline(is, line) || util::trim(line) != kMagic) {
+  if (!std::getline(is, line)) {
     throw util::InputError("not an opckit PDB (bad magic)");
   }
+  const std::string magic = util::trim(line);
+  if (magic != kMagicV1 && magic != kMagicV2) {
+    throw util::InputError("not an opckit PDB (bad magic)");
+  }
+
+  PatternCatalog out;
+  if (!std::getline(is, line)) throw util::InputError("truncated PDB");
+
+  // v2 may carry the window spec before the class header.
+  if (magic == kMagicV2 && util::trim(line).rfind("window ", 0) == 0) {
+    std::istringstream ws(util::trim(line));
+    std::string kw, kr, ka, kg, ks, anchors;
+    WindowSpec spec;
+    int skip = 1;
+    ws >> kw >> kr >> spec.radius >> ka >> anchors >> kg >> spec.grid_step >>
+        ks >> skip;
+    if (kw != "window" || kr != "radius" || ka != "anchors" ||
+        kg != "grid" || ks != "skip" || !ws ||
+        (anchors != "corners" && anchors != "grid") || spec.radius <= 0) {
+      throw util::InputError("malformed PDB window line: " + line);
+    }
+    spec.anchors =
+        anchors == "corners" ? AnchorKind::kCorners : AnchorKind::kGrid;
+    spec.skip_empty = skip != 0;
+    out.set_window_spec(spec);
+    if (!std::getline(is, line)) throw util::InputError("truncated PDB");
+  }
+
   std::size_t classes = 0, total = 0;
   {
-    std::string word;
-    if (!std::getline(is, line)) throw util::InputError("truncated PDB");
     std::istringstream hs(line);
     std::string k1, k2;
     hs >> k1 >> classes >> k2 >> total;
@@ -57,7 +98,6 @@ PatternCatalog read_pdb(std::istream& is) {
   // round-trip exactly: add() the representative window count times.
   // Geometry is reconstructed from the stored canonical rects (already
   // canonical, so re-canonicalization is the identity).
-  PatternCatalog out;
   std::size_t seen_classes = 0;
   while (std::getline(is, line)) {
     const std::string trimmed = util::trim(line);

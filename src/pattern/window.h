@@ -17,12 +17,17 @@ namespace opckit::pat {
 /// Where to place pattern windows.
 enum class AnchorKind { kCorners, kGrid };
 
-/// Window extraction policy.
+/// Window extraction policy. Equality matters: a catalog built under one
+/// spec only matches windows extracted under the same spec, so consumers
+/// that combine catalogs (merge, match decks) validate spec compatibility
+/// instead of silently comparing incomparable windows.
 struct WindowSpec {
   geom::Coord radius = 400;      ///< half-side of the square window (nm)
   AnchorKind anchors = AnchorKind::kCorners;
   geom::Coord grid_step = 800;   ///< anchor pitch for kGrid
   bool skip_empty = true;        ///< drop windows with no geometry
+
+  friend bool operator==(const WindowSpec&, const WindowSpec&) = default;
 };
 
 /// One extracted window: geometry translated to window-local coordinates

@@ -9,7 +9,7 @@
 namespace opckit::svc {
 namespace {
 
-std::string fingerprint_name(std::uint64_t fingerprint) {
+std::string fingerprint_hex(std::uint64_t fingerprint) {
   // Fixed-width lowercase hex: stable names, trivially greppable against
   // `opckit opc --stats` fingerprint output.
   static const char* kHex = "0123456789abcdef";
@@ -18,14 +18,23 @@ std::string fingerprint_name(std::uint64_t fingerprint) {
     name[static_cast<std::size_t>(i)] = kHex[fingerprint & 0xF];
     fingerprint >>= 4;
   }
-  return name + ".ocs";
+  return name;
 }
 
 }  // namespace
 
 std::string CorrectionLibrary::path_for(std::uint64_t fingerprint) const {
   if (opts_.dir.empty()) return {};
-  return (std::filesystem::path(opts_.dir) / fingerprint_name(fingerprint))
+  return (std::filesystem::path(opts_.dir) /
+          (fingerprint_hex(fingerprint) + ".ocs"))
+      .string();
+}
+
+std::string CorrectionLibrary::pattern_path_for(
+    std::uint64_t fingerprint) const {
+  if (opts_.dir.empty()) return {};
+  return (std::filesystem::path(opts_.dir) /
+          (fingerprint_hex(fingerprint) + ".ocl"))
       .string();
 }
 
@@ -55,6 +64,10 @@ CorrectionLibrary::Shelf& CorrectionLibrary::shelf_locked(
     shelf.store =
         store::ResultStore::create(path, fingerprint, opts_.sync_on_append);
   }
+  // The near-match index persists (and restart-loads) the same way —
+  // open() handles both the cold-start and the crash-resume path.
+  shelf.patterns = pat::PatternLibrary::open(
+      pattern_path_for(fingerprint), fingerprint, opts_.sync_on_append);
   return shelf;
 }
 
@@ -83,6 +96,23 @@ void CorrectionLibrary::add(std::uint64_t fingerprint,
 std::size_t CorrectionLibrary::size(std::uint64_t fingerprint) {
   std::lock_guard<std::mutex> lock(mutex_);
   return shelf_locked(fingerprint).records.size();
+}
+
+pat::PatternLibrary CorrectionLibrary::pattern_snapshot(
+    std::uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shelf_locked(fingerprint).patterns.clone_memory();
+}
+
+void CorrectionLibrary::add_pattern(std::uint64_t fingerprint,
+                                    const pat::LibraryRecord& rec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shelf_locked(fingerprint).patterns.insert(rec);
+}
+
+std::size_t CorrectionLibrary::pattern_count(std::uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shelf_locked(fingerprint).patterns.size();
 }
 
 }  // namespace opckit::svc

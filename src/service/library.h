@@ -33,6 +33,16 @@
 /// predecessor solved, byte-identical to an uninterrupted process.
 /// Fingerprint-keyed file names make cross-setup replay structurally
 /// impossible, on top of the store's own STO001 gate.
+///
+/// ## Near-match retrieval
+///
+/// Each shelf additionally keeps a pat::PatternLibrary — the same solves
+/// with their warm-start seeds, indexed in feature space — persisted to
+/// `<dir>/<fingerprint-hex>.ocl` alongside the .ocs file. Jobs that
+/// submit a library_budget > 0 get an immutable clone (FlowSpec::library)
+/// so tiles that miss exact replay can warm-start from the nearest
+/// solved pattern, and feed fresh solves back through
+/// FlowSpec::library_sink. Seeds survive restarts like the records do.
 #pragma once
 
 #include <cstdint>
@@ -43,6 +53,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "pattern/library.h"
 #include "store/result_store.h"
 
 namespace opckit::svc {
@@ -77,8 +88,26 @@ class CorrectionLibrary {
   /// Records currently shelved for \p fingerprint (loads on first touch).
   std::size_t size(std::uint64_t fingerprint);
 
-  /// The backing file for \p fingerprint; empty when memory-only.
+  /// Immutable clone of the shelf's pattern library (near-match index +
+  /// warm-start seeds), loading its .ocl file on first touch. The clone
+  /// is the caller's to keep alive for a run (FlowSpec::library points
+  /// at it).
+  pat::PatternLibrary pattern_snapshot(std::uint64_t fingerprint);
+
+  /// Insert one freshly solved library record (exact-replay tile +
+  /// warm-start seeds): deduplicated by tile equality, appended (and
+  /// fsynced, per Options) to the shelf's .ocl file. Safe from
+  /// concurrent jobs' merge phases.
+  void add_pattern(std::uint64_t fingerprint, const pat::LibraryRecord& rec);
+
+  /// Pattern-library entries shelved for \p fingerprint.
+  std::size_t pattern_count(std::uint64_t fingerprint);
+
+  /// The backing .ocs file for \p fingerprint; empty when memory-only.
   std::string path_for(std::uint64_t fingerprint) const;
+
+  /// The backing .ocl pattern-library file; empty when memory-only.
+  std::string pattern_path_for(std::uint64_t fingerprint) const;
 
  private:
   struct Shelf {
@@ -86,6 +115,8 @@ class CorrectionLibrary {
     /// window-geometry hash -> record indices (dedup prefilter).
     std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_hash;
     std::optional<store::ResultStore> store;
+    /// Near-match retrieval index (file-backed under Options::dir).
+    pat::PatternLibrary patterns;
   };
 
   /// Get-or-load the shelf. Caller holds mutex_.

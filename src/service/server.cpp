@@ -233,20 +233,32 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
 
     opc::FlowSpec spec = job->msg.spec;
     const char* kind = job->msg.flow == 1 ? "cell" : "flat";
-    const std::uint64_t fp = opc::flow_fingerprint(spec, kind);
 
     // The daemon owns durability through the shared library, never
-    // through a per-job store file — two concurrent jobs with equal
-    // fingerprints must not append to one file from two caches.
+    // through a per-job store or pattern-library file — two concurrent
+    // jobs with equal fingerprints must not append to one file from two
+    // caches. library_path is cleared BEFORE fingerprinting so the shelf
+    // key depends on the solver knobs (library_budget included), not on
+    // whatever path the client happened to name.
     spec.store_path.clear();
     spec.resume = false;
     spec.store_sync = false;
+    spec.library_path.clear();
+    const std::uint64_t fp = opc::flow_fingerprint(spec, kind);
 
     const std::vector<store::TileRecord> shelf = library_.snapshot(fp);
     if (spec.cache && !shelf.empty()) spec.preload = &shelf;
+    pat::PatternLibrary patterns;
+    if (spec.cache && spec.library_budget > 0.0) {
+      patterns = library_.pattern_snapshot(fp);
+      if (patterns.size() > 0) spec.library = &patterns;
+    }
     if (spec.cache) {
       spec.record_sink = [this, fp](const store::TileRecord& rec) {
         library_.add(fp, rec);
+      };
+      spec.library_sink = [this, fp](const pat::LibraryRecord& rec) {
+        library_.add_pattern(fp, rec);
       };
     }
     spec.cancel = &job->cancel;

@@ -123,10 +123,13 @@ lint::Diagnostic make_diag(std::string_view code, std::string message) {
   throw util::InputError("correction store: " + line);
 }
 
+}  // namespace
+
+namespace store_detail {
+
 // ---- record payload parsing -------------------------------------------
 
-/// Parse one record payload; false on any structural violation.
-bool parse_payload(const std::uint8_t* data, std::size_t size,
+bool decode_record(const std::uint8_t* data, std::size_t size,
                    TileRecord& rec) {
   Reader r(data, size);
   std::uint8_t orient = 0;
@@ -167,6 +170,10 @@ bool parse_payload(const std::uint8_t* data, std::size_t size,
   // Trailing bytes after a well-formed record are corruption too.
   return r.remaining() == 0;
 }
+
+}  // namespace store_detail
+
+namespace {
 
 // ---- POSIX writer plumbing (EINTR-safe) -------------------------------
 
@@ -376,7 +383,7 @@ LoadResult ResultStore::load(const std::string& path,
                  " fails its checksum; the store is corrupt — delete it "
                  "and rerun without --resume");
     TileRecord rec;
-    if (!parse_payload(payload, len, rec))
+    if (!store_detail::decode_record(payload, len, rec))
       refuse(report, "STO004",
              "'" + path + "' record " +
                  std::to_string(result.records.size()) +

@@ -164,6 +164,12 @@ namespace store_detail {
 std::uint32_t crc32(const void* data, std::size_t size);
 /// Serialize one record to the payload byte layout (exposed for tests).
 std::vector<std::uint8_t> encode_record(const TileRecord& record);
+/// Parse one record payload (the inverse of encode_record); returns false
+/// on any structural violation — truncated field, count past the bytes
+/// present, trailing bytes. Exposed so other persistence layers (the
+/// pattern library) can embed the record layout under their own framing.
+bool decode_record(const std::uint8_t* data, std::size_t size,
+                   TileRecord& rec);
 }  // namespace store_detail
 
 }  // namespace opckit::store

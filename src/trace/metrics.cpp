@@ -105,6 +105,16 @@ constexpr std::array kMetricTable = {
                "correction/kernel/plan cache hits summed across daemon jobs"},
     MetricInfo{metric::kSvcCacheLookups, MetricKind::kCounter,
                "correction/kernel/plan cache lookups across daemon jobs"},
+    MetricInfo{metric::kPatLibraryRecordsLoaded, MetricKind::kCounter,
+               "records loaded from a pattern-library file at flow start"},
+    MetricInfo{metric::kPatLibraryRecordsAppended, MetricKind::kCounter,
+               "fresh solves inserted into a pattern-library file"},
+    MetricInfo{metric::kPatLibraryExactHits, MetricKind::kCounter,
+               "tiles replayed exactly from library-imported entries"},
+    MetricInfo{metric::kPatLibraryNearHits, MetricKind::kCounter,
+               "tiles warm-started from a near-match library retrieval"},
+    MetricInfo{metric::kPatLibraryWarmIterations, MetricKind::kCounter,
+               "imaging iterations spent on warm-started tiles"},
 };
 
 }  // namespace

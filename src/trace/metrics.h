@@ -115,6 +115,16 @@ inline constexpr const char* kSvcJobLatencyMs = "svc.job_latency_ms";
 inline constexpr const char* kSvcProtocolErrors = "svc.protocol_errors";
 inline constexpr const char* kSvcCacheHits = "svc.cache_hits";
 inline constexpr const char* kSvcCacheLookups = "svc.cache_lookups";
+// Pattern-library (cross-run near-match retrieval) series — see
+// pattern/library.h and the flow's LibrarySession for when each fires.
+inline constexpr const char* kPatLibraryRecordsLoaded =
+    "pat.library_records_loaded";
+inline constexpr const char* kPatLibraryRecordsAppended =
+    "pat.library_records_appended";
+inline constexpr const char* kPatLibraryExactHits = "pat.library_exact_hits";
+inline constexpr const char* kPatLibraryNearHits = "pat.library_near_hits";
+inline constexpr const char* kPatLibraryWarmIterations =
+    "pat.library_warm_iterations";
 }  // namespace metric
 
 /// Monotone event counter. add() is a relaxed atomic increment — safe

@@ -148,19 +148,25 @@ double kl_divergence(const std::vector<double>& p_counts,
                      const std::vector<double>& q_counts, double smoothing) {
   OPCKIT_CHECK(p_counts.size() == q_counts.size());
   OPCKIT_CHECK(!p_counts.empty());
+  OPCKIT_CHECK(smoothing >= 0.0);
   double p_total = 0.0, q_total = 0.0;
-  const auto k = static_cast<double>(p_counts.size());
   for (std::size_t i = 0; i < p_counts.size(); ++i) {
     OPCKIT_CHECK(p_counts[i] >= 0.0 && q_counts[i] >= 0.0);
     p_total += p_counts[i] + smoothing;
     q_total += q_counts[i] + smoothing;
   }
   OPCKIT_CHECK(p_total > 0.0 && q_total > 0.0);
-  (void)k;
   double d = 0.0;
   for (std::size_t i = 0; i < p_counts.size(); ++i) {
     const double p = (p_counts[i] + smoothing) / p_total;
     const double q = (q_counts[i] + smoothing) / q_total;
+    // Unsmoothed zero-count semantics follow the measure-theoretic
+    // definition: a class absent from P contributes nothing (p·log p → 0
+    // as p → 0, never the NaN that 0·log(0/q) evaluates to in floating
+    // point), and a class present in P but impossible under Q makes the
+    // divergence +infinity (P is not absolutely continuous w.r.t. Q).
+    if (p == 0.0) continue;
+    if (q == 0.0) return std::numeric_limits<double>::infinity();
     d += p * std::log(p / q);
   }
   return d;

@@ -128,6 +128,13 @@ class Histogram {
 /// count vectors of equal length. Counts are normalized to probabilities;
 /// a small Laplace smoothing term avoids log(0) (standard practice when
 /// comparing pattern-frequency spectra between designs).
+///
+/// Zero-count semantics (relevant when \p smoothing is 0): a class with
+/// p == 0 contributes nothing (the p·log p limit, not the floating-point
+/// NaN of 0·log 0), and a class with p > 0 but q == 0 makes the result
+/// +infinity — P puts mass where Q says the event is impossible. With
+/// the default smoothing every class has nonzero mass on both sides and
+/// the result is always finite.
 double kl_divergence(const std::vector<double>& p_counts,
                      const std::vector<double>& q_counts,
                      double smoothing = 0.5);

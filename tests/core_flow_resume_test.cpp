@@ -255,6 +255,14 @@ TEST(FlowResume, FingerprintCoversFlowKindAndKnobs) {
   b.store_path = "elsewhere.ocs";
   b.resume = true;
   EXPECT_EQ(flow_fingerprint(a, "flat"), flow_fingerprint(b, "flat"));
+  // The pattern-library knobs ARE mixed: near-match warm starts move the
+  // solver trajectory, so the corrected mask depends on them.
+  b = fast_flow();
+  b.library_path = "patterns.ocl";
+  EXPECT_NE(flow_fingerprint(a, "flat"), flow_fingerprint(b, "flat"));
+  b = fast_flow();
+  b.library_budget = 0.25;
+  EXPECT_NE(flow_fingerprint(a, "flat"), flow_fingerprint(b, "flat"));
 }
 
 TEST(FlowResume, StatsJsonRendersAllCounters) {
@@ -270,6 +278,11 @@ TEST(FlowResume, StatsJsonRendersAllCounters) {
   stats.store_entries_loaded = 1;
   stats.store_entries_appended = 2;
   stats.store_tail_recovered = true;
+  stats.library_exact_hits = 3;
+  stats.library_near_hits = 2;
+  stats.library_entries_loaded = 5;
+  stats.library_entries_appended = 1;
+  stats.library_warm_iterations = 7;
   stats.tile_simulations = {4, 0, 5};
   stats.max_abs_epe_nm = 1.75;
   // A value the old default-precision stream would have truncated to
@@ -286,6 +299,9 @@ TEST(FlowResume, StatsJsonRendersAllCounters) {
             "\"cache\":{\"hits\":30,\"misses\":1,\"conflicts\":1},"
             "\"store\":{\"hits\":30,\"entries_loaded\":1,"
             "\"entries_appended\":2,\"tail_recovered\":true},"
+            "\"library\":{\"exact_hits\":3,\"near_hits\":2,"
+            "\"entries_loaded\":5,\"entries_appended\":1,"
+            "\"warm_iterations\":7,\"tail_recovered\":false},"
             "\"tile_simulations\":[4,0,5],"
             "\"mrc\":{\"checked\":false,\"violations\":0,"
             "\"by_rule\":{},\"tile_violations\":[]},"

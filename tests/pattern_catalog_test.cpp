@@ -1,7 +1,10 @@
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "layout/generators.h"
 #include "pattern/catalog.h"
+#include "util/check.h"
 
 namespace opckit::pat {
 namespace {
@@ -99,6 +102,59 @@ TEST(Catalog, KlDivergenceSeparatesStyles) {
   const PatternCatalog b = build_catalog(grating_polys(10, 1400), spec);
   EXPECT_NEAR(catalog_kl_divergence(a, a), 0.0, 1e-12);
   EXPECT_GT(catalog_kl_divergence(a, b), 0.1);
+}
+
+TEST(Catalog, BuildRecordsWindowSpec) {
+  WindowSpec spec;
+  spec.radius = 300;
+  const PatternCatalog cat = build_catalog(grating_polys(4, 360), spec);
+  ASSERT_TRUE(cat.window_spec().has_value());
+  EXPECT_EQ(*cat.window_spec(), spec);
+}
+
+TEST(Catalog, MergeRejectsMismatchedWindowSpec) {
+  // Regression: merging catalogs extracted under different window specs
+  // used to be accepted silently, though their classes were clipped at
+  // different radii and could never have compared equal.
+  WindowSpec s300;
+  s300.radius = 300;
+  WindowSpec s400;
+  s400.radius = 400;
+  PatternCatalog a = build_catalog(grating_polys(4, 360), s300);
+  const PatternCatalog b = build_catalog(grating_polys(4, 360), s400);
+  const std::size_t before = a.total();
+  EXPECT_THROW(a.merge(b), util::InputError);
+  EXPECT_EQ(a.total(), before);  // nothing half-merged
+}
+
+TEST(Catalog, MergeAllowsSpeclessSide) {
+  // Hand-assembled catalogs (and v1 PDB files) carry no spec; merging
+  // them stays allowed for backward compatibility.
+  WindowSpec spec;
+  spec.radius = 300;
+  PatternCatalog a = build_catalog(grating_polys(4, 360), spec);
+  PatternCatalog legacy;
+  legacy.add(extract_windows(grating_polys(2, 360), spec));
+  ASSERT_FALSE(legacy.window_spec().has_value());
+  const std::size_t before = a.total();
+  a.merge(legacy);
+  EXPECT_EQ(a.total(), before + legacy.total());
+}
+
+TEST(Catalog, KlDivergenceEmptyAndDisjointStayPinned) {
+  // Two empty catalogs: no classes, no disagreement.
+  EXPECT_EQ(catalog_kl_divergence(PatternCatalog{}, PatternCatalog{}), 0.0);
+  // (Near-)disjoint class populations: the Laplace smoothing over the
+  // union keeps the divergence finite where the unsmoothed definition
+  // would be +infinity.
+  WindowSpec spec;
+  spec.radius = 300;
+  const PatternCatalog lines = build_catalog(grating_polys(6, 360), spec);
+  const PatternCatalog square =
+      build_catalog({Polygon{Rect(0, 0, 2000, 2000)}}, spec);
+  const double d = catalog_kl_divergence(lines, square);
+  EXPECT_TRUE(std::isfinite(d));
+  EXPECT_GT(d, 0.0);
 }
 
 TEST(Catalog, FirstAnchorIsRecorded) {

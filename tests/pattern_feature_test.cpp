@@ -1,0 +1,107 @@
+/// Feature-vector tests for the pattern library's retrieval space:
+/// invariance (translation exactly, D4 through canonicalization), jitter
+/// locality (small edits → small distance, different patterns → large),
+/// and degenerate inputs. Runs under the sanitizer jobs in CI (label
+/// `pat`).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pattern/canonical.h"
+#include "pattern/feature.h"
+
+namespace opckit::pat {
+namespace {
+
+using geom::Rect;
+using geom::Region;
+
+/// The resume-test leaf geometry: two bars, the canonical window shape
+/// the flow tests exercise.
+std::vector<Rect> two_bars(geom::Coord widen = 0) {
+  return {Rect(0, 0, 180, 1200), Rect(540, 0, 720 + widen, 1200)};
+}
+
+Region l_pattern() {
+  // Asymmetric L: no self-symmetry under D4.
+  return Region{Rect(-40, -40, 40, -10)}.united(
+      Region{Rect(-40, -10, -20, 40)});
+}
+
+TEST(PatternFeature, EmptyPatternIsZeroVector) {
+  const PatternFeature f = feature_of({});
+  EXPECT_EQ(f.norm, 0.0);
+  for (double x : f.v) EXPECT_EQ(x, 0.0);
+}
+
+TEST(PatternFeature, DegenerateRectIsZeroVector) {
+  // Zero-width geometry has no area to grid: the vector stays zero
+  // rather than dividing by a zero cell size.
+  const PatternFeature f = feature_of({Rect(0, 0, 0, 100)});
+  EXPECT_EQ(f.norm, 0.0);
+}
+
+TEST(PatternFeature, TranslationInvariantExactly) {
+  // The grid is anchored at the pattern bbox, so a pure translation
+  // cancels in integer subtraction before any double math — the vectors
+  // are bit-identical, not merely close.
+  std::vector<Rect> shifted;
+  for (const Rect& r : two_bars())
+    shifted.push_back(Rect(r.lo.x + 1370, r.lo.y - 257, r.hi.x + 1370,
+                           r.hi.y - 257));
+  EXPECT_EQ(feature_of(two_bars()), feature_of(shifted));
+}
+
+TEST(PatternFeature, D4InvariantThroughCanonicalization) {
+  // The library computes features over canonical rects, so every D4
+  // image of a pattern maps to the identical vector.
+  const Region base = l_pattern();
+  const PatternFeature ref = feature_of(canonicalize(base).rects);
+  for (geom::Orientation o : geom::all_orientations()) {
+    EXPECT_EQ(feature_of(canonicalize(oriented(base, o)).rects), ref)
+        << geom::name(o);
+  }
+}
+
+TEST(PatternFeature, JitterIsNearDifferentPatternIsFar) {
+  // The retrieval contract: a few-nm edge move lands within a small
+  // budget, a genuinely different pattern does not.
+  const PatternFeature base = feature_of(two_bars());
+  const double jitter = feature_distance(base, feature_of(two_bars(4)));
+  const double different =
+      feature_distance(base, feature_of({Rect(0, 0, 720, 1200)}));
+  EXPECT_GT(jitter, 0.0);
+  EXPECT_LT(jitter, 0.5);
+  EXPECT_GT(different, 1.0);
+  EXPECT_LT(jitter, different);
+}
+
+TEST(PatternFeature, NormMatchesDistanceFromZero) {
+  // The index's triangle-inequality pruning trusts the cached norm.
+  const PatternFeature f = feature_of(two_bars());
+  EXPECT_DOUBLE_EQ(f.norm, feature_distance(f, PatternFeature{}));
+  EXPECT_GT(f.norm, 0.0);
+}
+
+TEST(PatternFeature, DistanceIsSymmetricAndZeroOnIdentity) {
+  const PatternFeature a = feature_of(two_bars());
+  const PatternFeature b = feature_of(two_bars(40));
+  EXPECT_EQ(feature_distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(feature_distance(a, b), feature_distance(b, a));
+}
+
+TEST(PatternFeature, FullRectFillsEveryCell) {
+  const PatternFeature f = feature_of({Rect(0, 0, 600, 600)});
+  for (std::size_t i = 0; i < kFeatureGrid * kFeatureGrid; ++i)
+    EXPECT_NEAR(f.v[i], 1.0, 1e-12) << "cell " << i;
+  // Fill-fraction scalar (last slot) is exactly 1 for a solid pattern.
+  EXPECT_NEAR(f.v[kFeatureDims - 1], 1.0, 1e-12);
+}
+
+TEST(PatternFeature, DeterministicAcrossCalls) {
+  const std::vector<Rect> rects = canonicalize(l_pattern()).rects;
+  EXPECT_EQ(feature_of(rects), feature_of(rects));
+}
+
+}  // namespace
+}  // namespace opckit::pat

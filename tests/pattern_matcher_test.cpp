@@ -96,5 +96,54 @@ TEST(Matcher, RejectsBadConstruction) {
   EXPECT_THROW(deck.add_rule(std::move(unnamed)), util::CheckError);
 }
 
+TEST(Matcher, AddRuleLastWinsOnHashCollision) {
+  // Regression: colliding rules used to be dropped silently, leaving the
+  // stale rule in the deck with no signal to the caller. Now the new
+  // rule replaces the old one and the return value reports it.
+  const auto polys = layout_with_notch();
+  WindowSpec wspec;
+  wspec.radius = 150;
+  const auto windows = extract_windows(polys, wspec);
+  const PatternWindow* target = nullptr;
+  for (const auto& w : windows) {
+    if (w.anchor == geom::Point{400, 200}) target = &w;
+  }
+  ASSERT_NE(target, nullptr);
+
+  PatternMatcher deck(150);
+  EXPECT_TRUE(deck.add_rule("old.name", target->geometry));
+  EXPECT_FALSE(deck.add_rule("new.name", target->geometry));
+  EXPECT_EQ(deck.size(), 1u);
+  const auto hits = deck.scan(polys);
+  ASSERT_FALSE(hits.empty());
+  for (const auto& h : hits) EXPECT_EQ(h.rule, "new.name");
+}
+
+TEST(Matcher, AddCatalogRejectsMismatchedWindowSpec) {
+  // Regression: a catalog built under a different extraction policy
+  // imported silently and its patterns could never match a scan. The
+  // catalog now carries its spec and the import validates it.
+  WindowSpec wide;
+  wide.radius = 300;
+  const PatternCatalog cat = build_catalog(layout_with_notch(), wide);
+  ASSERT_TRUE(cat.window_spec().has_value());
+  PatternMatcher deck(150);
+  EXPECT_THROW(deck.add_catalog(cat, "seen"), util::InputError);
+  EXPECT_EQ(deck.size(), 0u);  // nothing half-imported
+}
+
+TEST(Matcher, AddCatalogAcceptsSpeclessCatalogs) {
+  // Catalogs assembled window-by-window (and v1 PDB files) carry no
+  // spec; importing them stays allowed for backward compatibility.
+  WindowSpec wspec;
+  wspec.radius = 150;
+  PatternCatalog legacy;
+  legacy.add(extract_windows(layout_with_notch(), wspec));
+  ASSERT_FALSE(legacy.window_spec().has_value());
+  PatternMatcher deck(150);
+  deck.add_catalog(legacy, "legacy");
+  EXPECT_EQ(deck.size(), legacy.classes());
+}
+
 }  // namespace
 }  // namespace opckit::pat

@@ -88,6 +88,51 @@ TEST(Pdb, HeaderCountMismatchRejected) {
   EXPECT_THROW(read_pdb(bad), util::InputError);
 }
 
+TEST(Pdb, V2CarriesWindowSpec) {
+  const PatternCatalog cat = sample_catalog();
+  ASSERT_TRUE(cat.window_spec().has_value());
+  std::stringstream ss;
+  write_pdb(cat, ss);
+  EXPECT_EQ(ss.str().rfind("opckit-pdb 2\n", 0), 0u);
+  const PatternCatalog back = read_pdb(ss);
+  ASSERT_TRUE(back.window_spec().has_value());
+  EXPECT_EQ(*back.window_spec(), *cat.window_spec());
+}
+
+TEST(Pdb, V1FilesWithoutSpecStillRead) {
+  // Hand-downgrade a v2 stream: v1 magic, window line removed. Old
+  // files keep reading; the extraction policy is simply unknown.
+  const PatternCatalog cat = sample_catalog();
+  std::ostringstream os;
+  write_pdb(cat, os);
+  std::string text = os.str();
+  const std::size_t magic_end = text.find('\n');
+  const std::size_t window_end = text.find('\n', magic_end + 1);
+  ASSERT_EQ(text.substr(magic_end + 1, 7), "window ");
+  text = "opckit-pdb 1\n" + text.substr(window_end + 1);
+  std::istringstream is(text);
+  const PatternCatalog back = read_pdb(is);
+  EXPECT_FALSE(back.window_spec().has_value());
+  EXPECT_EQ(back.classes(), cat.classes());
+  EXPECT_EQ(back.total(), cat.total());
+}
+
+TEST(Pdb, MalformedWindowLineRejected) {
+  std::istringstream bad(
+      "opckit-pdb 2\n"
+      "window radius nope anchors corners grid 800 skip 1\n"
+      "classes 0 total 0\n");
+  EXPECT_THROW(read_pdb(bad), util::InputError);
+}
+
+TEST(Pdb, SpeclessCatalogWritesNoWindowLine) {
+  PatternCatalog specless;
+  std::stringstream ss;
+  write_pdb(specless, ss);
+  EXPECT_EQ(ss.str().find("window"), std::string::npos);
+  EXPECT_FALSE(read_pdb(ss).window_spec().has_value());
+}
+
 TEST(Pdb, EmptyCatalogRoundTrips) {
   PatternCatalog empty;
   std::stringstream ss;

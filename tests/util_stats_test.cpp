@@ -232,6 +232,23 @@ TEST(KlDivergence, SmoothingHandlesZeroCounts) {
   EXPECT_TRUE(std::isfinite(kl_divergence(p, q)));
 }
 
+TEST(KlDivergence, UnsmoothedZeroCountSemanticsArePinned) {
+  // p == 0 contributes nothing: the p·log p limit, never the NaN that
+  // 0·log(0/q) evaluates to in floating point. D({0,10}||{5,5}) reduces
+  // to 1·log(1/0.5) = log 2.
+  EXPECT_NEAR(kl_divergence({0, 10}, {5, 5}, 0.0), std::log(2.0), 1e-12);
+  // p > 0 where q == 0 is +infinity (P not absolutely continuous
+  // w.r.t. Q), not NaN and not a crash.
+  const double d = kl_divergence({10, 0}, {0, 10}, 0.0);
+  EXPECT_TRUE(std::isinf(d));
+  EXPECT_GT(d, 0.0);
+}
+
+TEST(KlDivergence, RejectsNegativeSmoothing) {
+  std::vector<double> p{1, 2};
+  EXPECT_THROW(kl_divergence(p, p, -0.5), util::CheckError);
+}
+
 TEST(HistogramQuantile, InterpolatesUniformlyWithinBins) {
   Histogram h(0.0, 4.0, 4);
   h.add(1.5);  // bin 1

@@ -83,6 +83,13 @@ job_sanitize() {
   (cd build-ci-asan && \
    ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
    ctest "${CTEST_ARGS[@]}" --no-tests=error -L service)
+  # `pat` label: the pattern library — its own corrupt-file corpus
+  # (byte-flip/truncation/forged-CRC loads), the norm-pruned retrieval
+  # index, and the flow's exact/near/miss dispatch. Binary parsing plus
+  # index arithmetic: sweep it on every sanitizer run.
+  (cd build-ci-asan && \
+   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+   ctest "${CTEST_ARGS[@]}" --no-tests=error -L pat)
 }
 
 job_tsan() {
@@ -121,6 +128,12 @@ job_tsan() {
   # concurrent-clients and drain/abort tests exist for this job.
   (cd build-ci-tsan && \
    ctest "${CTEST_ARGS[@]}" --no-tests=error -L service)
+  # `pat` label: the library session feeds warm-start seeds to pool
+  # workers during the parallel solve phase and collects fresh solves
+  # back through the serial merge — the jobs=8 warm-started determinism
+  # test exists for this job.
+  (cd build-ci-tsan && \
+   ctest "${CTEST_ARGS[@]}" --no-tests=error -L pat)
 }
 
 job_tidy() {

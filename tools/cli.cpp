@@ -243,7 +243,7 @@ int cmd_opc(const Options& opts, std::ostream& out) {
   if (flow == "direct") {
     for (const char* key :
          {"store", "resume", "stats", "stats-out", "trace", "mrc-deck",
-          "mrc-action"}) {
+          "mrc-action", "library", "library-budget"}) {
       if (opts.has(key)) {
         throw util::InputError(std::string("--") + key +
                                " requires --flow flat|cell");
@@ -252,6 +252,9 @@ int cmd_opc(const Options& opts, std::ostream& out) {
   }
   if (opts.has("resume") && !opts.has("store")) {
     throw util::InputError("--resume requires --store FILE");
+  }
+  if (opts.has("library-budget") && !opts.has("library")) {
+    throw util::InputError("--library-budget requires --library FILE");
   }
   if (opts.has("stats") && opts.get("stats", "") != "json") {
     throw util::InputError("unknown --stats format (use json): " +
@@ -304,6 +307,13 @@ int cmd_opc(const Options& opts, std::ostream& out) {
     spec.cache = !opts.has("no-cache");
     if (opts.has("store")) spec.store_path = opts.require("store");
     spec.resume = opts.has("resume");
+    if (opts.has("library")) {
+      spec.library_path = opts.require("library");
+      spec.library_budget = opts.get_double("library-budget", 0.0);
+      if (!(spec.library_budget >= 0.0)) {
+        throw util::InputError("--library-budget must be >= 0");
+      }
+    }
     if (opts.has("mrc-deck")) {
       const std::string deck = opts.require("mrc-deck");
       spec.mrc_deck = deck == "default" ? mrc::mask_deck_180()
@@ -362,6 +372,15 @@ int cmd_opc(const Options& opts, std::ostream& out) {
             << stats.store_entries_loaded << " loaded entr(ies), "
             << stats.store_entries_appended << " appended"
             << (stats.store_tail_recovered ? ", torn tail recovered" : "")
+            << '\n';
+      }
+      if (!spec.library_path.empty()) {
+        out << "library: " << stats.library_exact_hits
+            << " exact replay(s), " << stats.library_near_hits
+            << " warm start(s) from " << stats.library_entries_loaded
+            << " loaded entr(ies), " << stats.library_entries_appended
+            << " appended"
+            << (stats.library_tail_recovered ? ", torn tail recovered" : "")
             << '\n';
       }
       if (stats.mrc_checked) {
@@ -646,7 +665,7 @@ int cmd_serve(const Options& opts, std::ostream& out) {
 }
 
 int cmd_submit(const Options& opts, std::ostream& out) {
-  for (const char* key : {"store", "resume"}) {
+  for (const char* key : {"store", "resume", "library"}) {
     if (opts.has(key)) {
       throw util::InputError(
           std::string("--") + key +
@@ -697,6 +716,12 @@ int cmd_submit(const Options& opts, std::ostream& out) {
       in_layer.layer, static_cast<std::uint16_t>(in_layer.datatype + 1)};
   spec.jobs = static_cast<int>(opts.get_int("jobs", 1));
   spec.cache = !opts.has("no-cache");
+  // The budget rides with the job (it is fingerprint-mixed, so it keys
+  // the daemon's shelf); the library file itself is daemon-owned.
+  spec.library_budget = opts.get_double("library-budget", 0.0);
+  if (!(spec.library_budget >= 0.0)) {
+    throw util::InputError("--library-budget must be >= 0");
+  }
   if (opts.has("mrc-deck")) {
     const std::string deck = opts.require("mrc-deck");
     spec.mrc_deck = deck == "default" ? mrc::mask_deck_180()
@@ -767,6 +792,10 @@ void usage(std::ostream& err) {
          "            [--flow direct|flat|cell] [--jobs N] [--no-cache]\n"
          "            [--store f.ocs [--resume]] (persistent correction\n"
          "             store: crash-safe checkpointing + incremental ECO)\n"
+         "            [--library f.ocl [--library-budget F]]\n"
+         "            (cross-run pattern library: exact classes replay,\n"
+         "             budget > 0 warm-starts near matches — fewer\n"
+         "             iterations, same EPE tolerance)\n"
          "            [--stats json] [--stats-out FILE] [--trace FILE]\n"
          "            (--trace writes a chrome://tracing span timeline\n"
          "             of the flow phases and per-tile work)\n"
@@ -794,6 +823,8 @@ void usage(std::ostream& err) {
          "            [--socs-epsilon F] [--mrc-deck FILE|default]\n"
          "            [--mrc-action fail|warn] [--anchor-cd N]\n"
          "            [--anchor-pitch N] [--stats json] [--progress]\n"
+         "            [--library-budget F] (near-match warm starts from\n"
+         "             the daemon's shared pattern library)\n"
          "            (paths are daemon-local; output is byte-identical\n"
          "             to the same `opckit opc` run)\n"
          "  shutdown  --socket PATH | --tcp PORT [--abort]\n"
