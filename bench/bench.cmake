@@ -54,3 +54,10 @@ target_link_libraries(t9_service PRIVATE opckit_service opckit_trace)
 # through the persistent pattern library and measures the solve rate and
 # the warm-start iteration cut.
 opckit_add_experiment(t11_library)
+
+# T12 runs pixel ILT and model OPC on the hard-pattern corpus
+# (tip-to-tip, contact array, forbidden pitch) with shared metrology and
+# compares worst-case EPE and mask data volume; the legalized ILT masks
+# are gated through the MRC signoff deck.
+opckit_add_experiment(t12_ilt)
+target_link_libraries(t12_ilt PRIVATE opckit_ilt opckit_mrc)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -109,7 +110,64 @@ struct TileWork {
   /// the parallel solve phase).
   bool warm = false;
   std::vector<pat::WarmSeed> seeds;
+  /// Pixel-ILT engine state (FlowSpec::engine kIlt/kEscalate): whether
+  /// this tile's final geometry came from ILT, whether the model solver
+  /// ran first and handed it over (kEscalate), and the measured EPE of
+  /// the legalized ILT mask (the model solver reports its own; ILT is
+  /// measured explicitly so FlowStats compares like with like).
+  bool ilt = false;
+  bool escalated = false;
+  ilt::IltResult ilt_result;
+  double ilt_max_epe = 0.0;
+  double ilt_rms_epe = 0.0;
 };
+
+/// Solve one tile with the configured engine — a pure function of the
+/// tile inputs, so the parallel solve phase stays deterministic at any
+/// jobs count. kModel: the fragment solver alone. kIlt: pixel ILT on
+/// every tile. kEscalate (the adaptive policy): model first, then ILT
+/// for tiles whose model solve diverged or left a worst-case EPE above
+/// the escalation threshold. ILT tiles measure the EPE of their
+/// legalized mask at the model solver's probe sites, so the flow-level
+/// EPE stats stay comparable across engines.
+void solve_tile_engine(const FlowSpec& spec, const litho::SimSpec& sim,
+                       const Rect& window, const WarmStart* warm,
+                       TileWork& t) {
+  if (spec.engine != CorrectionEngine::kIlt) {
+    t.result = run_model_opc(t.targets, sim, window, spec.opc, warm);
+    if (spec.engine == CorrectionEngine::kModel) return;
+    const bool hard =
+        !t.result.converged ||
+        (!t.result.history.empty() &&
+         t.result.final_iteration().max_abs_epe_nm >
+             spec.ilt_escalation_epe_nm);
+    if (!hard) return;
+    t.escalated = true;
+  }
+  t.ilt = true;
+  t.ilt_result = ilt::run_pixel_ilt(t.targets, sim, window, spec.ilt);
+  const auto frags = fragment_polygons(t.targets, spec.opc.fragmentation);
+  const std::vector<double> epes =
+      measure_fragment_epe(t.targets, frags, t.ilt_result.corrected, sim,
+                           window, spec.opc.probe_range_nm);
+  double sum_sq = 0.0;
+  std::size_t finite = 0;
+  for (double e : epes) {
+    if (std::isnan(e)) continue;
+    t.ilt_max_epe = std::max(t.ilt_max_epe, std::abs(e));
+    sum_sq += e * e;
+    ++finite;
+  }
+  t.ilt_rms_epe = finite ? std::sqrt(sum_sq / static_cast<double>(finite))
+                         : 0.0;
+  // An escalated tile keeps the better of the two answers: ILT on a
+  // tight window (few free pixels) can come back worse than the model
+  // result that triggered it, and escalation must never regress a tile.
+  if (t.escalated && !t.result.history.empty() &&
+      t.result.final_iteration().max_abs_epe_nm < t.ilt_max_epe) {
+    t.ilt = false;
+  }
+}
 
 /// The pattern-library side of a flow run: import entries for exact
 /// replay, retrieve near matches for warm starts, and accumulate fresh
@@ -280,6 +338,40 @@ void account_fresh_solve(const ModelOpcResult& result, FlowStats& stats) {
     stats.worst_rms_epe_nm =
         std::max(stats.worst_rms_epe_nm, last.rms_epe_nm);
   }
+}
+
+/// Fold one freshly ILT-solved tile into the accounting. The tile's
+/// simulation budget is the model iterations that preceded an
+/// escalation (0 under kIlt) plus the accepted ILT descent steps; the
+/// EPE contribution is the measured error of the legalized mask.
+void account_ilt_solve(const TileWork& t, FlowStats& stats) {
+  ++stats.opc_runs;
+  const std::size_t sims =
+      (t.escalated ? t.result.history.size() : 0) +
+      static_cast<std::size_t>(t.ilt_result.iterations);
+  stats.simulations += sims;
+  stats.tile_simulations.push_back(sims);
+  stats.all_converged = stats.all_converged && t.ilt_result.converged;
+  stats.max_abs_epe_nm = std::max(stats.max_abs_epe_nm, t.ilt_max_epe);
+  stats.worst_rms_epe_nm = std::max(stats.worst_rms_epe_nm, t.ilt_rms_epe);
+  ++stats.ilt_tiles;
+  stats.ilt_iterations += static_cast<std::size_t>(t.ilt_result.iterations);
+  if (t.escalated) {
+    ++stats.ilt_escalated;
+    trace::metrics().counter(trace::metric::kIltEscalations).add(1);
+  }
+}
+
+/// An escalated tile that kept the model answer (solve_tile_engine's
+/// never-regress rule) still spent the ILT descent: fold those
+/// simulations into the tile's budget and count the escalation attempt
+/// — ilt_escalated counts attempts, ilt_tiles counts ILT outputs.
+void account_reverted_escalation(const TileWork& t, FlowStats& stats) {
+  const auto sims = static_cast<std::size_t>(t.ilt_result.iterations);
+  stats.simulations += sims;
+  if (!stats.tile_simulations.empty()) stats.tile_simulations.back() += sims;
+  ++stats.ilt_escalated;
+  trace::metrics().counter(trace::metric::kIltEscalations).add(1);
 }
 
 /// End of a flow run: publish the flow-level counters and the per-tile
@@ -622,6 +714,23 @@ std::uint64_t flow_fingerprint(const FlowSpec& spec,
   mix_u64(spec.library_path.size());
   for (char c : spec.library_path) mix_u64(static_cast<std::uint8_t>(c));
   mix_d(spec.library_budget);
+  // The correction engine and the pixel-ILT knobs select and shape the
+  // solver, so they rewrite the output mask wholesale (appended fields;
+  // stores from pre-ILT builds hash differently by design).
+  mix_i(static_cast<std::int64_t>(spec.engine));
+  mix_d(spec.ilt_escalation_epe_nm);
+  const ilt::IltSpec& il = spec.ilt;
+  mix_i(il.max_iterations);
+  mix_d(il.step);
+  mix_d(il.sigmoid_steepness);
+  mix_d(il.edge_weight);
+  mix_d(il.edge_band_nm);
+  mix_d(il.convergence_tol);
+  mix_d(il.mask_threshold);
+  mix_i(il.min_width_nm);
+  mix_i(il.min_space_nm);
+  mix_i(il.min_corner_nm);
+  mix_d(il.min_area_nm2);
   return h;
 }
 
@@ -653,6 +762,9 @@ std::string render_stats_json(const FlowStats& stats) {
      << ",\"warm_iterations\":" << stats.library_warm_iterations
      << ",\"tail_recovered\":"
      << (stats.library_tail_recovered ? "true" : "false") << "}"
+     << ",\"ilt\":{\"tiles\":" << stats.ilt_tiles
+     << ",\"escalated\":" << stats.ilt_escalated
+     << ",\"iterations\":" << stats.ilt_iterations << "}"
      << ",\"tile_simulations\":[";
   for (std::size_t i = 0; i < stats.tile_simulations.size(); ++i) {
     os << (i ? "," : "") << stats.tile_simulations[i];
@@ -745,9 +857,8 @@ FlowStats run_cell_opc(Library& lib, const std::string& top,
       trace::Span span("flow.solve.tile", static_cast<std::int64_t>(i));
       WarmStart warm;
       if (t.warm) warm.seeds = t.seeds;
-      t.result = run_model_opc(t.targets, spec.sim,
-                               lib.at(work[i]).local_bbox(), spec.opc,
-                               t.warm ? &warm : nullptr);
+      solve_tile_engine(spec, spec.sim, lib.at(work[i]).local_bbox(),
+                        t.warm ? &warm : nullptr, t);
     });
   }
 
@@ -763,11 +874,19 @@ FlowStats run_cell_opc(Library& lib, const std::string& top,
         corrected = cache.fetch(t.res.entry, t.key);
         stats.tile_simulations.push_back(0);
       } else {
-        corrected = std::move(t.result.corrected);
-        account_fresh_solve(t.result, stats);
+        if (t.ilt) {
+          corrected = std::move(t.ilt_result.corrected);
+          account_ilt_solve(t, stats);
+        } else {
+          corrected = std::move(t.result.corrected);
+          account_fresh_solve(t.result, stats);
+          if (t.escalated) account_reverted_escalation(t, stats);
+        }
         if (spec.cache) {
           cache.store(t.res.entry, t.key, corrected);
-          library.on_fresh_solve(cache, t, stats);
+          // ILT output carries no fragment offsets, so there is nothing
+          // to seed warm starts from — the library append is model-only.
+          if (!t.ilt) library.on_fresh_solve(cache, t, stats);
         }
       }
       Cell& cell = lib.cell(work[i]);
@@ -951,8 +1070,8 @@ FlowStats run_flat_opc(Library& lib, const std::string& top,
         trace::Span span("flow.solve.tile", static_cast<std::int64_t>(i));
         WarmStart warm;
         if (t.warm) warm.seeds = t.seeds;
-        t.result = run_model_opc(t.targets, eff.sim, jobs[i].window,
-                                 spec.opc, t.warm ? &warm : nullptr);
+        solve_tile_engine(spec, eff.sim, jobs[i].window,
+                          t.warm ? &warm : nullptr, t);
       });
     }
 
@@ -974,16 +1093,28 @@ FlowStats run_flat_opc(Library& lib, const std::string& top,
           hooks.tile_merged(pass, i + 1, jobs.size());
           continue;
         }
-        account_fresh_solve(t.result, stats);
         job.corrected.clear();
-        for (const auto& p : t.result.corrected) {
-          if (!job.own_region.intersected(geom::Region(p)).empty()) {
-            job.corrected.push_back(p);
+        if (t.ilt) {
+          account_ilt_solve(t, stats);
+          // ILT can synthesize free-floating assists that overlap no
+          // drawn shape, so "ours" is everything inside the window (the
+          // legalizer clips to it); the locked context passthrough sits
+          // outside and drops here, like the neighbour filter below.
+          for (const auto& p : t.ilt_result.corrected) {
+            if (job.window.contains(p.bbox())) job.corrected.push_back(p);
+          }
+        } else {
+          account_fresh_solve(t.result, stats);
+          if (t.escalated) account_reverted_escalation(t, stats);
+          for (const auto& p : t.result.corrected) {
+            if (!job.own_region.intersected(geom::Region(p)).empty()) {
+              job.corrected.push_back(p);
+            }
           }
         }
         if (spec.cache) {
           cache.store(t.res.entry, t.key, job.corrected);
-          library.on_fresh_solve(cache, t, stats);
+          if (!t.ilt) library.on_fresh_solve(cache, t, stats);
         }
         store.on_tile_merged(cache, false, t.res.entry, stats);
         hooks.tile_merged(pass, i + 1, jobs.size());

@@ -58,12 +58,20 @@
 #include <vector>
 
 #include "core/model.h"
+#include "ilt/ilt.h"
 #include "layout/library.h"
 #include "mrc/mrc.h"
 #include "store/result_store.h"
 #include "trace/metrics.h"
 
 namespace opckit::opc {
+
+/// Which correction engine the flow's solve phase runs (FlowSpec::engine).
+enum class CorrectionEngine {
+  kModel,     ///< edge-fragment model OPC on every tile (default)
+  kIlt,       ///< pixel inverse lithography on every tile
+  kEscalate,  ///< model first; residual-EPE outliers re-solve through ILT
+};
 
 /// One progress event from a flow run (see FlowSpec::progress): which
 /// phase just started or advanced, which flat context pass it belongs
@@ -160,6 +168,20 @@ struct FlowSpec {
   /// starts change the solved mask within the EPE tolerance (the
   /// convergence test is unchanged), so the budget is fingerprint-mixed.
   double library_budget = 0.0;
+  /// Which corrector the solve phase runs per tile. kModel (default) is
+  /// the edge-fragment feedback solver. kIlt re-synthesizes every tile
+  /// with the pixel inverse-lithography engine (ilt/ilt.h). kEscalate
+  /// is the adaptive policy: run the model solver first and hand only
+  /// the tiles whose residual worst-case EPE stays above
+  /// ilt_escalation_epe_nm to ILT — cheap correction for the easy
+  /// geometry, pixel inversion for the hard patterns. All three are
+  /// fingerprint-mixed.
+  CorrectionEngine engine = CorrectionEngine::kModel;
+  /// kEscalate threshold, nm: a model-solved tile whose final
+  /// max |EPE| exceeds this re-runs through the ILT engine.
+  double ilt_escalation_epe_nm = 6.0;
+  /// Pixel-ILT knobs for kIlt/kEscalate tiles (fingerprint-mixed).
+  ilt::IltSpec ilt;
 
   // ---- Service hooks (src/service/) ------------------------------------
   // Reuse plumbing and observability only: none of these can change the
@@ -262,6 +284,16 @@ struct FlowStats {
   /// tile replayed.
   double max_abs_epe_nm = 0.0;
   double worst_rms_epe_nm = 0.0;
+  /// Tiles solved by the pixel-ILT engine this run (kIlt: every fresh
+  /// solve; kEscalate: the escalated subset; kModel: 0).
+  std::size_t ilt_tiles = 0;
+  /// kEscalate only: tiles whose model solve exceeded
+  /// ilt_escalation_epe_nm and were re-solved through ILT (equal to
+  /// ilt_tiles under kEscalate; 0 otherwise).
+  std::size_t ilt_escalated = 0;
+  /// Accepted gradient-descent steps summed over ILT tiles (the ILT
+  /// share of `simulations`).
+  std::size_t ilt_iterations = 0;
   /// Everything the observability layer measured during this run: the
   /// per-run delta of the process-wide metrics registry (counters like
   /// litho.fft_batched_transforms, per-phase wall-time gauges, the

@@ -11,7 +11,10 @@ namespace {
 // Version 2 appends the pattern-library knobs (library_path,
 // library_budget) after the MRC action — both reach flow_fingerprint(),
 // so a spec that crosses the wire must round-trip them.
-constexpr std::uint16_t kCodecVersion = 2;
+// Version 3 appends the correction-engine selection and the pixel-ILT
+// knobs (engine, ilt_escalation_epe_nm, the IltSpec) after the library
+// budget — all fingerprint-mixed, so same rule.
+constexpr std::uint16_t kCodecVersion = 3;
 /// A deck entry name is a short rule label; anything huge is corruption.
 constexpr std::uint32_t kMaxNameBytes = 4096;
 constexpr std::uint32_t kMaxDeckChecks = 100000;
@@ -203,6 +206,21 @@ std::vector<std::uint8_t> encode_flow_spec(const FlowSpec& spec) {
   put_u32(out, static_cast<std::uint32_t>(spec.library_path.size()));
   out.insert(out.end(), spec.library_path.begin(), spec.library_path.end());
   put_d(out, spec.library_budget);
+
+  out.push_back(static_cast<std::uint8_t>(spec.engine));
+  put_d(out, spec.ilt_escalation_epe_nm);
+  const ilt::IltSpec& il = spec.ilt;
+  put_i64(out, il.max_iterations);
+  put_d(out, il.step);
+  put_d(out, il.sigmoid_steepness);
+  put_d(out, il.edge_weight);
+  put_d(out, il.edge_band_nm);
+  put_d(out, il.convergence_tol);
+  put_d(out, il.mask_threshold);
+  put_i64(out, il.min_width_nm);
+  put_i64(out, il.min_space_nm);
+  put_i64(out, il.min_corner_nm);
+  put_d(out, il.min_area_nm2);
   return out;
 }
 
@@ -283,6 +301,30 @@ FlowSpec decode_flow_spec(const std::uint8_t* data, std::size_t size) {
   spec.library_budget = r.d();
   if (!(spec.library_budget >= 0.0))
     malformed("negative or NaN library budget");
+
+  spec.engine = r.enum8<CorrectionEngine>(3, "correction engine");
+  spec.ilt_escalation_epe_nm = r.d();
+  if (!(spec.ilt_escalation_epe_nm >= 0.0))
+    malformed("negative or NaN ILT escalation threshold");
+  ilt::IltSpec& il = spec.ilt;
+  il.max_iterations = r.i32();
+  il.step = r.d();
+  il.sigmoid_steepness = r.d();
+  il.edge_weight = r.d();
+  il.edge_band_nm = r.d();
+  il.convergence_tol = r.d();
+  il.mask_threshold = r.d();
+  il.min_width_nm = r.i64();
+  il.min_space_nm = r.i64();
+  il.min_corner_nm = r.i64();
+  il.min_area_nm2 = r.d();
+  if (il.max_iterations < 1 || !(il.step > 0.0) ||
+      !(il.sigmoid_steepness > 0.0) || !(il.edge_weight >= 0.0) ||
+      !(il.edge_band_nm >= 0.0) || !(il.convergence_tol >= 0.0) ||
+      !(il.mask_threshold > 0.0 && il.mask_threshold < 1.0) ||
+      il.min_width_nm <= 0 || il.min_space_nm <= 0 ||
+      il.min_corner_nm <= 0 || !(il.min_area_nm2 >= 0.0))
+    malformed("invalid pixel-ILT knobs");
 
   if (r.remaining() != 0)
     malformed(std::to_string(r.remaining()) +

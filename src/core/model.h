@@ -18,6 +18,13 @@
 
 namespace opckit::opc {
 
+/// Default EPE probe half-range (nm along the site normal). One constant
+/// shared by the solver loop (ModelOpcSpec::probe_range_nm) and the
+/// standalone measure_fragment_epe entry point: when the defaults
+/// diverged (120 vs 160), direct metrology silently reported an edge as
+/// lost (NaN) at displacements the solver still measured.
+inline constexpr double kDefaultProbeRangeNm = 160.0;
+
 /// Model-based OPC configuration.
 struct ModelOpcSpec {
   FragmentationSpec fragmentation;
@@ -28,7 +35,8 @@ struct ModelOpcSpec {
                                        ///< (must exceed worst line-end
                                        ///< pullback, ~75nm here)
   double epe_tolerance_nm = 1.0;    ///< converged when max|EPE| below this
-  double probe_range_nm = 160.0;    ///< EPE search range along the normal
+  double probe_range_nm = kDefaultProbeRangeNm;  ///< EPE search range
+                                                 ///< along the normal
   geom::Coord grid_nm = 1;          ///< mask grid (offsets snap to this)
   /// Mask-space constraint: a fragment may move outward only while the
   /// drawn space in front of it stays at least this wide after BOTH sides
@@ -107,7 +115,7 @@ std::vector<double> measure_fragment_epe(
     const std::vector<geom::Polygon>& targets,
     std::span<const Fragment> fragments,
     const std::vector<geom::Polygon>& mask, const litho::SimSpec& spec_sim,
-    const geom::Rect& window, double probe_range_nm = 120.0,
+    const geom::Rect& window, double probe_range_nm = kDefaultProbeRangeNm,
     double defocus_nm = 0.0, double dose = 1.0);
 
 }  // namespace opckit::opc

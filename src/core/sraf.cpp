@@ -18,7 +18,14 @@ using geom::Region;
 SrafResult insert_srafs(const std::vector<Polygon>& mask_polys,
                         const SrafSpec& spec) {
   OPCKIT_CHECK(spec.bar_width > 0 && spec.max_bars >= 1);
-  OPCKIT_CHECK(spec.bar_distance > spec.bar_width / 2);
+  // Split the bar width across its center line exactly: integer division
+  // alone drew odd widths one unit thin and under-counted the clearance
+  // by the same half unit. The odd unit goes to the far side (away from
+  // the assisted edge), so the near-face distance keeps the historical
+  // bar_distance - bar_width/2 value for even widths.
+  const Coord half_near = spec.bar_width / 2;
+  const Coord half_far = spec.bar_width - half_near;
+  OPCKIT_CHECK(spec.bar_distance > half_near);
 
   std::vector<Polygon> polys;
   polys.reserve(mask_polys.size());
@@ -43,20 +50,21 @@ SrafResult insert_srafs(const std::vector<Polygon>& mask_polys,
         const Coord d = spec.bar_distance + static_cast<Coord>(b) * spec.bar_pitch;
         // The bar must fit: far side of the bar + clearance to whatever
         // faces the edge.
-        const Coord needed =
-            d + spec.bar_width / 2 + spec.min_space_to_geometry;
+        const Coord needed = d + half_far + spec.min_space_to_geometry;
         if (space < needed) break;
 
         const Rect span = edge.bbox();
         Rect bar;
         if (edge.is_horizontal()) {
           const Coord y = span.lo.y + n.y * d;
-          bar = Rect(span.lo.x + spec.end_pullin, y - spec.bar_width / 2,
-                     span.hi.x - spec.end_pullin, y + spec.bar_width / 2);
+          const Coord y_lo = y - (n.y > 0 ? half_near : half_far);
+          bar = Rect(span.lo.x + spec.end_pullin, y_lo,
+                     span.hi.x - spec.end_pullin, y_lo + spec.bar_width);
         } else {
           const Coord x = span.lo.x + n.x * d;
-          bar = Rect(x - spec.bar_width / 2, span.lo.y + spec.end_pullin,
-                     x + spec.bar_width / 2, span.hi.y - spec.end_pullin);
+          const Coord x_lo = x - (n.x > 0 ? half_near : half_far);
+          bar = Rect(x_lo, span.lo.y + spec.end_pullin,
+                     x_lo + spec.bar_width, span.hi.y - spec.end_pullin);
         }
         if (bar.is_empty()) continue;
         ++result.offered;
@@ -77,7 +85,7 @@ SrafResult insert_srafs(const std::vector<Polygon>& mask_polys,
   for (const Polygon& bar : bars.polygons()) {
     const Rect box = bar.bbox();
     if (std::max(box.width(), box.height()) < spec.min_bar_length) continue;
-    if (std::min(box.width(), box.height()) < spec.bar_width / 2) continue;
+    if (std::min(box.width(), box.height()) < half_near) continue;
     result.bars.push_back(bar);
     ++result.kept;
   }

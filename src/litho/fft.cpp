@@ -415,6 +415,56 @@ void SparseInverseBatch::inverse_mag2(const Complex* spectrum,
   }
 }
 
+void SparseInverseBatch::inverse_field(const Complex* spectrum,
+                                       std::span<const Complex> factors,
+                                       std::vector<Complex>& out) const {
+  OPCKIT_CHECK(factors.size() == support_.size());
+  const std::size_t nx = plan_.nx();
+  const std::size_t ny = plan_.ny();
+  out.assign(nx * ny, Complex{0.0, 0.0});
+  trace::metrics().counter(trace::metric::kLithoFftBatchedTransforms).add();
+  trace::metrics()
+      .counter(trace::metric::kLithoFftRowsPruned)
+      .add(rows_pruned());
+
+  // Identical pruned row pass to inverse_mag2.
+  const std::size_t nr = rows_.size();
+  std::vector<Complex> field(nr * nx, Complex{0.0, 0.0});
+  for (std::size_t j = 0; j < support_.size(); ++j) {
+    field[compact_[j]] = spectrum[support_[j]] * factors[j];
+  }
+  const FftPlan& row_plan = plan_.row_plan();
+  for (std::size_t s = 0; s < nr; ++s) {
+    row_plan.transform(field.data() + s * nx, FftDirection::kInverse);
+  }
+
+  // Blocked column pass; the epilogue writes the normalized complex
+  // value instead of fusing |·|².
+  const FftPlan& col_plan = plan_.col_plan();
+  const double inv = 1.0 / static_cast<double>(nx * ny);
+  std::vector<Complex> buf(kColBlock * ny);
+  for (std::size_t x0 = 0; x0 < nx; x0 += kColBlock) {
+    const std::size_t b = std::min(kColBlock, nx - x0);
+    std::fill(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(b * ny),
+              Complex{0.0, 0.0});
+    for (std::size_t s = 0; s < nr; ++s) {
+      const std::size_t y = rows_[s];
+      const Complex* row = field.data() + s * nx + x0;
+      for (std::size_t j = 0; j < b; ++j) buf[j * ny + y] = row[j];
+    }
+    for (std::size_t j = 0; j < b; ++j) {
+      col_plan.transform(buf.data() + j * ny, FftDirection::kInverse);
+    }
+    for (std::size_t y = 0; y < ny; ++y) {
+      Complex* orow = out.data() + y * nx + x0;
+      const Complex* brow = buf.data() + y;
+      for (std::size_t j = 0; j < b; ++j) {
+        orow[j] = brow[j * ny] * inv;
+      }
+    }
+  }
+}
+
 void fft_1d(std::vector<Complex>& data, bool inverse) {
   const std::size_t n = data.size();
   OPCKIT_CHECK_MSG(is_pow2(n), "FFT size " << n << " is not a power of two");

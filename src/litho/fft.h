@@ -195,12 +195,37 @@ class Fft2d {
   /// spectrum (rows via r2c, columns only for kx <= nx/2, remaining
   /// bins filled by the Hermitian mirror F[-kx,-ky] = conj(F[kx,ky])).
   /// ~2x the complex forward; equivalent within ~1e-15 relative.
+  ///
+  /// ## Half-spectrum layout contract (r2c round trips)
+  ///
+  /// The output is a FULL row-stride array: bin (kx, ky) lives at
+  /// out[ky * nx + kx] for every kx in [0, nx), NOT a packed
+  /// (nx/2+1)-stride half array. At return the whole array is valid,
+  /// including the kx > nx/2 mirror half. The round-trip contract is
+  /// asymmetric on purpose:
+  ///
+  ///  - inverse_real reads ONLY the independent half, kx <= nx/2 of
+  ///    every row (full row stride). A caller that filters the spectrum
+  ///    between forward_real and inverse_real therefore only needs to
+  ///    touch bins with kx <= nx/2 — the mirror half may go STALE
+  ///    (hold pre-filter values) without affecting the result. The
+  ///    resist gaussian_blur transfer multiply relies on exactly this.
+  ///  - any consumer that reads the full layout (dense complex
+  ///    inverses, kernel-support gathers at kx > nx/2) must either
+  ///    apply its filter to both halves or re-mirror after filtering:
+  ///    the layout itself does not re-synchronize.
+  ///
+  /// Filters applied to the kx <= nx/2 half must be conjugate-symmetric
+  /// (real transfer functions of |f| qualify) for the implied mask to
+  /// stay Hermitian; inverse_real assumes Hermitian input and returns
+  /// the real part's image regardless.
   void forward_real(std::span<const double> in,
                     std::vector<Complex>& out) const;
 
   /// c2r 2-D inverse of a Hermitian spectrum in full layout: only the
-  /// kx <= nx/2 half is read (the mirror half may be stale), output is
-  /// the real image with 1/(nx*ny) normalization applied.
+  /// kx <= nx/2 half of each row is read (the mirror half may be stale
+  /// — see the layout contract on forward_real), output is the real
+  /// image with 1/(nx*ny) normalization applied.
   void inverse_real(std::span<const Complex> in,
                     std::vector<double>& out) const;
 
@@ -257,6 +282,15 @@ class SparseInverseBatch {
   void inverse_mag2(const Complex* spectrum,
                     std::span<const Complex> factors,
                     std::vector<double>& out) const;
+
+  /// Same pruned inverse, but materializing the normalized COMPLEX
+  /// field: out[i] = IFFT(field)(i) with field as in inverse_mag2.
+  /// The ILT adjoint needs the per-kernel coherent fields E_k (not just
+  /// |E_k|²) to form conj(E_k)·∂C/∂I, so this skips the fused |·|²
+  /// epilogue. |out[i]|² is bit-identical to inverse_mag2's out[i].
+  void inverse_field(const Complex* spectrum,
+                     std::span<const Complex> factors,
+                     std::vector<Complex>& out) const;
 
  private:
   Fft2d plan_;

@@ -17,9 +17,12 @@ Image gaussian_blur(const Image& img, double sigma_nm) {
   const std::size_t n = f.nx * f.ny;
 
   // Real image, real-symmetric transfer: go through the planned
-  // r2c/c2r pair. Only the kx <= nx/2 half-spectrum is independent
-  // (inverse_real never reads the mirror half), so the transfer
-  // multiply touches half the bins and no imaginary parts are carried.
+  // r2c/c2r pair. Per the half-spectrum layout contract documented on
+  // Fft2d::forward_real, the spectrum is a FULL row-stride array but
+  // inverse_real reads only the kx <= nx/2 bins of each row — so the
+  // transfer multiply below touches exactly that independent half and
+  // deliberately leaves the mirror half stale. The transfer is a real
+  // function of |f| (conjugate-symmetric), as the contract requires.
   const Fft2d fft2(f.nx, f.ny);
   std::vector<Complex> spec;
   fft2.forward_real(std::span<const double>(img.values()), spec);

@@ -115,6 +115,19 @@ constexpr std::array kMetricTable = {
                "tiles warm-started from a near-match library retrieval"},
     MetricInfo{metric::kPatLibraryWarmIterations, MetricKind::kCounter,
                "imaging iterations spent on warm-started tiles"},
+    MetricInfo{metric::kIltRuns, MetricKind::kCounter,
+               "tiles corrected by the pixel-ILT engine"},
+    MetricInfo{metric::kIltEscalations, MetricKind::kCounter,
+               "model-OPC tiles escalated to pixel ILT by residual EPE"},
+    MetricInfo{metric::kIltIterations, MetricKind::kHistogram,
+               "accepted gradient-descent steps per ILT tile",
+               0.0, 128.0, 32},
+    MetricInfo{metric::kIltCostReduction, MetricKind::kHistogram,
+               "fractional print-error cost reduction per ILT tile",
+               0.0, 1.0, 20},
+    MetricInfo{metric::kIltLegalizeRounds, MetricKind::kHistogram,
+               "repair rounds needed to legalize an ILT mask",
+               0.0, 16.0, 16},
 };
 
 }  // namespace

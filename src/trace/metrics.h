@@ -125,6 +125,13 @@ inline constexpr const char* kPatLibraryExactHits = "pat.library_exact_hits";
 inline constexpr const char* kPatLibraryNearHits = "pat.library_near_hits";
 inline constexpr const char* kPatLibraryWarmIterations =
     "pat.library_warm_iterations";
+// Pixel-ILT (third correction engine) series — see ilt/ilt.h for the
+// engine and core/flow.h for when escalation fires.
+inline constexpr const char* kIltRuns = "ilt.runs";
+inline constexpr const char* kIltEscalations = "ilt.escalations";
+inline constexpr const char* kIltIterations = "ilt.iterations";
+inline constexpr const char* kIltCostReduction = "ilt.cost_reduction";
+inline constexpr const char* kIltLegalizeRounds = "ilt.legalize_rounds";
 }  // namespace metric
 
 /// Monotone event counter. add() is a relaxed atomic increment — safe

@@ -283,6 +283,9 @@ TEST(FlowResume, StatsJsonRendersAllCounters) {
   stats.library_entries_loaded = 5;
   stats.library_entries_appended = 1;
   stats.library_warm_iterations = 7;
+  stats.ilt_tiles = 2;
+  stats.ilt_escalated = 1;
+  stats.ilt_iterations = 12;
   stats.tile_simulations = {4, 0, 5};
   stats.max_abs_epe_nm = 1.75;
   // A value the old default-precision stream would have truncated to
@@ -302,6 +305,7 @@ TEST(FlowResume, StatsJsonRendersAllCounters) {
             "\"library\":{\"exact_hits\":3,\"near_hits\":2,"
             "\"entries_loaded\":5,\"entries_appended\":1,"
             "\"warm_iterations\":7,\"tail_recovered\":false},"
+            "\"ilt\":{\"tiles\":2,\"escalated\":1,\"iterations\":12},"
             "\"tile_simulations\":[4,0,5],"
             "\"mrc\":{\"checked\":false,\"violations\":0,"
             "\"by_rule\":{},\"tile_violations\":[]},"

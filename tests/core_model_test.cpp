@@ -124,6 +124,36 @@ TEST(ModelOpc, MeasureFragmentEpeMatchesProbeCount) {
   EXPECT_GT(finite, 4);
 }
 
+TEST(ModelOpc, ProbeRangeDefaultMatchesSolver) {
+  // A mask biased 160nm past its target puts the printed edge in the
+  // (120, 160] band: exactly the displacements the old 120nm metrology
+  // default clipped to NaN while the solver probed (and measured) at
+  // 160nm. Both paths must share kDefaultProbeRangeNm.
+  EXPECT_EQ(ModelOpcSpec{}.probe_range_nm, kDefaultProbeRangeNm);
+  const std::vector<Polygon> targets{Polygon{Rect(-90, -900, 90, 900)}};
+  const std::vector<Polygon> mask{Polygon{Rect(-90, -900, 250, 900)}};
+  FragmentationSpec fs;
+  const auto frags = fragment_polygons(targets, fs);
+  const Rect window(-400, -500, 400, 500);
+  const auto by_default =
+      measure_fragment_epe(targets, frags, mask, calibrated_spec(), window);
+  const auto by_solver =
+      measure_fragment_epe(targets, frags, mask, calibrated_spec(), window,
+                           ModelOpcSpec{}.probe_range_nm);
+  ASSERT_EQ(by_default.size(), by_solver.size());
+  bool saw_band = false;
+  for (std::size_t i = 0; i < by_default.size(); ++i) {
+    if (std::isnan(by_solver[i])) {
+      EXPECT_TRUE(std::isnan(by_default[i])) << "site " << i;
+      continue;
+    }
+    EXPECT_EQ(by_default[i], by_solver[i]) << "site " << i;
+    if (std::abs(by_default[i]) > 120.0 && std::abs(by_default[i]) <= 160.0)
+      saw_band = true;
+  }
+  EXPECT_TRUE(saw_band) << "no probe site landed in the (120, 160] band";
+}
+
 TEST(ModelOpc, InvalidSpecThrows) {
   ModelOpcSpec spec = fast_opc();
   spec.gain = 0.0;

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "core/sraf.h"
 #include "geometry/region.h"
 
@@ -84,6 +87,76 @@ TEST(Sraf, BarsPulledInFromEnds) {
     const Rect box = bar.bbox();
     EXPECT_GE(box.lo.y, spec.end_pullin);
     EXPECT_LE(box.hi.y, 3000 - spec.end_pullin);
+  }
+}
+
+// Exact width handling: every kept bar must be drawn at exactly
+// bar_width across its short axis, on all four edge orientations, for
+// even AND odd widths. Odd widths used to truncate to bar_width - 1.
+void check_exact_widths(geom::Coord bar_width) {
+  SrafSpec spec;
+  spec.bar_width = bar_width;
+  // A square big enough that all four edges clear min_edge_length.
+  const geom::Coord side = 2000;
+  const std::vector<Polygon> mask{Polygon{Rect(0, 0, side, side)}};
+  const SrafResult r = insert_srafs(mask, spec);
+  ASSERT_EQ(r.kept, 4u * static_cast<std::size_t>(spec.max_bars));
+  const geom::Coord half_near = spec.bar_width / 2;
+  // Near-face distance of each bar from its assisted edge, per side.
+  std::vector<geom::Coord> lo_x, hi_x, lo_y, hi_y;
+  for (const auto& bar : r.bars) {
+    const Rect box = bar.bbox();
+    EXPECT_EQ(std::min(box.width(), box.height()), spec.bar_width);
+    if (box.hi.x <= 0) {
+      lo_x.push_back(-box.hi.x);
+    } else if (box.lo.x >= side) {
+      hi_x.push_back(box.lo.x - side);
+    } else if (box.hi.y <= 0) {
+      lo_y.push_back(-box.hi.y);
+    } else if (box.lo.y >= side) {
+      hi_y.push_back(box.lo.y - side);
+    } else {
+      ADD_FAILURE() << "bar overlaps the assisted square";
+    }
+  }
+  const std::vector<geom::Coord> want{
+      spec.bar_distance - half_near,
+      spec.bar_distance + spec.bar_pitch - half_near};
+  for (auto* side_faces : {&lo_x, &hi_x, &lo_y, &hi_y}) {
+    std::sort(side_faces->begin(), side_faces->end());
+    EXPECT_EQ(*side_faces, want);
+  }
+}
+
+TEST(Sraf, EvenWidthDrawnExactAllOrientations) { check_exact_widths(80); }
+
+TEST(Sraf, OddWidthDrawnExactAllOrientations) { check_exact_widths(81); }
+
+TEST(Sraf, OddWidthClearanceCountsFarHalf) {
+  SrafSpec spec;
+  spec.bar_width = 81;
+  const geom::Coord half_far = spec.bar_width - spec.bar_width / 2;
+  // Space that fits the first bar exactly: center distance + far half +
+  // clearance. One unit less must reject the bar (the old integer-half
+  // accounting accepted it and then drew into the clearance band).
+  const geom::Coord fits =
+      spec.bar_distance + half_far + spec.min_space_to_geometry;
+  for (const geom::Coord space : {fits, fits - 1}) {
+    const std::vector<Polygon> mask{
+        Polygon{Rect(0, 0, 180, 3000)},
+        Polygon{Rect(180 + space, 0, 360 + space, 3000)}};
+    const SrafResult r = insert_srafs(mask, spec);
+    const Region gap_bars = Region::from_polygons(r.bars)
+                                .intersected(Region(Rect(180, 0, 180 + space, 3000)));
+    if (space == fits) {
+      EXPECT_FALSE(gap_bars.empty());
+      // The kept gap bars still honor the clearance on both sides.
+      const Region keepout =
+          Region::from_polygons(mask).inflated(spec.min_space_to_geometry - 1);
+      EXPECT_TRUE(gap_bars.intersected(keepout).empty());
+    } else {
+      EXPECT_TRUE(gap_bars.empty());
+    }
   }
 }
 

@@ -1,0 +1,322 @@
+/// Pixel-ILT engine tests: adjoint-vs-finite-difference gradient checks
+/// across process corners, sigmoid resist-proxy properties, legalizer
+/// idempotence + MRC cleanliness, and the flow's jobs=1 vs jobs=8
+/// byte-identity contract for ILT tiles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/flow.h"
+#include "geometry/region.h"
+#include "ilt/ilt.h"
+#include "layout/generators.h"
+#include "litho/raster.h"
+#include "litho/simulator.h"
+#include "mrc/mrc.h"
+
+namespace opckit::ilt {
+namespace {
+
+/// Deterministic LCG so the "random" masks are identical on every
+/// platform (no <random> distribution differences).
+class Lcg {
+ public:
+  explicit Lcg(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 33;
+  }
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() % (1u << 24)) /
+           static_cast<double>(1u << 24);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+litho::SimSpec calibrated_sim() {
+  litho::SimSpec sim;
+  sim.optics.source.grid = 5;
+  sim.guard_nm = 120;  // small frames keep the FD probes fast
+  litho::calibrate_threshold(sim, 180, 360);
+  return sim;
+}
+
+std::vector<geom::Polygon> two_bar_target() {
+  const std::vector<geom::Rect> bars = {geom::Rect(80, 40, 176, 360),
+                                        geom::Rect(248, 40, 344, 360)};
+  return geom::Region::from_rects(bars).polygons();
+}
+
+// ---- sigmoid resist proxy ---------------------------------------------
+
+TEST(IltSigmoid, CenterIsHalf) { EXPECT_DOUBLE_EQ(sigmoid(0.0), 0.5); }
+
+TEST(IltSigmoid, StrictlyMonotonicAndBounded) {
+  // Strict monotonicity holds until the double rounds to exactly 0 or 1
+  // (|x| ~ 37); past that the function is still weakly monotone.
+  double prev = sigmoid(-30.0);
+  for (double x = -29.5; x <= 30.0; x += 0.5) {
+    const double z = sigmoid(x);
+    EXPECT_GT(z, prev) << "x=" << x;
+    EXPECT_GT(z, 0.0);
+    EXPECT_LT(z, 1.0);
+    prev = z;
+  }
+}
+
+TEST(IltSigmoid, ExtremeArgumentsDoNotOverflow) {
+  EXPECT_NEAR(sigmoid(1e4), 1.0, 1e-12);
+  EXPECT_NEAR(sigmoid(-1e4), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(sigmoid(1e4) + sigmoid(-1e4), 1.0);
+}
+
+// ---- adjoint gradient vs central finite differences -------------------
+
+/// Probe a handful of pixels (window and context alike — the gradient
+/// contract is the full unconstrained dC/dm) and compare the adjoint
+/// against (C(m+h) - C(m-h)) / 2h.
+void check_adjoint(const litho::SimSpec& sim, const IltSpec& spec,
+                   std::uint64_t seed) {
+  const geom::Rect window(0, 0, 400, 400);
+  const PixelProblem problem(two_bar_target(), sim, window, spec);
+  const std::size_t n = problem.size();
+  ASSERT_GT(n, 0u);
+
+  Lcg rng(seed);
+  std::vector<double> m(n);
+  for (double& v : m) v = 0.2 + 0.6 * rng.uniform();
+
+  std::vector<double> grad;
+  const double c0 = problem.cost_and_gradient(m, grad);
+  ASSERT_EQ(grad.size(), n);
+  EXPECT_NEAR(c0, problem.cost(m), 1e-9 * (1.0 + std::abs(c0)));
+
+  const double h = 1e-4;
+  for (int probe = 0; probe < 12; ++probe) {
+    const std::size_t i = rng.next() % n;
+    std::vector<double> p = m;
+    p[i] = m[i] + h;
+    const double up = problem.cost(p);
+    p[i] = m[i] - h;
+    const double dn = problem.cost(p);
+    const double fd = (up - dn) / (2.0 * h);
+    EXPECT_NEAR(grad[i], fd, 1e-6 + 2e-3 * std::abs(fd))
+        << "pixel " << i << " seed " << seed;
+  }
+}
+
+TEST(IltAdjoint, MatchesFiniteDifferenceBinaryMask) {
+  check_adjoint(calibrated_sim(), IltSpec{}, 1);
+}
+
+TEST(IltAdjoint, MatchesFiniteDifferenceAttenuatedPsm) {
+  litho::SimSpec sim;
+  sim.optics.source.grid = 5;
+  sim.guard_nm = 120;
+  sim.mask.type = litho::MaskType::kAttenuatedPsm;
+  litho::calibrate_threshold(sim, 180, 360);
+  check_adjoint(sim, IltSpec{}, 2);
+}
+
+TEST(IltAdjoint, MatchesFiniteDifferenceSteepSigmoidCorner) {
+  IltSpec spec;
+  spec.sigmoid_steepness = 80.0;
+  spec.edge_weight = 8.0;
+  spec.edge_band_nm = 16.0;
+  check_adjoint(calibrated_sim(), spec, 3);
+}
+
+// ---- legalization -----------------------------------------------------
+
+litho::Frame test_frame() {
+  litho::Frame f;
+  f.origin = {0, 0};
+  f.pixel_nm = 8.0;
+  f.nx = 128;
+  f.ny = 128;
+  return f;
+}
+
+/// A mask that trips every repair rule: a 40 nm gap (below min_space),
+/// a 32 nm sliver (below min_width), two facing convex corners 32 nm
+/// apart (below min_corner), and a 40x40 islet (below min_area).
+litho::Image dirty_mask(const litho::Frame& f) {
+  const std::vector<geom::Rect> rects = {
+      geom::Rect(96, 96, 296, 296),    // body A
+      geom::Rect(96, 336, 296, 536),   // body B: 40 nm gap to A
+      geom::Rect(296, 160, 328, 240),  // 32 nm sliver off body A
+      geom::Rect(328, 328, 496, 496),  // corner faces body A's NE corner
+      geom::Rect(600, 600, 640, 640),  // islet below min_area
+      geom::Rect(96, 640, 496, 800),   // clean anchor
+  };
+  return litho::rasterize(geom::Region::from_rects(rects), f);
+}
+
+TEST(IltLegalize, RepairedMaskPassesMaskDeck180) {
+  const litho::Frame f = test_frame();
+  const IltSpec spec;
+  const geom::Rect window = f.extent();
+  const geom::Region legal = legalize_mask(dirty_mask(f), window, spec);
+  ASSERT_FALSE(legal.polygons().empty());
+
+  const mrc::MrcReport report = mrc::check_mask(legal, mrc::mask_deck_180());
+  EXPECT_TRUE(report.clean()) << report.violations.size() << " violations, "
+                              << "first rule: "
+                              << (report.violations.empty()
+                                      ? ""
+                                      : report.violations.front().rule);
+}
+
+TEST(IltLegalize, IdempotentThroughRasterization) {
+  const litho::Frame f = test_frame();
+  const IltSpec spec;
+  const geom::Rect window = f.extent();
+  const geom::Region once = legalize_mask(dirty_mask(f), window, spec);
+  const geom::Region twice =
+      legalize_mask(litho::rasterize(once, f), window, spec);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(IltLegalize, DropsSubMinimumAreaIslets) {
+  const litho::Frame f = test_frame();
+  const IltSpec spec;
+  const geom::Region legal =
+      legalize_mask(dirty_mask(f), f.extent(), spec);
+  // The 40x40 islet at (600,600) is isolated (>= min_space from all
+  // bodies) and below min_area_nm2, so no output may overlap it.
+  const std::vector<geom::Rect> islet = {geom::Rect(600, 600, 640, 640)};
+  EXPECT_TRUE(legal.intersected(geom::Region::from_rects(islet))
+                  .polygons()
+                  .empty());
+}
+
+// ---- full tile runs ---------------------------------------------------
+
+TEST(IltRun, ImprovesCostAndStaysDeckClean) {
+  const litho::SimSpec sim = calibrated_sim();
+  IltSpec spec;
+  spec.max_iterations = 10;
+  const geom::Rect window(0, 0, 400, 400);
+  const IltResult res = run_pixel_ilt(two_bar_target(), sim, window, spec);
+
+  EXPECT_GT(res.iterations, 0);
+  EXPECT_LE(res.final_cost, res.initial_cost);
+  ASSERT_FALSE(res.corrected.empty());
+  for (const auto& p : res.corrected) {
+    EXPECT_TRUE(window.contains(p.bbox()));
+  }
+  const mrc::MrcReport report =
+      mrc::check_polygons(res.corrected, mrc::mask_deck_180());
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(IltRun, ContextPolygonsPassThroughUnchanged) {
+  const litho::SimSpec sim = calibrated_sim();
+  IltSpec spec;
+  spec.max_iterations = 4;
+  const geom::Rect window(0, 0, 400, 400);
+
+  // One polygon pokes outside the window: locked context.
+  std::vector<geom::Polygon> targets = two_bar_target();
+  const std::vector<geom::Rect> ctx_rects = {geom::Rect(-200, 40, -40, 360)};
+  const geom::Region ctx = geom::Region::from_rects(ctx_rects);
+  for (const auto& p : ctx.polygons()) targets.push_back(p);
+
+  const IltResult res = run_pixel_ilt(targets, sim, window, spec);
+  int context_seen = 0;
+  for (const auto& p : res.corrected) {
+    if (!window.contains(p.bbox())) {
+      ++context_seen;
+      EXPECT_EQ(p, ctx.polygons().front().normalized());
+    }
+  }
+  EXPECT_EQ(context_seen, 1);
+}
+
+// ---- flow integration: determinism + escalation accounting ------------
+
+opc::FlowSpec ilt_flow() {
+  opc::FlowSpec spec;
+  spec.sim.optics.source.grid = 5;
+  litho::calibrate_threshold(spec.sim, 180, 360);
+  spec.opc.max_iterations = 3;
+  spec.engine = opc::CorrectionEngine::kIlt;
+  spec.ilt.max_iterations = 5;
+  spec.input_layer = layout::layers::kPoly;
+  spec.output_layer = layout::layers::kPolyOpc;
+  return spec;
+}
+
+layout::Library small_chip(int cols, int rows) {
+  layout::Library lib("chip");
+  layout::Cell& leaf = lib.cell("leaf");
+  leaf.add_rect(layout::layers::kPoly, geom::Rect(0, 0, 180, 1200));
+  leaf.add_rect(layout::layers::kPoly, geom::Rect(540, 0, 720, 1200));
+  layout::make_chip(lib, "top", "leaf", cols, rows, {1400, 1800});
+  return lib;
+}
+
+std::vector<geom::Polygon> output_polys(const layout::Library& lib,
+                                        const std::string& cell,
+                                        const opc::FlowSpec& spec) {
+  const auto shapes = lib.at(cell).shapes(spec.output_layer);
+  return {shapes.begin(), shapes.end()};
+}
+
+TEST(IltFlow, FlatOutputIdenticalAcrossJobCounts) {
+  opc::FlowSpec spec = ilt_flow();
+  spec.cache = false;
+
+  spec.jobs = 1;
+  layout::Library serial = small_chip(2, 1);
+  const opc::FlowStats s1 = opc::run_flat_opc(serial, "top", spec);
+  const auto ref = output_polys(serial, "top", spec);
+  ASSERT_FALSE(ref.empty());
+  EXPECT_GT(s1.ilt_tiles, 0u);
+  EXPECT_EQ(s1.ilt_escalated, 0u);  // kIlt runs every tile directly
+  EXPECT_GT(s1.ilt_iterations, 0u);
+
+  for (int jobs : {2, 8}) {
+    spec.jobs = jobs;
+    layout::Library lib = small_chip(2, 1);
+    const opc::FlowStats s = opc::run_flat_opc(lib, "top", spec);
+    EXPECT_EQ(output_polys(lib, "top", spec), ref) << "jobs=" << jobs;
+    EXPECT_EQ(s.ilt_tiles, s1.ilt_tiles) << "jobs=" << jobs;
+    EXPECT_EQ(s.simulations, s1.simulations) << "jobs=" << jobs;
+  }
+}
+
+TEST(IltFlow, EscalationThresholdGatesIlt) {
+  layout::Library relaxed_lib = small_chip(1, 1);
+  opc::FlowSpec spec = ilt_flow();
+  spec.cache = false;
+  spec.engine = opc::CorrectionEngine::kEscalate;
+
+  // An unreachable residual floor: model OPC gets enough iterations to
+  // converge, nothing escalates, and the stats stay pure model.
+  spec.opc.max_iterations = 30;
+  spec.ilt_escalation_epe_nm = 1e6;
+  const opc::FlowStats relaxed = opc::run_flat_opc(relaxed_lib, "top", spec);
+  EXPECT_EQ(relaxed.ilt_tiles, 0u);
+  EXPECT_EQ(relaxed.ilt_escalated, 0u);
+
+  // A zero floor: any residual EPE escalates every tile (a capped,
+  // unconverged model solve escalates too — kEscalate's other trigger).
+  // ilt_escalated counts attempts; ilt_tiles counts tiles whose OUTPUT
+  // is ILT, which can be fewer (the never-regress rule keeps the model
+  // answer when the measured ILT EPE is worse).
+  layout::Library strict_lib = small_chip(1, 1);
+  spec.opc.max_iterations = 3;
+  spec.ilt_escalation_epe_nm = 0.0;
+  const opc::FlowStats strict = opc::run_flat_opc(strict_lib, "top", spec);
+  EXPECT_GT(strict.ilt_escalated, 0u);
+  EXPECT_LE(strict.ilt_tiles, strict.ilt_escalated);
+}
+
+}  // namespace
+}  // namespace opckit::ilt

@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include "litho/fft.h"
+#include "litho/image.h"
+#include "litho/resist.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -304,6 +306,91 @@ TEST(SparseBatch, ValidatesSupportIndices) {
   EXPECT_THROW(SparseInverseBatch(plan, not_ascending), util::CheckError);
   const std::vector<std::uint32_t> descending = {9, 2};
   EXPECT_THROW(SparseInverseBatch(plan, descending), util::CheckError);
+}
+
+TEST(SparseBatch, InverseFieldMagnitudeMatchesInverseMag2) {
+  // |inverse_field|² must be bit-identical to inverse_mag2: the ILT
+  // adjoint consumes the complex fields, the imaging loop the fused
+  // magnitudes, and both must describe the same image.
+  const std::size_t nx = 32, ny = 16;
+  const Fft2d plan(nx, ny);
+  std::vector<std::uint32_t> support;
+  for (std::uint32_t i = 0; i < nx * ny; i += 7) support.push_back(i);
+  const SparseInverseBatch batch(plan, support);
+  const auto spectrum = random_complex(nx * ny, 77);
+  const auto factors = random_complex(support.size(), 78);
+
+  std::vector<double> mag2;
+  batch.inverse_mag2(spectrum.data(), factors, mag2);
+  std::vector<Complex> field;
+  batch.inverse_field(spectrum.data(), factors, field);
+  ASSERT_EQ(field.size(), mag2.size());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    EXPECT_EQ(std::norm(field[i]), mag2[i]) << "pixel " << i;
+  }
+
+  // And the field itself matches the dense inverse of the masked
+  // spectrum.
+  std::vector<Complex> dense(nx * ny, Complex{0.0, 0.0});
+  for (std::size_t j = 0; j < support.size(); ++j) {
+    dense[support[j]] = spectrum[support[j]] * factors[j];
+  }
+  fft_2d(dense, nx, ny, /*inverse=*/true);
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    EXPECT_EQ(field[i].real(), dense[i].real()) << "pixel " << i;
+    EXPECT_EQ(field[i].imag(), dense[i].imag()) << "pixel " << i;
+  }
+}
+
+/// Dense-complex reference blur: full forward, transfer applied to
+/// EVERY bin (mirror half included), full inverse. The production
+/// r2c path (litho::gaussian_blur) touches only the kx <= nx/2 half
+/// and leaves the mirror stale — the layout contract on
+/// Fft2d::forward_real says that must not change the result.
+Image blur_dense_reference(const Image& img, double sigma_nm) {
+  const Frame& f = img.frame();
+  std::vector<Complex> spec(f.nx * f.ny);
+  for (std::size_t i = 0; i < spec.size(); ++i) spec[i] = img.values()[i];
+  fft_2d(spec, f.nx, f.ny, /*inverse=*/false);
+  const double c =
+      -2.0 * std::numbers::pi * std::numbers::pi * sigma_nm * sigma_nm;
+  for (std::size_t ky = 0; ky < f.ny; ++ky) {
+    const double fy = fft_freq(ky, f.ny) / f.pixel_nm;
+    for (std::size_t kx = 0; kx < f.nx; ++kx) {
+      const double fx = fft_freq(kx, f.nx) / f.pixel_nm;
+      spec[ky * f.nx + kx] *= std::exp(c * (fx * fx + fy * fy));
+    }
+  }
+  fft_2d(spec, f.nx, f.ny, /*inverse=*/true);
+  Image out(f);
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    out.values()[i] = spec[i].real();
+  }
+  return out;
+}
+
+TEST(R2cLayoutContract, HalfSpectrumBlurMatchesDenseOnNonSquareFrames) {
+  // Non-square on both orientations (nx > ny and nx < ny): a stride or
+  // mirror-indexing mistake in the half-spectrum layout shows up only
+  // when nx != ny.
+  struct Shape { std::size_t nx, ny; };
+  for (const Shape s : {Shape{64, 16}, Shape{16, 64}, Shape{32, 8}}) {
+    Frame f;
+    f.pixel_nm = 8.0;
+    f.nx = s.nx;
+    f.ny = s.ny;
+    Image img(f);
+    util::Rng rng(s.nx * 1000 + s.ny);
+    for (auto& v : img.values()) v = rng.uniform(0, 1);
+    for (const double sigma : {10.0, 25.0}) {
+      const Image got = gaussian_blur(img, sigma);
+      const Image want = blur_dense_reference(img, sigma);
+      for (std::size_t i = 0; i < got.values().size(); ++i) {
+        EXPECT_NEAR(got.values()[i], want.values()[i], 1e-12)
+            << s.nx << "x" << s.ny << " sigma=" << sigma << " pixel " << i;
+      }
+    }
+  }
 }
 
 TEST(PlanCacheTest, BuildsOncePerKeyAndCountsHits) {

@@ -106,6 +106,11 @@ opc::FlowSpec sample_spec() {
   spec.mrc_deck.push_back(
       {mrc::CheckKind::kWidth, "mrc.width.120", geom::Coord{120}});
   spec.mrc_action = mrc::Action::kWarn;
+  spec.engine = opc::CorrectionEngine::kEscalate;
+  spec.ilt_escalation_epe_nm = 4.5;
+  spec.ilt.max_iterations = 17;
+  spec.ilt.edge_weight = 2.5;
+  spec.ilt.min_space_nm = 96;
   return spec;
 }
 

@@ -90,6 +90,13 @@ job_sanitize() {
   (cd build-ci-asan && \
    ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
    ctest "${CTEST_ARGS[@]}" --no-tests=error -L pat)
+  # `ilt` label: the pixel-ILT engine — per-kernel scatter/gather over
+  # the sparse SOCS support, adjoint FFT buffers reused across
+  # iterations, and the pixel-grid legalizer's scanline passes. Raw
+  # index arithmetic over flat arrays: sanitizer territory.
+  (cd build-ci-asan && \
+   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+   ctest "${CTEST_ARGS[@]}" --no-tests=error -L ilt)
 }
 
 job_tsan() {
@@ -134,6 +141,12 @@ job_tsan() {
   # test exists for this job.
   (cd build-ci-tsan && \
    ctest "${CTEST_ARGS[@]}" --no-tests=error -L pat)
+  # `ilt` label: ILT tiles run on pool workers like any other solve —
+  # shared KernelCache/PlanCache lookups from the descent loop plus the
+  # serial merge accounting. The jobs=1 vs jobs=8 identity test exists
+  # for this job.
+  (cd build-ci-tsan && \
+   ctest "${CTEST_ARGS[@]}" --no-tests=error -L ilt)
 }
 
 job_tidy() {

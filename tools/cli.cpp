@@ -230,6 +230,60 @@ int cmd_mrc(const Options& opts, std::ostream& out) {
   return mrc::to_lint_report(report).clean() ? 0 : 1;
 }
 
+/// Shared by cmd_opc (flow modes) and cmd_submit: parse --engine and the
+/// --ilt-* knobs into the spec, with the same validation on both paths
+/// so a daemon job and a local run of the same options share one spec.
+void apply_engine_options(const Options& opts, opc::FlowSpec& spec) {
+  const std::string engine = opts.get("engine", "model");
+  if (engine == "model") {
+    spec.engine = opc::CorrectionEngine::kModel;
+  } else if (engine == "ilt") {
+    spec.engine = opc::CorrectionEngine::kIlt;
+  } else if (engine == "escalate") {
+    spec.engine = opc::CorrectionEngine::kEscalate;
+  } else {
+    throw util::InputError("unknown --engine (use model, ilt or escalate): " +
+                           engine);
+  }
+  if (spec.engine == opc::CorrectionEngine::kModel) {
+    for (const char* key : {"ilt-iterations", "ilt-step", "ilt-steepness",
+                            "ilt-edge-weight", "ilt-edge-band",
+                            "ilt-escalate-epe"}) {
+      if (opts.has(key)) {
+        throw util::InputError(std::string("--") + key +
+                               " requires --engine ilt|escalate");
+      }
+    }
+    return;
+  }
+  spec.ilt.max_iterations =
+      static_cast<int>(opts.get_int("ilt-iterations", spec.ilt.max_iterations));
+  if (spec.ilt.max_iterations < 1) {
+    throw util::InputError("--ilt-iterations must be >= 1");
+  }
+  spec.ilt.step = opts.get_double("ilt-step", spec.ilt.step);
+  spec.ilt.sigmoid_steepness =
+      opts.get_double("ilt-steepness", spec.ilt.sigmoid_steepness);
+  spec.ilt.edge_weight =
+      opts.get_double("ilt-edge-weight", spec.ilt.edge_weight);
+  spec.ilt.edge_band_nm =
+      opts.get_double("ilt-edge-band", spec.ilt.edge_band_nm);
+  if (!(spec.ilt.step > 0.0) || !(spec.ilt.sigmoid_steepness > 0.0) ||
+      !(spec.ilt.edge_weight >= 0.0) || !(spec.ilt.edge_band_nm >= 0.0)) {
+    throw util::InputError("--ilt-step/--ilt-steepness must be > 0 and "
+                           "--ilt-edge-weight/--ilt-edge-band >= 0");
+  }
+  if (opts.has("ilt-escalate-epe") &&
+      spec.engine != opc::CorrectionEngine::kEscalate) {
+    throw util::InputError("--ilt-escalate-epe requires --engine escalate");
+  }
+  spec.ilt_escalation_epe_nm =
+      opts.get_double("ilt-escalate-epe", spec.ilt_escalation_epe_nm);
+  if (!(spec.ilt_escalation_epe_nm >= 0.0)) {
+    throw util::InputError("--ilt-escalate-epe must be >= 0");
+  }
+}
+
 int cmd_opc(const Options& opts, std::ostream& out) {
   const std::string mode = opts.get("mode", "model");
   const std::string flow = opts.get("flow", "direct");
@@ -243,7 +297,9 @@ int cmd_opc(const Options& opts, std::ostream& out) {
   if (flow == "direct") {
     for (const char* key :
          {"store", "resume", "stats", "stats-out", "trace", "mrc-deck",
-          "mrc-action", "library", "library-budget"}) {
+          "mrc-action", "library", "library-budget", "engine",
+          "ilt-iterations", "ilt-step", "ilt-steepness", "ilt-edge-weight",
+          "ilt-edge-band", "ilt-escalate-epe"}) {
       if (opts.has(key)) {
         throw util::InputError(std::string("--") + key +
                                " requires --flow flat|cell");
@@ -305,6 +361,7 @@ int cmd_opc(const Options& opts, std::ostream& out) {
     spec.output_layer = out_layer;
     spec.jobs = static_cast<int>(opts.get_int("jobs", 1));
     spec.cache = !opts.has("no-cache");
+    apply_engine_options(opts, spec);
     if (opts.has("store")) spec.store_path = opts.require("store");
     spec.resume = opts.has("resume");
     if (opts.has("library")) {
@@ -716,6 +773,7 @@ int cmd_submit(const Options& opts, std::ostream& out) {
       in_layer.layer, static_cast<std::uint16_t>(in_layer.datatype + 1)};
   spec.jobs = static_cast<int>(opts.get_int("jobs", 1));
   spec.cache = !opts.has("no-cache");
+  apply_engine_options(opts, spec);
   // The budget rides with the job (it is fingerprint-mixed, so it keys
   // the daemon's shelf); the library file itself is daemon-owned.
   spec.library_budget = opts.get_double("library-budget", 0.0);
@@ -802,6 +860,15 @@ void usage(std::ostream& err) {
          "            [--imaging abbe|socs] [--socs-epsilon F]\n"
          "            (socs: SOCS kernel imaging — a few FFTs per image\n"
          "             instead of one per source point, within ε)\n"
+         "            [--engine model|ilt|escalate]\n"
+         "            [--ilt-iterations N] [--ilt-step F]\n"
+         "            [--ilt-steepness F] [--ilt-edge-weight F]\n"
+         "            [--ilt-edge-band F] [--ilt-escalate-epe F]\n"
+         "            (pixel-based inverse lithography: ilt re-synthesizes\n"
+         "             every tile, escalate runs model OPC first and\n"
+         "             re-solves only tiles whose residual EPE exceeds\n"
+         "             --ilt-escalate-epe; output is Manhattan-legalized\n"
+         "             so MRC signoff still applies)\n"
          "            [--mrc-deck FILE|default] [--mrc-action fail|warn]\n"
          "            (post-OPC mask-rule signoff gate; fail = exit 1\n"
          "             with the violation listing, output still written)\n"
@@ -825,6 +892,10 @@ void usage(std::ostream& err) {
          "            [--anchor-pitch N] [--stats json] [--progress]\n"
          "            [--library-budget F] (near-match warm starts from\n"
          "             the daemon's shared pattern library)\n"
+         "            [--engine model|ilt|escalate] [--ilt-iterations N]\n"
+         "            [--ilt-step F] [--ilt-steepness F]\n"
+         "            [--ilt-edge-weight F] [--ilt-edge-band F]\n"
+         "            [--ilt-escalate-epe F]\n"
          "            (paths are daemon-local; output is byte-identical\n"
          "             to the same `opckit opc` run)\n"
          "  shutdown  --socket PATH | --tcp PORT [--abort]\n"
